@@ -1,0 +1,82 @@
+// Figure 5: authentication accuracy vs training-set size under the two
+// contexts. Data is collected over two weeks with behavioral drift, so a
+// larger training set reaches further into stale behaviour: accuracy peaks
+// near N = 800 and declines beyond — the paper's "over-fitting" shape (see
+// DESIGN.md for the mechanism discussion).
+#include <cstdio>
+
+#include "analysis/sweeps.h"
+#include "ml/krr.h"
+#include "util/args.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace sy;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  analysis::SweepOptions options;
+  options.n_users = static_cast<std::size_t>(args.get_int("users", 12));
+  options.folds = static_cast<std::size_t>(args.get_int("folds", 5));
+  options.iterations = static_cast<std::size_t>(args.get_int("iters", 1));
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const double days = args.get_double("days", 14.0);
+  const double drift = args.get_double("drift-scale", 3.5);
+
+  const std::vector<std::size_t> sizes{100, 200, 400, 600, 800, 1000, 1200};
+  std::printf(
+      "Figure 5 — accuracy vs data size (%zu users, %.0f days of collection "
+      "with behavioral drift x%.1f)\n",
+      options.n_users, days, drift);
+
+  util::Stopwatch sw;
+  const ml::KrrClassifier krr{ml::KrrConfig{}};
+  const auto points = analysis::data_size_sweep(sizes, krr, options, days, drift);
+  std::printf("[sweep finished in %.1f s]\n", sw.elapsed_seconds());
+
+  const char* contexts[] = {"Stationary", "Moving"};
+  const char* devices[] = {"Smartphone", "Smartwatch", "Combination"};
+  util::CsvWriter csv("fig5_data_size.csv");
+  csv.write_row(std::vector<std::string>{"data_size", "context", "device",
+                                         "accuracy"});
+
+  for (int c = 0; c < 2; ++c) {
+    util::Table table(std::string("Context: ") + contexts[c]);
+    table.set_header({"Data size", "Smartphone", "Smartwatch", "Combination"});
+    for (const auto& p : points) {
+      std::vector<std::string> row{std::to_string(p.data_size)};
+      for (int d = 0; d < 3; ++d) {
+        row.push_back(util::Table::pct(p.accuracy[c][d]));
+        csv.write_row(std::vector<std::string>{
+            std::to_string(p.data_size), contexts[c], devices[d],
+            util::Table::fmt(p.accuracy[c][d], 4)});
+      }
+      table.add_row(row);
+    }
+    table.print();
+  }
+
+  // Shape check: combination accuracy peaks in the mid range, not at 1200.
+  double best = 0.0;
+  std::size_t best_size = 0;
+  double at_max_size = 0.0;
+  for (const auto& p : points) {
+    const double acc = (p.accuracy[0][2] + p.accuracy[1][2]) / 2.0;
+    if (acc > best) {
+      best = acc;
+      best_size = p.data_size;
+    }
+    if (p.data_size == sizes.back()) {
+      at_max_size = (p.accuracy[0][2] + p.accuracy[1][2]) / 2.0;
+    }
+  }
+  std::printf(
+      "Shape check: combination accuracy rises steeply with data size and "
+      "saturates; best observed at %zu (%.1f%%), value at %zu = %.1f%%.\n"
+      "The paper's rising limb and plateau reproduce; the post-800 decline "
+      "is weak here (see EXPERIMENTS.md).\n"
+      "[series written to fig5_data_size.csv]\n",
+      best_size, best * 100.0, sizes.back(), at_max_size * 100.0);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 6: fraction of masquerading adversaries still authenticated at
+// time t, with the theoretical FAR^n overlay (§V-G).
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/corpus.h"
+#include "attack/attack_sim.h"
+#include "util/args.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace sy;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto n_users = static_cast<std::size_t>(args.get_int("users", 35));
+  const auto victims = static_cast<std::size_t>(args.get_int("victims", 10));
+  const auto trials = static_cast<std::size_t>(args.get_int("trials", 6));
+  const auto windows = static_cast<std::size_t>(args.get_int("windows", 300));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  std::printf(
+      "Figure 6 — masquerading attack (%zu users, %zu victims, %zu mimicry "
+      "trials per attacker-victim pair, 60 s attacks, 6 s windows)\n",
+      n_users, victims == 0 ? n_users : victims, trials);
+
+  analysis::CorpusOptions co;
+  co.n_users = n_users;
+  co.windows_per_context = windows;
+  co.seed = seed;
+  util::Stopwatch sw;
+  const analysis::Corpus corpus = analysis::Corpus::build(co);
+  std::printf("[corpus built in %.1f s]\n", sw.elapsed_seconds());
+
+  attack::AttackSimOptions options;
+  options.trials_per_pair = trials;
+  options.train_per_class = windows;
+  options.max_victims = victims;
+  options.seed = seed + 11;
+  sw.reset();
+  const auto curve = attack::run_masquerade_attack(corpus, options);
+  std::printf("[attack simulation: %zu trials in %.1f s]\n", curve.trials,
+              sw.elapsed_seconds());
+
+  util::Table table("Fraction of adversaries that still have access at t");
+  table.set_header({"Time (s)", "Fraction alive", "Theory FAR^n (paper 2.8%)"});
+  util::CsvWriter csv("fig6_masquerade.csv");
+  csv.write_row(std::vector<std::string>{"t_s", "fraction_alive", "theory"});
+  constexpr double kPaperFar = 0.028;
+  for (std::size_t k = 0; k < curve.time_seconds.size(); ++k) {
+    const double theory =
+        std::pow(kPaperFar, static_cast<double>(k));
+    table.add_row({util::Table::fmt(curve.time_seconds[k], 0),
+                   util::Table::pct(curve.fraction_alive[k], 2),
+                   k == 0 ? "1" : util::Table::fmt(theory, 6)});
+    csv.write_row(std::vector<double>{curve.time_seconds[k],
+                                      curve.fraction_alive[k], theory});
+  }
+  table.print();
+
+  std::printf(
+      "Per-window mimic FAR: %.1f%% (the paper reports ~90%% of adversaries "
+      "rejected within the first 6 s window and all by 18 s).\n"
+      "Shape check: alive fraction at 6 s = %.1f%%, at 18 s = %.1f%%, at 60 s "
+      "= %.1f%%.\n[series written to fig6_masquerade.csv]\n",
+      curve.per_window_far * 100.0,
+      curve.fraction_alive.size() > 1 ? curve.fraction_alive[1] * 100.0 : 0.0,
+      curve.fraction_alive.size() > 3 ? curve.fraction_alive[3] * 100.0 : 0.0,
+      curve.fraction_alive.back() * 100.0);
+  return 0;
+}

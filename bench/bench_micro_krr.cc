@@ -1,0 +1,144 @@
+// Micro benchmarks for §V-F2 / §V-H1: KRR training and testing cost.
+//
+// The paper's complexity claim: the dual solve costs O(N^2.373) in the
+// training-set size while the primal (identity-kernel) solve costs
+// O(M^2.373) in the feature dimension — N=720 vs M=28 makes the primal path
+// enormously cheaper. These benchmarks expose both paths, the incremental
+// (Woodbury) update, and the SVM baseline's training cost for comparison
+// (the paper picks KRR over SVM partly on cost).
+#include <benchmark/benchmark.h>
+
+#include "ml/dataset.h"
+#include "ml/krr.h"
+#include "ml/svm.h"
+#include "util/rng.h"
+
+using namespace sy;
+
+namespace {
+
+ml::Dataset blobs(std::size_t n_per_class, std::size_t dim, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ml::Dataset data;
+  std::vector<double> x(dim);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (auto& v : x) v = rng.gaussian(1.0, 1.0);
+    data.add(x, +1);
+    for (auto& v : x) v = rng.gaussian(-1.0, 1.0);
+    data.add(x, -1);
+  }
+  return data;
+}
+
+// Dual path (Eq. 6): cost grows superlinearly with N.
+void BM_KrrTrainDual(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ml::Dataset data = blobs(n / 2, 28, 7);
+  ml::KrrConfig config;  // RBF -> dual
+  for (auto _ : state) {
+    ml::KrrClassifier krr(config);
+    krr.fit(data.x, data.y);
+    benchmark::DoNotOptimize(krr);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KrrTrainDual)->Arg(100)->Arg(200)->Arg(400)->Arg(800)
+    ->Complexity();
+
+// Primal path (Eq. 7): cost depends on M, not N — the paper's reduction.
+void BM_KrrTrainPrimal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ml::Dataset data = blobs(n / 2, 28, 7);
+  ml::KrrConfig config;
+  config.kernel = ml::Kernel::linear();
+  config.path = ml::KrrSolvePath::kPrimal;
+  for (auto _ : state) {
+    ml::KrrClassifier krr(config);
+    krr.fit(data.x, data.y);
+    benchmark::DoNotOptimize(krr);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KrrTrainPrimal)->Arg(100)->Arg(200)->Arg(400)->Arg(800)
+    ->Complexity();
+
+// Primal cost vs feature dimension M.
+void BM_KrrTrainPrimalDim(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const ml::Dataset data = blobs(400, m, 9);
+  ml::KrrConfig config;
+  config.kernel = ml::Kernel::linear();
+  config.path = ml::KrrSolvePath::kPrimal;
+  for (auto _ : state) {
+    ml::KrrClassifier krr(config);
+    krr.fit(data.x, data.y);
+    benchmark::DoNotOptimize(krr);
+  }
+}
+BENCHMARK(BM_KrrTrainPrimalDim)->Arg(14)->Arg(28)->Arg(56)->Arg(112);
+
+// Per-window authentication decision (the paper reports 18 ms on a phone;
+// a laptop should be far under that).
+void BM_KrrDecision(benchmark::State& state) {
+  const ml::Dataset data = blobs(400, 28, 11);
+  ml::KrrClassifier krr{ml::KrrConfig{}};
+  krr.fit(data.x, data.y);
+  util::Rng rng(13);
+  std::vector<double> x(28);
+  for (auto& v : x) v = rng.gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(krr.decision(x));
+  }
+}
+BENCHMARK(BM_KrrDecision);
+
+void BM_KrrDecisionPrimal(benchmark::State& state) {
+  const ml::Dataset data = blobs(400, 28, 11);
+  ml::KrrConfig config;
+  config.kernel = ml::Kernel::linear();
+  ml::KrrClassifier krr(config);
+  krr.fit(data.x, data.y);
+  util::Rng rng(13);
+  std::vector<double> x(28);
+  for (auto& v : x) v = rng.gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(krr.decision(x));
+  }
+}
+BENCHMARK(BM_KrrDecisionPrimal);
+
+// Incremental Woodbury update (the machine-unlearning extension): O(M^2)
+// per sample instead of a full O(M^3) refit.
+void BM_KrrIncrementalAdd(benchmark::State& state) {
+  const ml::Dataset data = blobs(400, 28, 15);
+  ml::KrrConfig config;
+  config.kernel = ml::Kernel::linear();
+  ml::KrrClassifier krr(config);
+  krr.fit(data.x, data.y);
+  util::Rng rng(17);
+  std::vector<double> x(28);
+  for (auto& v : x) v = rng.gaussian();
+  for (auto _ : state) {
+    krr.add_sample(x, +1);
+    krr.remove_sample(x, +1);  // keep the model bounded
+  }
+}
+BENCHMARK(BM_KrrIncrementalAdd);
+
+// SVM training cost at the paper's N=800 — the comparison that motivates
+// choosing KRR (§V-F2).
+void BM_SvmTrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ml::Dataset data = blobs(n / 2, 28, 19);
+  for (auto _ : state) {
+    ml::SvmClassifier svm{ml::SvmConfig{}};
+    svm.fit(data.x, data.y);
+    benchmark::DoNotOptimize(svm);
+  }
+}
+BENCHMARK(BM_SvmTrain)->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

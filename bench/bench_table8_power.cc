@@ -1,0 +1,36 @@
+// Table VIII: battery consumption under the four usage scenarios.
+//
+// Substitution: no physical Nexus 5 battery exists here; drain comes from
+// the component-level power budget in power/power_model.h (see DESIGN.md).
+#include <cstdio>
+
+#include "power/power_model.h"
+#include "util/table.h"
+
+using namespace sy;
+
+int main() {
+  const power::PowerModel model;
+  const auto scenarios = power::PowerModel::table8_scenarios();
+  const char* paper[] = {"2.8%", "4.9%", "5.2%", "7.6%"};
+
+  std::printf("Table VIII — power consumption under four scenarios\n");
+  util::Table table("(scenarios 1-2: 12 h locked; 3-4: 60 min, 50%% duty use)");
+  table.set_header({"Scenario", "Measured", "Paper"});
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const auto r = model.run(scenarios[i]);
+    table.add_row({scenarios[i].name, util::Table::pct(r.battery_fraction),
+                   paper[i]});
+  }
+  table.print();
+
+  const auto on = model.run(scenarios[1]).battery_fraction -
+                  model.run(scenarios[0]).battery_fraction;
+  const auto active = model.run(scenarios[3]).battery_fraction -
+                      model.run(scenarios[2]).battery_fraction;
+  std::printf(
+      "SmarterYou overhead: +%.1f%% over 12 h locked (paper +2.1%%), "
+      "+%.1f%% per active hour (paper +2.4%%)\n",
+      on * 100.0, active * 100.0);
+  return 0;
+}

@@ -1,0 +1,237 @@
+// Calibration probe: quick end-to-end shape check of the synthetic
+// substrate against the paper's headline numbers. Not one of the published
+// artifacts — this is the tool used to tune sensors/tuning.h and the CI
+// smoke binary.
+#include <cstdio>
+
+#include "analysis/auth_experiment.h"
+#include "analysis/corpus.h"
+#include "context/context_detector.h"
+#include "features/fisher.h"
+#include "ml/krr.h"
+#include "ml/linreg.h"
+#include "ml/naive_bayes.h"
+#include "ml/svm.h"
+#include "sensors/device.h"
+#include "sensors/population.h"
+#include "util/args.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace sy;
+
+namespace {
+
+// Fisher scores per sensor axis from short free-form-style recordings.
+void fisher_probe(std::size_t n_users, std::uint64_t seed) {
+  sensors::Population pop = sensors::Population::generate(n_users, seed);
+  features::FeatureConfig fc;
+  const features::FeatureExtractor extractor(fc);
+
+  struct AxisKey {
+    const char* name;
+    sensors::SensorType sensor;
+    int axis;
+  };
+  const AxisKey keys[] = {
+      {"Acc(x)", sensors::SensorType::kAccelerometer, 0},
+      {"Acc(y)", sensors::SensorType::kAccelerometer, 1},
+      {"Acc(z)", sensors::SensorType::kAccelerometer, 2},
+      {"Gyr(x)", sensors::SensorType::kGyroscope, 0},
+      {"Gyr(y)", sensors::SensorType::kGyroscope, 1},
+      {"Gyr(z)", sensors::SensorType::kGyroscope, 2},
+      {"Mag(x)", sensors::SensorType::kMagnetometer, 0},
+      {"Ori(x)", sensors::SensorType::kOrientation, 0},
+  };
+
+  // Per device, per axis, per user: windowed stddev values.
+  std::map<std::string, std::vector<std::vector<double>>> phone_values,
+      watch_values;
+
+  util::Rng rng(seed ^ 0x5eedf00d);
+  sensors::CollectorOptions collect;
+  collect.with_watch = true;
+  collect.bluetooth = false;
+  collect.synthesis.include_environmental = true;
+  collect.synthesis.duration_seconds = 120.0;
+
+  for (std::size_t u = 0; u < pop.size(); ++u) {
+    std::map<std::string, std::vector<double>> phone_user, watch_user;
+    for (int s = 0; s < 4; ++s) {  // sessions per user, one context (moving)
+      const auto context = sensors::UsageContext::kMoving;
+      const auto session =
+          sensors::collect_session(pop.user(u), context, collect, rng);
+      for (const auto& key : keys) {
+        auto add = [&](const sensors::Recording& rec,
+                       std::map<std::string, std::vector<double>>& dst) {
+          const auto& trace = sensors::sensor_trace(rec, key.sensor);
+          const auto feats = extractor.stream_features(trace.axis(key.axis));
+          for (const auto& f : feats) dst[key.name].push_back(std::sqrt(f.var));
+        };
+        add(session.phone, phone_user);
+        add(*session.watch, watch_user);
+      }
+    }
+    for (const auto& key : keys) {
+      phone_values[key.name].push_back(phone_user[key.name]);
+      watch_values[key.name].push_back(watch_user[key.name]);
+    }
+  }
+
+  util::Table table("Fisher-score probe (paper Table II shape)");
+  table.set_header({"Axis", "Phone FS", "Watch FS"});
+  for (const auto& key : keys) {
+    table.add_row({key.name,
+                   util::Table::fmt(features::fisher_score(phone_values[key.name]), 3),
+                   util::Table::fmt(features::fisher_score(watch_values[key.name]), 3)});
+  }
+  table.print();
+}
+
+void context_probe(std::size_t n_users, std::uint64_t seed) {
+  sensors::Population pop = sensors::Population::generate(n_users, seed);
+  features::FeatureConfig fc;
+  const features::FeatureExtractor extractor(fc);
+  util::Rng rng(seed ^ 0xc0ffee);
+
+  sensors::CollectorOptions collect;
+  collect.with_watch = false;
+  collect.synthesis.duration_seconds = 240.0;
+
+  std::vector<std::vector<double>> vectors;
+  std::vector<sensors::UsageContext> labels;
+  std::vector<std::size_t> owner;
+  const sensors::UsageContext contexts[] = {
+      sensors::UsageContext::kStationaryUse, sensors::UsageContext::kMoving,
+      sensors::UsageContext::kOnTable, sensors::UsageContext::kVehicle};
+  for (std::size_t u = 0; u < pop.size(); ++u) {
+    for (const auto c : contexts) {
+      const auto session = sensors::collect_session(pop.user(u), c, collect, rng);
+      for (auto& v : extractor.context_vectors(session.phone)) {
+        vectors.push_back(std::move(v));
+        labels.push_back(c);
+        owner.push_back(u);
+      }
+    }
+  }
+
+  // Leave-user-out binary context detection.
+  std::size_t correct = 0, total = 0;
+  for (std::size_t held = 0; held < pop.size(); ++held) {
+    std::vector<std::vector<double>> train_x;
+    std::vector<sensors::UsageContext> train_y;
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+      if (owner[i] != held) {
+        train_x.push_back(vectors[i]);
+        train_y.push_back(labels[i]);
+      }
+    }
+    context::ContextDetector detector;
+    detector.train(train_x, train_y);
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+      if (owner[i] != held) continue;
+      const auto got = detector.detect(vectors[i]);
+      if (got == sensors::collapse_context(labels[i])) ++correct;
+      ++total;
+    }
+  }
+  std::printf("Context detection (leave-user-out, binary): %.2f%% (%zu windows)\n",
+              100.0 * static_cast<double>(correct) / static_cast<double>(total),
+              total);
+}
+
+void auth_probe(std::size_t n_users, std::size_t windows, std::uint64_t seed,
+                double rho, double gamma) {
+  analysis::CorpusOptions co;
+  co.n_users = n_users;
+  co.windows_per_context = windows;
+  co.seed = seed;
+  util::Stopwatch sw;
+  const analysis::Corpus corpus = analysis::Corpus::build(co);
+  std::printf("[corpus: %zu users x %zu windows/context in %.1fs]\n", n_users,
+              windows, sw.elapsed_seconds());
+
+  ml::KrrConfig kc;
+  kc.rho = rho;
+  kc.kernel = ml::Kernel::rbf(gamma);
+  const ml::KrrClassifier krr{kc};
+  util::Table table("Authentication probe (paper Table VII shape)");
+  table.set_header({"Config", "FRR", "FAR", "Accuracy"});
+  struct Cell {
+    const char* name;
+    analysis::DeviceConfig device;
+    bool context;
+  };
+  const Cell cells[] = {
+      {"w/o context, phone", analysis::DeviceConfig::kPhoneOnly, false},
+      {"w/o context, combo", analysis::DeviceConfig::kCombined, false},
+      {"w/  context, phone", analysis::DeviceConfig::kPhoneOnly, true},
+      {"w/  context, watch", analysis::DeviceConfig::kWatchOnly, true},
+      {"w/  context, combo", analysis::DeviceConfig::kCombined, true},
+  };
+  for (const auto& cell : cells) {
+    analysis::AuthEvalOptions eval;
+    eval.device = cell.device;
+    eval.use_context = cell.context;
+    eval.data_size = 2 * windows;
+    eval.folds = 5;
+    eval.seed = seed + 7;
+    sw.reset();
+    const auto r = analysis::evaluate_authentication(corpus, krr, eval);
+    table.add_row({cell.name, util::Table::pct(r.frr), util::Table::pct(r.far),
+                   util::Table::pct(r.accuracy)});
+    std::printf("[%s in %.1fs]\n", cell.name, sw.elapsed_seconds());
+  }
+  table.print();
+}
+
+void table6_probe(std::size_t n_users, std::size_t windows,
+                  std::uint64_t seed) {
+  analysis::CorpusOptions co;
+  co.n_users = n_users;
+  co.windows_per_context = windows;
+  co.seed = seed;
+  const analysis::Corpus corpus = analysis::Corpus::build(co);
+
+  analysis::AuthEvalOptions eval;
+  eval.device = analysis::DeviceConfig::kCombined;
+  eval.use_context = true;
+  eval.data_size = 2 * windows;
+  eval.folds = 5;
+  eval.seed = seed + 3;
+
+  util::Table table("ML algorithm probe (paper Table VI shape)");
+  table.set_header({"Method", "FRR", "FAR", "Accuracy"});
+  const ml::KrrClassifier krr{ml::KrrConfig{}};
+  const ml::SvmClassifier svm{ml::SvmConfig{}};
+  const ml::LinearRegressionClassifier linreg;
+  const ml::NaiveBayesClassifier nb;
+  const ml::BinaryClassifier* models[] = {&krr, &svm, &linreg, &nb};
+  for (const auto* model : models) {
+    util::Stopwatch sw;
+    const auto r = analysis::evaluate_authentication(corpus, *model, eval);
+    table.add_row({model->name(), util::Table::pct(r.frr),
+                   util::Table::pct(r.far), util::Table::pct(r.accuracy)});
+    std::printf("[%s in %.1fs]\n", model->name().c_str(),
+                sw.elapsed_seconds());
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const auto users = static_cast<std::size_t>(args.get_int("users", 12));
+  const auto windows = static_cast<std::size_t>(args.get_int("windows", 150));
+
+  if (!args.get_flag("skip-fisher")) fisher_probe(users, seed);
+  if (!args.get_flag("skip-context")) context_probe(8, seed);
+  if (!args.get_flag("skip-auth")) {
+    auth_probe(users, windows, seed, args.get_double("rho", 0.3),
+               args.get_double("gamma", 0.0));
+  }
+  if (args.get_flag("table6")) table6_probe(users, windows, seed);
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Continuous authentication with a mid-stream theft.
+//
+// A day in the life of the phone: the owner uses it across contexts; at
+// some point a thief grabs the (unlocked!) phone and walks away with it.
+// SmarterYou keeps authenticating every 6 s window in the background and
+// de-authenticates the thief within seconds — the paper's headline use case.
+#include <cstdio>
+
+#include "context/context_detector.h"
+#include "core/smarter_you.h"
+#include "features/feature_extractor.h"
+#include "sensors/population.h"
+
+using namespace sy;
+
+namespace {
+
+const char* action_name(core::Action action) {
+  switch (action) {
+    case core::Action::kAllow:
+      return "allow";
+    case core::Action::kChallenge:
+      return "CHALLENGE";
+    case core::Action::kLock:
+      return "LOCK";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const sensors::Population pop = sensors::Population::generate(6, 99);
+  const features::FeatureExtractor extractor{features::FeatureConfig{}};
+  util::Rng rng(17);
+
+  sensors::CollectorOptions collect;
+  collect.with_watch = true;
+  collect.bluetooth = true;
+  collect.synthesis.duration_seconds = 150.0;
+
+  // Infrastructure (see quickstart.cpp for the step-by-step version).
+  core::AuthServer server;
+  context::ContextDetector detector;
+  std::vector<std::vector<double>> ctx_x;
+  std::vector<sensors::UsageContext> ctx_y;
+  for (std::size_t u = 1; u < pop.size(); ++u) {
+    for (const auto context : {sensors::UsageContext::kStationaryUse,
+                               sensors::UsageContext::kMoving}) {
+      const auto s = sensors::collect_session(pop.user(u), context, collect, rng);
+      server.contribute(static_cast<int>(u), sensors::collapse_context(context),
+                        extractor.auth_vectors(s.phone, &*s.watch));
+      for (auto& v : extractor.context_vectors(s.phone)) {
+        ctx_x.push_back(std::move(v));
+        ctx_y.push_back(context);
+      }
+    }
+  }
+  detector.train(ctx_x, ctx_y);
+
+  core::SmarterYouConfig config;
+  config.enrollment_target = 200;
+  config.min_context_windows = 30;
+  config.response.rejects_to_challenge = 1;
+  config.response.rejects_to_lock = 2;
+  core::SmarterYou system(config, &detector, &server, 0);
+  for (int i = 0; !system.enrolled() && i < 16; ++i) {
+    system.enroll_session(
+        sensors::collect_session(pop.user(0),
+                                 i % 2 ? sensors::UsageContext::kMoving
+                                       : sensors::UsageContext::kStationaryUse,
+                                 collect, rng),
+        rng);
+  }
+  std::printf("owner enrolled (model v%d)\n\n", system.model_version());
+
+  // --- The timeline ----------------------------------------------------------
+  // Owner reads on the couch, walks to the station; the THIEF then grabs
+  // the phone and hurries away. One row per 6 s analysis window.
+  struct Bout {
+    std::size_t user;
+    sensors::UsageContext context;
+    const char* label;
+  };
+  const Bout timeline[] = {
+      {0, sensors::UsageContext::kStationaryUse, "owner reading on the couch"},
+      {0, sensors::UsageContext::kMoving, "owner walking to the station"},
+      {5, sensors::UsageContext::kMoving, ">>> THIEF walks off with the phone"},
+  };
+
+  double t = 0.0;
+  for (const Bout& bout : timeline) {
+    std::printf("--- %s ---\n", bout.label);
+    collect.synthesis.duration_seconds = 60.0;
+    auto session = sensors::collect_session(pop.user(bout.user), bout.context,
+                                            collect, rng);
+    session.day = t / 86400.0;
+    const auto outcomes = system.process_session(session, rng);
+    for (const auto& o : outcomes) {
+      t += 6.0;
+      std::printf(
+          "t=%5.0fs  context=%-10s  CS=%+6.2f  %s  -> %s\n", t,
+          sensors::to_string(o.decision.context).c_str(),
+          o.decision.confidence, o.decision.accepted ? "accept" : "REJECT",
+          action_name(o.action));
+      if (o.action == core::Action::kLock) break;
+    }
+    if (system.response().locked()) {
+      std::printf(
+          "\nphone LOCKED %.0f s after the theft; explicit re-authentication "
+          "required.\n",
+          6.0 * static_cast<double>(system.response().consecutive_rejects()));
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Masquerade (mimicry) attack demo (paper §V-G).
+//
+// An attacker studies a video of the victim and imitates the coarse,
+// visible traits — walking pace, vigour, typing rhythm. The fine
+// micro-dynamics (harmonic mix, tremor spectrum, wrist rotation) stay his
+// own, and the per-context KRR models catch him within a few windows.
+#include <cstdio>
+
+#include "attack/mimic.h"
+#include "core/auth_model.h"
+#include "features/feature_extractor.h"
+#include "ml/dataset.h"
+#include "ml/scaler.h"
+#include "sensors/device.h"
+#include "sensors/population.h"
+
+using namespace sy;
+
+int main() {
+  const sensors::Population pop = sensors::Population::generate(10, 314);
+  const features::FeatureExtractor extractor{features::FeatureConfig{}};
+  util::Rng rng(27);
+
+  const sensors::UserProfile& victim = pop.user(0);
+  const sensors::UserProfile& attacker = pop.user(4);
+
+  sensors::CollectorOptions collect;
+  collect.with_watch = true;
+  collect.bluetooth = true;
+  collect.synthesis.duration_seconds = 240.0;
+
+  // --- Train the victim's moving-context model -----------------------------
+  ml::Dataset train;
+  for (int s = 0; s < 3; ++s) {
+    const auto session = sensors::collect_session(
+        victim, sensors::UsageContext::kMoving, collect, rng);
+    for (const auto& v : extractor.auth_vectors(session.phone, &*session.watch)) {
+      train.add(v, +1);
+    }
+  }
+  const std::size_t n_pos = train.size();
+  std::size_t u = 2;
+  while (train.size() < 2 * n_pos) {
+    const auto session = sensors::collect_session(
+        pop.user(u), sensors::UsageContext::kMoving, collect, rng);
+    for (const auto& v : extractor.auth_vectors(session.phone, &*session.watch)) {
+      if (train.size() >= 2 * n_pos) break;
+      train.add(v, -1);
+    }
+    u = 2 + (u - 1) % (pop.size() - 2);
+  }
+  ml::StandardScaler scaler;
+  scaler.fit(train.x);
+  ml::KrrClassifier krr{ml::KrrConfig{}};
+  const auto scaled = scaler.transform(train);
+  krr.fit(scaled.x, scaled.y);
+  core::ContextModel model(std::move(scaler), std::move(krr));
+  std::printf("victim model trained on %zu windows\n\n", train.size());
+
+  // --- Three attacker skill levels -----------------------------------------
+  struct Skill {
+    const char* label;
+    attack::MimicSkill skill;
+  };
+  const Skill skills[] = {
+      {"no imitation (raw attacker)", {1.0, 1.0, 0.0}},
+      {"video mimicry (paper's attacker)", {0.40, 0.90, 0.10}},
+      {"implausibly perfect coarse copy", {0.05, 0.70, 0.02}},
+  };
+
+  std::printf("victim gait: %.2f Hz, amp %.2f | attacker gait: %.2f Hz, amp %.2f\n\n",
+              victim.gait.freq_hz, victim.gait.phone_amp,
+              attacker.gait.freq_hz, attacker.gait.phone_amp);
+
+  collect.synthesis.duration_seconds = 60.0;
+  for (const Skill& s : skills) {
+    std::size_t accepted = 0, total = 0, survived_first = 0, trials = 0;
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto mimic =
+          attack::make_mimic_profile(attacker, victim, s.skill, rng);
+      const auto session = sensors::collect_session(
+          mimic, sensors::UsageContext::kMoving, collect, rng);
+      const auto vectors =
+          extractor.auth_vectors(session.phone, &*session.watch);
+      bool first = true;
+      for (const auto& v : vectors) {
+        const bool ok = model.score(v) >= 0.0;
+        if (ok) ++accepted;
+        if (first && ok) ++survived_first;
+        first = false;
+        ++total;
+      }
+      ++trials;
+    }
+    std::printf(
+        "%-36s per-window FAR %5.1f%%, survived the first 6 s window in "
+        "%zu/%zu trials\n",
+        s.label, 100.0 * static_cast<double>(accepted) / static_cast<double>(total),
+        survived_first, trials);
+  }
+  std::printf(
+      "\nEven the implausibly good mimic cannot hold access: fine "
+      "micro-dynamics betray him within a few windows (paper Fig. 6: 90%% "
+      "of attackers rejected within 6 s, all by 18 s).\n");
+  return 0;
+}

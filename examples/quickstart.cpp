@@ -1,0 +1,96 @@
+// Quickstart: the minimal SmarterYou integration.
+//
+//   1. Stand up the cloud AuthServer and seed its anonymized feature store.
+//   2. Train the user-agnostic context detector.
+//   3. Enroll a user from a few usage sessions.
+//   4. Authenticate windows — the owner passes, a stranger does not.
+//
+// Everything below runs on simulated sensors (see DESIGN.md); swapping in a
+// real 50 Hz accelerometer/gyroscope feed only changes how
+// sensors::CollectedSession is produced.
+#include <cstdio>
+
+#include "context/context_detector.h"
+#include "core/smarter_you.h"
+#include "features/feature_extractor.h"
+#include "sensors/population.h"
+
+using namespace sy;
+
+int main() {
+  // A small population: user 0 will be our phone owner, the rest contribute
+  // anonymized vectors to the cloud store (and one will play the thief).
+  const sensors::Population pop = sensors::Population::generate(8, 2024);
+  const features::FeatureExtractor extractor{features::FeatureConfig{}};
+  util::Rng rng(7);
+
+  sensors::CollectorOptions collect;
+  collect.with_watch = true;     // phone + paired smartwatch
+  collect.bluetooth = true;      // watch stream crosses the simulated link
+  collect.synthesis.duration_seconds = 180.0;
+
+  // --- 1+2: cloud server store and user-agnostic context detector ----------
+  core::AuthServer server;
+  context::ContextDetector detector;
+  {
+    std::vector<std::vector<double>> ctx_x;
+    std::vector<sensors::UsageContext> ctx_y;
+    for (std::size_t u = 1; u < pop.size(); ++u) {
+      for (const auto context : {sensors::UsageContext::kStationaryUse,
+                                 sensors::UsageContext::kMoving}) {
+        const auto session =
+            sensors::collect_session(pop.user(u), context, collect, rng);
+        server.contribute(static_cast<int>(u),
+                          sensors::collapse_context(context),
+                          extractor.auth_vectors(session.phone,
+                                                 &*session.watch));
+        for (auto& v : extractor.context_vectors(session.phone)) {
+          ctx_x.push_back(std::move(v));
+          ctx_y.push_back(context);
+        }
+      }
+    }
+    detector.train(ctx_x, ctx_y);
+  }
+  std::printf("cloud store ready: %zu stationary / %zu moving vectors\n",
+              server.store_size(sensors::DetectedContext::kStationary),
+              server.store_size(sensors::DetectedContext::kMoving));
+
+  // --- 3: enrollment ---------------------------------------------------------
+  core::SmarterYouConfig config;
+  config.enrollment_target = 200;  // scaled down from the paper's 800
+  config.min_context_windows = 30;
+  core::SmarterYou system(config, &detector, &server, /*user_token=*/0);
+
+  for (int i = 0; !system.enrolled() && i < 16; ++i) {
+    const auto context = i % 2 == 0 ? sensors::UsageContext::kStationaryUse
+                                    : sensors::UsageContext::kMoving;
+    system.enroll_session(
+        sensors::collect_session(pop.user(0), context, collect, rng), rng);
+    std::printf("enrollment progress: %zu windows\n",
+                system.enrolled() ? config.enrollment_target
+                                  : system.enrollment_progress());
+  }
+  std::printf("enrolled, model version %d with %zu context model(s)\n\n",
+              system.model_version(),
+              system.authenticator().model().context_count());
+
+  // --- 4: authenticate -------------------------------------------------------
+  auto try_user = [&](std::size_t user, const char* label) {
+    const auto session = sensors::collect_session(
+        pop.user(user), sensors::UsageContext::kMoving, collect, rng);
+    std::size_t accepted = 0, total = 0;
+    const auto outcomes = system.process_session(session, rng);
+    for (const auto& o : outcomes) {
+      if (o.decision.accepted) ++accepted;
+      ++total;
+    }
+    std::printf("%s: %zu/%zu windows accepted, session state: %s\n", label,
+                accepted, total,
+                system.response().locked() ? "LOCKED" : "active");
+  };
+
+  try_user(0, "owner   ");
+  try_user(3, "stranger");
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "analysis/auth_experiment.h"
+
+#include <map>
+
+#include "ml/scaler.h"
+#include "util/parallel.h"
+
+namespace sy::analysis {
+
+namespace {
+
+struct UserOutcome {
+  std::map<sensors::DetectedContext, ml::BinaryCounts> by_context;
+  ml::BinaryCounts pooled;
+};
+
+}  // namespace
+
+AuthEvalResult evaluate_authentication(const Corpus& corpus,
+                                       const ml::BinaryClassifier& prototype,
+                                       const AuthEvalOptions& options) {
+  const std::size_t n_users = corpus.n_users();
+  std::vector<UserOutcome> outcomes(n_users);
+  const std::size_t per_class = std::max<std::size_t>(8, options.data_size / 2);
+
+  ml::CvOptions cv;
+  cv.folds = options.folds;
+  cv.iterations = options.iterations;
+  cv.standardize = true;
+
+  util::parallel_for(n_users, [&](std::size_t u) {
+    util::Rng rng = util::Rng(options.seed).fork(u);
+    UserOutcome& outcome = outcomes[u];
+    if (options.use_context) {
+      for (const auto& [context, windows] : corpus.user(u).windows) {
+        if (windows.rows() == 0) continue;
+        const ml::Dataset data = corpus.make_auth_dataset(
+            u, context, options.device, per_class, rng);
+        const ml::CvResult r = ml::cross_validate(prototype, data, cv, rng);
+        outcome.by_context[context].merge(r.counts);
+      }
+    } else {
+      const ml::Dataset data =
+          corpus.make_pooled_dataset(u, options.device, per_class, rng);
+      const ml::CvResult r = ml::cross_validate(prototype, data, cv, rng);
+      outcome.pooled.merge(r.counts);
+    }
+  });
+
+  // Aggregate raw counts across users (every user contributes the same
+  // number of windows, so count aggregation equals user averaging).
+  AuthEvalResult result;
+  ml::BinaryCounts total;
+  std::map<sensors::DetectedContext, ml::BinaryCounts> totals_by_context;
+  for (const auto& outcome : outcomes) {
+    total.merge(outcome.pooled);
+    for (const auto& [context, counts] : outcome.by_context) {
+      total.merge(counts);
+      totals_by_context[context].merge(counts);
+    }
+  }
+  result.frr = total.frr();
+  result.far = total.far();
+  result.accuracy = total.accuracy();
+  for (const auto& [context, counts] : totals_by_context) {
+    result.frr_by_context[context] = counts.frr();
+    result.far_by_context[context] = counts.far();
+  }
+  return result;
+}
+
+AuthEvalResult evaluate_authentication_temporal(
+    const Corpus& corpus, const ml::BinaryClassifier& prototype,
+    const AuthEvalOptions& options, std::size_t test_windows) {
+  const std::size_t n_users = corpus.n_users();
+  std::vector<UserOutcome> outcomes(n_users);
+  const std::size_t per_class = std::max<std::size_t>(8, options.data_size / 2);
+
+  util::parallel_for(n_users, [&](std::size_t u) {
+    util::Rng rng = util::Rng(options.seed).fork(900 + u);
+    UserOutcome& outcome = outcomes[u];
+    for (const auto& [context, windows] : corpus.user(u).windows) {
+      if (windows.rows() == 0) continue;
+      for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+        const auto split = corpus.make_temporal_split(
+            u, context, options.device, per_class, test_windows, rng);
+        ml::StandardScaler scaler;
+        scaler.fit(split.train.x);
+        const ml::Dataset train = scaler.transform(split.train);
+        const ml::Dataset test = scaler.transform(split.test);
+        auto model = prototype.clone_untrained();
+        model->fit(train.x, train.y);
+        for (std::size_t i = 0; i < test.size(); ++i) {
+          outcome.by_context[context].add(test.y[i],
+                                          model->predict(test.x.row(i)));
+        }
+      }
+    }
+  });
+
+  AuthEvalResult result;
+  ml::BinaryCounts total;
+  std::map<sensors::DetectedContext, ml::BinaryCounts> by_context;
+  for (const auto& outcome : outcomes) {
+    for (const auto& [context, counts] : outcome.by_context) {
+      total.merge(counts);
+      by_context[context].merge(counts);
+    }
+  }
+  result.frr = total.frr();
+  result.far = total.far();
+  result.accuracy = total.accuracy();
+  for (const auto& [context, counts] : by_context) {
+    result.frr_by_context[context] = counts.frr();
+    result.far_by_context[context] = counts.far();
+  }
+  return result;
+}
+
+}  // namespace sy::analysis

@@ -1,0 +1,53 @@
+// Authentication evaluation loops shared by Tables VI & VII and Figs. 4-5.
+//
+// Protocol (paper §V-A, §V-F): for each user, build a balanced dataset of
+// the user's windows (+1) and anonymized impostor windows (-1), run
+// stratified 10-fold cross-validation with per-fold standardization, repeat
+// and average. Context-aware mode trains one model per detected context and
+// reports the window-weighted average; pooled mode trains a single model on
+// the context mixture (the "w/o context" ablation).
+#pragma once
+
+#include <memory>
+
+#include "analysis/corpus.h"
+#include "ml/classifier.h"
+#include "ml/cross_validation.h"
+
+namespace sy::analysis {
+
+struct AuthEvalOptions {
+  DeviceConfig device{DeviceConfig::kCombined};
+  bool use_context{true};
+  // Total dataset size per (user, context) model: per_class positives +
+  // per_class negatives where per_class = data_size / 2. The paper's
+  // headline setting is data_size = 800.
+  std::size_t data_size{800};
+  std::size_t folds{10};
+  std::size_t iterations{1};
+  std::uint64_t seed{17};
+};
+
+struct AuthEvalResult {
+  double frr{0.0};
+  double far{0.0};
+  double accuracy{0.0};  // 1 - (FAR+FRR)/2
+  // Per-context breakdown (context-aware mode only).
+  std::map<sensors::DetectedContext, double> frr_by_context;
+  std::map<sensors::DetectedContext, double> far_by_context;
+};
+
+// Evaluates `prototype` over every user of the corpus; parallel over users.
+AuthEvalResult evaluate_authentication(const Corpus& corpus,
+                                       const ml::BinaryClassifier& prototype,
+                                       const AuthEvalOptions& options);
+
+// Temporal protocol for drifted corpora (Fig. 5): train on the data_size/2
+// most recent windows before a held-out test tail of the newest windows.
+// This is the deployment-relevant question Fig. 5 answers — how much
+// history should the enrollment buffer keep when behaviour drifts?
+AuthEvalResult evaluate_authentication_temporal(
+    const Corpus& corpus, const ml::BinaryClassifier& prototype,
+    const AuthEvalOptions& options, std::size_t test_windows = 40);
+
+}  // namespace sy::analysis

@@ -1,0 +1,238 @@
+#include "analysis/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "sensors/tuning.h"
+#include "util/parallel.h"
+
+namespace sy::analysis {
+
+std::string to_string(DeviceConfig config) {
+  switch (config) {
+    case DeviceConfig::kPhoneOnly:
+      return "smartphone";
+    case DeviceConfig::kWatchOnly:
+      return "smartwatch";
+    case DeviceConfig::kCombined:
+      return "combination";
+  }
+  return "?";
+}
+
+Corpus Corpus::build(const CorpusOptions& options) {
+  Corpus corpus;
+  corpus.options_ = options;
+  corpus.population_ =
+      sensors::Population::generate(options.n_users, options.seed);
+  corpus.users_.resize(options.n_users);
+
+  features::FeatureConfig fc;
+  fc.window.window_seconds = options.window_seconds;
+  fc.window.hop_seconds = options.window_seconds;
+  fc.window.sample_rate_hz = sensors::tuning::kSampleRateHz;
+  const features::FeatureExtractor extractor(fc);
+
+  const std::size_t windows_per_session = static_cast<std::size_t>(
+      options.session_seconds / options.window_seconds);
+  if (windows_per_session == 0) {
+    throw std::invalid_argument("Corpus: session shorter than one window");
+  }
+
+  util::parallel_for(options.n_users, [&](std::size_t u) {
+    util::Rng rng = util::Rng(options.seed).fork(1000 + u);
+    const sensors::UserProfile& base = corpus.population_.user(u);
+
+    std::unique_ptr<sensors::BehavioralDrift> drift;
+    if (options.drift) {
+      drift = std::make_unique<sensors::BehavioralDrift>(
+          util::splitmix64(options.seed ^ (u * 7919 + 13)), options.days,
+          options.drift_rate_scale);
+    }
+
+    UserCorpus& uc = corpus.users_[u];
+    sensors::CollectorOptions collect;
+    collect.with_watch = true;
+    collect.bluetooth = options.bluetooth;
+    collect.synthesis.sample_rate_hz = sensors::tuning::kSampleRateHz;
+    collect.synthesis.duration_seconds = options.session_seconds;
+
+    for (const sensors::UsageContext raw_context : options.contexts) {
+      const auto detected = sensors::collapse_context(raw_context);
+      auto& matrix = uc.windows[detected];
+      auto& days = uc.window_day[detected];
+
+      std::size_t session_index = 0;
+      while (days.size() < options.windows_per_context) {
+        // Sessions spread uniformly across the collection horizon,
+        // oldest first; day 0 = enrollment start.
+        const double day =
+            options.drift
+                ? options.days * static_cast<double>(session_index) /
+                      std::max<double>(1.0, std::ceil(static_cast<double>(
+                                                options.windows_per_context) /
+                                            static_cast<double>(
+                                                windows_per_session)))
+                : 0.0;
+        const sensors::UserProfile effective =
+            drift ? drift->apply(base, day) : base;
+        sensors::CollectedSession session =
+            sensors::collect_session(effective, raw_context, collect, rng);
+        session.day = day;
+
+        const auto vectors =
+            extractor.auth_vectors(session.phone, &*session.watch);
+        for (const auto& v : vectors) {
+          if (days.size() >= options.windows_per_context) break;
+          matrix.append_row(v);
+          days.push_back(day);
+        }
+        ++session_index;
+      }
+    }
+  });
+  return corpus;
+}
+
+std::vector<double> Corpus::project(std::span<const double> row28,
+                                    DeviceConfig config) {
+  if (row28.size() != 28) {
+    throw std::invalid_argument("Corpus::project: expected 28-dim row");
+  }
+  switch (config) {
+    case DeviceConfig::kPhoneOnly:
+      return {row28.begin(), row28.begin() + 14};
+    case DeviceConfig::kWatchOnly:
+      return {row28.begin() + 14, row28.end()};
+    case DeviceConfig::kCombined:
+      return {row28.begin(), row28.end()};
+  }
+  throw std::invalid_argument("Corpus::project: unknown config");
+}
+
+ml::Dataset Corpus::make_auth_dataset(std::size_t user,
+                                      sensors::DetectedContext context,
+                                      DeviceConfig config,
+                                      std::size_t per_class,
+                                      util::Rng& rng) const {
+  const auto& mine = users_.at(user).windows.at(context);
+  if (mine.rows() == 0) {
+    throw std::invalid_argument("Corpus: user has no windows in context");
+  }
+
+  ml::Dataset data;
+  // Positives: most recent windows (rows are oldest-first).
+  const std::size_t n_pos = std::min(per_class, mine.rows());
+  for (std::size_t i = mine.rows() - n_pos; i < mine.rows(); ++i) {
+    data.add(project(mine.row(i), config), +1);
+  }
+
+  // Negatives: uniform draws over (other user, window).
+  std::vector<std::size_t> others;
+  for (std::size_t v = 0; v < users_.size(); ++v) {
+    if (v != user && users_[v].windows.count(context) &&
+        users_[v].windows.at(context).rows() > 0) {
+      others.push_back(v);
+    }
+  }
+  if (others.empty()) {
+    throw std::invalid_argument("Corpus: no impostor users for context");
+  }
+  for (std::size_t i = 0; i < n_pos; ++i) {
+    const std::size_t v = others[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(others.size()) - 1))];
+    const auto& theirs = users_[v].windows.at(context);
+    const auto r = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(theirs.rows()) - 1));
+    data.add(project(theirs.row(r), config), -1);
+  }
+  return data;
+}
+
+Corpus::TemporalSplit Corpus::make_temporal_split(
+    std::size_t user, sensors::DetectedContext context, DeviceConfig config,
+    std::size_t per_class, std::size_t test_n, util::Rng& rng) const {
+  const auto& mine = users_.at(user).windows.at(context);
+  if (mine.rows() < test_n + 8) {
+    throw std::invalid_argument("Corpus: too few windows for temporal split");
+  }
+  TemporalSplit split;
+  const std::size_t test_begin = mine.rows() - test_n;
+  const std::size_t n_train = std::min(per_class, test_begin);
+
+  for (std::size_t i = test_begin - n_train; i < test_begin; ++i) {
+    split.train.add(project(mine.row(i), config), +1);
+  }
+  for (std::size_t i = test_begin; i < mine.rows(); ++i) {
+    split.test.add(project(mine.row(i), config), +1);
+  }
+
+  std::vector<std::size_t> others;
+  for (std::size_t v = 0; v < users_.size(); ++v) {
+    if (v != user && users_[v].windows.count(context) &&
+        users_[v].windows.at(context).rows() > 0) {
+      others.push_back(v);
+    }
+  }
+  if (others.empty()) {
+    throw std::invalid_argument("Corpus: no impostor users for context");
+  }
+  auto draw_negatives = [&](ml::Dataset& dst, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t v = others[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(others.size()) - 1))];
+      const auto& theirs = users_[v].windows.at(context);
+      const auto r = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(theirs.rows()) - 1));
+      dst.add(project(theirs.row(r), config), -1);
+    }
+  };
+  draw_negatives(split.train, n_train);
+  draw_negatives(split.test, test_n);
+  return split;
+}
+
+ml::Dataset Corpus::make_pooled_dataset(std::size_t user, DeviceConfig config,
+                                        std::size_t per_class,
+                                        util::Rng& rng) const {
+  const auto& uc = users_.at(user);
+  if (uc.windows.empty()) {
+    throw std::invalid_argument("Corpus: user has no windows");
+  }
+  const std::size_t n_contexts = uc.windows.size();
+
+  // Free-form usage is context-imbalanced (people sit more than they walk,
+  // §V-A); the pooled "w/o context" model has to swallow that mixture,
+  // which is part of why it underperforms the per-context models.
+  ml::Dataset data;
+  for (const auto& [context, mine] : uc.windows) {
+    const double share =
+        n_contexts == 1
+            ? 1.0
+            : (context == sensors::DetectedContext::kStationary ? 0.68 : 0.32);
+    const auto per_context = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(per_class) * share));
+    const std::size_t n_pos = std::min(per_context, mine.rows());
+    for (std::size_t i = mine.rows() - n_pos; i < mine.rows(); ++i) {
+      data.add(project(mine.row(i), config), +1);
+    }
+    for (std::size_t i = 0; i < n_pos; ++i) {
+      // Impostor windows from the same context mix.
+      std::size_t v = user;
+      while (v == user) {
+        v = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(users_.size()) - 1));
+      }
+      const auto it = users_[v].windows.find(context);
+      if (it == users_[v].windows.end() || it->second.rows() == 0) continue;
+      const auto r = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(it->second.rows()) - 1));
+      data.add(project(it->second.row(r), config), -1);
+    }
+  }
+  return data;
+}
+
+}  // namespace sy::analysis

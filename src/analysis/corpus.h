@@ -1,0 +1,97 @@
+// Feature corpora for the evaluation harness.
+//
+// A Corpus holds, for every user and usage context, a matrix of 28-dim
+// authentication feature vectors (phone features in columns 0-13, watch in
+// 14-27) plus each window's collection day. Benches build one corpus per
+// experiment configuration and slice device subsets out of it, so the
+// expensive signal synthesis + feature extraction runs once.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "features/feature_extractor.h"
+#include "ml/dataset.h"
+#include "ml/matrix.h"
+#include "sensors/device.h"
+#include "sensors/population.h"
+
+namespace sy::analysis {
+
+enum class DeviceConfig { kPhoneOnly, kWatchOnly, kCombined };
+std::string to_string(DeviceConfig config);
+
+struct CorpusOptions {
+  std::size_t n_users{35};
+  // Windows collected per user per context.
+  std::size_t windows_per_context{400};
+  double window_seconds{6.0};
+  double session_seconds{300.0};
+  bool bluetooth{true};
+  // Spread collection over `days` with behavioral drift (Fig. 5 / Fig. 7
+  // experiments); windows are stored oldest-first with their day stamps.
+  bool drift{false};
+  double days{14.0};
+  double drift_rate_scale{1.0};
+  std::uint64_t seed{42};
+  // Contexts to collect. Default: the two detected contexts' canonical raw
+  // forms (stationary-use + moving).
+  std::vector<sensors::UsageContext> contexts{
+      sensors::UsageContext::kStationaryUse, sensors::UsageContext::kMoving};
+};
+
+struct UserCorpus {
+  // Per *detected* context: (windows x 28) feature matrix, oldest first.
+  std::map<sensors::DetectedContext, ml::Matrix> windows;
+  std::map<sensors::DetectedContext, std::vector<double>> window_day;
+};
+
+class Corpus {
+ public:
+  static Corpus build(const CorpusOptions& options);
+
+  const CorpusOptions& options() const { return options_; }
+  const sensors::Population& population() const { return population_; }
+  std::size_t n_users() const { return users_.size(); }
+  const UserCorpus& user(std::size_t u) const { return users_.at(u); }
+
+  // Projects a 28-dim row onto a device subset.
+  static std::vector<double> project(std::span<const double> row28,
+                                     DeviceConfig config);
+  static std::size_t dim(DeviceConfig config) {
+    return config == DeviceConfig::kCombined ? 28 : 14;
+  }
+
+  // Builds the binary dataset for (user, context, device): `per_class`
+  // positives from the user (most recent first when capped) and `per_class`
+  // impostor windows drawn uniformly from all other users.
+  ml::Dataset make_auth_dataset(std::size_t user,
+                                sensors::DetectedContext context,
+                                DeviceConfig config, std::size_t per_class,
+                                util::Rng& rng) const;
+
+  // Same but pooling all contexts (the paper's "w/o context" ablation).
+  ml::Dataset make_pooled_dataset(std::size_t user, DeviceConfig config,
+                                  std::size_t per_class, util::Rng& rng) const;
+
+  // Temporal split for drifted corpora (Fig. 5): the *newest* `test_n`
+  // windows form the test set; the `per_class` windows immediately before
+  // them form the training positives — so a larger training set reaches
+  // further into stale behaviour. Negatives are drawn for both sides.
+  struct TemporalSplit {
+    ml::Dataset train;
+    ml::Dataset test;
+  };
+  TemporalSplit make_temporal_split(std::size_t user,
+                                    sensors::DetectedContext context,
+                                    DeviceConfig config, std::size_t per_class,
+                                    std::size_t test_n, util::Rng& rng) const;
+
+ private:
+  CorpusOptions options_;
+  sensors::Population population_;
+  std::vector<UserCorpus> users_;
+};
+
+}  // namespace sy::analysis

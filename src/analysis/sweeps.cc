@@ -1,0 +1,100 @@
+#include "analysis/sweeps.h"
+
+#include <algorithm>
+
+namespace sy::analysis {
+
+namespace {
+
+constexpr DeviceConfig kDevices[3] = {DeviceConfig::kPhoneOnly,
+                                      DeviceConfig::kWatchOnly,
+                                      DeviceConfig::kCombined};
+
+}  // namespace
+
+std::vector<WindowSweepPoint> window_size_sweep(
+    const std::vector<double>& window_sizes, const ml::BinaryClassifier& proto,
+    const SweepOptions& options) {
+  std::vector<WindowSweepPoint> points;
+  points.reserve(window_sizes.size());
+
+  for (const double w : window_sizes) {
+    CorpusOptions co;
+    co.n_users = options.n_users;
+    co.windows_per_context = options.windows_per_context;
+    co.window_seconds = w;
+    // Keep sessions long enough for several windows at the largest size.
+    co.session_seconds = std::max(10.0 * w, 120.0);
+    co.bluetooth = options.bluetooth;
+    co.seed = options.seed;
+    const Corpus corpus = Corpus::build(co);
+
+    WindowSweepPoint point{};
+    point.window_seconds = w;
+    for (int d = 0; d < 3; ++d) {
+      AuthEvalOptions eval;
+      eval.device = kDevices[d];
+      eval.use_context = true;
+      eval.data_size = 2 * options.windows_per_context;
+      eval.folds = options.folds;
+      eval.iterations = options.iterations;
+      eval.seed = options.seed + static_cast<std::uint64_t>(d);
+      const AuthEvalResult r = evaluate_authentication(corpus, proto, eval);
+      for (const auto& [context, frr] : r.frr_by_context) {
+        point.frr[static_cast<int>(context)][d] = frr;
+      }
+      for (const auto& [context, far] : r.far_by_context) {
+        point.far[static_cast<int>(context)][d] = far;
+      }
+    }
+    points.push_back(point);
+  }
+  return points;
+}
+
+std::vector<DataSizeSweepPoint> data_size_sweep(
+    const std::vector<std::size_t>& data_sizes,
+    const ml::BinaryClassifier& proto, const SweepOptions& options,
+    double days, double drift_rate_scale) {
+  const std::size_t max_size =
+      *std::max_element(data_sizes.begin(), data_sizes.end());
+
+  constexpr std::size_t kTestTail = 40;  // newest windows, held out
+  CorpusOptions co;
+  co.n_users = options.n_users;
+  co.windows_per_context = max_size / 2 + kTestTail;
+  co.window_seconds = 6.0;
+  co.bluetooth = options.bluetooth;
+  co.seed = options.seed;
+  co.drift = true;
+  co.days = days;
+  co.drift_rate_scale = drift_rate_scale;
+  const Corpus corpus = Corpus::build(co);
+
+  std::vector<DataSizeSweepPoint> points;
+  points.reserve(data_sizes.size());
+  for (const std::size_t n : data_sizes) {
+    DataSizeSweepPoint point{};
+    point.data_size = n;
+    for (int d = 0; d < 3; ++d) {
+      AuthEvalOptions eval;
+      eval.device = kDevices[d];
+      eval.use_context = true;
+      eval.data_size = n;
+      eval.folds = options.folds;
+      eval.iterations = options.iterations;
+      eval.seed = options.seed + static_cast<std::uint64_t>(d);
+      const AuthEvalResult r = evaluate_authentication(corpus, proto, eval);
+      // Per-context accuracies from the context breakdown.
+      for (const auto& [context, frr] : r.frr_by_context) {
+        const double far = r.far_by_context.at(context);
+        point.accuracy[static_cast<int>(context)][d] =
+            1.0 - (far + frr) / 2.0;
+      }
+    }
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace sy::analysis

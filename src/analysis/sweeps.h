@@ -1,0 +1,44 @@
+// Parameter sweeps behind Fig. 4 (window size) and Fig. 5 (data size).
+#pragma once
+
+#include <vector>
+
+#include "analysis/auth_experiment.h"
+
+namespace sy::analysis {
+
+struct SweepOptions {
+  std::size_t n_users{12};
+  std::size_t windows_per_context{240};
+  std::size_t folds{5};
+  std::size_t iterations{1};
+  std::uint64_t seed{23};
+  bool bluetooth{true};
+};
+
+struct WindowSweepPoint {
+  double window_seconds;
+  // [context][device] -> metric, indexed by DetectedContext / DeviceConfig.
+  double frr[2][3];
+  double far[2][3];
+};
+
+// Fig. 4: FRR/FAR vs window size for each context and device subset.
+std::vector<WindowSweepPoint> window_size_sweep(
+    const std::vector<double>& window_sizes, const ml::BinaryClassifier& proto,
+    const SweepOptions& options);
+
+struct DataSizeSweepPoint {
+  std::size_t data_size;
+  double accuracy[2][3];  // [context][device]
+};
+
+// Fig. 5: accuracy vs training-set size under behavioral drift (the corpus
+// is collected over `days` with the drift model; larger sets reach further
+// into stale behaviour).
+std::vector<DataSizeSweepPoint> data_size_sweep(
+    const std::vector<std::size_t>& data_sizes,
+    const ml::BinaryClassifier& proto, const SweepOptions& options,
+    double days = 14.0, double drift_rate_scale = 1.0);
+
+}  // namespace sy::analysis

@@ -1,0 +1,138 @@
+#include "attack/attack_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/auth_model.h"
+#include "features/feature_extractor.h"
+#include "ml/scaler.h"
+#include "sensors/device.h"
+#include "sensors/tuning.h"
+#include "util/parallel.h"
+
+namespace sy::attack {
+
+namespace {
+
+// Trains the victim's per-context model from the corpus, mirroring the
+// AuthServer training path (balanced positives/negatives, standardization).
+core::AuthModel train_victim_model(const analysis::Corpus& corpus,
+                                   std::size_t victim,
+                                   const AttackSimOptions& options,
+                                   util::Rng& rng) {
+  core::AuthModel model(static_cast<int>(victim), 1);
+  for (const auto& [context, windows] : corpus.user(victim).windows) {
+    if (windows.rows() == 0) continue;
+    const ml::Dataset data = corpus.make_auth_dataset(
+        victim, context, analysis::DeviceConfig::kCombined,
+        options.train_per_class, rng);
+    ml::StandardScaler scaler;
+    scaler.fit(data.x);
+    const ml::Dataset scaled = scaler.transform(data);
+    ml::KrrClassifier krr(options.krr);
+    krr.fit(scaled.x, scaled.y);
+    model.set_context_model(
+        context, core::ContextModel(std::move(scaler), std::move(krr)));
+  }
+  return model;
+}
+
+}  // namespace
+
+SurvivalCurve run_masquerade_attack(const analysis::Corpus& corpus,
+                                    const AttackSimOptions& options) {
+  const auto windows_per_trial = static_cast<std::size_t>(
+      options.attack_seconds / options.window_seconds);
+
+  features::FeatureConfig fc;
+  fc.window.window_seconds = options.window_seconds;
+  fc.window.hop_seconds = options.window_seconds;
+  fc.window.sample_rate_hz = sensors::tuning::kSampleRateHz;
+  const features::FeatureExtractor extractor(fc);
+
+  const std::size_t n_victims =
+      options.max_victims > 0
+          ? std::min(options.max_victims, corpus.n_users())
+          : corpus.n_users();
+
+  // survived_until[v][k] = trials of victim v still authenticated after k
+  // windows.
+  std::vector<std::vector<std::size_t>> survived(
+      n_victims, std::vector<std::size_t>(windows_per_trial + 1, 0));
+  std::vector<std::size_t> trial_count(n_victims, 0);
+  std::vector<std::size_t> accepts(n_victims, 0), windows_seen(n_victims, 0);
+
+  util::parallel_for(n_victims, [&](std::size_t v) {
+    util::Rng rng = util::Rng(options.seed).fork(v);
+    const core::AuthModel model =
+        train_victim_model(corpus, v, options, rng);
+    const sensors::UserProfile& victim = corpus.population().user(v);
+
+    sensors::CollectorOptions collect;
+    collect.with_watch = true;
+    collect.bluetooth = corpus.options().bluetooth;
+    collect.synthesis.duration_seconds = options.attack_seconds;
+
+    for (std::size_t a = 0; a < corpus.n_users(); ++a) {
+      if (a == v) continue;
+      const sensors::UserProfile& attacker = corpus.population().user(a);
+      for (std::size_t trial = 0; trial < options.trials_per_pair; ++trial) {
+        // Attack alternates between the two contexts across trials, as the
+        // paper's subjects repeated the victim's tasks.
+        const auto raw_context = trial % 2 == 0
+                                     ? sensors::UsageContext::kMoving
+                                     : sensors::UsageContext::kStationaryUse;
+        const auto context = sensors::collapse_context(raw_context);
+        if (!model.has_context(context)) continue;
+
+        const sensors::UserProfile mimic =
+            make_mimic_profile(attacker, victim, options.skill, rng);
+        const sensors::CollectedSession session =
+            sensors::collect_session(mimic, raw_context, collect, rng);
+        const auto vectors =
+            extractor.auth_vectors(session.phone, &*session.watch);
+
+        std::size_t alive_for = 0;
+        for (std::size_t k = 0; k < std::min(vectors.size(), windows_per_trial);
+             ++k) {
+          ++windows_seen[v];
+          const bool accepted = model.accept(context, vectors[k]);
+          if (accepted) ++accepts[v];
+          if (accepted && alive_for == k) {
+            alive_for = k + 1;
+          }
+        }
+        ++trial_count[v];
+        for (std::size_t k = 0; k <= alive_for && k <= windows_per_trial; ++k) {
+          ++survived[v][k];
+        }
+      }
+    }
+  });
+
+  SurvivalCurve curve;
+  std::size_t total_trials = 0, total_accepts = 0, total_windows = 0;
+  for (std::size_t v = 0; v < n_victims; ++v) {
+    total_trials += trial_count[v];
+    total_accepts += accepts[v];
+    total_windows += windows_seen[v];
+  }
+  curve.trials = total_trials;
+  curve.per_window_far =
+      total_windows > 0 ? static_cast<double>(total_accepts) /
+                              static_cast<double>(total_windows)
+                        : 0.0;
+  for (std::size_t k = 0; k <= windows_per_trial; ++k) {
+    std::size_t alive = 0;
+    for (std::size_t v = 0; v < n_victims; ++v) alive += survived[v][k];
+    curve.time_seconds.push_back(static_cast<double>(k) *
+                                 options.window_seconds);
+    curve.fraction_alive.push_back(
+        total_trials > 0
+            ? static_cast<double>(alive) / static_cast<double>(total_trials)
+            : 0.0);
+  }
+  return curve;
+}
+
+}  // namespace sy::attack

@@ -1,0 +1,43 @@
+// Masquerade-attack simulation (paper §V-G, Fig. 6).
+//
+// For every victim, a per-context KRR model is trained exactly as in the
+// main evaluation; every other user then attacks 20 times, each trial a
+// continuous usage bout under a mimic profile. An attacker is "detected" at
+// the first rejected window; the survival curve — the fraction of attackers
+// still authenticated at time t — is the published figure, with the
+// theoretical FAR^n curve overlaid.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/corpus.h"
+#include "attack/mimic.h"
+#include "ml/krr.h"
+
+namespace sy::attack {
+
+struct AttackSimOptions {
+  std::size_t n_users{35};
+  std::size_t trials_per_pair{20};
+  double attack_seconds{60.0};
+  double window_seconds{6.0};
+  std::size_t train_per_class{400};
+  MimicSkill skill{};
+  ml::KrrConfig krr{};
+  std::uint64_t seed{29};
+  // Restrict to a subset of victims to bound runtime (0 = all users).
+  std::size_t max_victims{0};
+};
+
+struct SurvivalCurve {
+  std::vector<double> time_seconds;       // 0, w, 2w, ...
+  std::vector<double> fraction_alive;     // attackers still authenticated
+  double per_window_far{0.0};             // measured mimic accept rate
+  std::size_t trials{0};
+};
+
+SurvivalCurve run_masquerade_attack(const analysis::Corpus& corpus,
+                                    const AttackSimOptions& options);
+
+}  // namespace sy::attack

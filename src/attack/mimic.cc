@@ -1,0 +1,57 @@
+#include "attack/mimic.h"
+
+#include <algorithm>
+
+namespace sy::attack {
+
+namespace {
+
+double blend(double own, double target, double residual, double noise,
+             util::Rng& rng) {
+  const double copied = own * residual + target * (1.0 - residual);
+  return copied * (1.0 + rng.gaussian(0.0, noise));
+}
+
+}  // namespace
+
+sensors::UserProfile make_mimic_profile(const sensors::UserProfile& attacker,
+                                        const sensors::UserProfile& victim,
+                                        const MimicSkill& skill,
+                                        util::Rng& rng) {
+  sensors::UserProfile m = attacker;
+  const double cr = skill.coarse_residual;
+  const double fr = skill.fine_residual;
+  const double on = skill.observation_noise;
+
+  // Coarse, observable channels.
+  m.gait.freq_hz = blend(attacker.gait.freq_hz, victim.gait.freq_hz, cr, on, rng);
+  m.gait.phone_amp =
+      blend(attacker.gait.phone_amp, victim.gait.phone_amp, cr, on, rng);
+  m.gait.watch_amp =
+      blend(attacker.gait.watch_amp, victim.gait.watch_amp, cr, on, rng);
+  m.hold.tap_rate_hz =
+      blend(attacker.hold.tap_rate_hz, victim.hold.tap_rate_hz, cr, on, rng);
+  m.hold.tap_strength =
+      blend(attacker.hold.tap_strength, victim.hold.tap_strength, cr, on, rng);
+
+  // Fine channels: the attacker cannot see or control these precisely.
+  m.gait.harmonic2 = std::clamp(
+      blend(attacker.gait.harmonic2, victim.gait.harmonic2, fr, on, rng), 0.05,
+      0.9);
+  m.gait.harmonic3 = std::clamp(
+      blend(attacker.gait.harmonic3, victim.gait.harmonic3, fr, on, rng), 0.02,
+      0.5);
+  m.gait.phone_gyro_amp = blend(attacker.gait.phone_gyro_amp,
+                                victim.gait.phone_gyro_amp, fr, on, rng);
+  m.gait.watch_gyro_amp = blend(attacker.gait.watch_gyro_amp,
+                                victim.gait.watch_gyro_amp, fr, on, rng);
+  m.hold.tremor_freq_hz = blend(attacker.hold.tremor_freq_hz,
+                                victim.hold.tremor_freq_hz, fr, on, rng);
+  m.hold.tremor_amp =
+      blend(attacker.hold.tremor_amp, victim.hold.tremor_amp, fr, on, rng);
+  m.hold.hold_gyro_amp =
+      blend(attacker.hold.hold_gyro_amp, victim.hold.hold_gyro_amp, fr, on, rng);
+  return m;
+}
+
+}  // namespace sy::attack

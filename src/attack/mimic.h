@@ -1,0 +1,30 @@
+// Masquerading (mimicry) attacker model (paper §V-G).
+//
+// The attacker watches a recording of the victim and imitates what he can
+// see: the pace of the gait and its gross vigour, the typing rhythm. What
+// he cannot see — harmonic composition of his own body's motion, tremor
+// spectrum, wrist micro-dynamics — stays his own. make_mimic_profile blends
+// the two profiles accordingly: coarse channels move most of the way to the
+// victim's values (with observation error), fine channels barely move.
+#pragma once
+
+#include "sensors/user_profile.h"
+#include "util/rng.h"
+
+namespace sy::attack {
+
+struct MimicSkill {
+  // Residual fraction of the attacker's own value kept per channel class
+  // (0 = perfect copy of the victim, 1 = no imitation at all).
+  double coarse_residual{0.50};  // gait frequency, gross amplitudes
+  double fine_residual{0.90};    // harmonics, tremor, micro-dynamics
+  // Multiplicative observation noise applied to imitated channels.
+  double observation_noise{0.15};
+};
+
+sensors::UserProfile make_mimic_profile(const sensors::UserProfile& attacker,
+                                        const sensors::UserProfile& victim,
+                                        const MimicSkill& skill,
+                                        util::Rng& rng);
+
+}  // namespace sy::attack

@@ -1,0 +1,49 @@
+#include "context/context_detector.h"
+
+#include <stdexcept>
+
+namespace sy::context {
+
+ContextDetector::ContextDetector(ContextDetectorConfig config)
+    : config_(config), forest_(config.forest) {}
+
+void ContextDetector::train(const std::vector<std::vector<double>>& vectors,
+                            const std::vector<sensors::UsageContext>& labels) {
+  if (vectors.empty() || vectors.size() != labels.size()) {
+    throw std::invalid_argument("ContextDetector::train: bad training set");
+  }
+  ml::Matrix x = ml::Matrix::from_rows(vectors);
+  std::vector<int> y(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    y[i] = config_.four_class
+               ? static_cast<int>(labels[i])
+               : static_cast<int>(sensors::collapse_context(labels[i]));
+  }
+  scaler_.fit(x);
+  forest_.fit(scaler_.transform(x), y);
+  trained_ = true;
+}
+
+int ContextDetector::predict_class(std::span<const double> vector) const {
+  if (!trained_) throw std::logic_error("ContextDetector: not trained");
+  return forest_.predict(scaler_.transform(vector));
+}
+
+sensors::DetectedContext ContextDetector::detect(
+    std::span<const double> vector) const {
+  if (config_.four_class) {
+    return sensors::collapse_context(detect_raw(vector));
+  }
+  return static_cast<sensors::DetectedContext>(predict_class(vector));
+}
+
+sensors::UsageContext ContextDetector::detect_raw(
+    std::span<const double> vector) const {
+  if (!config_.four_class) {
+    throw std::logic_error(
+        "ContextDetector::detect_raw requires four_class mode");
+  }
+  return static_cast<sensors::UsageContext>(predict_class(vector));
+}
+
+}  // namespace sy::context

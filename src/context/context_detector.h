@@ -1,0 +1,58 @@
+// User-agnostic usage-context detection (paper §V-E, Table V).
+//
+// A random forest over the phone-only 14-dim feature vector (Eq. 3) decides
+// whether the current window is "stationary" or "moving". The detector is
+// trained on *other* users' lab recordings, so it works for a user the
+// system has never seen — that property is what lets context detection run
+// before authentication.
+//
+// The paper first tried four raw contexts (stationary-use / moving /
+// on-table / vehicle) and found contexts 1, 3 and 4 mutually confusable;
+// both the 4-class study and the collapsed binary detector are exposed here
+// so the bench can reproduce that design decision.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/random_forest.h"
+#include "ml/scaler.h"
+#include "sensors/types.h"
+
+namespace sy::context {
+
+struct ContextDetectorConfig {
+  ml::RandomForestConfig forest{};
+  // Detect among the four raw contexts instead of the binary collapse.
+  bool four_class{false};
+};
+
+class ContextDetector {
+ public:
+  explicit ContextDetector(ContextDetectorConfig config = {});
+
+  // Trains on feature vectors labeled with raw usage contexts; labels are
+  // collapsed to binary unless four_class is set.
+  void train(const std::vector<std::vector<double>>& vectors,
+             const std::vector<sensors::UsageContext>& labels);
+
+  bool trained() const { return trained_; }
+
+  // Binary detection (the production path).
+  sensors::DetectedContext detect(std::span<const double> vector) const;
+  // Four-class detection (the design study).
+  sensors::UsageContext detect_raw(std::span<const double> vector) const;
+  // Class index as predicted by the underlying forest.
+  int predict_class(std::span<const double> vector) const;
+
+  const ContextDetectorConfig& config() const { return config_; }
+
+ private:
+  ContextDetectorConfig config_;
+  ml::RandomForest forest_;
+  ml::StandardScaler scaler_;
+  bool trained_{false};
+};
+
+}  // namespace sy::context

@@ -1,0 +1,36 @@
+#include "core/auth_model.h"
+
+#include <stdexcept>
+
+namespace sy::core {
+
+double ContextModel::score(std::span<const double> raw_vector) const {
+  const auto scaled = scaler.transform(raw_vector);
+  return classifier.decision(scaled);
+}
+
+bool AuthModel::has_context(sensors::DetectedContext context) const {
+  return models_.count(context) > 0;
+}
+
+void AuthModel::set_context_model(sensors::DetectedContext context,
+                                  ContextModel model) {
+  models_.insert_or_assign(context, std::move(model));
+}
+
+const ContextModel& AuthModel::context_model(
+    sensors::DetectedContext context) const {
+  const auto it = models_.find(context);
+  if (it == models_.end()) {
+    throw std::out_of_range("AuthModel: no model for context " +
+                            sensors::to_string(context));
+  }
+  return it->second;
+}
+
+double AuthModel::score(sensors::DetectedContext context,
+                        std::span<const double> raw_vector) const {
+  return context_model(context).score(raw_vector);
+}
+
+}  // namespace sy::core

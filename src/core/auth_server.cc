@@ -1,0 +1,105 @@
+#include "core/auth_server.h"
+
+#include <stdexcept>
+
+#include "ml/dataset.h"
+
+namespace sy::core {
+
+AuthServer::AuthServer(TrainingConfig config, NetworkConfig net)
+    : config_(config), net_(net) {}
+
+void AuthServer::contribute(int contributor_token,
+                            sensors::DetectedContext context,
+                            const std::vector<std::vector<double>>& vectors) {
+  auto& bucket = store_[context];
+  for (const auto& v : vectors) {
+    bucket.push_back({contributor_token, v});
+  }
+}
+
+void AuthServer::simulate_transfer(std::size_t bytes, bool upload) {
+  const double seconds =
+      net_.latency_ms * 1e-3 +
+      static_cast<double>(bytes) * 8.0 / (net_.bandwidth_mbps * 1e6);
+  transfers_.total_delay_ms += seconds * 1e3;
+  if (upload) {
+    ++transfers_.uploads;
+    transfers_.bytes_up += bytes;
+  } else {
+    ++transfers_.downloads;
+    transfers_.bytes_down += bytes;
+  }
+}
+
+AuthModel AuthServer::train_user_model(int user_token,
+                                       const VectorsByContext& positives,
+                                       util::Rng& rng, int version) {
+  if (!net_.available) {
+    throw std::runtime_error("AuthServer: network unavailable");
+  }
+  if (positives.empty()) {
+    throw std::invalid_argument("AuthServer: no positive vectors uploaded");
+  }
+
+  // Account the upload (8 bytes per double).
+  std::size_t upload_bytes = 0;
+  for (const auto& [context, vectors] : positives) {
+    for (const auto& v : vectors) upload_bytes += v.size() * sizeof(double);
+  }
+  simulate_transfer(upload_bytes, /*upload=*/true);
+
+  AuthModel model(user_token, version);
+  for (const auto& [context, pos_vectors] : positives) {
+    if (pos_vectors.empty()) continue;
+    const auto it = store_.find(context);
+    if (it == store_.end()) {
+      throw std::runtime_error("AuthServer: no impostor data for context " +
+                               sensors::to_string(context));
+    }
+    // Candidate negatives: all store vectors not contributed by this user.
+    std::vector<const StoredVector*> candidates;
+    candidates.reserve(it->second.size());
+    for (const auto& sv : it->second) {
+      if (sv.contributor != user_token) candidates.push_back(&sv);
+    }
+    if (candidates.empty()) {
+      throw std::runtime_error(
+          "AuthServer: impostor store has only this user's data");
+    }
+
+    const auto want = static_cast<std::size_t>(
+        static_cast<double>(pos_vectors.size()) * config_.negative_ratio);
+    ml::Dataset train;
+    for (const auto& v : pos_vectors) train.add(v, +1);
+    for (std::size_t i = 0; i < want; ++i) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(candidates.size()) - 1));
+      train.add(candidates[pick]->vector, -1);
+    }
+
+    ml::StandardScaler scaler;
+    scaler.fit(train.x);
+    const ml::Dataset scaled = scaler.transform(train);
+    ml::KrrClassifier krr(config_.krr);
+    krr.fit(scaled.x, scaled.y);
+    model.set_context_model(context,
+                            ContextModel(std::move(scaler), std::move(krr)));
+  }
+
+  // Account the model download.
+  std::size_t download_bytes = 0;
+  for (const auto& [context, cm] : model.models()) {
+    download_bytes += cm.classifier.pack().size() * sizeof(double);
+    download_bytes += cm.scaler.pack().size() * sizeof(double);
+  }
+  simulate_transfer(download_bytes, /*upload=*/false);
+  return model;
+}
+
+std::size_t AuthServer::store_size(sensors::DetectedContext context) const {
+  const auto it = store_.find(context);
+  return it == store_.end() ? 0 : it->second.size();
+}
+
+}  // namespace sy::core

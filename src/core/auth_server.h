@@ -1,0 +1,81 @@
+// The cloud Authentication Server (paper §IV-A3).
+//
+// Hosts the anonymized population feature store and the training module.
+// When a user enrolls (or a behavioral-drift retrain triggers), the phone
+// uploads the legitimate user's authentication feature vectors; the server
+// draws balanced anonymized impostor vectors from the other contributors,
+// trains one KRR model per context, and ships the model bundle back.
+// A simple network simulator accounts for transfer sizes and latency —
+// training is the only phase that needs connectivity (§III).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/auth_model.h"
+#include "ml/krr.h"
+#include "sensors/types.h"
+#include "util/rng.h"
+
+namespace sy::core {
+
+// Per-context collection of raw (unscaled) authentication feature vectors.
+using VectorsByContext =
+    std::map<sensors::DetectedContext, std::vector<std::vector<double>>>;
+
+struct NetworkConfig {
+  double latency_ms{45.0};
+  double bandwidth_mbps{8.0};
+  bool available{true};
+};
+
+struct TransferStats {
+  std::size_t uploads{0};
+  std::size_t downloads{0};
+  std::size_t bytes_up{0};
+  std::size_t bytes_down{0};
+  double total_delay_ms{0.0};
+};
+
+struct TrainingConfig {
+  ml::KrrConfig krr{};
+  // Impostor vectors drawn per positive vector (1.0 = balanced classes).
+  double negative_ratio{1.0};
+};
+
+class AuthServer {
+ public:
+  explicit AuthServer(TrainingConfig config = {}, NetworkConfig net = {});
+
+  // Anonymized contribution: vectors enter the population store without any
+  // user identifier (contributor ids are only used to avoid self-matching
+  // during training, mirroring the paper's anonymization note).
+  void contribute(int contributor_token, sensors::DetectedContext context,
+                  const std::vector<std::vector<double>>& vectors);
+
+  // Trains per-context models from the user's uploaded positives plus
+  // anonymized impostor samples. Throws std::runtime_error when the network
+  // is unavailable or the store lacks impostor data for a context.
+  AuthModel train_user_model(int user_token, const VectorsByContext& positives,
+                             util::Rng& rng, int version = 1);
+
+  std::size_t store_size(sensors::DetectedContext context) const;
+  const TransferStats& transfers() const { return transfers_; }
+  void set_network(NetworkConfig net) { net_ = net; }
+
+ private:
+  struct StoredVector {
+    int contributor;
+    std::vector<double> vector;
+  };
+
+  void simulate_transfer(std::size_t bytes, bool upload);
+
+  TrainingConfig config_;
+  NetworkConfig net_;
+  TransferStats transfers_;
+  std::map<sensors::DetectedContext, std::vector<StoredVector>> store_;
+};
+
+}  // namespace sy::core

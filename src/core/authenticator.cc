@@ -1,0 +1,46 @@
+#include "core/authenticator.h"
+
+#include <stdexcept>
+
+namespace sy::core {
+
+Authenticator::Authenticator(const context::ContextDetector* detector,
+                             AuthModel model)
+    : detector_(detector), model_(std::move(model)) {}
+
+AuthDecision Authenticator::authenticate(
+    std::span<const double> auth_vector) const {
+  if (auth_vector.size() != 14 && auth_vector.size() != 28) {
+    throw std::invalid_argument(
+        "Authenticator: expected a 14- or 28-dim feature vector");
+  }
+  AuthDecision decision;
+  if (detector_ != nullptr) {
+    // Context detection always runs on the phone-only prefix.
+    decision.context = detector_->detect(auth_vector.subspan(0, 14));
+  } else {
+    decision.context = sensors::DetectedContext::kStationary;
+  }
+  // A context the user never produced during enrollment has no model; fall
+  // back to whichever model exists rather than refusing service.
+  sensors::DetectedContext effective = decision.context;
+  if (!model_.has_context(effective)) {
+    if (model_.models().empty()) {
+      throw std::logic_error("Authenticator: model bundle is empty");
+    }
+    effective = model_.models().begin()->first;
+  }
+  decision.confidence = model_.score(effective, auth_vector);
+  decision.accepted = decision.confidence >= 0.0;
+  return decision;
+}
+
+std::vector<AuthDecision> Authenticator::authenticate_session(
+    const std::vector<std::vector<double>>& auth_vectors) const {
+  std::vector<AuthDecision> out;
+  out.reserve(auth_vectors.size());
+  for (const auto& v : auth_vectors) out.push_back(authenticate(v));
+  return out;
+}
+
+}  // namespace sy::core

@@ -1,0 +1,51 @@
+// The on-phone testing module (paper §IV-A2, Fig. 1).
+//
+// Per analysis window: the feature extractor produces the context feature
+// vector (phone-only, Eq. 3) and the authentication feature vector (Eq. 4);
+// the context detector picks the usage context; the matching per-context
+// model scores the authentication vector. Runs entirely on-device — no
+// network needed at test time (§III).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "context/context_detector.h"
+#include "core/auth_model.h"
+#include "features/feature_extractor.h"
+#include "sensors/types.h"
+
+namespace sy::core {
+
+struct AuthDecision {
+  bool accepted{false};
+  double confidence{0.0};  // CS(k) = x_k^T w*
+  sensors::DetectedContext context{sensors::DetectedContext::kStationary};
+};
+
+class Authenticator {
+ public:
+  // `detector` may be null: the system then runs context-less with a single
+  // model stored under kStationary (the paper's "w/o context" ablation).
+  Authenticator(const context::ContextDetector* detector, AuthModel model);
+
+  // Scores one window. `auth_vector` is the 14- or 28-dim raw feature
+  // vector; its first 14 elements are the phone-only features used for
+  // context detection.
+  AuthDecision authenticate(std::span<const double> auth_vector) const;
+
+  // Batch evaluation of a session's windows.
+  std::vector<AuthDecision> authenticate_session(
+      const std::vector<std::vector<double>>& auth_vectors) const;
+
+  const AuthModel& model() const { return model_; }
+  void replace_model(AuthModel model) { model_ = std::move(model); }
+  bool context_aware() const { return detector_ != nullptr; }
+
+ private:
+  const context::ContextDetector* detector_;  // not owned
+  AuthModel model_;
+};
+
+}  // namespace sy::core

@@ -1,0 +1,74 @@
+#include "core/confidence.h"
+
+#include <stdexcept>
+
+namespace sy::core {
+
+ConfidenceMonitor::ConfidenceMonitor(ConfidenceConfig config)
+    : config_(config) {
+  if (config_.epsilon <= 0.0) {
+    throw std::invalid_argument("ConfidenceMonitor: epsilon must be positive");
+  }
+  if (config_.min_observations == 0) {
+    throw std::invalid_argument(
+        "ConfidenceMonitor: min_observations must be positive");
+  }
+}
+
+void ConfidenceMonitor::record(double day, double confidence) {
+  if (first_day_ < 0.0) first_day_ = day;
+  last_day_ = day;
+  history_.push_back({day, confidence});
+  while (!history_.empty() &&
+         history_.front().day < day - config_.window_days) {
+    history_.pop_front();
+  }
+}
+
+double ConfidenceMonitor::recent_mean_confidence() const {
+  const double cutoff = last_day_ - config_.trigger_days;
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (const auto& e : history_) {
+    if (e.day >= cutoff) {
+      acc += e.confidence;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : acc / static_cast<double>(n);
+}
+
+bool ConfidenceMonitor::retrain_needed() const {
+  if (history_.empty()) return false;
+  // Enough observation history must exist to speak about the period at all:
+  // the monitor must have been running for at least trigger_days.
+  if (last_day_ - first_day_ < config_.trigger_days) return false;
+
+  const double cutoff = last_day_ - config_.trigger_days;
+  std::size_t n = 0;
+  double acc = 0.0;
+  for (const auto& e : history_) {
+    if (e.day >= cutoff) {
+      acc += e.confidence;
+      ++n;
+    }
+  }
+  if (n < config_.min_observations) return false;
+  const double mean = acc / static_cast<double>(n);
+  // Negative period mean = impostor signature, never a retraining trigger.
+  return mean >= 0.0 && mean < config_.epsilon;
+}
+
+double ConfidenceMonitor::mean_confidence() const {
+  if (history_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& e : history_) acc += e.confidence;
+  return acc / static_cast<double>(history_.size());
+}
+
+void ConfidenceMonitor::reset() {
+  history_.clear();
+  first_day_ = -1.0;
+}
+
+}  // namespace sy::core

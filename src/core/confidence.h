@@ -1,0 +1,56 @@
+// Confidence-score monitoring and the retraining trigger (paper §V-I).
+//
+// CS(k) = x_k^T w* is the signed distance to the per-context classifier.
+// The monitor watches the raw CS series of the *authenticated* session and
+// triggers retraining when the mean over a sustained period T sits in
+// [0, eps_CS): low but non-negative — the signature of behavioral drift.
+// An attacker cannot reach this path: his period mean is negative, and he
+// is locked out (stopping the feed entirely) within seconds (§V-G).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace sy::core {
+
+struct ConfidenceConfig {
+  double epsilon{0.2};           // eps_CS threshold
+  double trigger_days{1.0};      // period T of sustained low confidence
+  double window_days{3.0};       // history kept for statistics
+  std::size_t min_observations{5};  // evidence needed inside the period
+};
+
+class ConfidenceMonitor {
+ public:
+  explicit ConfidenceMonitor(ConfidenceConfig config = {});
+
+  // Records the confidence of one window of a still-authenticated session
+  // at time `day` (the response module stops the feed once it locks).
+  void record(double day, double confidence);
+
+  // True when the mean confidence inside the last `trigger_days` lies in
+  // [0, epsilon) with enough observations. The non-negativity bound is the
+  // attacker gate: impostor scores drive the period mean negative.
+  bool retrain_needed() const;
+
+  // Mean confidence over the retained history.
+  double mean_confidence() const;
+  // Mean confidence over the trigger period only.
+  double recent_mean_confidence() const;
+  std::size_t observations() const { return history_.size(); }
+
+  // Forget history (after retraining installs a fresh model).
+  void reset();
+
+ private:
+  struct Entry {
+    double day;
+    double confidence;
+  };
+  ConfidenceConfig config_;
+  std::deque<Entry> history_;
+  double last_day_{0.0};
+  double first_day_{-1.0};
+};
+
+}  // namespace sy::core

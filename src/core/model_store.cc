@@ -1,0 +1,157 @@
+#include "core/model_store.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/sha256.h"
+
+namespace sy::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'Y', 'M', 'D'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_doubles(std::vector<std::uint8_t>& out,
+                 const std::vector<double>& values) {
+  put_u64(out, values.size());
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(values.data());
+  out.insert(out.end(), bytes, bytes + values.size() * sizeof(double));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32() {
+    require(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    require(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::vector<double> doubles() {
+    const std::uint64_t n = u64();
+    require(n * sizeof(double));
+    std::vector<double> out(n);
+    std::memcpy(out.data(), bytes_.data() + pos_, n * sizeof(double));
+    pos_ += n * sizeof(double);
+    return out;
+  }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) {
+      throw std::runtime_error("ModelStore: truncated model file");
+    }
+  }
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> ModelStore::serialize(const AuthModel& model) {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), kMagic, kMagic + 4);
+  put_u32(out, kFormatVersion);
+  put_u32(out, static_cast<std::uint32_t>(model.user_id()));
+  put_u32(out, static_cast<std::uint32_t>(model.version()));
+  put_u32(out, static_cast<std::uint32_t>(model.context_count()));
+  for (const auto& [context, cm] : model.models()) {
+    put_u32(out, static_cast<std::uint32_t>(context));
+    put_doubles(out, cm.scaler.pack());
+    put_doubles(out, cm.classifier.pack());
+  }
+  const auto digest = util::Sha256::hash(out.data(), out.size());
+  out.insert(out.end(), digest.begin(), digest.end());
+  return out;
+}
+
+AuthModel ModelStore::deserialize(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 4 + 16 + 32) {
+    throw std::runtime_error("ModelStore: file too small");
+  }
+  // Verify digest first.
+  const std::size_t body = bytes.size() - 32;
+  const auto digest = util::Sha256::hash(bytes.data(), body);
+  if (!std::equal(digest.begin(), digest.end(), bytes.begin() + static_cast<std::ptrdiff_t>(body))) {
+    throw std::runtime_error("ModelStore: integrity digest mismatch");
+  }
+
+  Reader reader(bytes);
+  char magic[4];
+  std::memcpy(magic, bytes.data(), 4);
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("ModelStore: bad magic");
+  }
+  // Skip magic (Reader starts at 0).
+  reader.u32();  // magic as u32 — consumed positionally
+  const std::uint32_t format = reader.u32();
+  if (format != kFormatVersion) {
+    throw std::runtime_error("ModelStore: unsupported format version");
+  }
+  const auto user = static_cast<int>(reader.u32());
+  const auto version = static_cast<int>(reader.u32());
+  const std::uint32_t n_contexts = reader.u32();
+
+  AuthModel model(user, version);
+  for (std::uint32_t i = 0; i < n_contexts; ++i) {
+    const auto context = static_cast<sensors::DetectedContext>(reader.u32());
+    const auto scaler_pack = reader.doubles();
+    const auto krr_pack = reader.doubles();
+    ContextModel cm(ml::StandardScaler::unpack(scaler_pack),
+                    ml::KrrClassifier::unpack(krr_pack));
+    model.set_context_model(context, std::move(cm));
+  }
+  if (reader.pos() != body) {
+    throw std::runtime_error("ModelStore: trailing bytes in model file");
+  }
+  return model;
+}
+
+void ModelStore::save(const AuthModel& model, const std::string& path) {
+  const auto bytes = serialize(model);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("ModelStore: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("ModelStore: write failed " + path);
+}
+
+AuthModel ModelStore::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("ModelStore: cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return deserialize(bytes);
+}
+
+std::string ModelStore::digest_hex(const std::vector<std::uint8_t>& bytes) {
+  return util::Sha256::hex(bytes.data(), bytes.size());
+}
+
+}  // namespace sy::core

@@ -1,0 +1,35 @@
+// On-phone model persistence with integrity protection (paper §IV-C,
+// "protecting data at rest").
+//
+// Wire format (little-endian doubles in a simple tagged layout):
+//   [magic "SYMD"] [format u32] [user u32] [version u32] [n_contexts u32]
+//   per context: [context u32] [scaler_len u64] [scaler doubles]
+//                [krr_len u64] [krr doubles]
+//   [32-byte SHA-256 over everything above]
+// load() recomputes the digest and refuses tampered files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/auth_model.h"
+
+namespace sy::core {
+
+class ModelStore {
+ public:
+  // Serializes the bundle (including digest).
+  static std::vector<std::uint8_t> serialize(const AuthModel& model);
+  // Parses and verifies; throws std::runtime_error on corruption.
+  static AuthModel deserialize(const std::vector<std::uint8_t>& bytes);
+
+  // File round-trip.
+  static void save(const AuthModel& model, const std::string& path);
+  static AuthModel load(const std::string& path);
+
+  // Hex digest of a serialized bundle (for audit logs).
+  static std::string digest_hex(const std::vector<std::uint8_t>& bytes);
+};
+
+}  // namespace sy::core

@@ -1,0 +1,44 @@
+#include "core/response.h"
+
+#include <stdexcept>
+
+namespace sy::core {
+
+ResponseModule::ResponseModule(ResponsePolicy policy) : policy_(policy) {
+  if (policy_.rejects_to_lock < policy_.rejects_to_challenge) {
+    throw std::invalid_argument(
+        "ResponseModule: lock threshold below challenge threshold");
+  }
+}
+
+Action ResponseModule::on_decision(const AuthDecision& decision) {
+  if (state_ == SessionState::kLocked) return Action::kLock;
+
+  if (decision.accepted) {
+    consecutive_rejects_ = 0;
+    state_ = SessionState::kActive;
+    return Action::kAllow;
+  }
+
+  ++consecutive_rejects_;
+  if (consecutive_rejects_ >= policy_.rejects_to_lock) {
+    state_ = SessionState::kLocked;
+    return Action::kLock;
+  }
+  if (consecutive_rejects_ >= policy_.rejects_to_challenge) {
+    state_ = SessionState::kChallenged;
+    return Action::kChallenge;
+  }
+  return Action::kAllow;
+}
+
+void ResponseModule::explicit_auth(bool success) {
+  if (success) {
+    state_ = SessionState::kActive;
+    consecutive_rejects_ = 0;
+  } else {
+    state_ = SessionState::kLocked;
+  }
+}
+
+}  // namespace sy::core

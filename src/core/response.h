@@ -1,0 +1,48 @@
+// Response module (paper §IV-A2): converts authentication decisions into
+// access-control actions. A configurable number of consecutive rejections
+// de-authenticates the session; recovery requires explicit (multi-factor)
+// re-authentication, which also gates the retraining path (§V-I).
+#pragma once
+
+#include <cstddef>
+
+#include "core/authenticator.h"
+
+namespace sy::core {
+
+enum class Action {
+  kAllow,            // session continues, sensitive access permitted
+  kChallenge,        // soft failure: ask for further checking
+  kLock,             // de-authenticated: block data/cloud access
+};
+
+enum class SessionState { kActive, kChallenged, kLocked };
+
+struct ResponsePolicy {
+  // Rejections tolerated before a challenge; the paper's deployment locks
+  // quickly — a single rejected window challenges, a second locks.
+  std::size_t rejects_to_challenge{1};
+  std::size_t rejects_to_lock{2};
+};
+
+class ResponseModule {
+ public:
+  explicit ResponseModule(ResponsePolicy policy = {});
+
+  // Feeds one decision; returns the resulting action.
+  Action on_decision(const AuthDecision& decision);
+
+  // Explicit (password/biometric) re-authentication outcome.
+  void explicit_auth(bool success);
+
+  SessionState state() const { return state_; }
+  std::size_t consecutive_rejects() const { return consecutive_rejects_; }
+  bool locked() const { return state_ == SessionState::kLocked; }
+
+ private:
+  ResponsePolicy policy_;
+  SessionState state_{SessionState::kActive};
+  std::size_t consecutive_rejects_{0};
+};
+
+}  // namespace sy::core

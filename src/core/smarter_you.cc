@@ -1,0 +1,146 @@
+#include "core/smarter_you.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace sy::core {
+
+SmarterYou::SmarterYou(SmarterYouConfig config,
+                       const context::ContextDetector* detector,
+                       AuthServer* server, int user_token)
+    : config_(config),
+      extractor_(config.features),
+      detector_(detector),
+      server_(server),
+      user_token_(user_token),
+      response_(config.response),
+      monitor_(config.confidence) {
+  if (server_ == nullptr) {
+    throw std::invalid_argument("SmarterYou: server must not be null");
+  }
+  if (config_.use_context && detector_ == nullptr) {
+    throw std::invalid_argument(
+        "SmarterYou: use_context requires a context detector");
+  }
+}
+
+std::vector<std::vector<double>> SmarterYou::extract_vectors(
+    const sensors::CollectedSession& session) const {
+  const sensors::Recording* watch =
+      config_.use_watch && session.watch ? &*session.watch : nullptr;
+  return extractor_.auth_vectors(session.phone, watch);
+}
+
+sensors::DetectedContext SmarterYou::classify_context(
+    std::span<const double> auth_vector) const {
+  if (!config_.use_context) return sensors::DetectedContext::kStationary;
+  return detector_->detect(auth_vector.subspan(0, 14));
+}
+
+std::size_t SmarterYou::enrollment_progress() const {
+  std::size_t total = 0;
+  for (const auto& [context, vectors] : enrollment_buffer_) {
+    total += vectors.size();
+  }
+  return total;
+}
+
+bool SmarterYou::enroll_session(const sensors::CollectedSession& session,
+                                util::Rng& rng) {
+  if (enrolled()) return false;
+  for (auto& v : extract_vectors(session)) {
+    const auto context = classify_context(v);
+    enrollment_buffer_[context].push_back(std::move(v));
+  }
+  if (enrollment_progress() < config_.enrollment_target) return false;
+
+  // Train only contexts with enough support (a user who never walks gets a
+  // stationary-only model; unseen contexts fall back at test time).
+  VectorsByContext upload;
+  for (const auto& [context, vectors] : enrollment_buffer_) {
+    if (vectors.size() >= config_.min_context_windows) {
+      upload[context] = vectors;
+    }
+  }
+  if (upload.empty()) return false;
+
+  AuthModel model = server_->train_user_model(user_token_, upload, rng);
+  authenticator_.emplace(config_.use_context ? detector_ : nullptr,
+                         std::move(model));
+  recent_positive_ = std::move(enrollment_buffer_);
+  enrollment_buffer_.clear();
+  util::log_info("SmarterYou: user ", user_token_, " enrolled with ",
+                 upload.size(), " context model(s)");
+  return true;
+}
+
+const Authenticator& SmarterYou::authenticator() const {
+  if (!authenticator_) throw std::logic_error("SmarterYou: not enrolled");
+  return *authenticator_;
+}
+
+int SmarterYou::model_version() const {
+  return authenticator_ ? authenticator_->model().version() : 0;
+}
+
+void SmarterYou::maybe_retrain(util::Rng& rng) {
+  if (!monitor_.retrain_needed()) return;
+  if (response_.locked()) return;  // an attacker cannot reach this path
+
+  VectorsByContext upload;
+  for (const auto& [context, vectors] : recent_positive_) {
+    if (vectors.size() >= config_.min_context_windows) {
+      upload[context] = vectors;
+    }
+  }
+  if (upload.empty()) return;
+
+  const int next_version = authenticator_->model().version() + 1;
+  AuthModel model =
+      server_->train_user_model(user_token_, upload, rng, next_version);
+  authenticator_->replace_model(std::move(model));
+  monitor_.reset();
+  ++retrain_count_;
+  util::log_info("SmarterYou: retrained user ", user_token_, " to version ",
+                 next_version);
+}
+
+std::vector<SmarterYou::WindowOutcome> SmarterYou::process_session(
+    const sensors::CollectedSession& session, util::Rng& rng) {
+  if (!enrolled()) {
+    throw std::logic_error("SmarterYou: process_session before enrollment");
+  }
+  const double window_days =
+      config_.features.window.window_seconds / 86400.0;
+
+  std::vector<WindowOutcome> outcomes;
+  auto vectors = extract_vectors(session);
+  outcomes.reserve(vectors.size());
+  for (std::size_t k = 0; k < vectors.size(); ++k) {
+    WindowOutcome outcome;
+    outcome.day = session.day + static_cast<double>(k) * window_days;
+    outcome.decision = authenticator_->authenticate(vectors[k]);
+    outcome.action = response_.on_decision(outcome.decision);
+
+    // The monitor sees the raw CS series while the session stays
+    // authenticated; the retraining buffer keeps accepted windows only.
+    if (outcome.action != Action::kLock) {
+      monitor_.record(outcome.day, outcome.decision.confidence);
+    }
+    if (outcome.decision.accepted && outcome.action == Action::kAllow) {
+      auto& buffer = recent_positive_[outcome.decision.context];
+      buffer.push_back(std::move(vectors[k]));
+      if (buffer.size() > config_.retrain_buffer) {
+        buffer.erase(buffer.begin(),
+                     buffer.begin() + static_cast<std::ptrdiff_t>(
+                                          buffer.size() - config_.retrain_buffer));
+      }
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  maybe_retrain(rng);
+  return outcomes;
+}
+
+}  // namespace sy::core

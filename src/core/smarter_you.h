@@ -1,0 +1,109 @@
+// End-to-end SmarterYou system (paper Fig. 1): the public API a deployment
+// would embed.
+//
+// Lifecycle (paper §IV-B):
+//   1. Enrollment — feed collected sessions; windows are buffered per
+//      detected context until the profile converges (~800 windows), then
+//      the cloud AuthServer trains the per-context models.
+//   2. Continuous authentication — every subsequent window is scored
+//      on-device; the ResponseModule locks impostors out, the
+//      ConfidenceMonitor watches for behavioral drift and triggers
+//      automatic retraining (§V-I).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "context/context_detector.h"
+#include "core/auth_server.h"
+#include "core/authenticator.h"
+#include "core/confidence.h"
+#include "core/response.h"
+#include "features/feature_extractor.h"
+#include "sensors/device.h"
+
+namespace sy::core {
+
+struct SmarterYouConfig {
+  features::FeatureConfig features{};
+  ConfidenceConfig confidence{};
+  ResponsePolicy response{};
+  // Windows gathered before enrollment completes (the paper's ~800
+  // measurements, §IV-B). Checked against the total across contexts.
+  std::size_t enrollment_target{800};
+  // Minimum windows a context needs before it gets its own model.
+  std::size_t min_context_windows{60};
+  bool use_watch{true};
+  bool use_context{true};
+  // Cap on the per-context buffer of recent vectors kept for retraining.
+  std::size_t retrain_buffer{800};
+};
+
+class SmarterYou {
+ public:
+  // `detector` may be null when use_context is false. `server` is the cloud
+  // training endpoint; not owned. `user_token` identifies this user's
+  // uploads (and excludes them from his own impostor draws).
+  SmarterYou(SmarterYouConfig config,
+             const context::ContextDetector* detector, AuthServer* server,
+             int user_token);
+
+  // --- Enrollment phase -----------------------------------------------
+  // Buffers the session's windows; trains and installs the model once the
+  // target is reached. Returns true when enrollment completed on this call.
+  bool enroll_session(const sensors::CollectedSession& session,
+                      util::Rng& rng);
+  bool enrolled() const { return authenticator_.has_value(); }
+  std::size_t enrollment_progress() const;
+
+  // --- Continuous authentication phase ----------------------------------
+  struct WindowOutcome {
+    AuthDecision decision;
+    Action action{Action::kAllow};
+    double day{0.0};
+  };
+  // Authenticates every window of a session; updates response state,
+  // confidence monitoring and (if triggered and the session is still
+  // authenticated) automatic retraining.
+  std::vector<WindowOutcome> process_session(
+      const sensors::CollectedSession& session, util::Rng& rng);
+
+  // Explicit re-authentication (password/biometric) after a lockout.
+  void explicit_reauth(bool success) { response_.explicit_auth(success); }
+  // Same, but also re-evaluates the retraining trigger: a legitimate user
+  // who was falsely locked out by drift re-instates herself and the system
+  // immediately absorbs the drift (§V-I's re-instating + retraining flow).
+  void explicit_reauth(bool success, util::Rng& rng) {
+    response_.explicit_auth(success);
+    if (success && enrolled()) maybe_retrain(rng);
+  }
+
+  const Authenticator& authenticator() const;
+  const ResponseModule& response() const { return response_; }
+  const ConfidenceMonitor& confidence() const { return monitor_; }
+  int retrain_count() const { return retrain_count_; }
+  int model_version() const;
+
+ private:
+  std::vector<std::vector<double>> extract_vectors(
+      const sensors::CollectedSession& session) const;
+  sensors::DetectedContext classify_context(
+      std::span<const double> auth_vector) const;
+  void maybe_retrain(util::Rng& rng);
+
+  SmarterYouConfig config_;
+  features::FeatureExtractor extractor_;
+  const context::ContextDetector* detector_;
+  AuthServer* server_;
+  int user_token_;
+
+  VectorsByContext enrollment_buffer_;
+  VectorsByContext recent_positive_;
+  std::optional<Authenticator> authenticator_;
+  ResponseModule response_;
+  ConfidenceMonitor monitor_;
+  int retrain_count_{0};
+};
+
+}  // namespace sy::core

@@ -1,0 +1,72 @@
+#include "features/correlation.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "signal/stats.h"
+
+namespace sy::features {
+
+namespace {
+
+std::vector<double> column(const ml::Matrix& m, std::size_t j) {
+  std::vector<double> out(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) out[i] = m(i, j);
+  return out;
+}
+
+}  // namespace
+
+ml::Matrix average_feature_correlation(
+    const std::vector<ml::Matrix>& per_user) {
+  if (per_user.empty()) {
+    throw std::invalid_argument("average_feature_correlation: no users");
+  }
+  const std::size_t f = per_user.front().cols();
+  ml::Matrix acc(f, f);
+  for (const auto& m : per_user) {
+    if (m.cols() != f) {
+      throw std::invalid_argument(
+          "average_feature_correlation: inconsistent feature count");
+    }
+    for (std::size_t i = 0; i < f; ++i) {
+      const auto ci = column(m, i);
+      for (std::size_t j = 0; j <= i; ++j) {
+        const auto cj = column(m, j);
+        const double r = signal::pearson(ci, cj);
+        acc(i, j) += r;
+        if (i != j) acc(j, i) += r;
+      }
+    }
+  }
+  acc *= 1.0 / static_cast<double>(per_user.size());
+  return acc;
+}
+
+ml::Matrix average_cross_correlation(const std::vector<ml::Matrix>& per_user_a,
+                                     const std::vector<ml::Matrix>& per_user_b) {
+  if (per_user_a.empty() || per_user_a.size() != per_user_b.size()) {
+    throw std::invalid_argument("average_cross_correlation: user mismatch");
+  }
+  const std::size_t fa = per_user_a.front().cols();
+  const std::size_t fb = per_user_b.front().cols();
+  ml::Matrix acc(fa, fb);
+  for (std::size_t u = 0; u < per_user_a.size(); ++u) {
+    const auto& a = per_user_a[u];
+    const auto& b = per_user_b[u];
+    if (a.rows() != b.rows()) {
+      throw std::invalid_argument(
+          "average_cross_correlation: window count mismatch");
+    }
+    for (std::size_t i = 0; i < fa; ++i) {
+      const auto ci = column(a, i);
+      for (std::size_t j = 0; j < fb; ++j) {
+        acc(i, j) += signal::pearson(ci, column(b, j));
+      }
+    }
+  }
+  acc *= 1.0 / static_cast<double>(per_user_a.size());
+  return acc;
+}
+
+}  // namespace sy::features

@@ -1,0 +1,27 @@
+// Feature-pair correlation analysis (§V-C/§V-D, Tables III & IV).
+//
+// The paper computes the Pearson correlation between every pair of features
+// *per user* (across that user's windows) and averages the coefficients over
+// users — redundant features (Ran vs Var) show up as high average
+// correlation; weakly correlated cross-device features justify keeping both
+// devices.
+#pragma once
+
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace sy::features {
+
+// `per_user[u]` is an (n_windows x n_features) matrix of one user's feature
+// observations. Returns the (n_features x n_features) matrix of
+// user-averaged pairwise Pearson correlations; diagonal is 1.
+ml::Matrix average_feature_correlation(const std::vector<ml::Matrix>& per_user);
+
+// Cross-block correlation: corr(a_features[i], b_features[j]) averaged over
+// users. a/b hold the same windows of the same users (e.g. phone features
+// vs. watch features) — Table IV.
+ml::Matrix average_cross_correlation(const std::vector<ml::Matrix>& per_user_a,
+                                     const std::vector<ml::Matrix>& per_user_b);
+
+}  // namespace sy::features

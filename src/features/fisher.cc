@@ -1,0 +1,39 @@
+#include "features/fisher.h"
+
+#include <stdexcept>
+
+#include "signal/stats.h"
+
+namespace sy::features {
+
+double fisher_score(const std::vector<std::vector<double>>& per_class_values) {
+  if (per_class_values.size() < 2) {
+    throw std::invalid_argument("fisher_score: need at least two classes");
+  }
+
+  // Global mean.
+  signal::RunningStats global;
+  for (const auto& cls : per_class_values) {
+    for (const double v : cls) global.add(v);
+  }
+  if (global.count() == 0) {
+    throw std::invalid_argument("fisher_score: no observations");
+  }
+  const double mu = global.mean();
+
+  double between = 0.0;
+  double within = 0.0;
+  for (const auto& cls : per_class_values) {
+    if (cls.empty()) continue;
+    signal::RunningStats s;
+    for (const double v : cls) s.add(v);
+    const double n = static_cast<double>(cls.size());
+    const double d = s.mean() - mu;
+    between += n * d * d;
+    within += n * s.variance();
+  }
+  if (within <= 0.0) return 0.0;
+  return between / within;
+}
+
+}  // namespace sy::features

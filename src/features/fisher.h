@@ -1,0 +1,19 @@
+// Fisher score — the paper's sensor-selection criterion (§V-B, Table II).
+//
+// For a scalar feature observed across k classes (users):
+//   FS = sum_u n_u (mu_u - mu)^2 / sum_u n_u sigma_u^2
+// Large between-user spread relative to within-user spread means the feature
+// separates users well. The paper computes one score per sensor axis and
+// keeps the accelerometer and gyroscope (FS ~0.2-4), discarding the
+// magnetometer/orientation/light axes (FS < 0.05).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sy::features {
+
+// `per_class_values[u]` holds all observations of the feature for class u.
+double fisher_score(const std::vector<std::vector<double>>& per_class_values);
+
+}  // namespace sy::features

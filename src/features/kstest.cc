@@ -1,0 +1,81 @@
+#include "features/kstest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "signal/stats.h"
+
+namespace sy::features {
+
+namespace {
+
+// Asymptotic Kolmogorov survival function Q(lambda) = 2 sum (-1)^{k-1}
+// exp(-2 k^2 lambda^2) with the Stephens small-sample correction applied by
+// the caller.
+double kolmogorov_q(double lambda) {
+  if (lambda < 1e-9) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 101; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+}  // namespace
+
+KsResult ks_two_sample(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_two_sample: empty sample");
+  }
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0, ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double va = sa[ia];
+    const double vb = sb[ib];
+    if (va <= vb) ++ia;
+    if (vb <= va) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    d = std::max(d, std::abs(fa - fb));
+  }
+
+  KsResult result;
+  result.statistic = d;
+  const double en = std::sqrt(na * nb / (na + nb));
+  const double lambda = (en + 0.12 + 0.11 / en) * d;
+  result.p_value = kolmogorov_q(lambda);
+  return result;
+}
+
+PValueSummary summarize_p_values(std::span<const double> p_values,
+                                 double alpha) {
+  if (p_values.empty()) {
+    throw std::invalid_argument("summarize_p_values: empty input");
+  }
+  PValueSummary s;
+  s.q1 = signal::percentile(p_values, 0.25);
+  s.median = signal::percentile(p_values, 0.50);
+  s.q3 = signal::percentile(p_values, 0.75);
+  std::size_t below = 0;
+  for (const double p : p_values) {
+    if (p < alpha) ++below;
+  }
+  s.fraction_below_alpha =
+      static_cast<double>(below) / static_cast<double>(p_values.size());
+  return s;
+}
+
+}  // namespace sy::features

@@ -1,0 +1,32 @@
+// Two-sample Kolmogorov-Smirnov test — the paper's feature-quality filter
+// (§V-C, Fig. 3). For each candidate feature and each pair of users, the
+// test asks whether the two users' feature distributions differ; a feature
+// whose p-values mostly exceed alpha = 0.05 cannot distinguish users and is
+// dropped (Peak2 f in the paper).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sy::features {
+
+struct KsResult {
+  double statistic{0.0};  // max CDF distance D
+  double p_value{1.0};    // asymptotic two-sided p
+};
+
+// Two-sample KS test with the standard asymptotic p-value
+// (Smirnov/Stephens approximation).
+KsResult ks_two_sample(std::span<const double> a, std::span<const double> b);
+
+// Box-plot summary of a p-value collection, as Fig. 3 draws it.
+struct PValueSummary {
+  double q1{0.0};      // 25th percentile
+  double median{0.0};
+  double q3{0.0};      // 75th percentile
+  double fraction_below_alpha{0.0};
+};
+PValueSummary summarize_p_values(std::span<const double> p_values,
+                                 double alpha = 0.05);
+
+}  // namespace sy::features

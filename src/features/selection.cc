@@ -1,0 +1,69 @@
+#include "features/selection.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "features/correlation.h"
+#include "features/kstest.h"
+
+namespace sy::features {
+
+SelectionReport run_feature_selection(
+    const std::vector<ml::Matrix>& per_user_features,
+    const SelectionOptions& options) {
+  if (per_user_features.size() < 2) {
+    throw std::invalid_argument("run_feature_selection: need >= 2 users");
+  }
+  const std::size_t n_features = per_user_features.front().cols();
+
+  SelectionReport report;
+  report.ks_significant_fraction.assign(n_features, 0.0);
+  report.max_redundant_correlation.assign(n_features, 0.0);
+
+  // Stage 2: KS test across all user pairs, per feature.
+  for (std::size_t f = 0; f < n_features; ++f) {
+    std::size_t significant = 0;
+    std::size_t pairs = 0;
+    for (std::size_t a = 0; a < per_user_features.size(); ++a) {
+      std::vector<double> va(per_user_features[a].rows());
+      for (std::size_t i = 0; i < va.size(); ++i) {
+        va[i] = per_user_features[a](i, f);
+      }
+      for (std::size_t b = a + 1; b < per_user_features.size(); ++b) {
+        std::vector<double> vb(per_user_features[b].rows());
+        for (std::size_t i = 0; i < vb.size(); ++i) {
+          vb[i] = per_user_features[b](i, f);
+        }
+        const auto ks = ks_two_sample(va, vb);
+        if (ks.p_value < options.alpha) ++significant;
+        ++pairs;
+      }
+    }
+    report.ks_significant_fraction[f] =
+        pairs > 0 ? static_cast<double>(significant) / static_cast<double>(pairs)
+                  : 0.0;
+  }
+
+  // Stage 3: redundancy by user-averaged correlation.
+  const ml::Matrix corr = average_feature_correlation(per_user_features);
+
+  // Greedy keep in FeatureId order: a feature survives if it passed the KS
+  // filter and is not too correlated with an already-kept feature.
+  std::vector<std::size_t> kept;
+  for (std::size_t f = 0; f < n_features; ++f) {
+    if (report.ks_significant_fraction[f] < options.min_significant_fraction) {
+      continue;
+    }
+    double max_r = 0.0;
+    for (const std::size_t k : kept) {
+      max_r = std::max(max_r, std::abs(corr(f, k)));
+    }
+    report.max_redundant_correlation[f] = max_r;
+    if (max_r > options.max_correlation) continue;
+    kept.push_back(f);
+    report.selected.push_back(static_cast<FeatureId>(static_cast<int>(f)));
+  }
+  return report;
+}
+
+}  // namespace sy::features

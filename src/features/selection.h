@@ -1,0 +1,43 @@
+// The paper's full feature-selection pipeline (§V-B..V-D), condensed:
+//   1. Sensor selection by Fisher score (keep accelerometer + gyroscope).
+//   2. Feature quality by pairwise KS tests (drop Peak2 f).
+//   3. Redundancy by feature-pair correlation (drop Ran, corr ~0.9 with Var).
+// This module runs all three stages on a feature corpus and reports what a
+// fresh deployment would select — the tests assert it reproduces the
+// paper's choices on the synthetic population.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "features/feature_extractor.h"
+#include "ml/matrix.h"
+
+namespace sy::features {
+
+struct SelectionReport {
+  // Stage 2: per-feature fraction of user pairs with KS p < alpha.
+  std::vector<double> ks_significant_fraction;  // indexed by FeatureId
+  // Stage 3: maximum absolute correlation of each feature with any earlier
+  // kept feature.
+  std::vector<double> max_redundant_correlation;
+  // The surviving features, in FeatureId order.
+  std::vector<FeatureId> selected;
+};
+
+struct SelectionOptions {
+  double alpha{0.05};
+  // A feature is "good" when at least this fraction of user pairs differ;
+  // good features sit near 1.0, the paper's dropped Peak2 f far below.
+  double min_significant_fraction{0.85};
+  // A feature is "redundant" above this correlation with a kept feature.
+  double max_correlation{0.85};
+};
+
+// `per_user_features[u]` is (n_windows x kFeatureCount) for one stream
+// (e.g. phone accelerometer magnitude).
+SelectionReport run_feature_selection(
+    const std::vector<ml::Matrix>& per_user_features,
+    const SelectionOptions& options = {});
+
+}  // namespace sy::features

@@ -1,0 +1,119 @@
+#include "ml/cross_validation.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "ml/scaler.h"
+
+namespace sy::ml {
+
+std::vector<std::vector<std::size_t>> stratified_folds(
+    const std::vector<int>& labels, std::size_t k, util::Rng& rng) {
+  if (k < 2) throw std::invalid_argument("stratified_folds: k >= 2");
+  std::map<int, std::vector<std::size_t>> by_label;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    by_label[labels[i]].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> folds(k);
+  for (auto& [label, indices] : by_label) {
+    rng.shuffle(indices);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      folds[i % k].push_back(indices[i]);
+    }
+  }
+  return folds;
+}
+
+namespace {
+
+// Indices not in `fold`.
+std::vector<std::size_t> complement(std::size_t n,
+                                    const std::vector<std::size_t>& fold) {
+  std::vector<bool> in_fold(n, false);
+  for (const std::size_t i : fold) in_fold[i] = true;
+  std::vector<std::size_t> out;
+  out.reserve(n - fold.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!in_fold[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+CvResult cross_validate(const BinaryClassifier& prototype, const Dataset& data,
+                        const CvOptions& options, util::Rng& rng) {
+  if (data.empty()) throw std::invalid_argument("cross_validate: empty data");
+  CvResult result;
+  double frr_sum = 0.0, far_sum = 0.0, acc_sum = 0.0;
+
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    const auto folds = stratified_folds(data.y, options.folds, rng);
+    BinaryCounts iter_counts;
+    for (const auto& fold : folds) {
+      if (fold.empty()) continue;
+      const auto train_idx = complement(data.size(), fold);
+      Dataset train = data.subset(train_idx);
+      Dataset test = data.subset(fold);
+
+      StandardScaler scaler;
+      if (options.standardize) {
+        scaler.fit(train.x);
+        train = scaler.transform(train);
+        test = scaler.transform(test);
+      }
+
+      auto model = prototype.clone_untrained();
+      model->fit(train);
+      for (std::size_t i = 0; i < test.size(); ++i) {
+        iter_counts.add(test.y[i], model->predict(test.x.row(i)));
+      }
+    }
+    result.counts.merge(iter_counts);
+    frr_sum += iter_counts.frr();
+    far_sum += iter_counts.far();
+    acc_sum += iter_counts.accuracy();
+  }
+
+  const double n = static_cast<double>(options.iterations);
+  result.mean_frr = frr_sum / n;
+  result.mean_far = far_sum / n;
+  result.mean_accuracy = acc_sum / n;
+  result.iterations = options.iterations;
+  return result;
+}
+
+ConfusionMatrix cross_validate_multi(const MultiClassifier& prototype,
+                                     const Dataset& data,
+                                     const CvOptions& options, util::Rng& rng,
+                                     std::size_t n_classes) {
+  if (data.empty()) {
+    throw std::invalid_argument("cross_validate_multi: empty data");
+  }
+  ConfusionMatrix confusion(n_classes);
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    const auto folds = stratified_folds(data.y, options.folds, rng);
+    for (const auto& fold : folds) {
+      if (fold.empty()) continue;
+      const auto train_idx = complement(data.size(), fold);
+      Dataset train = data.subset(train_idx);
+      Dataset test = data.subset(fold);
+
+      StandardScaler scaler;
+      if (options.standardize) {
+        scaler.fit(train.x);
+        train = scaler.transform(train);
+        test = scaler.transform(test);
+      }
+
+      auto model = prototype.clone_untrained();
+      model->fit(train);
+      for (std::size_t i = 0; i < test.size(); ++i) {
+        confusion.add(test.y[i], model->predict(test.x.row(i)));
+      }
+    }
+  }
+  return confusion;
+}
+
+}  // namespace sy::ml

@@ -1,0 +1,52 @@
+// k-fold cross-validation, the paper's evaluation protocol (§V-A):
+// "10-fold cross-validation ... repeated for 1000 iterations and averaged".
+//
+// Folds are stratified by label so each fold preserves the legitimate /
+// impostor mix. A StandardScaler is fit on each training fold only — no
+// leakage into the held-out fold.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace sy::ml {
+
+// Index sets of the k folds. Stratified: each label's indices are shuffled
+// and dealt round-robin.
+std::vector<std::vector<std::size_t>> stratified_folds(
+    const std::vector<int>& labels, std::size_t k, util::Rng& rng);
+
+struct CvResult {
+  BinaryCounts counts;
+  double mean_frr{0.0};
+  double mean_far{0.0};
+  double mean_accuracy{0.0};  // paper accuracy: 1 - (FAR+FRR)/2
+  std::size_t iterations{0};
+};
+
+struct CvOptions {
+  std::size_t folds{10};
+  std::size_t iterations{1};
+  bool standardize{true};
+};
+
+// Runs repeated stratified k-fold CV of a binary classifier. The prototype
+// is cloned per fold. Per-iteration FRR/FAR are averaged across iterations
+// (the paper's protocol), and raw counts are accumulated for reference.
+CvResult cross_validate(const BinaryClassifier& prototype, const Dataset& data,
+                        const CvOptions& options, util::Rng& rng);
+
+// Same protocol for multi-class problems; returns the summed confusion
+// matrix (Table V).
+ConfusionMatrix cross_validate_multi(const MultiClassifier& prototype,
+                                     const Dataset& data,
+                                     const CvOptions& options, util::Rng& rng,
+                                     std::size_t n_classes);
+
+}  // namespace sy::ml

@@ -1,0 +1,74 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace sy::ml {
+
+void Dataset::add(std::span<const double> features, int label) {
+  x.append_row(features);
+  y.push_back(label);
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.x = x.select_rows(indices);
+  out.y.reserve(indices.size());
+  for (const auto i : indices) {
+    SY_ASSERT(i < y.size(), "Dataset::subset: index out of range");
+    out.y.push_back(y[i]);
+  }
+  return out;
+}
+
+void Dataset::append(const Dataset& other) {
+  if (other.empty()) return;
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    add(other.x.row(i), other.y[i]);
+  }
+}
+
+void Dataset::shuffle(util::Rng& rng) {
+  const auto perm = rng.permutation(size());
+  Dataset shuffled = subset(perm);
+  *this = std::move(shuffled);
+}
+
+std::size_t Dataset::count_label(int label) const {
+  return static_cast<std::size_t>(std::count(y.begin(), y.end(), label));
+}
+
+std::pair<Dataset, Dataset> train_test_split(const Dataset& data,
+                                             double train_fraction,
+                                             util::Rng& rng) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("train_test_split: fraction must be in (0,1)");
+  }
+  const auto perm = rng.permutation(data.size());
+  const auto n_train =
+      static_cast<std::size_t>(train_fraction * static_cast<double>(data.size()));
+  const std::vector<std::size_t> train_idx(perm.begin(),
+                                           perm.begin() + static_cast<std::ptrdiff_t>(n_train));
+  const std::vector<std::size_t> test_idx(perm.begin() + static_cast<std::ptrdiff_t>(n_train),
+                                          perm.end());
+  return {data.subset(train_idx), data.subset(test_idx)};
+}
+
+Dataset balanced_subsample(const Dataset& data, std::size_t per_class,
+                           util::Rng& rng) {
+  std::map<int, std::vector<std::size_t>> by_label;
+  for (std::size_t i = 0; i < data.size(); ++i) by_label[data.y[i]].push_back(i);
+
+  std::vector<std::size_t> chosen;
+  for (auto& [label, indices] : by_label) {
+    rng.shuffle(indices);
+    const std::size_t take = std::min(per_class, indices.size());
+    chosen.insert(chosen.end(), indices.begin(),
+                  indices.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  rng.shuffle(chosen);
+  return data.subset(chosen);
+}
+
+}  // namespace sy::ml

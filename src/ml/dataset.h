@@ -1,0 +1,43 @@
+// Labeled dataset container shared by every classifier and experiment.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/rng.h"
+
+namespace sy::ml {
+
+// Rows of features with integer labels. Binary problems use {-1, +1};
+// multi-class problems use {0..C-1}.
+struct Dataset {
+  Matrix x;
+  std::vector<int> y;
+
+  std::size_t size() const { return y.size(); }
+  std::size_t dim() const { return x.cols(); }
+  bool empty() const { return y.empty(); }
+
+  void add(std::span<const double> features, int label);
+  Dataset subset(std::span<const std::size_t> indices) const;
+  // Appends all rows of `other` (dims must match).
+  void append(const Dataset& other);
+  // In-place row shuffle.
+  void shuffle(util::Rng& rng);
+
+  // Number of rows with the given label.
+  std::size_t count_label(int label) const;
+};
+
+// Splits into (train, test) with the first `train_fraction` after a shuffle.
+std::pair<Dataset, Dataset> train_test_split(const Dataset& data,
+                                             double train_fraction,
+                                             util::Rng& rng);
+
+// Balanced subsample: at most `per_class` rows of each distinct label.
+Dataset balanced_subsample(const Dataset& data, std::size_t per_class,
+                           util::Rng& rng);
+
+}  // namespace sy::ml

@@ -1,0 +1,200 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace sy::ml {
+
+namespace {
+
+double gini(std::span<const std::size_t> class_counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (const std::size_t c : class_counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    g -= p * p;
+  }
+  return g;
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(DecisionTreeConfig config) : config_(config) {
+  if (config_.max_depth == 0) {
+    throw std::invalid_argument("DecisionTree: max_depth must be >= 1");
+  }
+}
+
+void DecisionTree::fit(const Matrix& x, const std::vector<int>& y) {
+  util::Rng rng(config_.seed);
+  fit_with_rng(x, y, rng);
+}
+
+void DecisionTree::fit_with_rng(const Matrix& x, const std::vector<int>& y,
+                                util::Rng& rng) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    throw std::invalid_argument("DecisionTree::fit: bad training set");
+  }
+  int max_label = 0;
+  for (const int label : y) {
+    if (label < 0) {
+      throw std::invalid_argument("DecisionTree::fit: labels must be >= 0");
+    }
+    max_label = std::max(max_label, label);
+  }
+  n_classes_ = static_cast<std::size_t>(max_label) + 1;
+
+  nodes_.clear();
+  std::vector<std::size_t> indices(x.rows());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  build(x, y, indices, 0, rng);
+  trained_ = true;
+}
+
+std::int32_t DecisionTree::make_leaf(const std::vector<int>& y,
+                                     std::span<const std::size_t> indices) {
+  Node leaf;
+  leaf.histogram.assign(n_classes_, 0.0);
+  for (const std::size_t i : indices) {
+    leaf.histogram[static_cast<std::size_t>(y[i])] += 1.0;
+  }
+  const double total = static_cast<double>(indices.size());
+  if (total > 0.0) {
+    for (double& h : leaf.histogram) h /= total;
+  }
+  nodes_.push_back(std::move(leaf));
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+std::int32_t DecisionTree::build(const Matrix& x, const std::vector<int>& y,
+                                 std::vector<std::size_t>& indices,
+                                 std::size_t depth, util::Rng& rng) {
+  // Stop criteria: depth, size, purity.
+  bool pure = true;
+  for (std::size_t i = 1; i < indices.size(); ++i) {
+    if (y[indices[i]] != y[indices[0]]) {
+      pure = false;
+      break;
+    }
+  }
+  if (pure || depth >= config_.max_depth ||
+      indices.size() < config_.min_samples_split) {
+    return make_leaf(y, indices);
+  }
+
+  const std::size_t m = x.cols();
+  std::vector<std::size_t> candidate_features(m);
+  std::iota(candidate_features.begin(), candidate_features.end(),
+            std::size_t{0});
+  std::size_t n_candidates = m;
+  if (config_.features_per_split > 0 && config_.features_per_split < m) {
+    rng.shuffle(candidate_features);
+    n_candidates = config_.features_per_split;
+  }
+
+  // Best split search: sort indices by feature value, sweep class counts.
+  double best_score = std::numeric_limits<double>::infinity();
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::size_t> sorted = indices;
+  std::vector<std::size_t> left_counts(n_classes_), right_counts(n_classes_);
+  for (std::size_t fi = 0; fi < n_candidates; ++fi) {
+    const std::size_t f = candidate_features[fi];
+    std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+      return x(a, f) < x(b, f);
+    });
+    std::fill(left_counts.begin(), left_counts.end(), std::size_t{0});
+    std::fill(right_counts.begin(), right_counts.end(), std::size_t{0});
+    for (const std::size_t i : sorted) {
+      ++right_counts[static_cast<std::size_t>(y[i])];
+    }
+
+    for (std::size_t pos = 0; pos + 1 < sorted.size(); ++pos) {
+      const std::size_t i = sorted[pos];
+      ++left_counts[static_cast<std::size_t>(y[i])];
+      --right_counts[static_cast<std::size_t>(y[i])];
+
+      const double v = x(i, f);
+      const double v_next = x(sorted[pos + 1], f);
+      if (v_next <= v) continue;  // no distinct threshold between them
+
+      const std::size_t n_left = pos + 1;
+      const std::size_t n_right = sorted.size() - n_left;
+      if (n_left < config_.min_samples_leaf ||
+          n_right < config_.min_samples_leaf) {
+        continue;
+      }
+      const double score =
+          (static_cast<double>(n_left) * gini(left_counts, n_left) +
+           static_cast<double>(n_right) * gini(right_counts, n_right)) /
+          static_cast<double>(sorted.size());
+      if (score < best_score) {
+        best_score = score;
+        best_feature = static_cast<int>(f);
+        best_threshold = (v + v_next) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf(y, indices);
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (const std::size_t i : indices) {
+    (x(i, static_cast<std::size_t>(best_feature)) <= best_threshold ? left_idx
+                                                                    : right_idx)
+        .push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return make_leaf(y, indices);
+
+  // Reserve this node's slot before recursing so children line up after it.
+  Node internal;
+  internal.feature = best_feature;
+  internal.threshold = best_threshold;
+  nodes_.push_back(internal);
+  const auto node_id = static_cast<std::int32_t>(nodes_.size() - 1);
+
+  const std::int32_t left_id = build(x, y, left_idx, depth + 1, rng);
+  const std::int32_t right_id = build(x, y, right_idx, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(node_id)].left = left_id;
+  nodes_[static_cast<std::size_t>(node_id)].right = right_id;
+  return node_id;
+}
+
+const DecisionTree::Node& DecisionTree::descend(
+    std::span<const double> x) const {
+  if (!trained_) throw std::logic_error("DecisionTree: not trained");
+  std::size_t current = 0;
+  // The root is the first node pushed (index 0) for leaves-only trees, and
+  // the first internal node otherwise; build() pushes the root first in
+  // both cases.
+  while (true) {
+    const Node& node = nodes_[current];
+    if (node.is_leaf()) return node;
+    const double v = x[static_cast<std::size_t>(node.feature)];
+    current = static_cast<std::size_t>(v <= node.threshold ? node.left
+                                                           : node.right);
+  }
+}
+
+int DecisionTree::predict(std::span<const double> x) const {
+  const auto proba = predict_proba(x);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    std::span<const double> x) const {
+  return descend(x).histogram;
+}
+
+std::string DecisionTree::name() const { return "DecisionTree"; }
+
+std::unique_ptr<MultiClassifier> DecisionTree::clone_untrained() const {
+  return std::make_unique<DecisionTree>(config_);
+}
+
+}  // namespace sy::ml

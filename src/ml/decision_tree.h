@@ -1,0 +1,67 @@
+// CART decision tree (Gini impurity) — the base learner of the random
+// forest used for user-agnostic context detection (§V-E).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+namespace sy::ml {
+
+struct DecisionTreeConfig {
+  std::size_t max_depth{12};
+  std::size_t min_samples_leaf{2};
+  std::size_t min_samples_split{4};
+  // Features examined per split; 0 = all (plain CART). Random forests set
+  // this to ~sqrt(M).
+  std::size_t features_per_split{0};
+  std::uint64_t seed{11};
+};
+
+class DecisionTree final : public MultiClassifier {
+ public:
+  explicit DecisionTree(DecisionTreeConfig config = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  // Fits using an externally supplied RNG (the forest forks per-tree RNGs).
+  void fit_with_rng(const Matrix& x, const std::vector<int>& y,
+                    util::Rng& rng);
+  int predict(std::span<const double> x) const override;
+  // Class-vote histogram at the leaf (normalized).
+  std::vector<double> predict_proba(std::span<const double> x) const;
+  std::string name() const override;
+  std::unique_ptr<MultiClassifier> clone_untrained() const override;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t n_classes() const { return n_classes_; }
+
+ private:
+  struct Node {
+    // Internal: feature/threshold; children by index. Leaf: class histogram.
+    int feature{-1};
+    double threshold{0.0};
+    std::int32_t left{-1};
+    std::int32_t right{-1};
+    std::vector<double> histogram;  // only for leaves
+
+    bool is_leaf() const { return feature < 0; }
+  };
+
+  std::int32_t build(const Matrix& x, const std::vector<int>& y,
+                     std::vector<std::size_t>& indices, std::size_t depth,
+                     util::Rng& rng);
+  std::int32_t make_leaf(const std::vector<int>& y,
+                         std::span<const std::size_t> indices);
+  const Node& descend(std::span<const double> x) const;
+
+  DecisionTreeConfig config_;
+  std::vector<Node> nodes_;
+  std::size_t n_classes_{0};
+  bool trained_{false};
+};
+
+}  // namespace sy::ml

@@ -1,0 +1,53 @@
+#include "ml/kernel.h"
+
+#include <cmath>
+
+namespace sy::ml {
+
+double Kernel::effective_gamma(std::size_t dim) const {
+  if (gamma > 0.0) return gamma;
+  return dim > 0 ? 1.0 / static_cast<double>(dim) : 1.0;
+}
+
+double Kernel::operator()(std::span<const double> a,
+                          std::span<const double> b) const {
+  switch (type) {
+    case KernelType::kLinear:
+      return dot(a, b);
+    case KernelType::kRbf:
+      return std::exp(-effective_gamma(a.size()) * squared_distance(a, b));
+  }
+  return 0.0;
+}
+
+std::string Kernel::name() const {
+  switch (type) {
+    case KernelType::kLinear:
+      return "linear";
+    case KernelType::kRbf:
+      return "rbf";
+  }
+  return "unknown";
+}
+
+Matrix gram_matrix(const Matrix& x, const Kernel& kernel) {
+  const std::size_t n = x.rows();
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = kernel(x.row(i), x.row(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+std::vector<double> kernel_vector(const Matrix& x, std::span<const double> z,
+                                  const Kernel& kernel) {
+  std::vector<double> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = kernel(x.row(i), z);
+  return out;
+}
+
+}  // namespace sy::ml

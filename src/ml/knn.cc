@@ -1,0 +1,49 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sy::ml {
+
+KnnClassifier::KnnClassifier(KnnConfig config) : config_(config) {
+  if (config_.k == 0) throw std::invalid_argument("KnnClassifier: k >= 1");
+}
+
+void KnnClassifier::fit(const Matrix& x, const std::vector<int>& y) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    throw std::invalid_argument("KnnClassifier::fit: bad training set");
+  }
+  train_x_ = x;
+  train_y_ = y;
+  trained_ = true;
+}
+
+double KnnClassifier::decision(std::span<const double> x) const {
+  if (!trained_) throw std::logic_error("KnnClassifier: not trained");
+  const std::size_t n = train_x_.rows();
+  const std::size_t k = std::min(config_.k, n);
+
+  // Partial selection of the k smallest distances.
+  std::vector<std::pair<double, int>> dist;
+  dist.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dist.emplace_back(squared_distance(train_x_.row(i), x), train_y_[i]);
+  }
+  std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   dist.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  double acc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) acc += dist[i].second;
+  return acc / static_cast<double>(k);
+}
+
+std::string KnnClassifier::name() const {
+  return "kNN(k=" + std::to_string(config_.k) + ")";
+}
+
+std::unique_ptr<BinaryClassifier> KnnClassifier::clone_untrained() const {
+  return std::make_unique<KnnClassifier>(config_);
+}
+
+}  // namespace sy::ml

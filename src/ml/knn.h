@@ -1,0 +1,34 @@
+// k-nearest-neighbours — included because several of the paper's comparison
+// systems (e.g. Nickel et al. [16]) authenticate with k-NN; used in the
+// extended ablation bench.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace sy::ml {
+
+struct KnnConfig {
+  std::size_t k{5};
+};
+
+class KnnClassifier final : public BinaryClassifier {
+ public:
+  explicit KnnClassifier(KnnConfig config = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  // Decision value: mean label of the k nearest neighbours, in [-1, +1].
+  double decision(std::span<const double> x) const override;
+  std::string name() const override;
+  std::unique_ptr<BinaryClassifier> clone_untrained() const override;
+
+ private:
+  KnnConfig config_;
+  bool trained_{false};
+  Matrix train_x_;
+  std::vector<int> train_y_;
+};
+
+}  // namespace sy::ml

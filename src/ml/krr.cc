@@ -1,0 +1,207 @@
+#include "ml/krr.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/linalg.h"
+
+namespace sy::ml {
+
+KrrClassifier::KrrClassifier(KrrConfig config) : config_(config) {
+  if (config_.rho <= 0.0) {
+    throw std::invalid_argument("KrrClassifier: rho must be positive");
+  }
+  if (config_.path == KrrSolvePath::kPrimal &&
+      config_.kernel.type != KernelType::kLinear) {
+    throw std::invalid_argument(
+        "KrrClassifier: the primal path (Eq. 7) requires the linear kernel");
+  }
+}
+
+void KrrClassifier::fit(const Matrix& x, const std::vector<int>& y) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    throw std::invalid_argument("KrrClassifier::fit: bad training set");
+  }
+  std::vector<double> yd(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] != 1 && y[i] != -1) {
+      throw std::invalid_argument("KrrClassifier::fit: labels must be +-1");
+    }
+    yd[i] = static_cast<double>(y[i]);
+  }
+
+  const bool primal =
+      config_.path == KrrSolvePath::kPrimal ||
+      (config_.path == KrrSolvePath::kAuto &&
+       config_.kernel.type == KernelType::kLinear);
+  if (primal) {
+    fit_primal(x, yd);
+  } else {
+    fit_dual(x, yd);
+  }
+  trained_ = true;
+}
+
+void KrrClassifier::fit_dual(const Matrix& x, std::span<const double> y) {
+  train_x_ = x;
+  Matrix k = gram_matrix(x, config_.kernel);
+  k.add_diagonal(config_.rho);
+  alpha_ = solve_spd(k, y);
+  weights_.reset();
+}
+
+void KrrClassifier::fit_primal(const Matrix& x, std::span<const double> y) {
+  const std::size_t m = x.cols();
+  // Gram in feature space: X^T X + rho I_M (M x M).
+  Matrix g(m, m);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    for (std::size_t a = 0; a < m; ++a) {
+      const double ra = row[a];
+      if (ra == 0.0) continue;
+      for (std::size_t b = 0; b <= a; ++b) g(a, b) += ra * row[b];
+    }
+  }
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = 0; b < a; ++b) g(b, a) = g(a, b);
+  }
+  g.add_diagonal(config_.rho);
+
+  xty_.assign(m, 0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    for (std::size_t a = 0; a < m; ++a) xty_[a] += row[a] * y[i];
+  }
+
+  inv_gram_ = invert_spd(g);
+  weights_ = inv_gram_ * std::span<const double>(xty_);
+  train_x_ = Matrix();
+  alpha_.clear();
+}
+
+double KrrClassifier::decision(std::span<const double> x) const {
+  if (!trained_) throw std::logic_error("KrrClassifier: not trained");
+  if (weights_) {
+    return dot(*weights_, x);
+  }
+  const auto k = kernel_vector(train_x_, x, config_.kernel);
+  return dot(alpha_, k);
+}
+
+std::string KrrClassifier::name() const {
+  return "KRR(" + config_.kernel.name() + ")";
+}
+
+std::unique_ptr<BinaryClassifier> KrrClassifier::clone_untrained() const {
+  return std::make_unique<KrrClassifier>(config_);
+}
+
+std::span<const double> KrrClassifier::weights() const {
+  if (!weights_) {
+    throw std::logic_error("KrrClassifier::weights: dual model has no w");
+  }
+  return *weights_;
+}
+
+void KrrClassifier::rank_one_update(std::span<const double> x, double label,
+                                    double sign) {
+  // Sherman-Morrison: (A + sign * x x^T)^-1
+  //   = A^-1 - sign * (A^-1 x)(x^T A^-1) / (1 + sign * x^T A^-1 x)
+  const std::size_t m = x.size();
+  if (inv_gram_.rows() != m) {
+    throw std::logic_error("KrrClassifier: incremental update needs primal fit");
+  }
+  const std::vector<double> ax = inv_gram_ * x;
+  const double denom = 1.0 + sign * dot(x, ax);
+  if (std::abs(denom) < 1e-12) {
+    throw std::runtime_error("KrrClassifier: singular incremental update");
+  }
+  const double scale = sign / denom;
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = 0; b < m; ++b) {
+      inv_gram_(a, b) -= scale * ax[a] * ax[b];
+    }
+  }
+  for (std::size_t a = 0; a < m; ++a) xty_[a] += sign * label * x[a];
+  weights_ = inv_gram_ * std::span<const double>(xty_);
+}
+
+void KrrClassifier::add_sample(std::span<const double> x, int label) {
+  if (!trained_ || !weights_) {
+    throw std::logic_error("KrrClassifier::add_sample requires a primal model");
+  }
+  rank_one_update(x, static_cast<double>(label), +1.0);
+}
+
+void KrrClassifier::remove_sample(std::span<const double> x, int label) {
+  if (!trained_ || !weights_) {
+    throw std::logic_error(
+        "KrrClassifier::remove_sample requires a primal model");
+  }
+  rank_one_update(x, static_cast<double>(label), -1.0);
+}
+
+std::vector<double> KrrClassifier::pack() const {
+  if (!trained_) throw std::logic_error("KrrClassifier::pack: not trained");
+  std::vector<double> out;
+  // Layout: [kernel_type, gamma, rho, is_primal,
+  //          primal: dim, w...   |  dual: n, m, alpha..., X row-major...]
+  out.push_back(static_cast<double>(config_.kernel.type));
+  out.push_back(config_.kernel.gamma);
+  out.push_back(config_.rho);
+  out.push_back(weights_ ? 1.0 : 0.0);
+  if (weights_) {
+    out.push_back(static_cast<double>(weights_->size()));
+    out.insert(out.end(), weights_->begin(), weights_->end());
+  } else {
+    out.push_back(static_cast<double>(train_x_.rows()));
+    out.push_back(static_cast<double>(train_x_.cols()));
+    out.insert(out.end(), alpha_.begin(), alpha_.end());
+    const auto data = train_x_.data();
+    out.insert(out.end(), data.begin(), data.end());
+  }
+  return out;
+}
+
+KrrClassifier KrrClassifier::unpack(std::span<const double> packed) {
+  if (packed.size() < 5) {
+    throw std::invalid_argument("KrrClassifier::unpack: truncated");
+  }
+  KrrConfig config;
+  config.kernel.type = static_cast<KernelType>(static_cast<int>(packed[0]));
+  config.kernel.gamma = packed[1];
+  config.rho = packed[2];
+  const bool primal = packed[3] != 0.0;
+
+  KrrClassifier model(config);
+  std::size_t pos = 4;
+  if (primal) {
+    const auto dim = static_cast<std::size_t>(packed[pos++]);
+    if (packed.size() != pos + dim) {
+      throw std::invalid_argument("KrrClassifier::unpack: corrupt primal");
+    }
+    model.weights_ = std::vector<double>(packed.begin() + static_cast<std::ptrdiff_t>(pos),
+                                         packed.end());
+    // Incremental updates are unavailable after unpack (inv_gram_ omitted
+    // from the wire format); decision() only needs w.
+  } else {
+    const auto n = static_cast<std::size_t>(packed[pos++]);
+    const auto m = static_cast<std::size_t>(packed[pos++]);
+    if (packed.size() != pos + n + n * m) {
+      throw std::invalid_argument("KrrClassifier::unpack: corrupt dual");
+    }
+    model.alpha_.assign(packed.begin() + static_cast<std::ptrdiff_t>(pos),
+                        packed.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+    model.train_x_ = Matrix(n, m);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        model.train_x_(i, j) = packed[pos++];
+      }
+    }
+  }
+  model.trained_ = true;
+  return model;
+}
+
+}  // namespace sy::ml

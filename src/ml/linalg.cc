@@ -1,0 +1,106 @@
+#include "ml/linalg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sy::ml {
+
+Matrix cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("cholesky: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw std::runtime_error("cholesky: matrix not positive definite");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l, std::span<const double> b) {
+  const std::size_t n = l.rows();
+  if (b.size() != n) throw std::invalid_argument("cholesky_solve: size");
+  // Forward: L z = b
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * z[k];
+    z[i] = sum / l(i, i);
+  }
+  // Back: L^T x = z
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = z[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x[k];
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b) {
+  return cholesky_solve(cholesky(a), b);
+}
+
+Matrix solve_spd(const Matrix& a, const Matrix& b) {
+  const Matrix l = cholesky(a);
+  Matrix x(b.rows(), b.cols());
+  std::vector<double> col(b.rows());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    const auto sol = cholesky_solve(l, col);
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+  }
+  return x;
+}
+
+std::vector<double> solve_lu(Matrix a, std::vector<double> b) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    throw std::invalid_argument("solve_lu: dimension mismatch");
+  }
+  const std::size_t n = a.rows();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    }
+    if (std::abs(a(pivot, col)) < 1e-300) {
+      throw std::runtime_error("solve_lu: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(col, j), a(pivot, j));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) a(r, j) -= f * a(col, j);
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= a(ii, j) * x[j];
+    x[ii] = sum / a(ii, ii);
+  }
+  return x;
+}
+
+Matrix invert_spd(const Matrix& a) {
+  return solve_spd(a, Matrix::identity(a.rows()));
+}
+
+}  // namespace sy::ml

@@ -1,0 +1,32 @@
+// Direct solvers for the small SPD / square systems the classifiers need:
+// Cholesky for (K + rho*I) and (X^T X + rho*I), LU with partial pivoting as
+// the general fallback.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace sy::ml {
+
+// Cholesky factorization A = L L^T of an SPD matrix; returns lower-triangular
+// L. Throws std::runtime_error if A is not (numerically) positive definite.
+Matrix cholesky(const Matrix& a);
+
+// Solves A x = b for SPD A via Cholesky.
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b);
+
+// Solves A X = B for SPD A, column-block RHS.
+Matrix solve_spd(const Matrix& a, const Matrix& b);
+
+// Solves A x = b by LU with partial pivoting (square, nonsingular A).
+std::vector<double> solve_lu(Matrix a, std::vector<double> b);
+
+// Inverse of an SPD matrix via Cholesky (used by incremental KRR).
+Matrix invert_spd(const Matrix& a);
+
+// Forward/back substitution with a lower-triangular factor L (A = L L^T).
+std::vector<double> cholesky_solve(const Matrix& l, std::span<const double> b);
+
+}  // namespace sy::ml

@@ -1,0 +1,60 @@
+#include "ml/linreg.h"
+
+#include <stdexcept>
+
+#include "ml/linalg.h"
+
+namespace sy::ml {
+
+LinearRegressionClassifier::LinearRegressionClassifier(LinRegConfig config)
+    : config_(config) {}
+
+void LinearRegressionClassifier::fit(const Matrix& x,
+                                     const std::vector<int>& y) {
+  const std::size_t n = x.rows();
+  const std::size_t m = x.cols();
+  if (n == 0 || n != y.size()) {
+    throw std::invalid_argument("LinearRegression::fit: bad training set");
+  }
+
+  // Normal equations over the augmented design [X | 1].
+  const std::size_t d = m + 1;
+  Matrix g(d, d);
+  std::vector<double> xty(d, 0.0);
+  std::vector<double> row(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto xi = x.row(i);
+    for (std::size_t j = 0; j < m; ++j) row[j] = xi[j];
+    row[m] = 1.0;
+    const double yi = static_cast<double>(y[i]);
+    for (std::size_t a = 0; a < d; ++a) {
+      xty[a] += row[a] * yi;
+      for (std::size_t b = 0; b <= a; ++b) g(a, b) += row[a] * row[b];
+    }
+  }
+  for (std::size_t a = 0; a < d; ++a) {
+    for (std::size_t b = 0; b < a; ++b) g(b, a) = g(a, b);
+  }
+  g.add_diagonal(config_.ridge);
+
+  const auto w = solve_spd(g, xty);
+  weights_.assign(w.begin(), w.end() - 1);
+  intercept_ = w.back();
+  trained_ = true;
+}
+
+double LinearRegressionClassifier::decision(std::span<const double> x) const {
+  if (!trained_) throw std::logic_error("LinearRegression: not trained");
+  return dot(weights_, x) + intercept_;
+}
+
+std::string LinearRegressionClassifier::name() const {
+  return "LinearRegression";
+}
+
+std::unique_ptr<BinaryClassifier> LinearRegressionClassifier::clone_untrained()
+    const {
+  return std::make_unique<LinearRegressionClassifier>(config_);
+}
+
+}  // namespace sy::ml

@@ -1,0 +1,126 @@
+#include "ml/matrix.h"
+
+#include <stdexcept>
+
+namespace sy::ml {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != m.cols_) {
+      throw std::invalid_argument("Matrix::from_rows: ragged rows");
+    }
+    for (std::size_t j = 0; j < m.cols_; ++j) m(i, j) = rows[i][j];
+  }
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("Matrix multiply: dimension mismatch");
+  }
+  Matrix out(rows_, other.cols_);
+  // ikj loop order keeps the inner loop contiguous for both operands.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* brow = other.data_.data() + k * other.cols_;
+      double* orow = out.data_.data() + i * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(std::span<const double> v) const {
+  if (cols_ != v.size()) {
+    throw std::invalid_argument("Matrix*vector: dimension mismatch");
+  }
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    out[i] = dot(row(i), v);
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix +=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix -=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+void Matrix::add_diagonal(double s) {
+  const std::size_t n = std::min(rows_, cols_);
+  for (std::size_t i = 0; i < n; ++i) (*this)(i, i) += s;
+}
+
+Matrix Matrix::select_rows(std::span<const std::size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    SY_ASSERT(indices[i] < rows_, "select_rows: index out of range");
+    const auto src = row(indices[i]);
+    auto dst = out.row(i);
+    for (std::size_t j = 0; j < cols_; ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+void Matrix::append_row(std::span<const double> row_values) {
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = row_values.size();
+  } else if (row_values.size() != cols_) {
+    throw std::invalid_argument("append_row: column mismatch");
+  }
+  data_.insert(data_.end(), row_values.begin(), row_values.end());
+  ++rows_;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  SY_ASSERT(a.size() == b.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  SY_ASSERT(a.size() == b.size(), "squared_distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace sy::ml

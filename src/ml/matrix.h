@@ -1,0 +1,83 @@
+// Dense row-major matrix of doubles.
+//
+// The ML substrate needs only small dense linear algebra (Gram matrices of a
+// few hundred rows, 28-dimensional covariances), so this is a deliberately
+// simple value type: contiguous storage, bounds-checked in debug via
+// SY_ASSERT, no expression templates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace sy::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+  // Builds a matrix from rows; all rows must have equal length.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    SY_ASSERT(i < rows_ && j < cols_, "Matrix index out of range");
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    SY_ASSERT(i < rows_ && j < cols_, "Matrix index out of range");
+    return data_[i * cols_ + j];
+  }
+
+  std::span<double> row(std::size_t i) {
+    SY_ASSERT(i < rows_, "Matrix row out of range");
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t i) const {
+    SY_ASSERT(i < rows_, "Matrix row out of range");
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  std::span<const double> data() const { return data_; }
+  std::span<double> data() { return data_; }
+
+  Matrix transpose() const;
+
+  // this (r x c) * other (c x k) -> (r x k)
+  Matrix operator*(const Matrix& other) const;
+  // this (r x c) * v (c) -> (r)
+  std::vector<double> operator*(std::span<const double> v) const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  // Adds s to each diagonal entry (ridge shift).
+  void add_diagonal(double s);
+
+  // Returns the rows selected by `indices` as a new matrix.
+  Matrix select_rows(std::span<const std::size_t> indices) const;
+
+  // Appends a row; the matrix must be empty or have matching column count.
+  void append_row(std::span<const double> row_values);
+
+ private:
+  std::size_t rows_{0};
+  std::size_t cols_{0};
+  std::vector<double> data_;
+};
+
+// Inner product of equal-length spans.
+double dot(std::span<const double> a, std::span<const double> b);
+// Squared Euclidean distance.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace sy::ml

@@ -1,0 +1,133 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace sy::ml {
+
+void BinaryCounts::add(int truth, int prediction) {
+  if (truth != 1 && truth != -1) {
+    throw std::invalid_argument("BinaryCounts: truth must be +-1");
+  }
+  if (truth == 1) {
+    prediction == 1 ? ++true_accept : ++false_reject;
+  } else {
+    prediction == 1 ? ++false_accept : ++true_reject;
+  }
+}
+
+void BinaryCounts::merge(const BinaryCounts& other) {
+  true_accept += other.true_accept;
+  false_reject += other.false_reject;
+  false_accept += other.false_accept;
+  true_reject += other.true_reject;
+}
+
+double BinaryCounts::frr() const {
+  const std::size_t genuine = true_accept + false_reject;
+  return genuine == 0
+             ? 0.0
+             : static_cast<double>(false_reject) / static_cast<double>(genuine);
+}
+
+double BinaryCounts::far() const {
+  const std::size_t impostor = false_accept + true_reject;
+  return impostor == 0
+             ? 0.0
+             : static_cast<double>(false_accept) / static_cast<double>(impostor);
+}
+
+double BinaryCounts::raw_accuracy() const {
+  const std::size_t n = total();
+  return n == 0 ? 0.0
+                : static_cast<double>(true_accept + true_reject) /
+                      static_cast<double>(n);
+}
+
+double equal_error_rate(std::span<const double> scores_legit,
+                        std::span<const double> scores_impostor) {
+  if (scores_legit.empty() || scores_impostor.empty()) {
+    throw std::invalid_argument("equal_error_rate: empty score set");
+  }
+  // Candidate thresholds: all observed scores.
+  std::vector<double> thresholds(scores_legit.begin(), scores_legit.end());
+  thresholds.insert(thresholds.end(), scores_impostor.begin(),
+                    scores_impostor.end());
+  std::sort(thresholds.begin(), thresholds.end());
+
+  double best_gap = 2.0;
+  double eer = 1.0;
+  for (const double th : thresholds) {
+    const auto fr = static_cast<double>(std::count_if(
+                        scores_legit.begin(), scores_legit.end(),
+                        [th](double s) { return s < th; })) /
+                    static_cast<double>(scores_legit.size());
+    const auto fa = static_cast<double>(std::count_if(
+                        scores_impostor.begin(), scores_impostor.end(),
+                        [th](double s) { return s >= th; })) /
+                    static_cast<double>(scores_impostor.size());
+    const double gap = std::abs(fa - fr);
+    if (gap < best_gap) {
+      best_gap = gap;
+      eer = (fa + fr) / 2.0;
+    }
+  }
+  return eer;
+}
+
+ConfusionMatrix::ConfusionMatrix(std::size_t n_classes)
+    : n_(n_classes), counts_(n_classes * n_classes, 0) {
+  if (n_classes == 0) {
+    throw std::invalid_argument("ConfusionMatrix: need at least one class");
+  }
+}
+
+void ConfusionMatrix::add(int truth, int prediction) {
+  SY_ASSERT(truth >= 0 && static_cast<std::size_t>(truth) < n_,
+            "ConfusionMatrix: truth out of range");
+  SY_ASSERT(prediction >= 0 && static_cast<std::size_t>(prediction) < n_,
+            "ConfusionMatrix: prediction out of range");
+  ++counts_[static_cast<std::size_t>(truth) * n_ +
+            static_cast<std::size_t>(prediction)];
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  if (other.n_ != n_) throw std::invalid_argument("ConfusionMatrix: merge size");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+std::size_t ConfusionMatrix::count(int truth, int prediction) const {
+  SY_ASSERT(truth >= 0 && static_cast<std::size_t>(truth) < n_, "range");
+  SY_ASSERT(prediction >= 0 && static_cast<std::size_t>(prediction) < n_,
+            "range");
+  return counts_[static_cast<std::size_t>(truth) * n_ +
+                 static_cast<std::size_t>(prediction)];
+}
+
+double ConfusionMatrix::rate(int truth, int prediction) const {
+  std::size_t row_total = 0;
+  for (std::size_t j = 0; j < n_; ++j) {
+    row_total += counts_[static_cast<std::size_t>(truth) * n_ + j];
+  }
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(count(truth, prediction)) /
+         static_cast<double>(row_total);
+}
+
+double ConfusionMatrix::accuracy() const {
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      const std::size_t c = counts_[i * n_ + j];
+      total += c;
+      if (i == j) correct += c;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace sy::ml

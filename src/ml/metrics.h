@@ -1,0 +1,64 @@
+// Authentication metrics exactly as the paper defines them (§V-F3):
+//   FRR — fraction of the legitimate user's windows rejected
+//   FAR — fraction of impostor windows accepted
+//   accuracy — 1 - (FAR + FRR)/2, which matches every published row
+//              (e.g. FRR 0.9%, FAR 2.8% -> 98.1%).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sy::ml {
+
+// Confusion counts for a binary authentication problem where +1 = legitimate
+// user (the "positive"/accept class) and -1 = impostor.
+struct BinaryCounts {
+  std::size_t true_accept{0};   // legitimate accepted
+  std::size_t false_reject{0};  // legitimate rejected
+  std::size_t false_accept{0};  // impostor accepted
+  std::size_t true_reject{0};   // impostor rejected
+
+  void add(int truth, int prediction);
+  void merge(const BinaryCounts& other);
+
+  std::size_t total() const {
+    return true_accept + false_reject + false_accept + true_reject;
+  }
+  double frr() const;
+  double far() const;
+  // The paper's accuracy: 1 - (FAR + FRR)/2.
+  double accuracy() const { return 1.0 - (far() + frr()) / 2.0; }
+  // Plain fraction-correct, for reference.
+  double raw_accuracy() const;
+};
+
+// Equal error rate from decision scores: the threshold where FAR == FRR.
+// `scores_legit` are decision values for genuine windows, `scores_impostor`
+// for impostor windows (higher = more likely legitimate).
+double equal_error_rate(std::span<const double> scores_legit,
+                        std::span<const double> scores_impostor);
+
+// Row-stochastic confusion matrix for multi-class problems (context
+// detection, Table V).
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t n_classes);
+
+  void add(int truth, int prediction);
+  void merge(const ConfusionMatrix& other);
+
+  std::size_t n_classes() const { return n_; }
+  std::size_t count(int truth, int prediction) const;
+  // Fraction of class `truth` predicted as `prediction` (row-normalized).
+  double rate(int truth, int prediction) const;
+  // Overall fraction correct.
+  double accuracy() const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> counts_;  // n x n row-major
+};
+
+}  // namespace sy::ml

@@ -1,0 +1,84 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "signal/stats.h"
+
+namespace sy::ml {
+
+NaiveBayesClassifier::NaiveBayesClassifier(NaiveBayesConfig config)
+    : config_(config) {}
+
+void NaiveBayesClassifier::fit(const Matrix& x, const std::vector<int>& y) {
+  const std::size_t n = x.rows();
+  const std::size_t m = x.cols();
+  if (n == 0 || n != y.size()) {
+    throw std::invalid_argument("NaiveBayes::fit: bad training set");
+  }
+
+  std::vector<signal::RunningStats> pos_stats(m), neg_stats(m);
+  std::size_t n_pos = 0, n_neg = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& stats = y[i] == 1 ? pos_stats : neg_stats;
+    (y[i] == 1 ? n_pos : n_neg) += 1;
+    const auto row = x.row(i);
+    for (std::size_t j = 0; j < m; ++j) stats[j].add(row[j]);
+  }
+  if (n_pos == 0 || n_neg == 0) {
+    throw std::invalid_argument("NaiveBayes::fit: need both classes");
+  }
+
+  double max_var = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    max_var = std::max({max_var, pos_stats[j].variance(),
+                        neg_stats[j].variance()});
+  }
+  const double epsilon = config_.var_smoothing * std::max(max_var, 1.0);
+
+  auto finalize = [&](const std::vector<signal::RunningStats>& stats,
+                      std::size_t count) {
+    ClassStats c;
+    c.mean.resize(m);
+    c.var.resize(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      c.mean[j] = stats[j].mean();
+      c.var[j] = stats[j].variance() + epsilon;
+    }
+    c.log_prior = std::log(static_cast<double>(count) / static_cast<double>(n));
+    return c;
+  };
+  pos_ = finalize(pos_stats, n_pos);
+  neg_ = finalize(neg_stats, n_neg);
+  trained_ = true;
+}
+
+double NaiveBayesClassifier::log_likelihood(const ClassStats& c,
+                                            std::span<const double> x) const {
+  double acc = c.log_prior;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double d = x[j] - c.mean[j];
+    acc += -0.5 * std::log(2.0 * std::numbers::pi * c.var[j]) -
+           d * d / (2.0 * c.var[j]);
+  }
+  return acc;
+}
+
+double NaiveBayesClassifier::decision(std::span<const double> x) const {
+  if (!trained_) throw std::logic_error("NaiveBayes: not trained");
+  if (x.size() != pos_.mean.size()) {
+    throw std::invalid_argument("NaiveBayes::decision: dimension mismatch");
+  }
+  return log_likelihood(pos_, x) - log_likelihood(neg_, x);
+}
+
+std::string NaiveBayesClassifier::name() const { return "NaiveBayes"; }
+
+std::unique_ptr<BinaryClassifier> NaiveBayesClassifier::clone_untrained()
+    const {
+  return std::make_unique<NaiveBayesClassifier>(config_);
+}
+
+}  // namespace sy::ml

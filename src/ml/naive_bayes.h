@@ -1,0 +1,40 @@
+// Gaussian naive Bayes — the paper's second weak baseline (Table VI, 87.6%).
+// Per-class diagonal Gaussians with variance smoothing; the decision value
+// is the log-posterior margin log P(+1|x) - log P(-1|x).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace sy::ml {
+
+struct NaiveBayesConfig {
+  double var_smoothing{1e-9};  // added to every variance, scaled by max var
+};
+
+class NaiveBayesClassifier final : public BinaryClassifier {
+ public:
+  explicit NaiveBayesClassifier(NaiveBayesConfig config = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  double decision(std::span<const double> x) const override;
+  std::string name() const override;
+  std::unique_ptr<BinaryClassifier> clone_untrained() const override;
+
+ private:
+  struct ClassStats {
+    std::vector<double> mean;
+    std::vector<double> var;
+    double log_prior{0.0};
+  };
+  double log_likelihood(const ClassStats& c, std::span<const double> x) const;
+
+  NaiveBayesConfig config_;
+  bool trained_{false};
+  ClassStats pos_;
+  ClassStats neg_;
+};
+
+}  // namespace sy::ml

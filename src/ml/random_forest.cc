@@ -1,0 +1,84 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace sy::ml {
+
+RandomForest::RandomForest(RandomForestConfig config) : config_(config) {
+  if (config_.n_trees == 0) {
+    throw std::invalid_argument("RandomForest: need at least one tree");
+  }
+}
+
+void RandomForest::fit(const Matrix& x, const std::vector<int>& y) {
+  const std::size_t n = x.rows();
+  if (n == 0 || n != y.size()) {
+    throw std::invalid_argument("RandomForest::fit: bad training set");
+  }
+  int max_label = 0;
+  for (const int label : y) max_label = std::max(max_label, label);
+  n_classes_ = static_cast<std::size_t>(max_label) + 1;
+
+  DecisionTreeConfig tree_config = config_.tree;
+  tree_config.features_per_split =
+      config_.features_per_split > 0
+          ? config_.features_per_split
+          : static_cast<std::size_t>(
+                std::max(1.0, std::sqrt(static_cast<double>(x.cols()))));
+
+  util::Rng forest_rng(config_.seed);
+  trees_.clear();
+  trees_.reserve(config_.n_trees);
+  for (std::size_t t = 0; t < config_.n_trees; ++t) {
+    util::Rng tree_rng = forest_rng.fork(t);
+
+    // Bootstrap sample.
+    Matrix bx;
+    std::vector<int> by;
+    by.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto pick = static_cast<std::size_t>(
+          tree_rng.uniform_int(0, static_cast<int>(n) - 1));
+      bx.append_row(x.row(pick));
+      by.push_back(y[pick]);
+    }
+
+    DecisionTree tree(tree_config);
+    tree.fit_with_rng(bx, by, tree_rng);
+    trees_.push_back(std::move(tree));
+  }
+  trained_ = true;
+}
+
+std::vector<double> RandomForest::predict_proba(
+    std::span<const double> x) const {
+  if (!trained_) throw std::logic_error("RandomForest: not trained");
+  std::vector<double> votes(n_classes_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto p = tree.predict_proba(x);
+    for (std::size_t c = 0; c < p.size() && c < votes.size(); ++c) {
+      votes[c] += p[c];
+    }
+  }
+  const double total = static_cast<double>(trees_.size());
+  for (double& v : votes) v /= total;
+  return votes;
+}
+
+int RandomForest::predict(std::span<const double> x) const {
+  const auto votes = predict_proba(x);
+  return static_cast<int>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+std::string RandomForest::name() const { return "RandomForest"; }
+
+std::unique_ptr<MultiClassifier> RandomForest::clone_untrained() const {
+  return std::make_unique<RandomForest>(config_);
+}
+
+}  // namespace sy::ml

@@ -1,0 +1,43 @@
+// Random forest (Ho 1995, Breiman 2001) — the paper's context-detection
+// classifier (§V-E, Table V). Bootstrap-bagged CART trees with per-split
+// feature subsampling and soft (probability-averaged) voting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+
+namespace sy::ml {
+
+struct RandomForestConfig {
+  std::size_t n_trees{60};
+  DecisionTreeConfig tree{};
+  // 0 = default sqrt(M) features per split.
+  std::size_t features_per_split{0};
+  std::uint64_t seed{13};
+};
+
+class RandomForest final : public MultiClassifier {
+ public:
+  explicit RandomForest(RandomForestConfig config = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  int predict(std::span<const double> x) const override;
+  std::vector<double> predict_proba(std::span<const double> x) const;
+  std::string name() const override;
+  std::unique_ptr<MultiClassifier> clone_untrained() const override;
+
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  RandomForestConfig config_;
+  std::vector<DecisionTree> trees_;
+  std::size_t n_classes_{0};
+  bool trained_{false};
+};
+
+}  // namespace sy::ml

@@ -1,0 +1,36 @@
+// Per-feature standardization (z-score). Fit on training folds only; applied
+// to both train and test to avoid information leakage across CV folds.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/matrix.h"
+
+namespace sy::ml {
+
+class StandardScaler {
+ public:
+  // Learns per-column mean and standard deviation. Constant columns get
+  // stddev 1 so they pass through unchanged (centered).
+  void fit(const Matrix& x);
+
+  std::vector<double> transform(std::span<const double> row) const;
+  Matrix transform(const Matrix& x) const;
+  Dataset transform(const Dataset& data) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  std::span<const double> mean() const { return mean_; }
+  std::span<const double> stddev() const { return stddev_; }
+
+  // Serialization for the model store.
+  std::vector<double> pack() const;
+  static StandardScaler unpack(std::span<const double> packed);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace sy::ml

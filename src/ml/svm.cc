@@ -1,0 +1,133 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace sy::ml {
+
+SvmClassifier::SvmClassifier(SvmConfig config) : config_(config) {
+  if (config_.c <= 0.0) {
+    throw std::invalid_argument("SvmClassifier: C must be positive");
+  }
+}
+
+void SvmClassifier::fit(const Matrix& x, const std::vector<int>& y) {
+  const std::size_t n = x.rows();
+  if (n == 0 || n != y.size()) {
+    throw std::invalid_argument("SvmClassifier::fit: bad training set");
+  }
+  for (const int label : y) {
+    if (label != 1 && label != -1) {
+      throw std::invalid_argument("SvmClassifier::fit: labels must be +-1");
+    }
+  }
+
+  // Precompute the Gram matrix (n is a few hundred in all experiments).
+  const Matrix k = gram_matrix(x, config_.kernel);
+
+  std::vector<double> alpha(n, 0.0);
+  double b = 0.0;
+  util::Rng rng(config_.seed);
+
+  auto f = [&](std::size_t i) {
+    double acc = b;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (alpha[j] != 0.0) acc += alpha[j] * y[j] * k(j, i);
+    }
+    return acc;
+  };
+
+  int passes = 0;
+  int iterations = 0;
+  while (passes < config_.max_passes && iterations < config_.max_iterations) {
+    int changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ei = f(i) - y[i];
+      const bool violates =
+          (y[i] * ei < -config_.tolerance && alpha[i] < config_.c) ||
+          (y[i] * ei > config_.tolerance && alpha[i] > 0.0);
+      if (!violates) continue;
+
+      std::size_t j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(n) - 2));
+      if (j >= i) ++j;
+      const double ej = f(j) - y[j];
+
+      const double ai_old = alpha[i];
+      const double aj_old = alpha[j];
+      double lo, hi;
+      if (y[i] != y[j]) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(config_.c, config_.c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - config_.c);
+        hi = std::min(config_.c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+
+      const double eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
+      if (eta >= 0.0) continue;
+
+      double aj = aj_old - y[j] * (ei - ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::abs(aj - aj_old) < 1e-5) continue;
+
+      const double ai = ai_old + y[i] * y[j] * (aj_old - aj);
+      alpha[i] = ai;
+      alpha[j] = aj;
+
+      const double b1 = b - ei - y[i] * (ai - ai_old) * k(i, i) -
+                        y[j] * (aj - aj_old) * k(i, j);
+      const double b2 = b - ej - y[i] * (ai - ai_old) * k(i, j) -
+                        y[j] * (aj - aj_old) * k(j, j);
+      if (ai > 0.0 && ai < config_.c) {
+        b = b1;
+      } else if (aj > 0.0 && aj < config_.c) {
+        b = b2;
+      } else {
+        b = (b1 + b2) / 2.0;
+      }
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+    ++iterations;
+  }
+
+  // Keep only support vectors.
+  support_x_ = Matrix();
+  support_alpha_y_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-10) {
+      support_x_.append_row(x.row(i));
+      support_alpha_y_.push_back(alpha[i] * y[i]);
+    }
+  }
+  b_ = b;
+  trained_ = true;
+}
+
+double SvmClassifier::decision(std::span<const double> x) const {
+  if (!trained_) throw std::logic_error("SvmClassifier: not trained");
+  double acc = b_;
+  for (std::size_t i = 0; i < support_alpha_y_.size(); ++i) {
+    acc += support_alpha_y_[i] * config_.kernel(support_x_.row(i), x);
+  }
+  return acc;
+}
+
+std::string SvmClassifier::name() const {
+  return "SVM(" + config_.kernel.name() + ")";
+}
+
+std::unique_ptr<BinaryClassifier> SvmClassifier::clone_untrained() const {
+  return std::make_unique<SvmClassifier>(config_);
+}
+
+std::size_t SvmClassifier::support_vector_count() const {
+  return support_alpha_y_.size();
+}
+
+}  // namespace sy::ml

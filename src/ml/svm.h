@@ -1,0 +1,49 @@
+// Soft-margin kernel SVM trained by Sequential Minimal Optimization.
+//
+// The paper's strongest baseline (Table VI: 97.4% vs KRR's 98.1%), with
+// noticeably higher training cost — which is exactly the trade-off the paper
+// reports (§V-F2, §V-H1). Implementation: Platt's SMO with an error cache
+// and random second-choice heuristic; deterministic given the caller's seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/kernel.h"
+
+namespace sy::ml {
+
+struct SvmConfig {
+  Kernel kernel{Kernel::rbf()};
+  double c{1.0};            // box constraint
+  double tolerance{1e-3};   // KKT violation tolerance
+  int max_passes{5};        // passes without change before convergence
+  int max_iterations{200};  // hard cap on full sweeps
+  std::uint64_t seed{7};    // second-multiplier selection
+};
+
+class SvmClassifier final : public BinaryClassifier {
+ public:
+  explicit SvmClassifier(SvmConfig config = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  double decision(std::span<const double> x) const override;
+  std::string name() const override;
+  std::unique_ptr<BinaryClassifier> clone_untrained() const override;
+
+  std::size_t support_vector_count() const;
+  double bias() const { return b_; }
+
+ private:
+  double decision_cached(std::size_t i, const Matrix& k) const;
+
+  SvmConfig config_;
+  bool trained_{false};
+  Matrix support_x_;
+  std::vector<double> support_alpha_y_;  // alpha_i * y_i for support vectors
+  double b_{0.0};
+};
+
+}  // namespace sy::ml

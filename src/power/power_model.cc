@@ -1,0 +1,49 @@
+#include "power/power_model.h"
+
+#include <stdexcept>
+
+namespace sy::power {
+
+PowerModel::PowerModel(PowerBudget budget) : budget_(budget) {
+  if (budget_.battery_mwh <= 0.0) {
+    throw std::invalid_argument("PowerModel: battery capacity must be positive");
+  }
+}
+
+DrainResult PowerModel::run(const Scenario& scenario) const {
+  if (scenario.duration_hours <= 0.0 || scenario.screen_on_fraction < 0.0 ||
+      scenario.screen_on_fraction > 1.0) {
+    throw std::invalid_argument("PowerModel: bad scenario");
+  }
+
+  // Average draw in mW.
+  double draw = budget_.base_idle;
+  draw += scenario.screen_on_fraction *
+          (budget_.screen_on + budget_.cpu_interactive);
+  if (scenario.smartery_on) {
+    draw += budget_.sensor_sampling + budget_.bluetooth_stream;
+    // The background service is cheap while the phone is locked and costs
+    // real CPU only while the pipeline is processing interactive usage.
+    draw += scenario.screen_on_fraction * budget_.smartery_cpu_active +
+            (1.0 - scenario.screen_on_fraction) * budget_.smartery_cpu_idle;
+  }
+
+  DrainResult result;
+  result.scenario = scenario.name;
+  result.consumed_mwh = draw * scenario.duration_hours;
+  result.battery_fraction = result.consumed_mwh / budget_.battery_mwh;
+  return result;
+}
+
+std::vector<Scenario> PowerModel::table8_scenarios() {
+  // Scenarios (3)/(4): 60-minute test alternating five minutes of typing
+  // and five minutes idle -> 50% screen-on duty cycle (§V-H3).
+  return {
+      {"(1) Phone locked, SmarterYou off", 12.0, 0.0, false},
+      {"(2) Phone locked, SmarterYou on", 12.0, 0.0, true},
+      {"(3) Phone unlocked, SmarterYou off", 1.0, 0.5, false},
+      {"(4) Phone unlocked, SmarterYou on", 1.0, 0.5, true},
+  };
+}
+
+}  // namespace sy::power

@@ -1,0 +1,60 @@
+// Component-level battery model (paper §V-H3, Table VIII).
+//
+// We have no physical Nexus 5, so drain is computed from a component power
+// budget (datasheet-order constants) integrated over scripted scenarios:
+//   (1) phone locked, SmarterYou off          — baseline idle drain
+//   (2) phone locked, SmarterYou on           — + sensors @50 Hz, periodic
+//                                                feature/classify bursts, BT
+//   (3) phone in periodic use, SmarterYou off — + screen and interactive CPU
+//   (4) phone in periodic use, SmarterYou on  — both
+// The published table reports relative battery percentages; the model
+// reproduces those ratios, not absolute electrochemistry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sy::power {
+
+struct PowerBudget {
+  // Milliwatts.
+  double base_idle{20.4};          // radios idle, RAM refresh, PMIC
+  double screen_on{750.0};
+  double cpu_interactive{115.0};   // UI/typing load while the screen is on
+  double sensor_sampling{9.0};     // accelerometer + gyroscope @ 50 Hz
+  double smartery_cpu_idle{4.5};   // background service bookkeeping
+  double smartery_cpu_active{398.0};  // feature extraction + KRR while in use
+  double bluetooth_stream{2.0};    // watch sensor stream
+  // Battery: Nexus 5, 2300 mAh @ 3.8 V.
+  double battery_mwh{8740.0};
+};
+
+struct Scenario {
+  std::string name;
+  double duration_hours{12.0};
+  double screen_on_fraction{0.0};  // fraction of time in active use
+  bool smartery_on{false};
+};
+
+struct DrainResult {
+  std::string scenario;
+  double consumed_mwh{0.0};
+  double battery_fraction{0.0};  // of full charge
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(PowerBudget budget = {});
+
+  DrainResult run(const Scenario& scenario) const;
+
+  // The paper's four Table VIII scenarios.
+  static std::vector<Scenario> table8_scenarios();
+
+  const PowerBudget& budget() const { return budget_; }
+
+ private:
+  PowerBudget budget_;
+};
+
+}  // namespace sy::power

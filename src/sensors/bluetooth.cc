@@ -1,0 +1,78 @@
+#include "sensors/bluetooth.h"
+
+#include <cmath>
+#include <vector>
+
+#include "signal/resample.h"
+
+namespace sy::sensors {
+
+BluetoothLink::BluetoothLink(BluetoothConfig config) : config_(config) {}
+
+BluetoothLink::Result BluetoothLink::transmit(const Recording& watch,
+                                              util::Rng& rng) const {
+  Result result;
+  result.recording.device = watch.device;
+  result.recording.context = watch.context;
+  result.recording.sample_rate_hz = watch.sample_rate_hz;
+  result.recording.t0_seconds = watch.t0_seconds;
+
+  const std::size_t n = watch.samples();
+  result.sent = n;
+  const double dt = 1.0 / watch.sample_rate_hz;
+
+  // Decide arrival time (or loss) once per sample; all channels of a sample
+  // travel in the same packet.
+  std::vector<double> arrival(n, -1.0);
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(config_.drop_rate)) {
+      ++result.dropped;
+      continue;
+    }
+    const double t_sample =
+        watch.t0_seconds + static_cast<double>(i) * dt;
+    const double latency =
+        (config_.latency_mean_ms +
+         std::abs(rng.gaussian(0.0, config_.latency_jitter_ms))) *
+        1e-3;
+    arrival[i] = t_sample + latency;
+    ++delivered;
+  }
+
+  auto reconstruct = [&](const std::vector<double>& values) {
+    std::vector<signal::TimedSample> timed;
+    timed.reserve(delivered);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (arrival[i] < 0.0) continue;
+      // The phone keys samples by their *capture* timestamp carried in the
+      // packet; arrival jitter manifests as late delivery, not time skew,
+      // so reconstruction interpolates over capture times of samples that
+      // actually arrived.
+      timed.push_back(
+          {watch.t0_seconds + static_cast<double>(i) * dt, values[i]});
+    }
+    auto resampled = signal::linear_resample(timed, watch.t0_seconds,
+                                             watch.sample_rate_hz, n);
+    result.gap_ticks += resampled.gap_ticks;
+    return std::move(resampled.values);
+  };
+
+  auto reconstruct_axis = [&](const AxisTrace& in, AxisTrace& out) {
+    out.x = reconstruct(in.x);
+    out.y = reconstruct(in.y);
+    out.z = reconstruct(in.z);
+  };
+  reconstruct_axis(watch.accel, result.recording.accel);
+  reconstruct_axis(watch.gyro, result.recording.gyro);
+  if (!watch.mag.x.empty()) reconstruct_axis(watch.mag, result.recording.mag);
+  if (!watch.orient.x.empty()) {
+    reconstruct_axis(watch.orient, result.recording.orient);
+  }
+  if (!watch.light.empty()) {
+    result.recording.light = reconstruct(watch.light);
+  }
+  return result;
+}
+
+}  // namespace sy::sensors

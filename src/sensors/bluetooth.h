@@ -1,0 +1,42 @@
+// Bluetooth transport simulation for the watch -> phone sensor stream.
+//
+// The watch samples locally at 50 Hz and ships batches over Bluetooth; the
+// phone sees jittered arrival timestamps and occasional packet loss, and
+// must reconstruct a uniform 50 Hz stream before feature extraction
+// (signal::linear_resample). This is the real data path of the paper's
+// two-device configuration (§IV-A1).
+#pragma once
+
+#include "sensors/types.h"
+#include "util/rng.h"
+
+namespace sy::sensors {
+
+struct BluetoothConfig {
+  double latency_mean_ms{18.0};
+  double latency_jitter_ms{6.0};
+  double drop_rate{0.01};  // i.i.d. per-sample loss
+};
+
+class BluetoothLink {
+ public:
+  explicit BluetoothLink(BluetoothConfig config = {});
+
+  // Transports a raw watch recording to the phone: timestamps are jittered,
+  // dropped samples vanish, and the stream is re-aligned onto the phone's
+  // uniform grid. Returns the reconstructed recording plus loss accounting.
+  struct Result {
+    Recording recording;
+    std::size_t sent{0};
+    std::size_t dropped{0};
+    std::size_t gap_ticks{0};
+  };
+  Result transmit(const Recording& watch, util::Rng& rng) const;
+
+  const BluetoothConfig& config() const { return config_; }
+
+ private:
+  BluetoothConfig config_;
+};
+
+}  // namespace sy::sensors

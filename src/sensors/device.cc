@@ -1,0 +1,63 @@
+#include "sensors/device.h"
+
+#include <stdexcept>
+
+namespace sy::sensors {
+
+CollectedSession collect_session(const UserProfile& user, UsageContext context,
+                                 const CollectorOptions& options,
+                                 util::Rng& rng) {
+  const SessionEnvironment env = SessionEnvironment::sample(context, rng);
+  DevicePair pair = synthesize_session(user, context, env, options.synthesis, rng);
+
+  CollectedSession out;
+  out.truth = context;
+  out.phone = std::move(pair.phone);
+  if (options.with_watch) {
+    if (options.bluetooth) {
+      BluetoothLink link(options.bt);
+      out.watch = link.transmit(pair.watch, rng).recording;
+    } else {
+      out.watch = std::move(pair.watch);
+    }
+  }
+  return out;
+}
+
+std::vector<CollectedSession> collect_schedule(
+    const UserProfile& user, const std::vector<SessionPlan>& schedule,
+    const BehavioralDrift* drift, const CollectorOptions& options,
+    util::Rng& rng) {
+  std::vector<CollectedSession> sessions;
+  sessions.reserve(schedule.size());
+  for (const SessionPlan& plan : schedule) {
+    const UserProfile effective =
+        drift != nullptr ? drift->apply(user, plan.start_day) : user;
+    CollectorOptions session_options = options;
+    session_options.synthesis.duration_seconds = plan.duration_seconds;
+    CollectedSession s =
+        collect_session(effective, plan.context, session_options, rng);
+    s.day = plan.start_day;
+    sessions.push_back(std::move(s));
+  }
+  return sessions;
+}
+
+const AxisTrace& sensor_trace(const Recording& recording, SensorType sensor) {
+  switch (sensor) {
+    case SensorType::kAccelerometer:
+      return recording.accel;
+    case SensorType::kGyroscope:
+      return recording.gyro;
+    case SensorType::kMagnetometer:
+      return recording.mag;
+    case SensorType::kOrientation:
+      return recording.orient;
+    case SensorType::kLight:
+      throw std::invalid_argument(
+          "sensor_trace: light is scalar; use Recording::light");
+  }
+  throw std::invalid_argument("sensor_trace: unknown sensor");
+}
+
+}  // namespace sy::sensors

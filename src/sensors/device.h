@@ -1,0 +1,50 @@
+// Data-collection facade: one call = one usage session recorded by the
+// phone, optionally with the Bluetooth-attached watch.
+#pragma once
+
+#include <optional>
+
+#include "sensors/bluetooth.h"
+#include "sensors/drift.h"
+#include "sensors/motion_model.h"
+#include "sensors/session.h"
+#include "sensors/types.h"
+#include "sensors/user_profile.h"
+#include "util/rng.h"
+
+namespace sy::sensors {
+
+// One session's worth of synchronized device data, as the phone sees it.
+struct CollectedSession {
+  Recording phone;
+  std::optional<Recording> watch;  // reconstructed from the Bluetooth stream
+  UsageContext truth{UsageContext::kStationaryUse};
+  double day{0.0};
+};
+
+struct CollectorOptions {
+  SynthesisOptions synthesis;
+  bool with_watch{true};
+  // Route the watch stream through the Bluetooth link simulation (latency
+  // jitter + loss + reconstruction). Disabling yields the idealized stream.
+  bool bluetooth{true};
+  BluetoothConfig bt;
+};
+
+// Records one session for `user` in `context`. A fresh SessionEnvironment is
+// drawn from `rng`, so successive calls model separate real-world sessions.
+CollectedSession collect_session(const UserProfile& user, UsageContext context,
+                                 const CollectorOptions& options,
+                                 util::Rng& rng);
+
+// Records a full schedule, applying behavioral drift (profile evaluated at
+// each session's day).
+std::vector<CollectedSession> collect_schedule(
+    const UserProfile& user, const std::vector<SessionPlan>& schedule,
+    const BehavioralDrift* drift, const CollectorOptions& options,
+    util::Rng& rng);
+
+// Accessor used by feature extraction: trace of `sensor` in `recording`.
+const AxisTrace& sensor_trace(const Recording& recording, SensorType sensor);
+
+}  // namespace sy::sensors

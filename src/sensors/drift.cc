@@ -1,0 +1,79 @@
+#include "sensors/drift.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "sensors/tuning.h"
+
+namespace sy::sensors {
+
+namespace t = tuning;
+
+BehavioralDrift::BehavioralDrift(std::uint64_t seed, double horizon_days,
+                                 double rate_scale) {
+  util::Rng rng(seed);
+  const auto days = static_cast<std::size_t>(std::max(1.0, horizon_days)) + 1;
+  daily_.resize(days);
+  std::array<double, kChannels> state;
+  state.fill(1.0);
+  daily_[0] = state;
+  const double sigma = t::kDriftSigmaPerDay * rate_scale;
+  for (std::size_t d = 1; d < days; ++d) {
+    for (int c = 0; c < kChannels; ++c) {
+      state[static_cast<std::size_t>(c)] +=
+          t::kDriftMeanReversion * (1.0 - state[static_cast<std::size_t>(c)]) +
+          sigma * rng.gaussian();
+      // Keep factors physical.
+      state[static_cast<std::size_t>(c)] =
+          std::clamp(state[static_cast<std::size_t>(c)], 0.55, 1.8);
+    }
+    daily_[d] = state;
+  }
+}
+
+std::array<double, BehavioralDrift::kChannels> BehavioralDrift::factors_at(
+    double day) const {
+  const double clamped =
+      std::clamp(day, 0.0, static_cast<double>(daily_.size() - 1));
+  const auto lo = static_cast<std::size_t>(clamped);
+  const std::size_t hi = std::min(lo + 1, daily_.size() - 1);
+  const double frac = clamped - static_cast<double>(lo);
+  std::array<double, kChannels> out;
+  for (int c = 0; c < kChannels; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    out[ci] = daily_[lo][ci] * (1.0 - frac) + daily_[hi][ci] * frac;
+  }
+  return out;
+}
+
+UserProfile BehavioralDrift::apply(const UserProfile& base, double day) const {
+  const auto f = factors_at(day);
+  UserProfile p = base;
+  // Channel map: 0 gait freq, 1 gait amplitude, 2 harmonic mix,
+  //              3 tremor freq, 4 tremor amplitude, 5 tap cadence.
+  // Frequencies drift with dampened exponent (people's cadence moves less
+  // than their vigour).
+  p.gait.freq_hz = base.gait.freq_hz * std::pow(f[0], 0.4);
+  p.gait.phone_amp = base.gait.phone_amp * f[1];
+  p.gait.watch_amp = base.gait.watch_amp * f[1];
+  p.gait.phone_gyro_amp = base.gait.phone_gyro_amp * f[1];
+  p.gait.watch_gyro_amp = base.gait.watch_gyro_amp * f[1];
+  p.gait.harmonic2 = std::clamp(base.gait.harmonic2 * f[2], 0.05, 0.9);
+  p.gait.harmonic3 = std::clamp(base.gait.harmonic3 * f[2], 0.02, 0.5);
+  p.hold.tremor_freq_hz = base.hold.tremor_freq_hz * std::pow(f[3], 0.4);
+  p.hold.tremor_amp = base.hold.tremor_amp * f[4];
+  p.hold.hold_gyro_amp = base.hold.hold_gyro_amp * f[4];
+  p.hold.tap_rate_hz = base.hold.tap_rate_hz * std::pow(f[5], 0.6);
+  p.hold.tap_strength = base.hold.tap_strength * f[5];
+  return p;
+}
+
+double BehavioralDrift::magnitude(double day) const {
+  const auto f = factors_at(day);
+  double acc = 0.0;
+  for (const double v : f) acc += (v - 1.0) * (v - 1.0);
+  return std::sqrt(acc / static_cast<double>(kChannels));
+}
+
+}  // namespace sy::sensors

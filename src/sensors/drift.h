@@ -1,0 +1,49 @@
+// Behavioral drift: users' motion biometrics change slowly over days.
+//
+// This is the mechanism behind two published results:
+//   Fig. 5 — accuracy vs. training-set size peaks near N=800 because a
+//            larger set reaches further into *stale* (drifted) behaviour;
+//   Fig. 7 — the confidence score decays over ~a week until retraining.
+//
+// Six identity channels follow independent mean-reverting (OU) walks sampled
+// once per day and interpolated in between; the drifted profile is the base
+// profile with those channels scaled multiplicatively.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sensors/user_profile.h"
+#include "util/rng.h"
+
+namespace sy::sensors {
+
+class BehavioralDrift {
+ public:
+  // Precomputes drift paths for `horizon_days` days. `rate_scale` multiplies
+  // the tuning.h default drift rate (0 disables drift entirely).
+  BehavioralDrift(std::uint64_t seed, double horizon_days,
+                  double rate_scale = 1.0);
+
+  // The user's effective profile on fractional day `day` (clamped to the
+  // horizon).
+  UserProfile apply(const UserProfile& base, double day) const;
+
+  // Drift magnitude at `day`: RMS relative deviation across channels
+  // (0 = identical to enrollment-time behaviour).
+  double magnitude(double day) const;
+
+  double horizon_days() const {
+    return static_cast<double>(daily_.size() - 1);
+  }
+
+ private:
+  static constexpr int kChannels = 6;
+  // daily_[d][c] = multiplicative factor of channel c on day d.
+  std::vector<std::array<double, kChannels>> daily_;
+
+  std::array<double, kChannels> factors_at(double day) const;
+};
+
+}  // namespace sy::sensors

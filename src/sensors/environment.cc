@@ -1,0 +1,37 @@
+#include "sensors/environment.h"
+
+#include <numbers>
+
+#include "sensors/tuning.h"
+
+namespace sy::sensors {
+
+namespace t = tuning;
+
+SessionEnvironment SessionEnvironment::sample(UsageContext context,
+                                              util::Rng& rng) {
+  SessionEnvironment env;
+  env.mag_offset = {rng.gaussian(0.0, t::kMagSessionOffsetSigma),
+                    rng.gaussian(0.0, t::kMagSessionOffsetSigma),
+                    rng.gaussian(0.0, t::kMagSessionOffsetSigma)};
+  env.yaw_deg = rng.uniform(0.0, 360.0);
+  env.pitch_offset_deg = rng.gaussian(0.0, t::kOrientSessionSigma);
+  env.roll_offset_deg = rng.gaussian(0.0, t::kOrientSessionSigma * 0.6);
+  env.light_lux = t::kLightMedianLux * rng.log_normal(0.0, t::kLightLogSigma);
+
+  env.amp_multiplier = rng.log_normal(0.0, t::kSessionAmpLogSigma);
+  env.phone_amp_multiplier = rng.log_normal(0.0, t::kPhoneSessionLogSigma);
+  env.watch_amp_multiplier = rng.log_normal(0.0, t::kWatchSessionLogSigma);
+  env.gait_freq_offset_hz = rng.gaussian(0.0, t::kGaitFreqJitter);
+  env.common_amp_multiplier = rng.log_normal(0.0, t::kCommonMotionLogSigma);
+
+  if (context == UsageContext::kVehicle) {
+    env.rumble_freq_hz =
+        rng.uniform(t::kVehicleRumbleFreqMin, t::kVehicleRumbleFreqMax);
+    env.rumble_amp = t::kVehicleRumbleAmp * rng.log_normal(0.0, 0.3);
+    env.rumble_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+  return env;
+}
+
+}  // namespace sy::sensors

@@ -1,0 +1,44 @@
+// Session-level environmental state.
+//
+// Everything here is drawn fresh per usage session and is *identity-free*:
+// the same distributions apply to every user. The magnetometer, orientation
+// and light channels are driven almost entirely by this state, which is the
+// mechanism behind their near-zero Fisher scores in Table II.
+#pragma once
+
+#include "sensors/types.h"
+#include "util/rng.h"
+
+namespace sy::sensors {
+
+struct SessionEnvironment {
+  // Magnetometer hard-iron offset (uT per axis) — changes with location.
+  Vec3 mag_offset;
+  // Facing direction (deg); rotates the earth field and the yaw channel.
+  double yaw_deg{0.0};
+  // Session posture offsets (deg): how the device happens to be held this
+  // session. Dominates the per-user posture signal so the orientation
+  // channel stays identity-free (Table II).
+  double pitch_offset_deg{0.0};
+  double roll_offset_deg{0.0};
+  // Ambient illumination (lux).
+  double light_lux{220.0};
+
+  // Session-level behavioral multipliers (within-user variability).
+  double amp_multiplier{1.0};        // shared across devices
+  double phone_amp_multiplier{1.0};  // phone carrying-position effect
+  double watch_amp_multiplier{1.0};  // wrist strap/fit effect
+  double gait_freq_offset_hz{0.0};   // day-to-day cadence wander
+
+  // Common (non-identity) motion mode for this session.
+  double common_amp_multiplier{1.0};
+
+  // Vehicle rumble (used only in the vehicle context).
+  double rumble_freq_hz{1.8};
+  double rumble_amp{0.38};
+  double rumble_phase{0.0};
+
+  static SessionEnvironment sample(UsageContext context, util::Rng& rng);
+};
+
+}  // namespace sy::sensors

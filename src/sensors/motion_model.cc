@@ -1,0 +1,385 @@
+#include "sensors/motion_model.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "sensors/tuning.h"
+#include "util/assert.h"
+
+namespace sy::sensors {
+
+namespace t = tuning;
+using std::numbers::pi;
+
+namespace {
+
+// Unit direction of the user's primary ("vertical") motion component in the
+// device frame. Its per-axis components are the identity shares of each
+// axis; the squared ratios drive the Fisher-score ordering of Table II.
+struct IdentityDirection {
+  double x, y, z;
+};
+
+IdentityDirection normalize(const t::AxisWeights& w) {
+  const double n = std::sqrt(w.x * w.x + w.y * w.y + w.z * w.z);
+  return {w.x / n, w.y / n, w.z / n};
+}
+
+// Ornstein-Uhlenbeck process for slow in-session wander.
+class OuProcess {
+ public:
+  OuProcess(double theta, double sigma) : theta_(theta), sigma_(sigma) {}
+
+  double step(double dt, util::Rng& rng) {
+    state_ += -theta_ * state_ * dt +
+              sigma_ * std::sqrt(dt) * rng.gaussian();
+    return state_;
+  }
+  double value() const { return state_; }
+
+ private:
+  double theta_;
+  double sigma_;
+  double state_{0.0};
+};
+
+// Poisson tap (screen-touch) process with a damped-oscillation impulse
+// response. Tap *times* are shared across devices (the typing hand wears
+// the watch); amplitudes are per-device.
+class TapProcess {
+ public:
+  TapProcess(double rate_hz, util::Rng& rng) : rate_hz_(rate_hz) {
+    next_ = rate_hz_ > 0.0 ? rng.exponential(rate_hz_) : 1e18;
+  }
+
+  // Advances to time `t`, returns the summed impulse value. `amp_scale`
+  // multiplies the per-tap amplitude.
+  double value(double t, double amp_scale, util::Rng& rng) {
+    while (t >= next_) {
+      taps_.push_back({next_, rng.log_normal(0.0, 0.25)});
+      next_ += rng.exponential(rate_hz_);
+    }
+    double acc = 0.0;
+    std::size_t keep = 0;
+    for (const auto& tap : taps_) {
+      const double age = t - tap.t0;
+      if (age > 0.18) continue;  // expired
+      taps_[keep++] = tap;
+      if (age >= 0.0) {
+        acc += tap.amp * std::exp(-age / 0.045) * std::cos(2.0 * pi * 13.0 * age);
+      }
+    }
+    taps_.resize(keep);
+    return acc * amp_scale;
+  }
+
+ private:
+  struct Tap {
+    double t0;
+    double amp;
+  };
+  double rate_hz_;
+  double next_{1e18};
+  std::vector<Tap> taps_;
+};
+
+// Sway band: a low-frequency oscillation whose frequency is re-drawn every
+// few seconds, so the *secondary spectral peak frequency* is uninformative
+// across windows (the paper's "bad" Peak2 f feature, Fig. 3).
+class SwayOscillator {
+ public:
+  explicit SwayOscillator(util::Rng& rng) { redraw(rng); }
+
+  double step(double dt, util::Rng& rng) {
+    until_ -= dt;
+    if (until_ <= 0.0) redraw(rng);
+    phase_ += 2.0 * pi * freq_ * dt;
+    return amp_scale_ * std::sin(phase_);
+  }
+
+ private:
+  void redraw(util::Rng& rng) {
+    freq_ = rng.uniform(t::kSwayFreqMin, t::kSwayFreqMax);
+    amp_scale_ = rng.log_normal(0.0, 0.3);
+    until_ = rng.uniform(3.5, 7.5);
+  }
+  double freq_{0.6};
+  double amp_scale_{1.0};
+  double phase_{0.0};
+  double until_{5.0};
+};
+
+struct AxisPhases {
+  double x, y, z;
+};
+
+AxisPhases random_phases(util::Rng& rng) {
+  return {rng.uniform(0.0, 2.0 * pi), rng.uniform(0.0, 2.0 * pi),
+          rng.uniform(0.0, 2.0 * pi)};
+}
+
+}  // namespace
+
+DevicePair synthesize_session(const UserProfile& user, UsageContext context,
+                              const SessionEnvironment& env,
+                              const SynthesisOptions& options,
+                              util::Rng& rng) {
+  SY_ASSERT(options.duration_seconds > 0.0, "duration must be positive");
+  SY_ASSERT(options.sample_rate_hz > 0.0, "sample rate must be positive");
+
+  const double dt = 1.0 / options.sample_rate_hz;
+  const auto n = static_cast<std::size_t>(options.duration_seconds *
+                                          options.sample_rate_hz);
+
+  DevicePair pair;
+  auto init = [&](Recording& r, DeviceKind kind) {
+    r.device = kind;
+    r.context = context;
+    r.sample_rate_hz = options.sample_rate_hz;
+    r.accel.reserve(n);
+    r.gyro.reserve(n);
+    if (options.include_environmental) {
+      r.mag.reserve(n);
+      r.orient.reserve(n);
+      r.light.reserve(n);
+    }
+  };
+  init(pair.phone, DeviceKind::kSmartphone);
+  init(pair.watch, DeviceKind::kSmartwatch);
+
+  // Identity directions per device/sensor (device frame).
+  const IdentityDirection pa = normalize(t::kPhoneAccelShare);
+  const IdentityDirection pg = normalize(t::kPhoneGyroShare);
+  const IdentityDirection wa = normalize(t::kWatchAccelShare);
+  const IdentityDirection wg = normalize(t::kWatchGyroShare);
+
+  const bool moving = context == UsageContext::kMoving;
+  const bool on_table = context == UsageContext::kOnTable;
+  const bool vehicle = context == UsageContext::kVehicle;
+  const bool typing = !moving;  // all stationary-family contexts involve taps
+
+  // --- Per-session state ----------------------------------------------------
+  const double gait_freq = user.gait.freq_hz + env.gait_freq_offset_hz;
+  const double amp_mult = env.amp_multiplier;
+  const double phone_mult = env.amp_multiplier * env.phone_amp_multiplier;
+  const double watch_mult = env.amp_multiplier * env.watch_amp_multiplier;
+  double gait_phase = rng.uniform(0.0, 2.0 * pi);
+  double h2_phase = rng.uniform(0.0, 2.0 * pi);
+  double h3_phase = rng.uniform(0.0, 2.0 * pi);
+  const double h_jitter = t::kHarmonicPhaseJitter * std::sqrt(dt);
+  const double gyro_phase = rng.uniform(0.0, 2.0 * pi);
+
+  // Common (non-identity) motion mode: session-random amplitude, at gait
+  // frequency while moving (handshake follows the step) and slow otherwise.
+  const double common_freq = moving ? gait_freq : rng.uniform(0.2, 0.6);
+  const double common_accel_amp = t::kCommonMotionAccel *
+                                  env.common_amp_multiplier *
+                                  (moving ? 1.0 : 0.12);
+  const double common_gyro_amp = t::kCommonMotionGyro *
+                                 env.common_amp_multiplier *
+                                 (moving ? 1.0 : 0.15);
+  double common_phase = rng.uniform(0.0, 2.0 * pi);
+  const AxisPhases common_accel_ph = random_phases(rng);
+  const AxisPhases common_gyro_ph = random_phases(rng);
+  const AxisPhases common_accel_ph_w = random_phases(rng);
+  const AxisPhases common_gyro_ph_w = random_phases(rng);
+
+  // Tremor (stationary family): independent spectra per device. Session
+  // multipliers are applied at use.
+  double tremor_phase = rng.uniform(0.0, 2.0 * pi);
+  double tremor_phase_watch = rng.uniform(0.0, 2.0 * pi);
+  const double tremor_amp_phone = user.hold.tremor_amp;
+  const double tremor_amp_watch = user.hold.watch_tremor_amp;
+
+  // Gravity projection onto the phone's identity direction is implicit: we
+  // synthesize gravity along a fixed device direction and add motion along
+  // the identity direction, so the magnitude stream sees motion first-order.
+  const double g = t::kGravity;
+
+  // Independent slow wander per device: the phone's grip and the wrist
+  // loosen/tighten independently, so their window-level errors decorrelate —
+  // the property that lets the two-device combination beat either device
+  // alone by a wide margin (Table VII).
+  OuProcess amp_wander_phone(1.0 / 12.0, t::kWindowAmpLogSigma);
+  OuProcess amp_wander_watch(1.0 / 12.0, t::kWindowAmpLogSigma);
+  OuProcess freq_wander(1.0 / 20.0, 0.015);
+  OuProcess posture_wander(1.0 / 8.0, 1.2);  // degrees
+  OuProcess yaw_wander(1.0 / 10.0, 9.0);     // degrees; users turn around
+  OuProcess light_wander(1.0 / 15.0, t::kLightNoiseFraction);
+  SwayOscillator sway(rng);
+  TapProcess taps(typing ? user.hold.tap_rate_hz : 0.0, rng);
+
+  const double sway_base = moving
+                               ? t::kSwayAmpFraction * user.gait.phone_amp *
+                                     user.gait.harmonic2 * amp_mult
+                               : tremor_amp_phone * amp_mult * 0.8;
+
+  const double table_noise =
+      on_table ? t::kTableNoiseScale : 1.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double time = static_cast<double>(i) * dt;
+    const double slow_phone = std::exp(amp_wander_phone.step(dt, rng));
+    const double slow_watch = std::exp(amp_wander_watch.step(dt, rng));
+    const double f_inst = gait_freq * (1.0 + freq_wander.step(dt, rng));
+    gait_phase += 2.0 * pi * f_inst * dt;
+    h2_phase += h_jitter * rng.gaussian();
+    h3_phase += h_jitter * rng.gaussian();
+    common_phase += 2.0 * pi * common_freq * dt;
+    tremor_phase += 2.0 * pi * user.hold.tremor_freq_hz * dt;
+    tremor_phase_watch += 2.0 * pi * user.hold.watch_tremor_freq_hz * dt;
+    const double sway_unit = sway.step(dt, rng);
+    const double sway_v = sway_unit * sway_base;
+    // Rotational sway: the trunk/wrist slowly turns in the same aperiodic
+    // band, so the gyroscope's secondary spectral peak is also
+    // frequency-random (Fig. 3's "bad" Peak2 f on both sensors).
+    const double sway_rot_p =
+        sway_unit * (moving ? 0.6 * user.gait.phone_gyro_amp * amp_mult
+                            : 0.8 * user.hold.hold_gyro_amp * amp_mult);
+    const double sway_rot_w =
+        sway_unit * (moving ? 0.6 * user.gait.watch_gyro_amp * amp_mult
+                            : 0.8 * user.hold.watch_hold_gyro_amp * amp_mult);
+    const double tap_v = typing ? taps.value(time, user.hold.tap_strength, rng)
+                                : 0.0;
+
+    // --- User ("vertical") motion component, per device ---------------------
+    double v_phone = 0.0, v_watch = 0.0;        // accel, m/s^2
+    double s_phone = 0.0, s_watch = 0.0;        // gyro, rad/s
+    if (moving) {
+      const double a1 = user.gait.phone_amp * phone_mult * slow_phone;
+      v_phone = a1 * (std::sin(gait_phase) +
+                      user.gait.harmonic2 * std::sin(2.0 * gait_phase + h2_phase) +
+                      user.gait.harmonic3 * std::sin(3.0 * gait_phase + h3_phase));
+      const double aw = user.gait.watch_amp * watch_mult * slow_watch;
+      v_watch = aw * (std::sin(gait_phase + user.gait.watch_phase) +
+                      user.gait.watch_harmonic2 *
+                          std::sin(2.0 * gait_phase + h2_phase + 0.7));
+      s_phone = user.gait.phone_gyro_amp * phone_mult * slow_phone *
+                (std::sin(gait_phase + gyro_phase) +
+                 0.35 * std::sin(2.0 * gait_phase + h2_phase));
+      s_watch = user.gait.watch_gyro_amp * watch_mult * slow_watch *
+                (std::sin(gait_phase + user.gait.watch_phase + gyro_phase) +
+                 user.gait.watch_gyro_h2 *
+                     std::sin(2.0 * gait_phase + gyro_phase + 1.3));
+    } else {
+      const double tap_scale = on_table ? t::kTableTapScale : 1.0;
+      // On the table the case still couples a damped fraction of the
+      // typing hand's tremor — which is exactly why context (3) confuses
+      // with (1) in the paper's four-context study.
+      const double tremor_p = (on_table ? 0.35 : 1.0) * tremor_amp_phone *
+                              phone_mult;
+      const double tremor_w = tremor_amp_watch * watch_mult;  // wrist trembles
+      v_phone = tremor_p * slow_phone * std::sin(tremor_phase) + tap_scale * tap_v;
+      v_watch = tremor_w * slow_watch * std::sin(tremor_phase_watch) +
+                user.hold.watch_tap_coupling * tap_v;
+      const double gp =
+          (on_table ? 0.3 : 1.0) * user.hold.hold_gyro_amp * phone_mult;
+      s_phone = gp * slow_phone * std::sin(0.7 * tremor_phase) +
+                0.25 * tap_v * 0.15 * (on_table ? 0.4 : 1.0);
+      s_watch = user.hold.watch_hold_gyro_amp * watch_mult * slow_watch *
+                    std::sin(0.7 * tremor_phase_watch + 0.9) +
+                0.3 * tap_v * 0.15;
+    }
+
+    // Vehicle rumble: session-random, identity-free, hits both devices.
+    double rumble = 0.0;
+    if (vehicle) {
+      rumble = env.rumble_amp *
+               std::sin(2.0 * pi * env.rumble_freq_hz * time + env.rumble_phase);
+      v_phone += rumble;
+      v_watch += 0.8 * rumble;
+    }
+
+    // --- Common per-axis oscillation (identity-free) ------------------------
+    const double c = common_accel_amp;
+    const double cg = common_gyro_amp;
+
+    double noise_scale = 1.0;
+    auto emit_accel = [&](Recording& rec, const IdentityDirection& dir,
+                          const t::AxisWeights& common_w, double v,
+                          const AxisPhases& ph) {
+      const double noise = t::kAccelNoiseSigma * table_noise * noise_scale;
+      Vec3 a;
+      a.x = dir.x * (g + v) + common_w.x * c * std::sin(common_phase + ph.x) +
+            0.8 * sway_v + rng.gaussian(0.0, noise);
+      a.y = dir.y * (g + v) + common_w.y * c * std::sin(common_phase + ph.y) +
+            0.9 * sway_v + rng.gaussian(0.0, noise);
+      a.z = dir.z * (g + v) + common_w.z * c * std::sin(common_phase + ph.z) +
+            0.6 * sway_v + rng.gaussian(0.0, noise);
+      rec.accel.push_back(a);
+    };
+    auto emit_gyro = [&](Recording& rec, const IdentityDirection& dir,
+                         const t::AxisWeights& common_w, double s,
+                         double sway_rot, const AxisPhases& ph) {
+      const double noise = t::kGyroNoiseSigma * table_noise * noise_scale;
+      Vec3 w;
+      w.x = dir.x * s + common_w.x * cg * std::sin(common_phase + ph.x) +
+            0.8 * sway_rot + rng.gaussian(0.0, noise);
+      w.y = dir.y * s + common_w.y * cg * std::sin(common_phase + ph.y) +
+            0.9 * sway_rot + rng.gaussian(0.0, noise);
+      w.z = dir.z * s + common_w.z * cg * std::sin(common_phase + ph.z) +
+            0.6 * sway_rot + rng.gaussian(0.0, noise);
+      rec.gyro.push_back(w);
+    };
+
+    noise_scale = 1.0;
+    emit_accel(pair.phone, pa, t::kPhoneAccelCommon, v_phone, common_accel_ph);
+    emit_gyro(pair.phone, pg, t::kPhoneGyroCommon, s_phone, sway_rot_p,
+              common_gyro_ph);
+    noise_scale = t::kWatchNoiseScale;
+    emit_accel(pair.watch, wa, t::kWatchAccelCommon, v_watch,
+               common_accel_ph_w);
+    emit_gyro(pair.watch, wg, t::kWatchGyroCommon, s_watch, sway_rot_w,
+              common_gyro_ph_w);
+
+    // --- Environmental sensors (identity-free by construction) --------------
+    if (options.include_environmental) {
+      light_wander.step(dt, rng);
+      const double posture = posture_wander.step(dt, rng);
+      const double pitch = user.hold.posture_pitch_deg +
+                           env.pitch_offset_deg + posture +
+                           (moving ? 6.0 * std::sin(gait_phase) : 0.0);
+      const double roll =
+          user.hold.posture_roll_deg + env.roll_offset_deg + 0.5 * posture;
+      // Yaw wobble has a fixed (user-independent) amplitude so no identity
+      // leaks into the magnetometer/orientation channels.
+      const double yaw = env.yaw_deg + yaw_wander.step(dt, rng) +
+                         3.0 * std::sin(common_phase) +
+                         (moving ? 2.5 * std::sin(gait_phase + 0.4) : 0.0);
+
+      auto emit_env = [&](Recording& rec) {
+        // Magnetometer: yaw-rotated earth field + session hard iron + noise.
+        // Deliberately decoupled from user posture so the only in-window
+        // variation (the fixed-amplitude yaw wobble) is identity-free.
+        const double yaw_rad = yaw * pi / 180.0;
+        Vec3 b;
+        const double bh = t::kEarthFieldUt * 0.5;  // horizontal component
+        const double bv = t::kEarthFieldUt * 0.87; // vertical component
+        b.x = bh * std::cos(yaw_rad) + env.mag_offset.x +
+              rng.gaussian(0.0, t::kMagNoiseSigma);
+        b.y = bh * std::sin(yaw_rad) + env.mag_offset.y +
+              rng.gaussian(0.0, t::kMagNoiseSigma);
+        b.z = -bv + env.mag_offset.z + rng.gaussian(0.0, t::kMagNoiseSigma);
+        rec.mag.push_back(b);
+
+        Vec3 o;
+        o.x = pitch + rng.gaussian(0.0, t::kOrientNoiseSigma);
+        o.y = roll + rng.gaussian(0.0, t::kOrientNoiseSigma);
+        o.z = yaw + rng.gaussian(0.0, t::kOrientNoiseSigma);
+        rec.orient.push_back(o);
+
+        // Absolute (not proportional) flicker/noise: the sensor's in-window
+        // variation must not encode the session's brightness level.
+        const double lux = env.light_lux + 120.0 * light_wander.value() +
+                           rng.gaussian(0.0, 6.0);
+        rec.light.push_back(lux);
+      };
+      emit_env(pair.phone);
+      emit_env(pair.watch);
+    }
+  }
+  return pair;
+}
+
+}  // namespace sy::sensors

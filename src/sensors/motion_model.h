@@ -1,0 +1,48 @@
+// Physics-inspired signal synthesis: UserProfile x UsageContext -> traces.
+//
+// One call synthesizes the smartphone and smartwatch recordings of a single
+// usage session *together*, so physically shared events line up across
+// devices: walking steps drive both the phone bounce and the wrist swing at
+// the same phase, and typing taps hit the phone and the watch-wearing wrist
+// simultaneously. Device-specific amplitudes, micro-dynamics and noise stay
+// independent, which keeps cross-device feature correlations weak (the
+// paper's Table IV) while preserving the shared-context benefit that makes
+// the two-device combination win (Table VII).
+//
+// Signal structure per context (accelerometer; gyroscope analogous):
+//   moving          gravity + user gait harmonics (A1,A2,A3 at f,2f,3f)
+//                   + session "common" mode + body sway (random frequency)
+//                   + white noise
+//   stationary-use  gravity + user tremor sinusoid + typing tap impulses
+//                   + slow posture wander + noise
+//   on-table        gravity + damped tap impulses + small noise
+//   vehicle         stationary-use + session rumble (engine/road, not user)
+#pragma once
+
+#include "sensors/environment.h"
+#include "sensors/types.h"
+#include "sensors/user_profile.h"
+#include "util/rng.h"
+
+namespace sy::sensors {
+
+struct SynthesisOptions {
+  double duration_seconds{60.0};
+  double sample_rate_hz{50.0};
+  // Magnetometer / orientation / light are only needed by the sensor- and
+  // feature-selection experiments (Table II, Fig. 3); skipping them speeds
+  // up the large authentication sweeps.
+  bool include_environmental{false};
+};
+
+struct DevicePair {
+  Recording phone;
+  Recording watch;
+};
+
+// Synthesizes one session for both devices.
+DevicePair synthesize_session(const UserProfile& user, UsageContext context,
+                              const SessionEnvironment& env,
+                              const SynthesisOptions& options, util::Rng& rng);
+
+}  // namespace sy::sensors

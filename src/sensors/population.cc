@@ -1,0 +1,50 @@
+#include "sensors/population.h"
+
+#include <array>
+
+namespace sy::sensors {
+
+Population Population::generate(std::size_t n, std::uint64_t seed) {
+  Population pop;
+  util::Rng master(seed);
+
+  // Fig. 2: 16 female / 19 male; ages 12, 9, 5, 5, 4 over the five bands.
+  // Proportional assignment generalizes to other population sizes.
+  constexpr std::array<double, 5> kAgeWeights{12.0, 9.0, 5.0, 5.0, 4.0};
+  constexpr double kAgeTotal = 35.0;
+  constexpr double kFemaleFraction = 16.0 / 35.0;
+
+  pop.users_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    util::Rng rng = master.fork(i);
+    UserProfile p = UserProfile::sample(static_cast<int>(i), rng);
+
+    // Deterministic round-robin assignment that hits the exact Fig. 2
+    // histogram at n == 35.
+    const double gender_pos = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+    p.gender = gender_pos < kFemaleFraction ? Gender::kFemale : Gender::kMale;
+
+    double age_pos =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(n) * kAgeTotal;
+    int band = 0;
+    for (const double w : kAgeWeights) {
+      if (age_pos < w) break;
+      age_pos -= w;
+      ++band;
+    }
+    p.age = static_cast<AgeBand>(std::min(band, 4));
+    pop.users_.push_back(p);
+  }
+  return pop;
+}
+
+Demographics Population::demographics() const {
+  Demographics d;
+  for (const auto& u : users_) {
+    (u.gender == Gender::kFemale ? d.female : d.male) += 1;
+    d.by_age[u.age] += 1;
+  }
+  return d;
+}
+
+}  // namespace sy::sensors

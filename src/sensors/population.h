@@ -1,0 +1,36 @@
+// The 35-participant study population (paper §V-A, Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sensors/user_profile.h"
+
+namespace sy::sensors {
+
+struct Demographics {
+  std::size_t female{0};
+  std::size_t male{0};
+  std::map<AgeBand, std::size_t> by_age;
+};
+
+class Population {
+ public:
+  // Draws `n` user profiles. For n == 35 the gender/age assignment matches
+  // the paper's Fig. 2 exactly (16 female / 19 male; ages 12/9/5/5/4 across
+  // the five bands); other sizes use the same proportions.
+  static Population generate(std::size_t n, std::uint64_t seed);
+
+  const std::vector<UserProfile>& users() const { return users_; }
+  const UserProfile& user(std::size_t i) const { return users_.at(i); }
+  std::size_t size() const { return users_.size(); }
+
+  Demographics demographics() const;
+
+ private:
+  std::vector<UserProfile> users_;
+};
+
+}  // namespace sy::sensors

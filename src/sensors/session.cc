@@ -1,0 +1,67 @@
+#include "sensors/session.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sy::sensors {
+
+std::vector<SessionPlan> free_form_schedule(const FreeFormOptions& options,
+                                            util::Rng& rng) {
+  const double p_total = options.p_stationary + options.p_moving +
+                         options.p_table + options.p_vehicle;
+  if (p_total <= 0.0) {
+    throw std::invalid_argument("free_form_schedule: context mix empty");
+  }
+
+  std::vector<SessionPlan> plans;
+  for (double day = 0.0; day < options.days; day += 1.0) {
+    double remaining_minutes = options.daily_usage_minutes;
+    // Usage bouts spread over the waking hours (08:00 - 23:00).
+    double clock_hours = 8.0;
+    while (remaining_minutes > 0.5 && clock_hours < 23.0) {
+      const double len_minutes = std::min(
+          remaining_minutes,
+          std::max(1.0, rng.exponential(1.0 / options.mean_session_minutes)));
+
+      double pick = rng.uniform(0.0, p_total);
+      UsageContext context = UsageContext::kStationaryUse;
+      if ((pick -= options.p_stationary) >= 0.0) {
+        context = UsageContext::kMoving;
+        if ((pick -= options.p_moving) >= 0.0) {
+          context = UsageContext::kOnTable;
+          if ((pick -= options.p_table) >= 0.0) {
+            context = UsageContext::kVehicle;
+          }
+        }
+      }
+
+      SessionPlan plan;
+      plan.context = context;
+      plan.start_day = day + clock_hours / 24.0;
+      plan.duration_seconds = len_minutes * 60.0;
+      plans.push_back(plan);
+
+      remaining_minutes -= len_minutes;
+      clock_hours += len_minutes / 60.0 + rng.exponential(1.0 / 0.9);
+    }
+  }
+  return plans;
+}
+
+std::vector<SessionPlan> lab_schedule(const std::vector<UsageContext>& contexts,
+                                      double duration_seconds) {
+  std::vector<SessionPlan> plans;
+  plans.reserve(contexts.size());
+  double start = 0.0;
+  for (const UsageContext c : contexts) {
+    SessionPlan plan;
+    plan.context = c;
+    plan.start_day = start;
+    plan.duration_seconds = duration_seconds;
+    plans.push_back(plan);
+    start += duration_seconds / 86400.0;
+  }
+  return plans;
+}
+
+}  // namespace sy::sensors

@@ -1,0 +1,44 @@
+// Usage-session scheduling.
+//
+// Free-form mode reproduces the paper's main data collection (§V-A): users
+// take the devices for one-to-two weeks and use them unconstrained, so each
+// simulated day contains several usage bouts with a realistic context mix.
+// Lab mode reproduces the controlled 20-minute fixed-context recordings used
+// to train the context-detection model (§V-E).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sensors/types.h"
+#include "util/rng.h"
+
+namespace sy::sensors {
+
+struct SessionPlan {
+  UsageContext context{UsageContext::kStationaryUse};
+  double start_day{0.0};        // fractional day since enrollment
+  double duration_seconds{300};
+};
+
+struct FreeFormOptions {
+  double days{14.0};
+  double daily_usage_minutes{110.0};
+  double mean_session_minutes{5.0};
+  // Context mix of free-form smartphone usage.
+  double p_stationary{0.55};
+  double p_moving{0.25};
+  double p_table{0.12};
+  double p_vehicle{0.08};
+};
+
+// Random free-form schedule across `options.days`.
+std::vector<SessionPlan> free_form_schedule(const FreeFormOptions& options,
+                                            util::Rng& rng);
+
+// One fixed-context lab bout per requested context, 20 minutes each.
+std::vector<SessionPlan> lab_schedule(
+    const std::vector<UsageContext>& contexts,
+    double duration_seconds = 20.0 * 60.0);
+
+}  // namespace sy::sensors

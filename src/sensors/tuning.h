@@ -1,0 +1,152 @@
+// Central calibration table for the synthetic sensing substrate.
+//
+// Every constant that shapes an experiment's outcome lives here, so the
+// calibration pass (matching the paper's Table II / V / VI / VII and
+// Fig. 3-7 *shapes*) touches exactly one file. Units follow the trace
+// definitions in types.h (accel m/s^2, gyro rad/s, mag uT, orientation deg,
+// light lux).
+//
+// The guiding principle: user identity must live in the motion sensors
+// (accelerometer, gyroscope) — amplitudes, harmonic ratios, gait frequency,
+// tremor — while the magnetometer, orientation and light sensors are
+// dominated by *session*-level environmental randomness, which is exactly
+// why their Fisher scores collapse in Table II.
+#pragma once
+
+namespace sy::sensors::tuning {
+
+// --- Sampling -------------------------------------------------------------
+inline constexpr double kSampleRateHz = 50.0;  // the paper's rate (§V-A)
+inline constexpr double kGravity = 9.81;
+
+// --- Population distributions (per-user identity parameters) ---------------
+// Gait (moving context).
+inline constexpr double kGaitFreqMean = 1.9;   // Hz
+inline constexpr double kGaitFreqSigma = 0.25;
+inline constexpr double kGaitFreqMin = 1.25;
+inline constexpr double kGaitFreqMax = 2.6;
+inline constexpr double kGaitAmpMedian = 2.1;    // m/s^2, phone bounce h1
+inline constexpr double kGaitAmpLogSigma = 0.18;
+inline constexpr double kHarmonic2Min = 0.25;    // A2/A1
+inline constexpr double kHarmonic2Max = 0.60;
+inline constexpr double kHarmonic3Min = 0.08;    // A3/A1
+inline constexpr double kHarmonic3Max = 0.25;
+inline constexpr double kPhoneGyroSwayMedian = 0.75;  // rad/s, yaw (z)
+inline constexpr double kPhoneGyroSwayLogSigma = 0.20;
+inline constexpr double kWatchSwingMedian = 2.9;      // m/s^2, arm swing
+inline constexpr double kWatchSwingLogSigma = 0.24;
+inline constexpr double kWatchGyroMedian = 0.9;       // rad/s, wrist rotation
+inline constexpr double kWatchGyroLogSigma = 0.20;
+
+// Hold / stationary-use.
+inline constexpr double kTremorFreqMean = 9.5;  // Hz
+inline constexpr double kTremorFreqSigma = 1.55;
+inline constexpr double kTremorFreqMin = 6.2;
+inline constexpr double kTremorFreqMax = 13.8;
+inline constexpr double kTremorAmpMedian = 0.16;      // m/s^2 phone
+inline constexpr double kTremorAmpLogSigma = 0.26;
+inline constexpr double kWatchTremorScale = 1.35;     // wrist tremor vs phone
+inline constexpr double kTapRateMin = 0.8;            // taps/s while typing
+inline constexpr double kTapRateMax = 2.6;
+inline constexpr double kTapStrengthMedian = 0.85;    // m/s^2 impulse
+inline constexpr double kTapStrengthLogSigma = 0.35;
+inline constexpr double kHoldGyroMedian = 0.12;       // rad/s micro-rotation
+inline constexpr double kHoldGyroLogSigma = 0.40;
+inline constexpr double kPosturePitchMean = 40.0;     // deg
+inline constexpr double kPosturePitchSigma = 4.0;
+inline constexpr double kPostureRollSigma = 6.0;
+
+// --- Per-axis identity weighting -------------------------------------------
+// Fraction of each axis' motion amplitude that is user-specific; larger
+// spread -> larger between-user variance -> larger Fisher score (Table II:
+// phone Acc x=3.13 >> z=0.38; phone Gyr z=4.07 >> x=0.57; the watch flips
+// some of the ordering because the wrist moves differently).
+struct AxisWeights {
+  double x, y, z;
+};
+inline constexpr AxisWeights kPhoneAccelShare{0.62, 0.26, 0.12};
+inline constexpr AxisWeights kPhoneGyroShare{0.18, 0.32, 0.50};
+inline constexpr AxisWeights kWatchAccelShare{0.58, 0.16, 0.26};
+inline constexpr AxisWeights kWatchGyroShare{0.14, 0.52, 0.34};
+
+// Axis shares of *common* (non-identity) motion: a second oscillation whose
+// amplitude is random per session with the same distribution for every user.
+// Axes with a large common share drown their identity signal, which is what
+// pushes their Fisher scores down (phone Acc z, phone Gyr x, ...).
+inline constexpr AxisWeights kPhoneAccelCommon{0.12, 0.55, 0.95};
+inline constexpr AxisWeights kPhoneGyroCommon{0.45, 0.25, 0.10};
+inline constexpr AxisWeights kWatchAccelCommon{0.15, 0.70, 0.40};
+inline constexpr AxisWeights kWatchGyroCommon{0.55, 0.12, 0.30};
+inline constexpr double kCommonMotionAccel = 1.6;  // m/s^2 scale of the mode
+inline constexpr double kCommonMotionGyro = 0.55;  // rad/s
+inline constexpr double kCommonMotionLogSigma = 0.45;  // session lognormal
+
+// --- Within-user variability ------------------------------------------------
+inline constexpr double kSessionAmpLogSigma = 0.05;  // shared per-session
+// Device-specific session multipliers: the phone's carrying position varies
+// a lot between sessions (hand/pocket/bag), the watch is always strapped to
+// the same wrist. This is what makes the phone-only configuration noticeably
+// weaker than the combination (Table VII: 93.3% vs 98.1%) while the watch
+// alone is weaker still (Fig. 4): its amplitudes are larger but its
+// micro-dynamics are fewer.
+inline constexpr double kPhoneSessionLogSigma = 0.28;
+inline constexpr double kWatchSessionLogSigma = 0.26;
+inline constexpr double kWindowAmpLogSigma = 0.10;   // slow in-session wander
+inline constexpr double kGaitFreqJitter = 0.035;     // Hz, per-session wander
+inline constexpr double kAccelNoiseSigma = 0.12;     // m/s^2 white noise
+inline constexpr double kGyroNoiseSigma = 0.045;     // rad/s white noise
+// The watch's cheaper MEMS parts and loose wrist mount give it a higher
+// noise floor — the reason the smartwatch alone trails the smartphone in
+// Fig. 4 while still adding independent evidence to the combination.
+inline constexpr double kWatchNoiseScale = 1.8;
+// Step-to-step variability broadens the gait harmonics: the 2nd/3rd
+// harmonic phases random-walk, smearing their spectral lines so the
+// *secondary* spectral peak is almost always the body-sway band below.
+inline constexpr double kHarmonicPhaseJitter = 1.8;  // rad/sqrt(s)
+// Body-sway band: low-frequency aperiodic motion whose *frequency* is random
+// per window. Keeps the secondary-peak *frequency* feature uninformative
+// (the paper drops Peak2 f, Fig. 3) while the secondary-peak amplitude
+// remains user-driven.
+inline constexpr double kSwayAmpFraction = 1.10;  // of the user's A2
+inline constexpr double kSwayFreqMin = 0.25;      // Hz
+inline constexpr double kSwayFreqMax = 1.0;
+
+// --- Vehicle / table contexts ----------------------------------------------
+inline constexpr double kVehicleRumbleAmp = 0.38;   // m/s^2, session-random
+inline constexpr double kVehicleRumbleFreqMin = 0.9;
+inline constexpr double kVehicleRumbleFreqMax = 3.2;
+inline constexpr double kTableNoiseScale = 0.75;    // residual accel noise
+inline constexpr double kTableTapScale = 0.80;      // taps damped by table
+
+// --- Environmental sensors (identity-free by construction) ------------------
+inline constexpr double kEarthFieldUt = 46.0;       // magnitude, uT
+inline constexpr double kMagSessionOffsetSigma = 11.0;  // hard-iron, per axis
+inline constexpr double kMagNoiseSigma = 0.45;
+inline constexpr double kOrientSessionSigma = 14.0; // deg, posture variation
+inline constexpr double kOrientNoiseSigma = 0.8;
+inline constexpr double kLightMedianLux = 220.0;
+inline constexpr double kLightLogSigma = 1.0;       // across sessions
+inline constexpr double kLightNoiseFraction = 0.04;
+
+// --- Bluetooth link (watch -> phone) -----------------------------------------
+inline constexpr double kBtLatencyMeanMs = 18.0;
+inline constexpr double kBtLatencyJitterMs = 6.0;
+inline constexpr double kBtDropRate = 0.01;  // i.i.d. packet loss
+
+// --- Behavioral drift ---------------------------------------------------------
+// Ornstein-Uhlenbeck parameters for the slow walk of identity parameters,
+// per *day* of simulated time. Calibrated so the confidence score decays
+// below the paper's eps_CS = 0.2 within about a week (Fig. 7) and so the
+// data-size sweep peaks near N = 800 windows (Fig. 5).
+inline constexpr double kDriftSigmaPerDay = 0.055;
+inline constexpr double kDriftMeanReversion = 0.04;
+
+// --- Mimicry attack (§V-G) ----------------------------------------------------
+// The attacker observes the victim and copies *coarse* parameters (gait
+// frequency and gross amplitude) with residual observation error, but keeps
+// his own fine micro-dynamics (harmonic ratios, tremor spectrum, phase).
+inline constexpr double kMimicFreqError = 0.50;   // fraction of gap closed: 1-err
+inline constexpr double kMimicAmpError = 0.40;
+inline constexpr double kMimicFineError = 0.90;   // fine params stay ~own
+
+}  // namespace sy::sensors::tuning

@@ -1,0 +1,75 @@
+#include "sensors/user_profile.h"
+
+#include <numbers>
+
+#include "sensors/tuning.h"
+
+namespace sy::sensors {
+
+namespace t = tuning;
+
+std::string to_string(Gender g) {
+  return g == Gender::kFemale ? "female" : "male";
+}
+
+std::string to_string(AgeBand a) {
+  switch (a) {
+    case AgeBand::k20to25:
+      return "20-25";
+    case AgeBand::k25to30:
+      return "25-30";
+    case AgeBand::k30to35:
+      return "30-35";
+    case AgeBand::k35to40:
+      return "35-40";
+    case AgeBand::k40plus:
+      return "40+";
+  }
+  return "?";
+}
+
+UserProfile UserProfile::sample(int user_id, util::Rng& rng) {
+  UserProfile p;
+  p.user_id = user_id;
+
+  auto& g = p.gait;
+  g.freq_hz = rng.gaussian_trunc(t::kGaitFreqMean, t::kGaitFreqSigma,
+                                 t::kGaitFreqMin, t::kGaitFreqMax);
+  g.phone_amp =
+      t::kGaitAmpMedian * rng.log_normal(0.0, t::kGaitAmpLogSigma);
+  g.harmonic2 = rng.uniform(t::kHarmonic2Min, t::kHarmonic2Max);
+  g.harmonic3 = rng.uniform(t::kHarmonic3Min, t::kHarmonic3Max);
+  g.phone_gyro_amp =
+      t::kPhoneGyroSwayMedian * rng.log_normal(0.0, t::kPhoneGyroSwayLogSigma);
+  g.watch_amp = t::kWatchSwingMedian * rng.log_normal(0.0, t::kWatchSwingLogSigma);
+  g.watch_harmonic2 = rng.uniform(t::kHarmonic2Min, t::kHarmonic2Max);
+  g.watch_gyro_amp =
+      t::kWatchGyroMedian * rng.log_normal(0.0, t::kWatchGyroLogSigma);
+  g.watch_gyro_h2 = rng.uniform(0.2, 0.65);
+  g.watch_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+
+  auto& h = p.hold;
+  h.tremor_freq_hz = rng.gaussian_trunc(t::kTremorFreqMean, t::kTremorFreqSigma,
+                                        t::kTremorFreqMin, t::kTremorFreqMax);
+  h.tremor_amp = t::kTremorAmpMedian * rng.log_normal(0.0, t::kTremorAmpLogSigma);
+  h.watch_tremor_freq_hz = rng.gaussian_trunc(
+      t::kTremorFreqMean, t::kTremorFreqSigma, t::kTremorFreqMin,
+      t::kTremorFreqMax);
+  h.watch_tremor_amp = t::kTremorAmpMedian * t::kWatchTremorScale *
+                       rng.log_normal(0.0, t::kTremorAmpLogSigma);
+  h.tap_rate_hz = rng.uniform(t::kTapRateMin, t::kTapRateMax);
+  h.tap_strength =
+      t::kTapStrengthMedian * rng.log_normal(0.0, t::kTapStrengthLogSigma);
+  h.hold_gyro_amp =
+      t::kHoldGyroMedian * rng.log_normal(0.0, t::kHoldGyroLogSigma);
+  h.watch_hold_gyro_amp =
+      t::kHoldGyroMedian * 1.3 * rng.log_normal(0.0, t::kHoldGyroLogSigma);
+  h.watch_tap_coupling = 0.6 * rng.log_normal(0.0, 0.35);
+  h.posture_pitch_deg =
+      rng.gaussian(t::kPosturePitchMean, t::kPosturePitchSigma);
+  h.posture_roll_deg = rng.gaussian(0.0, t::kPostureRollSigma);
+
+  return p;
+}
+
+}  // namespace sy::sensors

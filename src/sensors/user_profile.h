@@ -1,0 +1,70 @@
+// Synthetic user behavioral signatures.
+//
+// A UserProfile is the ground truth "biometric" of one simulated participant:
+// every parameter that the paper's features can observe (gait frequency,
+// harmonic mix, arm swing, tremor spectrum, tap cadence, posture). The
+// motion model turns a profile + context into sensor traces; the population
+// module draws 35 profiles matching the paper's demographics (Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace sy::sensors {
+
+enum class Gender { kFemale, kMale };
+
+// Age buckets exactly as Fig. 2 bins them.
+enum class AgeBand { k20to25, k25to30, k30to35, k35to40, k40plus };
+
+std::string to_string(Gender g);
+std::string to_string(AgeBand a);
+
+// Walking (moving-context) dynamics. Watch-side parameters are drawn
+// independently of the phone-side ones: the wrist's swing style is its own
+// biometric, which is why the two-device combination adds so much accuracy
+// (Table VII).
+struct GaitParams {
+  double freq_hz{1.9};         // step frequency (shared physics)
+  double phone_amp{2.1};       // fundamental bounce amplitude at the phone
+  double harmonic2{0.4};       // A2 / A1 at the phone
+  double harmonic3{0.15};      // A3 / A1
+  double phone_gyro_amp{0.75}; // torso/hand sway (rad/s)
+  double watch_amp{2.9};       // arm-swing amplitude at the wrist
+  double watch_harmonic2{0.35}; // wrist swing harmonic ratio (independent)
+  double watch_gyro_amp{0.9};  // wrist rotation amplitude
+  double watch_gyro_h2{0.4};   // wrist rotation harmonic ratio
+  double watch_phase{0.0};     // arm swing phase offset vs. step
+};
+
+// Stationary-use (hold/typing) dynamics. The wrist trembles with its own
+// user-specific spectrum, independent of the phone-holding hand.
+struct HoldParams {
+  double tremor_freq_hz{9.5};
+  double tremor_amp{0.16};     // phone accel tremor amplitude
+  double watch_tremor_freq_hz{9.0};
+  double watch_tremor_amp{0.2};
+  double tap_rate_hz{1.5};     // typing cadence
+  double tap_strength{0.85};   // tap impulse amplitude
+  double hold_gyro_amp{0.12};  // micro-rotation amplitude
+  double watch_hold_gyro_amp{0.16};
+  double watch_tap_coupling{0.6};  // how strongly typing shakes the wrist
+  double posture_pitch_deg{40.0};
+  double posture_roll_deg{0.0};
+};
+
+struct UserProfile {
+  int user_id{0};
+  Gender gender{Gender::kFemale};
+  AgeBand age{AgeBand::k20to25};
+
+  GaitParams gait;
+  HoldParams hold;
+
+  // Draws a fresh profile from the population distributions in tuning.h.
+  static UserProfile sample(int user_id, util::Rng& rng);
+};
+
+}  // namespace sy::sensors

@@ -1,0 +1,88 @@
+#include "signal/dft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sy::signal {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft_radix2(std::vector<std::complex<double>>& x) {
+  const std::size_t n = x.size();
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("fft_radix2: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  // Danielson-Lanczos stages.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = x[i + k];
+        const std::complex<double> v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> dft(std::span<const double> x) {
+  const std::size_t n = x.size();
+  std::vector<std::complex<double>> out(n);
+  if (n == 0) return out;
+
+  if (is_power_of_two(n)) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = {x[i], 0.0};
+    fft_radix2(out);
+    return out;
+  }
+
+  // Direct DFT with recurrence-based twiddle factors per output bin.
+  for (std::size_t k = 0; k < n; ++k) {
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+    const std::complex<double> w(std::cos(angle), std::sin(angle));
+    std::complex<double> wn(1.0, 0.0);
+    std::complex<double> acc(0.0, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += x[i] * wn;
+      wn *= w;
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<double> magnitude_spectrum(std::span<const double> x) {
+  const std::size_t n = x.size();
+  if (n == 0) return {};
+  const auto spec = dft(x);
+  const std::size_t half = n / 2;
+  std::vector<double> mag(half + 1);
+  for (std::size_t k = 0; k <= half; ++k) {
+    double m = std::abs(spec[k]) / static_cast<double>(n);
+    const bool is_dc = (k == 0);
+    const bool is_nyquist = (n % 2 == 0 && k == half);
+    if (!is_dc && !is_nyquist) m *= 2.0;
+    mag[k] = m;
+  }
+  return mag;
+}
+
+double bin_frequency(std::size_t k, std::size_t n, double sample_rate_hz) {
+  if (n == 0) throw std::invalid_argument("bin_frequency: empty window");
+  return sample_rate_hz * static_cast<double>(k) / static_cast<double>(n);
+}
+
+}  // namespace sy::signal

@@ -1,0 +1,60 @@
+#include "signal/filters.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "signal/stats.h"
+
+namespace sy::signal {
+
+LowPassFilter::LowPassFilter(double cutoff_hz, double sample_rate_hz) {
+  if (cutoff_hz <= 0.0 || sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("LowPassFilter: rates must be positive");
+  }
+  const double rc = 1.0 / (2.0 * std::numbers::pi * cutoff_hz);
+  const double dt = 1.0 / sample_rate_hz;
+  alpha_ = dt / (rc + dt);
+}
+
+double LowPassFilter::step(double x) {
+  if (!primed_) {
+    state_ = x;
+    primed_ = true;
+  } else {
+    state_ += alpha_ * (x - state_);
+  }
+  return state_;
+}
+
+void LowPassFilter::reset(double initial) {
+  state_ = initial;
+  primed_ = false;
+}
+
+std::vector<double> moving_average(std::span<const double> xs,
+                                   std::size_t window) {
+  if (window == 0 || window % 2 == 0) {
+    throw std::invalid_argument("moving_average: window must be odd, nonzero");
+  }
+  std::vector<double> out(xs.size());
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(window / 2);
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(xs.size());
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - half);
+    const std::ptrdiff_t hi = std::min(n - 1, i + half);
+    double acc = 0.0;
+    for (std::ptrdiff_t j = lo; j <= hi; ++j) acc += xs[static_cast<std::size_t>(j)];
+    out[static_cast<std::size_t>(i)] = acc / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<double> remove_dc(std::span<const double> xs) {
+  const double m = mean(xs);
+  std::vector<double> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = xs[i] - m;
+  return out;
+}
+
+}  // namespace sy::signal

@@ -1,0 +1,32 @@
+// Small filter kit used by the sensor simulator and the Bluetooth-merge path.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sy::signal {
+
+// Single-pole IIR low-pass (exponential smoothing) with cutoff in Hz.
+class LowPassFilter {
+ public:
+  LowPassFilter(double cutoff_hz, double sample_rate_hz);
+
+  double step(double x);
+  void reset(double initial = 0.0);
+
+ private:
+  double alpha_;
+  double state_{0.0};
+  bool primed_{false};
+};
+
+// Centered moving average with odd window length; edges use shrunken windows.
+std::vector<double> moving_average(std::span<const double> xs,
+                                   std::size_t window);
+
+// Removes the mean of the whole span (DC removal before spectral analysis of
+// gravity-contaminated accelerometer magnitudes).
+std::vector<double> remove_dc(std::span<const double> xs);
+
+}  // namespace sy::signal

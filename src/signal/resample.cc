@@ -1,0 +1,52 @@
+#include "signal/resample.h"
+
+#include <stdexcept>
+
+namespace sy::signal {
+
+ResampleResult linear_resample(std::span<const TimedSample> samples, double t0,
+                               double sample_rate_hz, std::size_t n_ticks,
+                               double max_gap_seconds) {
+  if (sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("linear_resample: rate must be positive");
+  }
+  ResampleResult out;
+  out.values.assign(n_ticks, 0.0);
+  if (samples.empty() || n_ticks == 0) {
+    out.gap_ticks = n_ticks;
+    return out;
+  }
+
+  const double dt = 1.0 / sample_rate_hz;
+  std::size_t j = 0;  // index of the first sample with t >= tick time
+  for (std::size_t i = 0; i < n_ticks; ++i) {
+    const double t = t0 + static_cast<double>(i) * dt;
+    while (j < samples.size() && samples[j].t_seconds < t) ++j;
+
+    if (j == 0) {
+      // Before the first sample: hold the first value.
+      out.values[i] = samples.front().value;
+      if (samples.front().t_seconds - t > max_gap_seconds) ++out.gap_ticks;
+    } else if (j == samples.size()) {
+      // After the last sample: zero-order hold.
+      out.values[i] = samples.back().value;
+      if (t - samples.back().t_seconds > max_gap_seconds) ++out.gap_ticks;
+    } else {
+      const TimedSample& a = samples[j - 1];
+      const TimedSample& b = samples[j];
+      const double gap = b.t_seconds - a.t_seconds;
+      if (gap > max_gap_seconds) {
+        out.values[i] = a.value;  // hold through the gap
+        ++out.gap_ticks;
+      } else if (gap <= 0.0) {
+        out.values[i] = b.value;
+      } else {
+        const double w = (t - a.t_seconds) / gap;
+        out.values[i] = a.value * (1.0 - w) + b.value * w;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sy::signal

@@ -1,0 +1,32 @@
+// Timestamp alignment for the watch->phone merge path.
+//
+// The Bluetooth link delivers watch samples with latency jitter and loss;
+// before feature extraction both streams must live on the phone's uniform
+// 50 Hz grid. linear_resample interpolates (timestamp, value) pairs onto a
+// uniform grid; gaps larger than `max_gap_seconds` are filled with the last
+// value (zero-order hold) and reported.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sy::signal {
+
+struct TimedSample {
+  double t_seconds;
+  double value;
+};
+
+struct ResampleResult {
+  std::vector<double> values;   // one per grid tick
+  std::size_t gap_ticks{0};     // ticks that fell in an over-long gap
+};
+
+// Resamples irregular `samples` (sorted by time) onto the uniform grid
+// t0, t0+1/rate, ... with `n_ticks` points.
+ResampleResult linear_resample(std::span<const TimedSample> samples, double t0,
+                               double sample_rate_hz, std::size_t n_ticks,
+                               double max_gap_seconds = 0.25);
+
+}  // namespace sy::signal

@@ -1,0 +1,52 @@
+#include "signal/spectrum.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+
+#include "signal/dft.h"
+
+namespace sy::signal {
+
+SpectralPeaks find_peaks(std::span<const double> magnitude,
+                         std::size_t window_len, double sample_rate_hz,
+                         double guard_hz) {
+  SpectralPeaks out;
+  if (magnitude.size() < 2) return out;
+
+  // Main peak: the largest non-DC bin.
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < magnitude.size(); ++k) {
+    if (best == 0 || magnitude[k] > magnitude[best]) best = k;
+  }
+  if (best == 0) return out;
+  out.peak_amplitude = magnitude[best];
+  out.peak_frequency_hz = bin_frequency(best, window_len, sample_rate_hz);
+
+  // Secondary peak: largest bin outside the guard band of the main peak.
+  const double bin_hz = sample_rate_hz / static_cast<double>(window_len);
+  const auto guard_bins = std::max<std::size_t>(
+      1, static_cast<std::size_t>(guard_hz / bin_hz));
+  std::size_t second = 0;
+  for (std::size_t k = 1; k < magnitude.size(); ++k) {
+    const std::size_t dist = k > best ? k - best : best - k;
+    if (dist <= guard_bins) continue;
+    if (second == 0 || magnitude[k] > magnitude[second]) second = k;
+  }
+  if (second != 0) {
+    out.peak2_amplitude = magnitude[second];
+    out.peak2_frequency_hz = bin_frequency(second, window_len, sample_rate_hz);
+  }
+  return out;
+}
+
+SpectralPeaks spectral_peaks(std::span<const double> window,
+                             double sample_rate_hz, double guard_hz) {
+  if (sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("spectral_peaks: sample rate must be positive");
+  }
+  const auto mag = magnitude_spectrum(window);
+  return find_peaks(mag, window.size(), sample_rate_hz, guard_hz);
+}
+
+}  // namespace sy::signal

@@ -1,0 +1,32 @@
+// Spectral peak extraction for the paper's frequency-domain features:
+//   Peak    — amplitude of the main (non-DC) frequency
+//   Peak f  — the main frequency itself
+//   Peak2   — amplitude of the secondary frequency
+//   Peak2 f — the secondary frequency (computed; dropped by selection, §V-C)
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sy::signal {
+
+struct SpectralPeaks {
+  double peak_amplitude{0.0};
+  double peak_frequency_hz{0.0};
+  double peak2_amplitude{0.0};
+  double peak2_frequency_hz{0.0};
+};
+
+// Finds the two largest non-DC bins of the one-sided magnitude spectrum.
+// The secondary peak excludes a guard band of `guard_hz` around the main
+// peak (at least the immediate neighbours) so spectral leakage sidelobes of
+// one physical peak are not reported as a second peak.
+SpectralPeaks find_peaks(std::span<const double> magnitude,
+                         std::size_t window_len, double sample_rate_hz,
+                         double guard_hz = 0.0);
+
+// Convenience: DFT + find_peaks for a raw time-domain window.
+SpectralPeaks spectral_peaks(std::span<const double> window,
+                             double sample_rate_hz, double guard_hz = 0.0);
+
+}  // namespace sy::signal

@@ -1,0 +1,32 @@
+#include "signal/window.h"
+
+namespace sy::signal {
+
+std::vector<std::vector<double>> segment(std::span<const double> samples,
+                                         const WindowSpec& spec) {
+  const std::size_t w = spec.window_samples();
+  const std::size_t h = spec.hop_samples();
+  if (w == 0 || h == 0) {
+    throw std::invalid_argument("segment: window and hop must be positive");
+  }
+  std::vector<std::vector<double>> out;
+  if (samples.size() < w) return out;
+  out.reserve((samples.size() - w) / h + 1);
+  for (std::size_t start = 0; start + w <= samples.size(); start += h) {
+    out.emplace_back(samples.begin() + static_cast<std::ptrdiff_t>(start),
+                     samples.begin() + static_cast<std::ptrdiff_t>(start + w));
+  }
+  return out;
+}
+
+std::size_t window_count(std::size_t n_samples, const WindowSpec& spec) {
+  const std::size_t w = spec.window_samples();
+  const std::size_t h = spec.hop_samples();
+  if (w == 0 || h == 0) {
+    throw std::invalid_argument("window_count: window and hop must be positive");
+  }
+  if (n_samples < w) return 0;
+  return (n_samples - w) / h + 1;
+}
+
+}  // namespace sy::signal

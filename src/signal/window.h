@@ -1,0 +1,36 @@
+// Segmentation of sensor streams into fixed-duration analysis windows.
+//
+// The paper (§V-F3) sweeps the window size from 1 s to 16 s and settles on
+// 6 s at a 50 Hz sampling rate (300 samples). Windows are non-overlapping by
+// default; a hop smaller than the window yields sliding windows.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace sy::signal {
+
+struct WindowSpec {
+  double window_seconds{6.0};
+  double hop_seconds{6.0};  // == window_seconds -> non-overlapping
+  double sample_rate_hz{50.0};
+
+  std::size_t window_samples() const {
+    return static_cast<std::size_t>(window_seconds * sample_rate_hz + 0.5);
+  }
+  std::size_t hop_samples() const {
+    return static_cast<std::size_t>(hop_seconds * sample_rate_hz + 0.5);
+  }
+};
+
+// Splits `samples` into windows of `spec.window_samples()` advancing by
+// `spec.hop_samples()`; a trailing partial window is discarded.
+std::vector<std::vector<double>> segment(std::span<const double> samples,
+                                         const WindowSpec& spec);
+
+// Number of complete windows `segment` would produce, without materializing.
+std::size_t window_count(std::size_t n_samples, const WindowSpec& spec);
+
+}  // namespace sy::signal

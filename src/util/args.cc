@@ -1,0 +1,62 @@
+#include "util/args.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace sy::util {
+
+namespace {
+std::string env_name(const std::string& key) {
+  std::string name = "SY_" + key;
+  std::transform(name.begin(), name.end(), name.begin(), [](unsigned char c) {
+    return c == '-' ? '_' : static_cast<char>(std::toupper(c));
+  });
+  return name;
+}
+}  // namespace
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "1";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  if (const auto it = values_.find(key); it != values_.end()) {
+    return it->second;
+  }
+  if (const char* env = std::getenv(env_name(key).c_str())) {
+    return env;
+  }
+  return fallback;
+}
+
+std::int64_t Args::get_int(const std::string& key,
+                           std::int64_t fallback) const {
+  const std::string v = get(key, "");
+  if (v.empty()) return fallback;
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const std::string v = get(key, "");
+  if (v.empty()) return fallback;
+  return std::strtod(v.c_str(), nullptr);
+}
+
+bool Args::get_flag(const std::string& key) const {
+  const std::string v = get(key, "0");
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace sy::util

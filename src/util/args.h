@@ -1,0 +1,28 @@
+// Tiny command-line/environment option parser used by benches and examples.
+//
+// Accepts --key=value and --flag forms. Every option can also be supplied by
+// an environment variable SY_<KEY> (upper-cased, dashes to underscores),
+// which is how the CI wrapper scales iteration counts down.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sy::util {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  // Lookup order: command line, then SY_<KEY> environment, then fallback.
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_flag(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace sy::util

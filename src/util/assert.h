@@ -1,0 +1,16 @@
+// Lightweight invariant checking. SY_ASSERT is active in all build types:
+// experiment correctness depends on these invariants, and the cost is
+// negligible next to the numeric kernels.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SY_ASSERT(cond, msg)                                                   \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::fprintf(stderr, "SY_ASSERT failed at %s:%d: %s\n  %s\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                      \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (false)

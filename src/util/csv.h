@@ -1,0 +1,26 @@
+// CSV writer: benches dump the raw series behind each figure next to the
+// pretty ASCII rendering so results can be re-plotted externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sy::util {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(const std::vector<double>& cells);
+
+  // Escapes quotes/commas/newlines per RFC 4180.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace sy::util

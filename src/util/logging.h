@@ -1,0 +1,49 @@
+// Minimal leveled logger. Experiments and the SmarterYou runtime emit
+// progress through this interface so benches can silence or redirect it.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace sy::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global log threshold; messages below it are dropped. Default kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Core sink. Thread-safe (single global mutex).
+void log(LogLevel level, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  log(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace sy::util

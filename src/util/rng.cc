@@ -1,0 +1,35 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sy::util {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  const std::uint64_t derived = splitmix64(seed_ ^ splitmix64(stream + 1));
+  return Rng(derived);
+}
+
+double Rng::gaussian_trunc(double mean, double stddev, double lo, double hi) {
+  for (int i = 0; i < 64; ++i) {
+    const double x = gaussian(mean, stddev);
+    if (x >= lo && x <= hi) return x;
+  }
+  return std::clamp(mean, lo, hi);
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  shuffle(p);
+  return p;
+}
+
+}  // namespace sy::util

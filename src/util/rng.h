@@ -1,0 +1,83 @@
+// Deterministic random number generation for all simulations.
+//
+// Every stochastic component in the repository draws from an sy::util::Rng
+// that is explicitly seeded, so each experiment is reproducible bit-for-bit.
+// Rng also supports cheap forking ("streams"): a parent generator derives an
+// independent child generator from a (seed, stream-id) pair, which lets the
+// population builder give every synthetic user an independent source of
+// randomness that does not depend on construction order.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace sy::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
+
+  // Derives an independent generator for substream `stream`.
+  // SplitMix64 over (seed ^ f(stream)) decorrelates nearby stream ids.
+  Rng fork(std::uint64_t stream) const;
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  // Uniform double in [0, 1).
+  double uniform() { return unit_(engine_); }
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  // Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+  // Standard normal.
+  double gaussian() { return normal_(engine_); }
+  // Normal with mean/stddev.
+  double gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+  }
+  // Bernoulli trial.
+  bool bernoulli(double p) { return uniform() < p; }
+  // Exponential with rate lambda (mean 1/lambda).
+  double exponential(double lambda) {
+    return std::exponential_distribution<double>(lambda)(engine_);
+  }
+  // Log-normal such that the *median* of the output is exp(mu).
+  double log_normal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  // Truncated Gaussian by rejection; falls back to clamping after 64 tries.
+  double gaussian_trunc(double mean, double stddev, double lo, double hi);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<int>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // A random permutation of {0, ..., n-1}.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  std::mt19937_64& engine() { return engine_; }
+
+  // The seed this generator (or fork) was created with.
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_{0};
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+// SplitMix64 — used for seed derivation throughout.
+std::uint64_t splitmix64(std::uint64_t x);
+
+}  // namespace sy::util

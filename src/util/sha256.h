@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4). Used for model-file integrity digests in the model
+// store (the deployment-hardening analogue of the paper's §IV-C "protecting
+// data at rest"). Self-contained; no third-party dependency.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sy::util {
+
+class Sha256 {
+ public:
+  Sha256();
+
+  // Streams `len` bytes into the hash.
+  void update(const void* data, std::size_t len);
+  // Finalizes and returns the 32-byte digest. The object may not be reused.
+  std::array<std::uint8_t, 32> digest();
+
+  // One-shot helpers.
+  static std::array<std::uint8_t, 32> hash(const void* data, std::size_t len);
+  static std::string hex(const void* data, std::size_t len);
+  static std::string hex(const std::string& data);
+  static std::string hex(const std::vector<std::uint8_t>& data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_{0};
+  std::uint64_t total_bits_{0};
+  bool finalized_{false};
+};
+
+}  // namespace sy::util

@@ -1,0 +1,29 @@
+// Simulated time. All sensing/authentication simulation advances an explicit
+// SimClock; nothing in the pipeline reads the wall clock, which keeps every
+// experiment deterministic and lets a "two week" study run in milliseconds.
+#pragma once
+
+#include <cstdint>
+
+namespace sy::util {
+
+// Monotonic simulated clock with nanosecond resolution.
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(double start_seconds)
+      : now_ns_(static_cast<std::int64_t>(start_seconds * 1e9)) {}
+
+  double now_seconds() const { return static_cast<double>(now_ns_) * 1e-9; }
+  std::int64_t now_ns() const { return now_ns_; }
+
+  void advance_seconds(double dt) {
+    now_ns_ += static_cast<std::int64_t>(dt * 1e9);
+  }
+  void advance_ns(std::int64_t dt) { now_ns_ += dt; }
+
+ private:
+  std::int64_t now_ns_{0};
+};
+
+}  // namespace sy::util

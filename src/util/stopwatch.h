@@ -1,0 +1,25 @@
+// Wall-clock stopwatch for the overhead measurements in §V-H (training /
+// testing latency). Simulation code must use SimClock instead.
+#pragma once
+
+#include <chrono>
+
+namespace sy::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace sy::util

@@ -1,0 +1,84 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace sy::util {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    throw std::invalid_argument("Table::add_row: arity mismatch with header");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+std::string Table::render() const {
+  // Column widths across header + all rows.
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto grow = [&width](const std::vector<std::string>& row) {
+    if (row.size() > width.size()) width.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  std::ostringstream os;
+  auto rule = [&os, &width]() {
+    os << '+';
+    for (const auto w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&os, &width](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      os << ' ' << cell << std::string(width[i] - cell.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      rule();
+    } else {
+      emit(row);
+    }
+  }
+  rule();
+  return os.str();
+}
+
+void Table::print() const {
+  const std::string text = render();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace sy::util

@@ -1,0 +1,37 @@
+// ASCII table rendering for bench output. Every bench prints the paper's
+// tables/figures as fixed-width text tables so the regenerated artifact can
+// be compared side by side with the published one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sy::util {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  // Sets the header row. Call before add_row.
+  void set_header(std::vector<std::string> header);
+  // Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+  // Inserts a horizontal separator after the last added row.
+  void add_separator();
+
+  // Renders the table with column auto-sizing.
+  std::string render() const;
+  // Renders to stdout.
+  void print() const;
+
+  // Numeric formatting helpers used by all benches.
+  static std::string fmt(double v, int precision = 3);
+  static std::string pct(double fraction, int precision = 1);  // 0.981->"98.1%"
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace sy::util

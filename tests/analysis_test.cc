@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "analysis/auth_experiment.h"
+#include "analysis/corpus.h"
+#include "ml/krr.h"
+
+namespace sy::analysis {
+namespace {
+
+CorpusOptions small_options() {
+  CorpusOptions co;
+  co.n_users = 5;
+  co.windows_per_context = 60;
+  co.session_seconds = 120.0;
+  co.seed = 121;
+  return co;
+}
+
+TEST(Corpus, BuildsExpectedShapes) {
+  const Corpus corpus = Corpus::build(small_options());
+  EXPECT_EQ(corpus.n_users(), 5u);
+  for (std::size_t u = 0; u < corpus.n_users(); ++u) {
+    const UserCorpus& uc = corpus.user(u);
+    ASSERT_EQ(uc.windows.size(), 2u);
+    for (const auto& [context, matrix] : uc.windows) {
+      EXPECT_EQ(matrix.rows(), 60u);
+      EXPECT_EQ(matrix.cols(), 28u);
+      EXPECT_EQ(uc.window_day.at(context).size(), 60u);
+    }
+  }
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  const Corpus a = Corpus::build(small_options());
+  const Corpus b = Corpus::build(small_options());
+  const auto& ma =
+      a.user(2).windows.at(sensors::DetectedContext::kMoving);
+  const auto& mb =
+      b.user(2).windows.at(sensors::DetectedContext::kMoving);
+  for (std::size_t i = 0; i < ma.rows(); i += 13) {
+    for (std::size_t j = 0; j < 28; j += 5) {
+      EXPECT_DOUBLE_EQ(ma(i, j), mb(i, j));
+    }
+  }
+}
+
+TEST(Corpus, ProjectExtractsDeviceBlocks) {
+  std::vector<double> row(28);
+  for (std::size_t i = 0; i < 28; ++i) row[i] = static_cast<double>(i);
+  const auto phone = Corpus::project(row, DeviceConfig::kPhoneOnly);
+  const auto watch = Corpus::project(row, DeviceConfig::kWatchOnly);
+  const auto combo = Corpus::project(row, DeviceConfig::kCombined);
+  EXPECT_EQ(phone.size(), 14u);
+  EXPECT_EQ(watch.size(), 14u);
+  EXPECT_EQ(combo.size(), 28u);
+  EXPECT_DOUBLE_EQ(phone[0], 0.0);
+  EXPECT_DOUBLE_EQ(watch[0], 14.0);
+  EXPECT_DOUBLE_EQ(combo[27], 27.0);
+  EXPECT_THROW((void)Corpus::project(std::vector<double>(14, 0.0),
+                                     DeviceConfig::kCombined),
+               std::invalid_argument);
+}
+
+TEST(Corpus, AuthDatasetBalancedAndLabeled) {
+  const Corpus corpus = Corpus::build(small_options());
+  util::Rng rng(122);
+  const ml::Dataset data = corpus.make_auth_dataset(
+      0, sensors::DetectedContext::kMoving, DeviceConfig::kCombined, 50, rng);
+  EXPECT_EQ(data.size(), 100u);
+  EXPECT_EQ(data.count_label(+1), 50u);
+  EXPECT_EQ(data.count_label(-1), 50u);
+  EXPECT_EQ(data.dim(), 28u);
+}
+
+TEST(Corpus, PooledDatasetMixesContexts) {
+  const Corpus corpus = Corpus::build(small_options());
+  util::Rng rng(123);
+  const ml::Dataset data =
+      corpus.make_pooled_dataset(1, DeviceConfig::kPhoneOnly, 60, rng);
+  EXPECT_GT(data.size(), 60u);
+  EXPECT_EQ(data.dim(), 14u);
+  EXPECT_GT(data.count_label(+1), 0u);
+  EXPECT_GT(data.count_label(-1), 0u);
+}
+
+TEST(Corpus, DriftedCorpusHasIncreasingDayStamps) {
+  CorpusOptions co = small_options();
+  co.drift = true;
+  co.days = 10.0;
+  const Corpus corpus = Corpus::build(co);
+  const auto& days =
+      corpus.user(0).window_day.at(sensors::DetectedContext::kMoving);
+  EXPECT_DOUBLE_EQ(days.front(), 0.0);
+  EXPECT_GT(days.back(), 1.0);
+  for (std::size_t i = 1; i < days.size(); ++i) {
+    EXPECT_GE(days[i], days[i - 1]);
+  }
+}
+
+TEST(AuthExperiment, ContextAwareBeatsPooledAndComboBeatsPhone) {
+  CorpusOptions co = small_options();
+  co.n_users = 8;
+  co.windows_per_context = 100;
+  const Corpus corpus = Corpus::build(co);
+  const ml::KrrClassifier krr{ml::KrrConfig{}};
+
+  AuthEvalOptions eval;
+  eval.data_size = 200;
+  eval.folds = 5;
+  eval.seed = 124;
+
+  eval.device = DeviceConfig::kCombined;
+  eval.use_context = true;
+  const auto combo_ctx = evaluate_authentication(corpus, krr, eval);
+
+  eval.device = DeviceConfig::kPhoneOnly;
+  const auto phone_ctx = evaluate_authentication(corpus, krr, eval);
+
+  eval.device = DeviceConfig::kCombined;
+  eval.use_context = false;
+  const auto combo_pooled = evaluate_authentication(corpus, krr, eval);
+
+  // The two central claims of Table VII, at reduced scale.
+  EXPECT_GT(combo_ctx.accuracy, phone_ctx.accuracy);
+  EXPECT_GT(combo_ctx.accuracy, combo_pooled.accuracy);
+  // And the headline regime: context-aware combination is strong.
+  EXPECT_GT(combo_ctx.accuracy, 0.90);
+  // Context breakdown present in context-aware mode.
+  EXPECT_EQ(combo_ctx.frr_by_context.size(), 2u);
+  EXPECT_TRUE(combo_pooled.frr_by_context.empty());
+}
+
+TEST(Corpus, TemporalSplitOrdersByRecency) {
+  CorpusOptions co = small_options();
+  co.drift = true;
+  co.days = 10.0;
+  const Corpus corpus = Corpus::build(co);
+  util::Rng rng(126);
+  const auto split = corpus.make_temporal_split(
+      0, sensors::DetectedContext::kMoving, DeviceConfig::kCombined,
+      /*per_class=*/30, /*test_n=*/10, rng);
+  EXPECT_EQ(split.test.count_label(+1), 10u);
+  EXPECT_EQ(split.test.count_label(-1), 10u);
+  EXPECT_EQ(split.train.count_label(+1), 30u);
+  EXPECT_EQ(split.train.count_label(-1), 30u);
+  EXPECT_THROW(
+      (void)corpus.make_temporal_split(0, sensors::DetectedContext::kMoving,
+                                       DeviceConfig::kCombined, 30,
+                                       /*test_n=*/1000, rng),
+      std::invalid_argument);
+}
+
+TEST(AuthExperiment, TemporalEvaluationRuns) {
+  CorpusOptions co = small_options();
+  co.drift = true;
+  co.days = 10.0;
+  const Corpus corpus = Corpus::build(co);
+  const ml::KrrClassifier krr{ml::KrrConfig{}};
+  AuthEvalOptions eval;
+  eval.data_size = 80;
+  const auto r = evaluate_authentication_temporal(corpus, krr, eval,
+                                                  /*test_windows=*/15);
+  EXPECT_NEAR(r.accuracy, 1.0 - (r.far + r.frr) / 2.0, 1e-12);
+  EXPECT_GT(r.accuracy, 0.6);
+  EXPECT_EQ(r.frr_by_context.size(), 2u);
+}
+
+TEST(AuthExperiment, AccuracyIdentityHolds) {
+  CorpusOptions co = small_options();
+  const Corpus corpus = Corpus::build(co);
+  const ml::KrrClassifier krr{ml::KrrConfig{}};
+  AuthEvalOptions eval;
+  eval.data_size = 120;
+  eval.folds = 4;
+  const auto r = evaluate_authentication(corpus, krr, eval);
+  EXPECT_NEAR(r.accuracy, 1.0 - (r.far + r.frr) / 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sy::analysis

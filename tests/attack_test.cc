@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/corpus.h"
+#include "attack/attack_sim.h"
+#include "attack/mimic.h"
+#include "sensors/population.h"
+
+namespace sy::attack {
+namespace {
+
+TEST(Mimic, CoarseChannelsMoveTowardVictim) {
+  const sensors::Population pop = sensors::Population::generate(2, 101);
+  const auto& attacker = pop.user(0);
+  const auto& victim = pop.user(1);
+  MimicSkill skill;
+  skill.observation_noise = 0.0;  // deterministic blend for the test
+  util::Rng rng(102);
+  const auto mimic = make_mimic_profile(attacker, victim, skill, rng);
+
+  // Coarse: (1 - coarse_residual) of the gap closed.
+  const double cr = skill.coarse_residual;
+  const double expected_freq =
+      attacker.gait.freq_hz * cr + victim.gait.freq_hz * (1.0 - cr);
+  EXPECT_NEAR(mimic.gait.freq_hz, expected_freq, 1e-9);
+  const double expected_amp =
+      attacker.gait.phone_amp * cr + victim.gait.phone_amp * (1.0 - cr);
+  EXPECT_NEAR(mimic.gait.phone_amp, expected_amp, 1e-9);
+
+  // Fine: only 10% of the gap closed — still mostly the attacker.
+  const double tremor_gap =
+      std::abs(victim.hold.tremor_freq_hz - attacker.hold.tremor_freq_hz);
+  const double moved =
+      std::abs(mimic.hold.tremor_freq_hz - attacker.hold.tremor_freq_hz);
+  EXPECT_LT(moved, 0.2 * tremor_gap + 1e-9);
+}
+
+TEST(Mimic, PerfectSkillEqualsVictimOnCoarse) {
+  const sensors::Population pop = sensors::Population::generate(2, 103);
+  MimicSkill skill;
+  skill.coarse_residual = 0.0;
+  skill.observation_noise = 0.0;
+  util::Rng rng(104);
+  const auto mimic = make_mimic_profile(pop.user(0), pop.user(1), skill, rng);
+  EXPECT_DOUBLE_EQ(mimic.gait.freq_hz, pop.user(1).gait.freq_hz);
+}
+
+TEST(Mimic, NoSkillKeepsAttacker) {
+  const sensors::Population pop = sensors::Population::generate(2, 105);
+  MimicSkill skill;
+  skill.coarse_residual = 1.0;
+  skill.fine_residual = 1.0;
+  skill.observation_noise = 0.0;
+  util::Rng rng(106);
+  const auto mimic = make_mimic_profile(pop.user(0), pop.user(1), skill, rng);
+  EXPECT_DOUBLE_EQ(mimic.gait.freq_hz, pop.user(0).gait.freq_hz);
+  EXPECT_DOUBLE_EQ(mimic.hold.tremor_amp, pop.user(0).hold.tremor_amp);
+}
+
+TEST(AttackSim, SurvivalCurveShape) {
+  // Scaled-down Fig. 6: survival must start at 1, be monotonically
+  // non-increasing, collapse quickly, and end near zero.
+  analysis::CorpusOptions co;
+  co.n_users = 6;
+  co.windows_per_context = 80;
+  co.seed = 107;
+  const analysis::Corpus corpus = analysis::Corpus::build(co);
+
+  AttackSimOptions options;
+  options.trials_per_pair = 4;
+  options.attack_seconds = 36.0;
+  options.train_per_class = 80;
+  options.max_victims = 3;
+  options.seed = 108;
+  const SurvivalCurve curve = run_masquerade_attack(corpus, options);
+
+  ASSERT_EQ(curve.time_seconds.size(), curve.fraction_alive.size());
+  ASSERT_GE(curve.fraction_alive.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve.fraction_alive.front(), 1.0);
+  for (std::size_t i = 1; i < curve.fraction_alive.size(); ++i) {
+    EXPECT_LE(curve.fraction_alive[i], curve.fraction_alive[i - 1] + 1e-12);
+  }
+  // Most mimics rejected within the first two windows.
+  EXPECT_LT(curve.fraction_alive[2], 0.5);
+  // And (almost) everyone detected by the end of the attack.
+  EXPECT_LT(curve.fraction_alive.back(), 0.15);
+  EXPECT_GT(curve.trials, 0u);
+  // The per-window mimic FAR stays well below coin-flip.
+  EXPECT_LT(curve.per_window_far, 0.45);
+}
+
+TEST(AttackSim, MoreSkillfulMimicsSurviveLonger) {
+  analysis::CorpusOptions co;
+  co.n_users = 5;
+  co.windows_per_context = 60;
+  co.seed = 109;
+  const analysis::Corpus corpus = analysis::Corpus::build(co);
+
+  AttackSimOptions clumsy;
+  clumsy.trials_per_pair = 3;
+  clumsy.attack_seconds = 24.0;
+  clumsy.train_per_class = 60;
+  clumsy.max_victims = 3;
+  clumsy.seed = 110;
+  clumsy.skill.coarse_residual = 1.0;  // no imitation at all
+  clumsy.skill.fine_residual = 1.0;
+
+  AttackSimOptions skilled = clumsy;
+  skilled.skill.coarse_residual = 0.15;
+  skilled.skill.fine_residual = 0.55;
+
+  const auto c1 = run_masquerade_attack(corpus, clumsy);
+  const auto c2 = run_masquerade_attack(corpus, skilled);
+  EXPECT_LE(c1.per_window_far, c2.per_window_far + 0.05);
+}
+
+}  // namespace
+}  // namespace sy::attack

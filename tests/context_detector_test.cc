@@ -1,0 +1,171 @@
+#include "context/context_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "features/feature_extractor.h"
+#include "sensors/device.h"
+#include "sensors/population.h"
+
+namespace sy::context {
+namespace {
+
+struct LabCorpus {
+  std::vector<std::vector<double>> vectors;
+  std::vector<sensors::UsageContext> labels;
+  std::vector<std::size_t> owner;
+};
+
+LabCorpus collect_lab_corpus(std::size_t n_users, double session_seconds,
+                             std::uint64_t seed, bool four_contexts) {
+  const sensors::Population pop = sensors::Population::generate(n_users, seed);
+  const features::FeatureExtractor extractor{features::FeatureConfig{}};
+  util::Rng rng(seed ^ 0xabc);
+
+  sensors::CollectorOptions collect;
+  collect.with_watch = false;
+  collect.synthesis.duration_seconds = session_seconds;
+
+  std::vector<sensors::UsageContext> contexts{
+      sensors::UsageContext::kStationaryUse, sensors::UsageContext::kMoving};
+  if (four_contexts) {
+    contexts.push_back(sensors::UsageContext::kOnTable);
+    contexts.push_back(sensors::UsageContext::kVehicle);
+  }
+
+  LabCorpus corpus;
+  for (std::size_t u = 0; u < pop.size(); ++u) {
+    for (const auto context : contexts) {
+      const auto session =
+          sensors::collect_session(pop.user(u), context, collect, rng);
+      for (auto& v : extractor.context_vectors(session.phone)) {
+        corpus.vectors.push_back(std::move(v));
+        corpus.labels.push_back(context);
+        corpus.owner.push_back(u);
+      }
+    }
+  }
+  return corpus;
+}
+
+TEST(ContextDetector, UntrainedThrows) {
+  ContextDetector detector;
+  EXPECT_THROW((void)detector.detect(std::vector<double>(14, 0.0)),
+               std::logic_error);
+}
+
+TEST(ContextDetector, BinaryDetectionIsUserAgnostic) {
+  // Train on users 0..5, test on unseen users 6..8 — the paper's key
+  // property: context detection precedes user authentication.
+  const LabCorpus corpus = collect_lab_corpus(9, 120.0, 61, false);
+
+  std::vector<std::vector<double>> train_x;
+  std::vector<sensors::UsageContext> train_y;
+  std::size_t correct = 0, total = 0;
+
+  ContextDetector detector;
+  for (std::size_t i = 0; i < corpus.vectors.size(); ++i) {
+    if (corpus.owner[i] < 6) {
+      train_x.push_back(corpus.vectors[i]);
+      train_y.push_back(corpus.labels[i]);
+    }
+  }
+  detector.train(train_x, train_y);
+
+  for (std::size_t i = 0; i < corpus.vectors.size(); ++i) {
+    if (corpus.owner[i] < 6) continue;
+    const auto got = detector.detect(corpus.vectors[i]);
+    if (got == sensors::collapse_context(corpus.labels[i])) ++correct;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.95);
+}
+
+TEST(ContextDetector, FourClassConfusesStationaryFamily) {
+  // The paper's motivating observation (§V-E): contexts (1)(3)(4) are
+  // mutually confusable while moving stands apart. Verify that 4-class
+  // accuracy on the stationary family is clearly below moving accuracy,
+  // and that collapsing recovers near-perfect binary detection.
+  const LabCorpus corpus = collect_lab_corpus(8, 120.0, 62, true);
+
+  ContextDetectorConfig config;
+  config.four_class = true;
+  ContextDetector detector(config);
+
+  std::vector<std::vector<double>> train_x;
+  std::vector<sensors::UsageContext> train_y;
+  for (std::size_t i = 0; i < corpus.vectors.size(); ++i) {
+    if (corpus.owner[i] < 5) {
+      train_x.push_back(corpus.vectors[i]);
+      train_y.push_back(corpus.labels[i]);
+    }
+  }
+  detector.train(train_x, train_y);
+
+  std::size_t moving_total = 0, moving_correct = 0;
+  std::size_t stationary_total = 0, stationary_correct = 0;
+  std::size_t binary_correct = 0, total = 0;
+  for (std::size_t i = 0; i < corpus.vectors.size(); ++i) {
+    if (corpus.owner[i] < 5) continue;
+    const auto raw = detector.detect_raw(corpus.vectors[i]);
+    const auto truth = corpus.labels[i];
+    if (truth == sensors::UsageContext::kMoving) {
+      ++moving_total;
+      if (raw == truth) ++moving_correct;
+    } else {
+      ++stationary_total;
+      if (raw == truth) ++stationary_correct;
+    }
+    if (sensors::collapse_context(raw) == sensors::collapse_context(truth)) {
+      ++binary_correct;
+    }
+    ++total;
+  }
+  const double moving_acc =
+      static_cast<double>(moving_correct) / static_cast<double>(moving_total);
+  const double stationary_acc = static_cast<double>(stationary_correct) /
+                                static_cast<double>(stationary_total);
+  const double binary_acc =
+      static_cast<double>(binary_correct) / static_cast<double>(total);
+  EXPECT_GT(moving_acc, 0.9);
+  EXPECT_LT(stationary_acc, moving_acc);
+  EXPECT_GT(binary_acc, 0.95);
+}
+
+TEST(ContextDetector, DetectRawRequiresFourClassMode) {
+  const LabCorpus corpus = collect_lab_corpus(3, 60.0, 63, false);
+  ContextDetector detector;
+  detector.train(corpus.vectors, corpus.labels);
+  EXPECT_THROW((void)detector.detect_raw(corpus.vectors[0]), std::logic_error);
+}
+
+TEST(ContextDetector, TrainValidation) {
+  ContextDetector detector;
+  EXPECT_THROW(detector.train({}, {}), std::invalid_argument);
+  EXPECT_THROW(detector.train({{1.0, 2.0}},
+                              {sensors::UsageContext::kMoving,
+                               sensors::UsageContext::kMoving}),
+               std::invalid_argument);
+}
+
+TEST(ContextDetector, DetectionIsFast) {
+  // The paper reports < 3 ms per detection; our budget is the same order.
+  const LabCorpus corpus = collect_lab_corpus(4, 120.0, 64, false);
+  ContextDetector detector;
+  detector.train(corpus.vectors, corpus.labels);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 200; ++i) {
+    (void)detector.detect(corpus.vectors[i % corpus.vectors.size()]);
+  }
+  const double ms_per_call =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count() /
+      200.0;
+  EXPECT_LT(ms_per_call, 3.0);
+}
+
+}  // namespace
+}  // namespace sy::context

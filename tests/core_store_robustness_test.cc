@@ -1,0 +1,90 @@
+// Robustness sweep of the model store: every corruption must be detected
+// and surface as an exception — never a crash, never a silently-wrong model
+// (§IV-C "protecting data at rest").
+#include <gtest/gtest.h>
+
+#include "core/model_store.h"
+#include "ml/dataset.h"
+#include "util/rng.h"
+
+namespace sy::core {
+namespace {
+
+AuthModel trained_model() {
+  util::Rng rng(404);
+  ml::Dataset train;
+  std::vector<double> x(14);
+  for (int i = 0; i < 40; ++i) {
+    for (auto& v : x) v = rng.gaussian(1.0, 1.0);
+    train.add(x, +1);
+    for (auto& v : x) v = rng.gaussian(-1.0, 1.0);
+    train.add(x, -1);
+  }
+  ml::StandardScaler scaler;
+  scaler.fit(train.x);
+  ml::KrrClassifier krr{ml::KrrConfig{}};
+  const auto scaled = scaler.transform(train);
+  krr.fit(scaled.x, scaled.y);
+  AuthModel model(1, 1);
+  model.set_context_model(sensors::DetectedContext::kStationary,
+                          ContextModel(std::move(scaler), std::move(krr)));
+  return model;
+}
+
+const std::vector<std::uint8_t>& bytes() {
+  static const std::vector<std::uint8_t> b =
+      ModelStore::serialize(trained_model());
+  return b;
+}
+
+// Every truncation length must throw, not crash.
+class Truncation : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Truncation, AlwaysDetected) {
+  auto copy = bytes();
+  const std::size_t keep = GetParam() % copy.size();
+  copy.resize(keep);
+  EXPECT_THROW((void)ModelStore::deserialize(copy), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Truncation,
+                         ::testing::Values(0, 1, 3, 4, 7, 8, 19, 20, 21, 50,
+                                           100, 1000, 5000));
+
+// Single-bit flips at positions spread across the file must be detected.
+class BitFlip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitFlip, AlwaysDetected) {
+  auto copy = bytes();
+  const std::size_t pos =
+      GetParam() * (copy.size() / 16) % copy.size();
+  copy[pos] ^= 0x40;
+  EXPECT_THROW((void)ModelStore::deserialize(copy), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, BitFlip,
+                         ::testing::Range<std::size_t>(0, 16));
+
+TEST(StoreRobustness, AppendedBytesDetected) {
+  auto copy = bytes();
+  copy.push_back(0x00);
+  EXPECT_THROW((void)ModelStore::deserialize(copy), std::runtime_error);
+}
+
+TEST(StoreRobustness, SwappedModelsDoNotCrossVerify) {
+  // A valid file for user A must deserialize as user A, not as whatever the
+  // caller expected: the id lives inside the digest-protected payload.
+  const AuthModel model = trained_model();
+  const auto restored = ModelStore::deserialize(bytes());
+  EXPECT_EQ(restored.user_id(), model.user_id());
+  EXPECT_EQ(restored.version(), model.version());
+}
+
+TEST(StoreRobustness, DeterministicSerialization) {
+  const auto a = ModelStore::serialize(trained_model());
+  const auto b = ModelStore::serialize(trained_model());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace sy::core

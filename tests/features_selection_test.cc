@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/correlation.h"
+#include "features/fisher.h"
+#include "features/kstest.h"
+#include "features/selection.h"
+#include "util/rng.h"
+
+namespace sy::features {
+namespace {
+
+TEST(FisherScore, SeparableClassesScoreHigh) {
+  util::Rng rng(41);
+  std::vector<std::vector<double>> classes(3);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 200; ++i) {
+      classes[static_cast<std::size_t>(c)].push_back(
+          rng.gaussian(5.0 * c, 0.5));
+    }
+  }
+  EXPECT_GT(fisher_score(classes), 10.0);
+}
+
+TEST(FisherScore, IdenticalClassesScoreNearZero) {
+  util::Rng rng(42);
+  std::vector<std::vector<double>> classes(5);
+  for (auto& cls : classes) {
+    for (int i = 0; i < 300; ++i) cls.push_back(rng.gaussian(0.0, 1.0));
+  }
+  EXPECT_LT(fisher_score(classes), 0.05);
+}
+
+TEST(FisherScore, ScaleInvariant) {
+  util::Rng rng(43);
+  std::vector<std::vector<double>> classes(3);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 200; ++i) {
+      classes[static_cast<std::size_t>(c)].push_back(rng.gaussian(c, 1.0));
+    }
+  }
+  auto scaled = classes;
+  for (auto& cls : scaled) {
+    for (double& v : cls) v = v * 1000.0;
+  }
+  EXPECT_NEAR(fisher_score(classes), fisher_score(scaled), 1e-9);
+}
+
+TEST(FisherScore, ShiftInvariant) {
+  util::Rng rng(44);
+  std::vector<std::vector<double>> classes(2);
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 200; ++i) {
+      classes[static_cast<std::size_t>(c)].push_back(rng.gaussian(c, 1.0));
+    }
+  }
+  auto shifted = classes;
+  for (auto& cls : shifted) {
+    for (double& v : cls) v += 1e6;
+  }
+  EXPECT_NEAR(fisher_score(classes), fisher_score(shifted), 1e-6);
+}
+
+TEST(FisherScore, NeedsTwoClasses) {
+  EXPECT_THROW((void)fisher_score({{1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(KsTest, SameDistributionHighP) {
+  util::Rng rng(45);
+  std::vector<double> a(400), b(400);
+  for (auto& v : a) v = rng.gaussian();
+  for (auto& v : b) v = rng.gaussian();
+  const auto result = ks_two_sample(a, b);
+  EXPECT_GT(result.p_value, 0.01);
+  EXPECT_LT(result.statistic, 0.15);
+}
+
+TEST(KsTest, DifferentMeansLowP) {
+  util::Rng rng(46);
+  std::vector<double> a(400), b(400);
+  for (auto& v : a) v = rng.gaussian(0.0, 1.0);
+  for (auto& v : b) v = rng.gaussian(1.0, 1.0);
+  const auto result = ks_two_sample(a, b);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KsTest, DifferentVariancesDetected) {
+  util::Rng rng(47);
+  std::vector<double> a(500), b(500);
+  for (auto& v : a) v = rng.gaussian(0.0, 1.0);
+  for (auto& v : b) v = rng.gaussian(0.0, 3.0);
+  EXPECT_LT(ks_two_sample(a, b).p_value, 1e-4);
+}
+
+TEST(KsTest, StatisticIsMaxCdfDistance) {
+  // Disjoint supports -> D = 1.
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{10, 11, 12};
+  const auto result = ks_two_sample(a, b);
+  EXPECT_DOUBLE_EQ(result.statistic, 1.0);
+  EXPECT_LT(result.p_value, 0.05);
+}
+
+TEST(KsTest, EmptyThrows) {
+  EXPECT_THROW((void)ks_two_sample({}, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(PValueSummary, QuartilesAndAlphaFraction) {
+  std::vector<double> ps;
+  for (int i = 1; i <= 100; ++i) ps.push_back(i / 100.0);  // 0.01..1.00
+  const auto s = summarize_p_values(ps, 0.05);
+  EXPECT_NEAR(s.median, 0.505, 0.01);
+  EXPECT_NEAR(s.q1, 0.2575, 0.01);
+  EXPECT_NEAR(s.q3, 0.7525, 0.01);
+  EXPECT_NEAR(s.fraction_below_alpha, 0.04, 1e-9);
+}
+
+TEST(Correlation, PerfectlyCorrelatedColumns) {
+  util::Rng rng(48);
+  std::vector<ml::Matrix> per_user;
+  for (int u = 0; u < 3; ++u) {
+    ml::Matrix m(100, 2);
+    for (std::size_t i = 0; i < 100; ++i) {
+      const double v = rng.gaussian();
+      m(i, 0) = v;
+      m(i, 1) = 2.0 * v + 1.0;
+    }
+    per_user.push_back(std::move(m));
+  }
+  const ml::Matrix corr = average_feature_correlation(per_user);
+  EXPECT_NEAR(corr(0, 0), 1.0, 1e-9);
+  EXPECT_NEAR(corr(0, 1), 1.0, 1e-9);
+  EXPECT_NEAR(corr(1, 0), 1.0, 1e-9);
+}
+
+TEST(Correlation, IndependentColumnsNearZero) {
+  util::Rng rng(49);
+  std::vector<ml::Matrix> per_user;
+  for (int u = 0; u < 5; ++u) {
+    ml::Matrix m(2000, 2);
+    for (std::size_t i = 0; i < 2000; ++i) {
+      m(i, 0) = rng.gaussian();
+      m(i, 1) = rng.gaussian();
+    }
+    per_user.push_back(std::move(m));
+  }
+  const ml::Matrix corr = average_feature_correlation(per_user);
+  EXPECT_NEAR(corr(0, 1), 0.0, 0.05);
+}
+
+TEST(CrossCorrelation, DetectsSharedDriver) {
+  util::Rng rng(50);
+  std::vector<ml::Matrix> a_users, b_users;
+  for (int u = 0; u < 3; ++u) {
+    ml::Matrix a(500, 1), b(500, 1);
+    for (std::size_t i = 0; i < 500; ++i) {
+      const double shared = rng.gaussian();
+      a(i, 0) = shared + 0.2 * rng.gaussian();
+      b(i, 0) = shared + 0.2 * rng.gaussian();
+    }
+    a_users.push_back(std::move(a));
+    b_users.push_back(std::move(b));
+  }
+  const ml::Matrix corr = average_cross_correlation(a_users, b_users);
+  EXPECT_GT(corr(0, 0), 0.85);
+}
+
+TEST(SelectionPipeline, DropsBadAndRedundantFeatures) {
+  // Synthetic 4-feature corpus:
+  //   f0 "good"      — user-specific mean
+  //   f1 "redundant" — 0.97-correlated copy of f0
+  //   f2 "good"      — independent user-specific mean
+  //   f3 "bad"       — same distribution for every user
+  util::Rng rng(51);
+  std::vector<ml::Matrix> per_user;
+  for (int u = 0; u < 6; ++u) {
+    ml::Matrix m(150, 4);
+    for (std::size_t i = 0; i < 150; ++i) {
+      const double f0 = rng.gaussian(u * 2.0, 1.0);
+      m(i, 0) = f0;
+      m(i, 1) = f0 * 1.5 + rng.gaussian(0.0, 0.2);
+      m(i, 2) = rng.gaussian(u * -1.5, 1.0);
+      m(i, 3) = rng.gaussian(0.0, 1.0);
+    }
+    per_user.push_back(std::move(m));
+  }
+  const SelectionReport report = run_feature_selection(per_user);
+  ASSERT_EQ(report.selected.size(), 2u);
+  EXPECT_EQ(static_cast<int>(report.selected[0]), 0);
+  EXPECT_EQ(static_cast<int>(report.selected[1]), 2);
+  EXPECT_LT(report.ks_significant_fraction[3], 0.5);
+  EXPECT_GT(report.max_redundant_correlation[1], 0.85);
+}
+
+}  // namespace
+}  // namespace sy::features

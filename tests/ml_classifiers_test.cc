@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "ml/dataset.h"
+#include "ml/knn.h"
+#include "ml/linreg.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "ml/svm.h"
+#include "util/rng.h"
+
+namespace sy::ml {
+namespace {
+
+Dataset blobs(std::size_t n_per_class, double separation, std::size_t dim,
+              util::Rng& rng) {
+  Dataset data;
+  std::vector<double> x(dim);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (auto& v : x) v = rng.gaussian(separation / 2.0, 1.0);
+    data.add(x, +1);
+    for (auto& v : x) v = rng.gaussian(-separation / 2.0, 1.0);
+    data.add(x, -1);
+  }
+  return data;
+}
+
+// The positive class forms a ring around the negative cluster — linearly
+// inseparable; kernel methods must win, linear methods must fail.
+Dataset ring(std::size_t n_per_class, util::Rng& rng) {
+  Dataset data;
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    const double angle = rng.uniform(0.0, 6.28318);
+    const double r = rng.gaussian(4.0, 0.3);
+    data.add(std::vector<double>{r * std::cos(angle), r * std::sin(angle)}, +1);
+    data.add(std::vector<double>{rng.gaussian(0.0, 0.8), rng.gaussian(0.0, 0.8)},
+             -1);
+  }
+  return data;
+}
+
+double accuracy(const BinaryClassifier& model, const Dataset& test) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (model.predict(test.x.row(i)) == test.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+TEST(Svm, SeparatesBlobs) {
+  util::Rng rng(61);
+  const Dataset train = blobs(80, 3.0, 4, rng);
+  SvmClassifier svm{SvmConfig{}};
+  svm.fit(train.x, train.y);
+  const Dataset test = blobs(100, 3.0, 4, rng);
+  EXPECT_GT(accuracy(svm, test), 0.95);
+  EXPECT_GT(svm.support_vector_count(), 0u);
+  EXPECT_LT(svm.support_vector_count(), train.size());
+}
+
+TEST(Svm, SolvesNonlinearRing) {
+  util::Rng rng(62);
+  const Dataset train = ring(120, rng);
+  SvmClassifier svm{SvmConfig{}};
+  svm.fit(train.x, train.y);
+  const Dataset test = ring(150, rng);
+  EXPECT_GT(accuracy(svm, test), 0.93);
+}
+
+TEST(Svm, Validation) {
+  SvmConfig bad;
+  bad.c = 0.0;
+  EXPECT_THROW(SvmClassifier{bad}, std::invalid_argument);
+  SvmClassifier svm{SvmConfig{}};
+  EXPECT_THROW((void)svm.decision(std::vector<double>{1.0}), std::logic_error);
+  Matrix x(2, 2);
+  EXPECT_THROW(svm.fit(x, {0, 1}), std::invalid_argument);
+}
+
+TEST(LinearRegression, SeparatesLinearBlobs) {
+  util::Rng rng(63);
+  const Dataset train = blobs(100, 3.0, 4, rng);
+  LinearRegressionClassifier lr;
+  lr.fit(train.x, train.y);
+  const Dataset test = blobs(100, 3.0, 4, rng);
+  EXPECT_GT(accuracy(lr, test), 0.95);
+}
+
+TEST(LinearRegression, FailsOnRing) {
+  // This is the paper's Table VI story: linear models cannot enclose a
+  // cluster, kernel methods can.
+  util::Rng rng(64);
+  const Dataset train = ring(150, rng);
+  LinearRegressionClassifier lr;
+  lr.fit(train.x, train.y);
+  const Dataset test = ring(150, rng);
+  EXPECT_LT(accuracy(lr, test), 0.75);
+}
+
+TEST(LinearRegression, LearnsIntercept) {
+  // All-positive features with a shifted boundary need the intercept.
+  util::Rng rng(65);
+  Dataset train;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    train.add(std::vector<double>{x}, x > 6.0 ? 1 : -1);
+  }
+  LinearRegressionClassifier lr;
+  lr.fit(train.x, train.y);
+  EXPECT_EQ(lr.predict(std::vector<double>{9.0}), 1);
+  EXPECT_EQ(lr.predict(std::vector<double>{1.0}), -1);
+}
+
+TEST(NaiveBayes, SeparatesBlobs) {
+  util::Rng rng(66);
+  const Dataset train = blobs(100, 3.0, 4, rng);
+  NaiveBayesClassifier nb;
+  nb.fit(train.x, train.y);
+  const Dataset test = blobs(100, 3.0, 4, rng);
+  EXPECT_GT(accuracy(nb, test), 0.95);
+}
+
+TEST(NaiveBayes, UsesClassVariances) {
+  // One tight and one wide class on the same mean axis: NB must pick the
+  // tight class near the shared mean.
+  util::Rng rng(67);
+  Dataset train;
+  for (int i = 0; i < 400; ++i) {
+    train.add(std::vector<double>{rng.gaussian(0.0, 0.5)}, +1);
+    train.add(std::vector<double>{rng.gaussian(0.0, 5.0)}, -1);
+  }
+  NaiveBayesClassifier nb;
+  nb.fit(train.x, train.y);
+  EXPECT_EQ(nb.predict(std::vector<double>{0.1}), 1);
+  EXPECT_EQ(nb.predict(std::vector<double>{8.0}), -1);
+}
+
+TEST(NaiveBayes, RequiresBothClasses) {
+  Matrix x(2, 1);
+  NaiveBayesClassifier nb;
+  EXPECT_THROW(nb.fit(x, {1, 1}), std::invalid_argument);
+}
+
+TEST(Knn, SeparatesBlobsAndRing) {
+  util::Rng rng(68);
+  const Dataset train = ring(150, rng);
+  KnnClassifier knn{KnnConfig{5}};
+  knn.fit(train.x, train.y);
+  const Dataset test = ring(100, rng);
+  EXPECT_GT(accuracy(knn, test), 0.92);
+}
+
+TEST(Knn, DecisionIsMeanLabel) {
+  Dataset train;
+  train.add(std::vector<double>{0.0}, +1);
+  train.add(std::vector<double>{0.1}, +1);
+  train.add(std::vector<double>{10.0}, -1);
+  KnnClassifier knn{KnnConfig{3}};
+  knn.fit(train.x, train.y);
+  EXPECT_NEAR(knn.decision(std::vector<double>{0.05}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Knn, KZeroThrows) {
+  EXPECT_THROW(KnnClassifier{KnnConfig{0}}, std::invalid_argument);
+}
+
+TEST(RandomForest, MultiClassSeparation) {
+  util::Rng rng(69);
+  Dataset train;
+  std::vector<double> x(3);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 120; ++i) {
+      for (auto& v : x) v = rng.gaussian(3.0 * c, 0.8);
+      train.add(x, c);
+    }
+  }
+  RandomForest forest{RandomForestConfig{}};
+  forest.fit(train.x, train.y);
+
+  std::size_t correct = 0, total = 0;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 100; ++i) {
+      for (auto& v : x) v = rng.gaussian(3.0 * c, 0.8);
+      if (forest.predict(x) == c) ++correct;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.95);
+}
+
+TEST(RandomForest, ProbaSumsToOne) {
+  util::Rng rng(70);
+  Dataset train;
+  for (int i = 0; i < 50; ++i) {
+    train.add(std::vector<double>{rng.gaussian(0.0, 1.0)}, 0);
+    train.add(std::vector<double>{rng.gaussian(4.0, 1.0)}, 1);
+  }
+  RandomForest forest{RandomForestConfig{}};
+  forest.fit(train.x, train.y);
+  const auto p = forest.predict_proba(std::vector<double>{2.0});
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
+}
+
+TEST(RandomForest, DeterministicGivenSeed) {
+  util::Rng rng(71);
+  Dataset train;
+  for (int i = 0; i < 100; ++i) {
+    train.add(std::vector<double>{rng.gaussian(0.0, 1.0), rng.gaussian()}, 0);
+    train.add(std::vector<double>{rng.gaussian(3.0, 1.0), rng.gaussian()}, 1);
+  }
+  RandomForestConfig config;
+  config.seed = 99;
+  RandomForest a(config), b(config);
+  a.fit(train.x, train.y);
+  b.fit(train.x, train.y);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x{rng.uniform(-2.0, 5.0), rng.gaussian()};
+    EXPECT_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+TEST(DecisionTree, PureLeafShortcut) {
+  Dataset train;
+  for (int i = 0; i < 10; ++i) train.add(std::vector<double>{1.0 * i}, 0);
+  DecisionTree tree{DecisionTreeConfig{}};
+  tree.fit(train.x, train.y);
+  EXPECT_EQ(tree.node_count(), 1u);  // all same label -> single leaf
+  EXPECT_EQ(tree.predict(std::vector<double>{5.0}), 0);
+}
+
+TEST(DecisionTree, AxisAlignedSplit) {
+  Dataset train;
+  for (int i = 0; i < 50; ++i) {
+    train.add(std::vector<double>{static_cast<double>(i)}, i < 25 ? 0 : 1);
+  }
+  DecisionTree tree{DecisionTreeConfig{}};
+  tree.fit(train.x, train.y);
+  EXPECT_EQ(tree.predict(std::vector<double>{10.0}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{40.0}), 1);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  util::Rng rng(72);
+  Dataset train;
+  for (int i = 0; i < 200; ++i) {
+    train.add(std::vector<double>{rng.uniform(0.0, 1.0)},
+              rng.uniform() < 0.5 ? 0 : 1);  // pure noise
+  }
+  DecisionTreeConfig config;
+  config.max_depth = 2;
+  DecisionTree tree(config);
+  tree.fit(train.x, train.y);
+  // Depth 2 allows at most 3 internal + 4 leaf nodes.
+  EXPECT_LE(tree.node_count(), 7u);
+}
+
+TEST(CloneUntrained, ProducesIndependentFreshModels) {
+  util::Rng rng(73);
+  const Dataset train = blobs(40, 3.0, 2, rng);
+  SvmClassifier svm{SvmConfig{}};
+  svm.fit(train.x, train.y);
+  const auto clone = svm.clone_untrained();
+  EXPECT_THROW((void)clone->decision(std::vector<double>{0.0, 0.0}),
+               std::logic_error);
+  clone->fit(train.x, train.y);
+  EXPECT_EQ(clone->predict(train.x.row(0)), svm.predict(train.x.row(0)));
+}
+
+}  // namespace
+}  // namespace sy::ml

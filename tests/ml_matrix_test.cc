@@ -1,0 +1,172 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/linalg.h"
+#include "util/rng.h"
+
+namespace sy::ml {
+namespace {
+
+Matrix random_spd(std::size_t n, util::Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.gaussian();
+  }
+  Matrix spd = a * a.transpose();
+  spd.add_diagonal(static_cast<double>(n));  // well conditioned
+  return spd;
+}
+
+TEST(Matrix, IdentityAndIndexing) {
+  const Matrix eye = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(eye(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 1), 0.0);
+  EXPECT_EQ(eye.rows(), 3u);
+  EXPECT_EQ(eye.cols(), 3u);
+}
+
+TEST(Matrix, FromRowsAndRaggedThrows) {
+  const Matrix m = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW((void)Matrix::from_rows({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW((void)(a * b), std::invalid_argument);
+}
+
+TEST(Matrix, MatVec) {
+  const Matrix a = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const std::vector<double> v{1, 0, -1};
+  const auto out = a * std::span<const double>(v);
+  EXPECT_DOUBLE_EQ(out[0], -2.0);
+  EXPECT_DOUBLE_EQ(out[1], -2.0);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  util::Rng rng(31);
+  Matrix a(4, 7);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) a(i, j) = rng.gaussian();
+  }
+  const Matrix att = a.transpose().transpose();
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) EXPECT_DOUBLE_EQ(att(i, j), a(i, j));
+  }
+}
+
+TEST(Matrix, SelectRowsAndAppend) {
+  Matrix m;
+  m.append_row(std::vector<double>{1, 2});
+  m.append_row(std::vector<double>{3, 4});
+  m.append_row(std::vector<double>{5, 6});
+  const std::vector<std::size_t> idx{2, 0};
+  const Matrix s = m.select_rows(idx);
+  EXPECT_DOUBLE_EQ(s(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 2.0);
+  EXPECT_THROW(m.append_row(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Dot, MatchesManual) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 27.0);
+}
+
+TEST(Cholesky, ReconstructsMatrix) {
+  util::Rng rng(32);
+  const Matrix a = random_spd(8, rng);
+  const Matrix l = cholesky(a);
+  const Matrix rebuilt = l * l.transpose();
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(rebuilt(i, j), a(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a = Matrix::identity(2);
+  a(1, 1) = -1.0;
+  EXPECT_THROW((void)cholesky(a), std::runtime_error);
+}
+
+TEST(SolveSpd, SolvesKnownSystem) {
+  const Matrix a = Matrix::from_rows({{4, 1}, {1, 3}});
+  const std::vector<double> b{1, 2};
+  const auto x = solve_spd(a, b);
+  // Verify A x = b.
+  EXPECT_NEAR(4 * x[0] + 1 * x[1], 1.0, 1e-12);
+  EXPECT_NEAR(1 * x[0] + 3 * x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLu, MatchesSpdSolveOnSpdSystems) {
+  util::Rng rng(33);
+  const Matrix a = random_spd(10, rng);
+  std::vector<double> b(10);
+  for (auto& v : b) v = rng.gaussian();
+  const auto x1 = solve_spd(a, b);
+  const auto x2 = solve_lu(a, b);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-8);
+}
+
+TEST(SolveLu, HandlesPivoting) {
+  // Requires row exchange (zero on the diagonal).
+  const Matrix a = Matrix::from_rows({{0, 1}, {1, 0}});
+  const auto x = solve_lu(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLu, SingularThrows) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {2, 4}});
+  EXPECT_THROW((void)solve_lu(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(InvertSpd, ProducesInverse) {
+  util::Rng rng(34);
+  const Matrix a = random_spd(6, rng);
+  const Matrix inv = invert_spd(a);
+  const Matrix prod = a * inv;
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+// Solve residual across sizes.
+class SolveSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SolveSizes, ResidualIsSmall) {
+  util::Rng rng(GetParam() * 7 + 1);
+  const std::size_t n = GetParam();
+  const Matrix a = random_spd(n, rng);
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.gaussian();
+  const auto x = solve_spd(a, b);
+  const auto ax = a * std::span<const double>(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolveSizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+}  // namespace
+}  // namespace sy::ml

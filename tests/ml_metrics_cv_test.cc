@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ml/cross_validation.h"
+#include "ml/dataset.h"
+#include "ml/krr.h"
+#include "ml/metrics.h"
+#include "ml/scaler.h"
+#include "util/rng.h"
+
+namespace sy::ml {
+namespace {
+
+TEST(BinaryCounts, RatesFromKnownCounts) {
+  BinaryCounts c;
+  // 90 genuine accepted, 10 rejected; 95 impostors rejected, 5 accepted.
+  for (int i = 0; i < 90; ++i) c.add(1, 1);
+  for (int i = 0; i < 10; ++i) c.add(1, -1);
+  for (int i = 0; i < 95; ++i) c.add(-1, -1);
+  for (int i = 0; i < 5; ++i) c.add(-1, 1);
+  EXPECT_DOUBLE_EQ(c.frr(), 0.10);
+  EXPECT_DOUBLE_EQ(c.far(), 0.05);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 1.0 - (0.10 + 0.05) / 2.0);
+  EXPECT_DOUBLE_EQ(c.raw_accuracy(), 185.0 / 200.0);
+  EXPECT_EQ(c.total(), 200u);
+}
+
+TEST(BinaryCounts, InvalidTruthThrows) {
+  BinaryCounts c;
+  EXPECT_THROW(c.add(0, 1), std::invalid_argument);
+}
+
+TEST(BinaryCounts, MergeAccumulates) {
+  BinaryCounts a, b;
+  a.add(1, 1);
+  b.add(-1, 1);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(a.false_accept, 1u);
+}
+
+// The paper's accuracy identity, checked against every published row of
+// Tables VI and VII.
+struct PaperRow {
+  double frr, far, accuracy;
+};
+class PaperAccuracyIdentity : public ::testing::TestWithParam<PaperRow> {};
+
+TEST_P(PaperAccuracyIdentity, AccuracyEqualsOneMinusMeanError) {
+  const auto& row = GetParam();
+  EXPECT_NEAR(1.0 - (row.far + row.frr) / 2.0, row.accuracy, 0.0011);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PublishedRows, PaperAccuracyIdentity,
+    ::testing::Values(PaperRow{0.009, 0.028, 0.981},   // Table VI KRR
+                      PaperRow{0.027, 0.025, 0.974},   // Table VI SVM
+                      PaperRow{0.127, 0.146, 0.863},   // Table VI LinReg
+                      PaperRow{0.108, 0.139, 0.876},   // Table VI NaiveBayes
+                      PaperRow{0.154, 0.174, 0.836},   // Table VII row 1
+                      PaperRow{0.073, 0.093, 0.917},   // Table VII row 2
+                      PaperRow{0.051, 0.083, 0.933},   // Table VII row 3
+                      PaperRow{0.009, 0.028, 0.981})); // Table VII row 4
+
+TEST(EqualErrorRate, PerfectSeparationIsZero) {
+  const std::vector<double> legit{5.0, 6.0, 7.0};
+  const std::vector<double> impostor{-3.0, -2.0, -1.0};
+  EXPECT_NEAR(equal_error_rate(legit, impostor), 0.0, 1e-12);
+}
+
+TEST(EqualErrorRate, FullOverlapNearHalf) {
+  util::Rng rng(81);
+  std::vector<double> a(2000), b(2000);
+  for (auto& v : a) v = rng.gaussian();
+  for (auto& v : b) v = rng.gaussian();
+  EXPECT_NEAR(equal_error_rate(a, b), 0.5, 0.05);
+}
+
+TEST(EqualErrorRate, EmptyThrows) {
+  EXPECT_THROW((void)equal_error_rate({}, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, RatesAndAccuracy) {
+  ConfusionMatrix m(2);
+  for (int i = 0; i < 99; ++i) m.add(0, 0);
+  m.add(0, 1);
+  for (int i = 0; i < 94; ++i) m.add(1, 1);
+  for (int i = 0; i < 6; ++i) m.add(1, 0);
+  EXPECT_DOUBLE_EQ(m.rate(0, 0), 0.99);
+  EXPECT_DOUBLE_EQ(m.rate(1, 0), 0.06);
+  EXPECT_NEAR(m.accuracy(), 193.0 / 200.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, ZeroClassesThrows) {
+  EXPECT_THROW(ConfusionMatrix{0}, std::invalid_argument);
+}
+
+TEST(StandardScaler, ZeroMeanUnitVariance) {
+  util::Rng rng(82);
+  Matrix x(500, 3);
+  for (std::size_t i = 0; i < 500; ++i) {
+    x(i, 0) = rng.gaussian(10.0, 5.0);
+    x(i, 1) = rng.gaussian(-3.0, 0.1);
+    x(i, 2) = 7.0;  // constant column
+  }
+  StandardScaler scaler;
+  scaler.fit(x);
+  const Matrix t = scaler.transform(x);
+  for (std::size_t j = 0; j < 2; ++j) {
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t i = 0; i < 500; ++i) {
+      sum += t(i, j);
+      sum2 += t(i, j) * t(i, j);
+    }
+    EXPECT_NEAR(sum / 500.0, 0.0, 1e-9);
+    EXPECT_NEAR(sum2 / 500.0, 1.0, 1e-6);
+  }
+  // Constant column centered, not blown up.
+  EXPECT_NEAR(t(0, 2), 0.0, 1e-12);
+}
+
+TEST(StandardScaler, PackUnpackRoundTrip) {
+  util::Rng rng(83);
+  Matrix x(50, 4);
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) x(i, j) = rng.gaussian(j * 2.0, 1.0);
+  }
+  StandardScaler scaler;
+  scaler.fit(x);
+  const StandardScaler restored = StandardScaler::unpack(scaler.pack());
+  const std::vector<double> probe{1.0, 2.0, 3.0, 4.0};
+  const auto a = scaler.transform(probe);
+  const auto b = restored.transform(probe);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(a[j], b[j]);
+}
+
+TEST(StandardScaler, DimensionMismatchThrows) {
+  StandardScaler scaler;
+  Matrix x(10, 2, 1.0);
+  scaler.fit(x);
+  EXPECT_THROW((void)scaler.transform(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+// Stratified fold properties across k.
+class StratifiedFolds : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StratifiedFolds, PartitionCoverageAndBalance) {
+  const std::size_t k = GetParam();
+  util::Rng rng(84);
+  std::vector<int> labels;
+  for (int i = 0; i < 100; ++i) labels.push_back(+1);
+  for (int i = 0; i < 100; ++i) labels.push_back(-1);
+
+  const auto folds = stratified_folds(labels, k, rng);
+  ASSERT_EQ(folds.size(), k);
+
+  std::set<std::size_t> seen;
+  for (const auto& fold : folds) {
+    for (const std::size_t i : fold) {
+      EXPECT_TRUE(seen.insert(i).second) << "index appears twice";
+    }
+    // Stratification: each fold's positive share within 20% of global.
+    std::size_t pos = 0;
+    for (const std::size_t i : fold) {
+      if (labels[i] == 1) ++pos;
+    }
+    const double share = static_cast<double>(pos) / static_cast<double>(fold.size());
+    EXPECT_NEAR(share, 0.5, 0.2);
+  }
+  EXPECT_EQ(seen.size(), labels.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, StratifiedFolds, ::testing::Values(2, 3, 5, 10));
+
+TEST(CrossValidate, NearPerfectOnSeparableData) {
+  util::Rng rng(85);
+  Dataset data;
+  std::vector<double> x(3);
+  for (int i = 0; i < 150; ++i) {
+    for (auto& v : x) v = rng.gaussian(2.0, 0.5);
+    data.add(x, +1);
+    for (auto& v : x) v = rng.gaussian(-2.0, 0.5);
+    data.add(x, -1);
+  }
+  const KrrClassifier krr{KrrConfig{}};
+  CvOptions options;
+  options.folds = 5;
+  const CvResult result = cross_validate(krr, data, options, rng);
+  EXPECT_LT(result.mean_frr, 0.02);
+  EXPECT_LT(result.mean_far, 0.02);
+  EXPECT_GT(result.mean_accuracy, 0.98);
+  EXPECT_EQ(result.counts.total(), data.size());
+}
+
+TEST(CrossValidate, IterationsAccumulateCounts) {
+  util::Rng rng(86);
+  Dataset data;
+  for (int i = 0; i < 40; ++i) {
+    data.add(std::vector<double>{rng.gaussian(1.0, 1.0)}, +1);
+    data.add(std::vector<double>{rng.gaussian(-1.0, 1.0)}, -1);
+  }
+  const KrrClassifier krr{KrrConfig{}};
+  CvOptions options;
+  options.folds = 4;
+  options.iterations = 3;
+  const CvResult result = cross_validate(krr, data, options, rng);
+  EXPECT_EQ(result.counts.total(), 3 * data.size());
+  EXPECT_EQ(result.iterations, 3u);
+}
+
+}  // namespace
+}  // namespace sy::ml

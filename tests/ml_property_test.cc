@@ -1,0 +1,199 @@
+// Property-style sweeps over the ML substrate: invariants that must hold
+// for every size/dimension combination, not just the unit-test examples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/cross_validation.h"
+#include "ml/dataset.h"
+#include "ml/kernel.h"
+#include "ml/krr.h"
+#include "ml/linalg.h"
+#include "util/rng.h"
+
+namespace sy::ml {
+namespace {
+
+struct Shape {
+  std::size_t n;
+  std::size_t dim;
+};
+
+class GramProperties
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GramProperties, GramIsSymmetricPositiveSemiDefinite) {
+  const auto [n, dim, kernel_kind] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(n * 131 + dim * 7 + kernel_kind));
+  Matrix x(static_cast<std::size_t>(n), static_cast<std::size_t>(dim));
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) x(i, j) = rng.gaussian();
+  }
+  const Kernel kernel =
+      kernel_kind == 0 ? Kernel::linear() : Kernel::rbf();
+  Matrix k = gram_matrix(x, kernel);
+
+  for (std::size_t i = 0; i < k.rows(); ++i) {
+    for (std::size_t j = 0; j < k.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(k(i, j), k(j, i));
+    }
+  }
+  // PSD: K + eps*I must admit a Cholesky factorization.
+  k.add_diagonal(1e-8);
+  EXPECT_NO_THROW((void)cholesky(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GramProperties,
+                         ::testing::Combine(::testing::Values(2, 5, 17, 40),
+                                            ::testing::Values(1, 3, 14, 28),
+                                            ::testing::Values(0, 1)));
+
+class KrrEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(KrrEquivalence, DualEqualsPrimalForAnyDimension) {
+  const int dim = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(400 + dim));
+  Dataset data;
+  std::vector<double> x(static_cast<std::size_t>(dim));
+  for (int i = 0; i < 40; ++i) {
+    for (auto& v : x) v = rng.gaussian(1.0, 1.0);
+    data.add(x, +1);
+    for (auto& v : x) v = rng.gaussian(-1.0, 1.0);
+    data.add(x, -1);
+  }
+  KrrConfig dual_config;
+  dual_config.kernel = Kernel::linear();
+  dual_config.path = KrrSolvePath::kDual;
+  KrrConfig primal_config = dual_config;
+  primal_config.path = KrrSolvePath::kPrimal;
+  KrrClassifier dual(dual_config), primal(primal_config);
+  dual.fit(data.x, data.y);
+  primal.fit(data.x, data.y);
+  for (int trial = 0; trial < 20; ++trial) {
+    for (auto& v : x) v = rng.gaussian(0.0, 2.0);
+    EXPECT_NEAR(dual.decision(x), primal.decision(x), 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, KrrEquivalence,
+                         ::testing::Values(1, 2, 5, 14, 28));
+
+class DatasetOps : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DatasetOps, SubsetAppendShuffleInvariants) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n * 31 + 5);
+  Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    data.add(std::vector<double>{static_cast<double>(i), rng.gaussian()},
+             i % 2 == 0 ? +1 : -1);
+  }
+  // Shuffle preserves the multiset of (feature, label) pairs.
+  Dataset shuffled = data;
+  shuffled.shuffle(rng);
+  ASSERT_EQ(shuffled.size(), data.size());
+  double sum_before = 0.0, sum_after = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum_before += data.x(i, 0) * data.y[i];
+    sum_after += shuffled.x(i, 0) * shuffled.y[i];
+  }
+  EXPECT_NEAR(sum_before, sum_after, 1e-9);
+
+  // Append grows by exactly the other set.
+  Dataset combined = data;
+  combined.append(shuffled);
+  EXPECT_EQ(combined.size(), 2 * n);
+  EXPECT_EQ(combined.count_label(+1), 2 * data.count_label(+1));
+
+  // train_test_split partitions.
+  if (n >= 10) {
+    const auto [train, test] = train_test_split(data, 0.7, rng);
+    EXPECT_EQ(train.size() + test.size(), data.size());
+    EXPECT_GT(train.size(), test.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DatasetOps, ::testing::Values(2, 8, 10, 64, 201));
+
+TEST(DatasetOps, BalancedSubsampleCaps) {
+  util::Rng rng(77);
+  Dataset data;
+  for (int i = 0; i < 50; ++i) data.add(std::vector<double>{1.0 * i}, +1);
+  for (int i = 0; i < 10; ++i) data.add(std::vector<double>{-1.0 * i}, -1);
+  const Dataset balanced = balanced_subsample(data, 20, rng);
+  EXPECT_EQ(balanced.count_label(+1), 20u);
+  EXPECT_EQ(balanced.count_label(-1), 10u);  // fewer available than cap
+}
+
+class CvDeterminism : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CvDeterminism, SameSeedSameResult) {
+  const std::size_t folds = GetParam();
+  util::Rng data_rng(88);
+  Dataset data;
+  for (int i = 0; i < 60; ++i) {
+    data.add(std::vector<double>{data_rng.gaussian(1.0, 1.0)}, +1);
+    data.add(std::vector<double>{data_rng.gaussian(-1.0, 1.0)}, -1);
+  }
+  const KrrClassifier krr{KrrConfig{}};
+  CvOptions options;
+  options.folds = folds;
+  util::Rng rng1(99), rng2(99);
+  const CvResult a = cross_validate(krr, data, options, rng1);
+  const CvResult b = cross_validate(krr, data, options, rng2);
+  EXPECT_EQ(a.counts.false_accept, b.counts.false_accept);
+  EXPECT_EQ(a.counts.false_reject, b.counts.false_reject);
+  EXPECT_DOUBLE_EQ(a.mean_accuracy, b.mean_accuracy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Folds, CvDeterminism, ::testing::Values(2, 3, 5, 10));
+
+TEST(LinalgProperty, SolveInverseConsistency) {
+  // invert_spd(A) * b == solve_spd(A, b) across random SPD systems.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t n = 3 + seed;
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.gaussian();
+    }
+    Matrix spd = a * a.transpose();
+    spd.add_diagonal(static_cast<double>(n));
+    std::vector<double> b(n);
+    for (auto& v : b) v = rng.gaussian();
+
+    const auto direct = solve_spd(spd, b);
+    const auto via_inverse = invert_spd(spd) * std::span<const double>(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(direct[i], via_inverse[i], 1e-8);
+    }
+  }
+}
+
+TEST(KrrProperty, DecisionIsLinearInLabelsForLinearKernel) {
+  // With the linear kernel, flipping all labels flips all decisions.
+  util::Rng rng(123);
+  Dataset data;
+  std::vector<double> x(4);
+  for (int i = 0; i < 30; ++i) {
+    for (auto& v : x) v = rng.gaussian(1.0, 1.0);
+    data.add(x, +1);
+    for (auto& v : x) v = rng.gaussian(-1.0, 1.0);
+    data.add(x, -1);
+  }
+  Dataset flipped = data;
+  for (auto& label : flipped.y) label = -label;
+
+  KrrConfig config;
+  config.kernel = Kernel::linear();
+  KrrClassifier a(config), b(config);
+  a.fit(data.x, data.y);
+  b.fit(flipped.x, flipped.y);
+  for (int trial = 0; trial < 20; ++trial) {
+    for (auto& v : x) v = rng.gaussian(0.0, 2.0);
+    EXPECT_NEAR(a.decision(x), -b.decision(x), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sy::ml

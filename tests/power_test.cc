@@ -1,0 +1,78 @@
+#include "power/power_model.h"
+
+#include <gtest/gtest.h>
+
+namespace sy::power {
+namespace {
+
+TEST(PowerModel, Table8ScenariosMatchPaper) {
+  const PowerModel model;
+  const auto scenarios = PowerModel::table8_scenarios();
+  ASSERT_EQ(scenarios.size(), 4u);
+
+  const double expected[] = {0.028, 0.049, 0.052, 0.076};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const DrainResult r = model.run(scenarios[i]);
+    EXPECT_NEAR(r.battery_fraction, expected[i], 0.004)
+        << scenarios[i].name;
+  }
+}
+
+TEST(PowerModel, SmarterYouOverheadMatchesPaperDeltas) {
+  const PowerModel model;
+  const auto scenarios = PowerModel::table8_scenarios();
+  const double locked_delta = model.run(scenarios[1]).battery_fraction -
+                              model.run(scenarios[0]).battery_fraction;
+  const double active_delta = model.run(scenarios[3]).battery_fraction -
+                              model.run(scenarios[2]).battery_fraction;
+  // Paper: +2.1% locked over 12 h, +2.4% in-use over 1 h.
+  EXPECT_NEAR(locked_delta, 0.021, 0.003);
+  EXPECT_NEAR(active_delta, 0.024, 0.003);
+}
+
+TEST(PowerModel, MonotoneInDurationAndUsage) {
+  const PowerModel model;
+  Scenario s;
+  s.name = "probe";
+  s.duration_hours = 1.0;
+  s.screen_on_fraction = 0.0;
+  const double idle = model.run(s).battery_fraction;
+  s.duration_hours = 2.0;
+  EXPECT_GT(model.run(s).battery_fraction, idle);
+  s.duration_hours = 1.0;
+  s.screen_on_fraction = 0.5;
+  EXPECT_GT(model.run(s).battery_fraction, idle);
+}
+
+TEST(PowerModel, SmarterYouAlwaysCostsSomething) {
+  const PowerModel model;
+  for (double usage : {0.0, 0.25, 0.5, 1.0}) {
+    Scenario off{"off", 1.0, usage, false};
+    Scenario on{"on", 1.0, usage, true};
+    EXPECT_GT(model.run(on).battery_fraction,
+              model.run(off).battery_fraction);
+  }
+}
+
+TEST(PowerModel, Validation) {
+  const PowerModel model;
+  Scenario bad{"bad", -1.0, 0.0, false};
+  EXPECT_THROW((void)model.run(bad), std::invalid_argument);
+  Scenario bad2{"bad2", 1.0, 1.5, false};
+  EXPECT_THROW((void)model.run(bad2), std::invalid_argument);
+  PowerBudget broken;
+  broken.battery_mwh = 0.0;
+  EXPECT_THROW(PowerModel{broken}, std::invalid_argument);
+}
+
+TEST(PowerModel, ConsumedEnergyConsistent) {
+  const PowerModel model;
+  Scenario s{"probe", 3.0, 0.0, false};
+  const DrainResult r = model.run(s);
+  EXPECT_NEAR(r.consumed_mwh, model.budget().base_idle * 3.0, 1e-9);
+  EXPECT_NEAR(r.battery_fraction,
+              r.consumed_mwh / model.budget().battery_mwh, 1e-12);
+}
+
+}  // namespace
+}  // namespace sy::power

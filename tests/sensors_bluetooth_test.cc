@@ -1,0 +1,107 @@
+#include "sensors/bluetooth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sensors/motion_model.h"
+#include "sensors/population.h"
+#include "signal/stats.h"
+
+namespace sy::sensors {
+namespace {
+
+Recording make_watch_recording(double duration = 20.0, std::uint64_t seed = 3) {
+  util::Rng rng(seed);
+  const UserProfile user = UserProfile::sample(0, rng);
+  const SessionEnvironment env =
+      SessionEnvironment::sample(UsageContext::kMoving, rng);
+  SynthesisOptions options;
+  options.duration_seconds = duration;
+  return synthesize_session(user, UsageContext::kMoving, env, options, rng)
+      .watch;
+}
+
+TEST(Bluetooth, LosslessLinkPreservesSignalClosely) {
+  const Recording watch = make_watch_recording();
+  BluetoothConfig config;
+  config.drop_rate = 0.0;
+  config.latency_jitter_ms = 0.0;
+  const BluetoothLink link(config);
+  util::Rng rng(5);
+  const auto result = link.transmit(watch, rng);
+  EXPECT_EQ(result.dropped, 0u);
+  EXPECT_EQ(result.recording.samples(), watch.samples());
+  // Reconstruction on capture timestamps is exact without loss.
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < watch.samples(); ++i) {
+    max_err = std::max(max_err,
+                       std::abs(result.recording.accel.x[i] - watch.accel.x[i]));
+  }
+  EXPECT_LT(max_err, 1e-9);
+}
+
+TEST(Bluetooth, DropsAreAccountedAndFilled) {
+  const Recording watch = make_watch_recording();
+  BluetoothConfig config;
+  config.drop_rate = 0.10;
+  const BluetoothLink link(config);
+  util::Rng rng(7);
+  const auto result = link.transmit(watch, rng);
+  EXPECT_GT(result.dropped, 0u);
+  EXPECT_NEAR(static_cast<double>(result.dropped) /
+                  static_cast<double>(result.sent),
+              0.10, 0.03);
+  // Stream stays the same length: gaps are interpolated/held, not skipped.
+  EXPECT_EQ(result.recording.samples(), watch.samples());
+}
+
+TEST(Bluetooth, ModerateLossPreservesSignalShape) {
+  const Recording watch = make_watch_recording(30.0);
+  BluetoothConfig config;
+  config.drop_rate = 0.02;
+  const BluetoothLink link(config);
+  util::Rng rng(9);
+  const auto result = link.transmit(watch, rng);
+
+  const auto original = watch.accel.magnitude();
+  const auto received = result.recording.accel.magnitude();
+  // Correlation across the stream should stay very high.
+  EXPECT_GT(signal::pearson(original, received), 0.98);
+}
+
+TEST(Bluetooth, TotalLossYieldsGapTicks) {
+  const Recording watch = make_watch_recording(5.0);
+  BluetoothConfig config;
+  config.drop_rate = 1.0;
+  const BluetoothLink link(config);
+  util::Rng rng(11);
+  const auto result = link.transmit(watch, rng);
+  EXPECT_EQ(result.dropped, result.sent);
+  EXPECT_GT(result.gap_ticks, 0u);
+}
+
+TEST(Bluetooth, DeterministicGivenRng) {
+  const Recording watch = make_watch_recording(10.0);
+  const BluetoothLink link{BluetoothConfig{}};
+  util::Rng rng1(13), rng2(13);
+  const auto a = link.transmit(watch, rng1);
+  const auto b = link.transmit(watch, rng2);
+  EXPECT_EQ(a.dropped, b.dropped);
+  for (std::size_t i = 0; i < a.recording.samples(); i += 23) {
+    EXPECT_DOUBLE_EQ(a.recording.accel.y[i], b.recording.accel.y[i]);
+  }
+}
+
+TEST(Bluetooth, PreservesMetadata) {
+  const Recording watch = make_watch_recording(5.0);
+  const BluetoothLink link{BluetoothConfig{}};
+  util::Rng rng(15);
+  const auto result = link.transmit(watch, rng);
+  EXPECT_EQ(result.recording.device, DeviceKind::kSmartwatch);
+  EXPECT_EQ(result.recording.context, UsageContext::kMoving);
+  EXPECT_DOUBLE_EQ(result.recording.sample_rate_hz, watch.sample_rate_hz);
+}
+
+}  // namespace
+}  // namespace sy::sensors

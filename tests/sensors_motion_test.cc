@@ -1,0 +1,243 @@
+#include "sensors/motion_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sensors/device.h"
+#include "sensors/population.h"
+#include "sensors/session.h"
+#include "sensors/tuning.h"
+#include "signal/spectrum.h"
+#include "signal/stats.h"
+
+namespace sy::sensors {
+namespace {
+
+UserProfile test_user(std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  return UserProfile::sample(0, rng);
+}
+
+DevicePair synthesize(UsageContext context, double duration = 30.0,
+                      bool env_sensors = false, std::uint64_t seed = 5) {
+  const UserProfile user = test_user();
+  util::Rng rng(seed);
+  const SessionEnvironment env = SessionEnvironment::sample(context, rng);
+  SynthesisOptions options;
+  options.duration_seconds = duration;
+  options.include_environmental = env_sensors;
+  return synthesize_session(user, context, env, options, rng);
+}
+
+TEST(MotionModel, TraceLengthsMatchDuration) {
+  const DevicePair pair = synthesize(UsageContext::kMoving, 10.0, true);
+  EXPECT_EQ(pair.phone.samples(), 500u);  // 10 s @ 50 Hz
+  EXPECT_EQ(pair.watch.samples(), 500u);
+  EXPECT_EQ(pair.phone.mag.size(), 500u);
+  EXPECT_EQ(pair.phone.orient.size(), 500u);
+  EXPECT_EQ(pair.phone.light.size(), 500u);
+  EXPECT_NEAR(pair.phone.duration_seconds(), 10.0, 1e-9);
+}
+
+TEST(MotionModel, EnvironmentalSkippedByDefault) {
+  const DevicePair pair = synthesize(UsageContext::kMoving, 5.0, false);
+  EXPECT_EQ(pair.phone.mag.size(), 0u);
+  EXPECT_EQ(pair.phone.light.size(), 0u);
+  EXPECT_EQ(pair.phone.accel.size(), 250u);
+}
+
+TEST(MotionModel, AccelMagnitudeCentersOnGravity) {
+  const DevicePair pair = synthesize(UsageContext::kStationaryUse, 60.0);
+  const auto mag = pair.phone.accel.magnitude();
+  EXPECT_NEAR(signal::mean(mag), tuning::kGravity, 0.6);
+}
+
+TEST(MotionModel, MovingHasMoreEnergyThanStationary) {
+  const DevicePair moving = synthesize(UsageContext::kMoving, 30.0);
+  const DevicePair stationary = synthesize(UsageContext::kStationaryUse, 30.0);
+  const double var_moving = signal::variance(moving.phone.accel.magnitude());
+  const double var_stationary =
+      signal::variance(stationary.phone.accel.magnitude());
+  EXPECT_GT(var_moving, 4.0 * var_stationary);
+}
+
+TEST(MotionModel, OnTableIsQuietest) {
+  const DevicePair table = synthesize(UsageContext::kOnTable, 30.0);
+  const DevicePair hold = synthesize(UsageContext::kStationaryUse, 30.0);
+  EXPECT_LT(signal::variance(table.phone.gyro.magnitude()),
+            signal::variance(hold.phone.gyro.magnitude()));
+}
+
+TEST(MotionModel, VehicleAddsRumbleOverHold) {
+  double vehicle_var = 0.0, hold_var = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    vehicle_var += signal::variance(
+        synthesize(UsageContext::kVehicle, 30.0, false, seed)
+            .phone.accel.magnitude());
+    hold_var += signal::variance(
+        synthesize(UsageContext::kStationaryUse, 30.0, false, seed)
+            .phone.accel.magnitude());
+  }
+  EXPECT_GT(vehicle_var, hold_var);
+}
+
+TEST(MotionModel, GaitFrequencyAppearsInSpectrum) {
+  const UserProfile user = test_user();
+  util::Rng rng(9);
+  const SessionEnvironment env =
+      SessionEnvironment::sample(UsageContext::kMoving, rng);
+  SynthesisOptions options;
+  options.duration_seconds = 40.0;
+  const DevicePair pair =
+      synthesize_session(user, UsageContext::kMoving, env, options, rng);
+
+  auto mag = pair.phone.accel.magnitude();
+  const double mean = signal::mean(mag);
+  for (double& v : mag) v -= mean;
+  const auto peaks = signal::spectral_peaks(mag, 50.0);
+  const double expected = user.gait.freq_hz + env.gait_freq_offset_hz;
+  EXPECT_NEAR(peaks.peak_frequency_hz, expected, 0.25);
+}
+
+TEST(MotionModel, TremorFrequencyAppearsWhenStationary) {
+  const UserProfile user = test_user();
+  util::Rng rng(10);
+  const SessionEnvironment env =
+      SessionEnvironment::sample(UsageContext::kStationaryUse, rng);
+  SynthesisOptions options;
+  options.duration_seconds = 40.0;
+  const DevicePair pair = synthesize_session(
+      user, UsageContext::kStationaryUse, env, options, rng);
+
+  auto mag = pair.phone.accel.magnitude();
+  const double mean = signal::mean(mag);
+  for (double& v : mag) v -= mean;
+  const auto peaks = signal::spectral_peaks(mag, 50.0);
+  // The tremor peak must be visible among the top two spectral peaks.
+  const bool tremor_visible =
+      std::abs(peaks.peak_frequency_hz - user.hold.tremor_freq_hz) < 1.0 ||
+      std::abs(peaks.peak2_frequency_hz - user.hold.tremor_freq_hz) < 1.0;
+  EXPECT_TRUE(tremor_visible)
+      << "peak " << peaks.peak_frequency_hz << " / peak2 "
+      << peaks.peak2_frequency_hz << " vs tremor " << user.hold.tremor_freq_hz;
+}
+
+TEST(MotionModel, DeterministicGivenSeed) {
+  const DevicePair a = synthesize(UsageContext::kMoving, 5.0, false, 33);
+  const DevicePair b = synthesize(UsageContext::kMoving, 5.0, false, 33);
+  ASSERT_EQ(a.phone.samples(), b.phone.samples());
+  for (std::size_t i = 0; i < a.phone.samples(); i += 37) {
+    EXPECT_DOUBLE_EQ(a.phone.accel.x[i], b.phone.accel.x[i]);
+    EXPECT_DOUBLE_EQ(a.watch.gyro.z[i], b.watch.gyro.z[i]);
+  }
+}
+
+TEST(MotionModel, DevicesShareStepPhaseButDifferInDetail) {
+  const DevicePair pair = synthesize(UsageContext::kMoving, 40.0);
+  auto pm = pair.phone.accel.magnitude();
+  auto wm = pair.watch.accel.magnitude();
+  const double pmean = signal::mean(pm);
+  const double wmean = signal::mean(wm);
+  for (double& v : pm) v -= pmean;
+  for (double& v : wm) v -= wmean;
+  const auto pp = signal::spectral_peaks(pm, 50.0);
+  const auto wp = signal::spectral_peaks(wm, 50.0);
+  EXPECT_NEAR(pp.peak_frequency_hz, wp.peak_frequency_hz, 0.2);
+  EXPECT_NE(pp.peak_amplitude, wp.peak_amplitude);
+}
+
+TEST(SessionEnvironment, VehicleFieldsPopulated) {
+  util::Rng rng(12);
+  const SessionEnvironment env =
+      SessionEnvironment::sample(UsageContext::kVehicle, rng);
+  EXPECT_GE(env.rumble_freq_hz, tuning::kVehicleRumbleFreqMin);
+  EXPECT_LE(env.rumble_freq_hz, tuning::kVehicleRumbleFreqMax);
+  EXPECT_GT(env.rumble_amp, 0.0);
+}
+
+TEST(SessionEnvironment, DistinctAcrossDraws) {
+  util::Rng rng(13);
+  const auto a = SessionEnvironment::sample(UsageContext::kStationaryUse, rng);
+  const auto b = SessionEnvironment::sample(UsageContext::kStationaryUse, rng);
+  EXPECT_NE(a.light_lux, b.light_lux);
+  EXPECT_NE(a.yaw_deg, b.yaw_deg);
+  EXPECT_NE(a.phone_amp_multiplier, b.phone_amp_multiplier);
+}
+
+TEST(FreeFormSchedule, CoversDaysWithMixedContexts) {
+  util::Rng rng(14);
+  FreeFormOptions options;
+  options.days = 7.0;
+  const auto plans = free_form_schedule(options, rng);
+  EXPECT_GT(plans.size(), 20u);
+  bool saw_moving = false, saw_stationary = false;
+  double last_day = -1.0;
+  for (const auto& plan : plans) {
+    EXPECT_GE(plan.start_day, last_day);  // chronological
+    last_day = plan.start_day;
+    EXPECT_LT(plan.start_day, 7.0);
+    EXPECT_GT(plan.duration_seconds, 0.0);
+    if (plan.context == UsageContext::kMoving) saw_moving = true;
+    if (plan.context == UsageContext::kStationaryUse) saw_stationary = true;
+  }
+  EXPECT_TRUE(saw_moving);
+  EXPECT_TRUE(saw_stationary);
+}
+
+TEST(LabSchedule, FixedContextsAndDuration) {
+  const auto plans = lab_schedule(
+      {UsageContext::kMoving, UsageContext::kOnTable}, 600.0);
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_EQ(plans[0].context, UsageContext::kMoving);
+  EXPECT_EQ(plans[1].context, UsageContext::kOnTable);
+  EXPECT_DOUBLE_EQ(plans[0].duration_seconds, 600.0);
+}
+
+TEST(CollectSchedule, AppliesDriftPerSessionDay) {
+  const Population pop = Population::generate(1, 20);
+  const BehavioralDrift drift(21, 14.0, 3.0);  // exaggerated drift
+  std::vector<SessionPlan> schedule{
+      {UsageContext::kMoving, 0.0, 30.0},
+      {UsageContext::kMoving, 13.0, 30.0},
+  };
+  CollectorOptions options;
+  options.with_watch = false;
+  util::Rng rng(22);
+  const auto sessions =
+      collect_schedule(pop.user(0), schedule, &drift, options, rng);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_DOUBLE_EQ(sessions[0].day, 0.0);
+  EXPECT_DOUBLE_EQ(sessions[1].day, 13.0);
+  const double v0 = signal::variance(sessions[0].phone.accel.magnitude());
+  const double v1 = signal::variance(sessions[1].phone.accel.magnitude());
+  EXPECT_GT(std::abs(v1 - v0) / std::max(v0, v1), 0.02);
+}
+
+TEST(CollectSession, WatchOptional) {
+  const Population pop = Population::generate(1, 23);
+  CollectorOptions options;
+  options.with_watch = false;
+  options.synthesis.duration_seconds = 10.0;
+  util::Rng rng(24);
+  const auto session = collect_session(
+      pop.user(0), UsageContext::kStationaryUse, options, rng);
+  EXPECT_FALSE(session.watch.has_value());
+  EXPECT_EQ(session.truth, UsageContext::kStationaryUse);
+  EXPECT_EQ(session.phone.samples(), 500u);
+}
+
+TEST(SensorTrace, AccessorsAndLightRejection) {
+  const DevicePair pair = synthesize(UsageContext::kMoving, 5.0, true);
+  EXPECT_EQ(&sensor_trace(pair.phone, SensorType::kAccelerometer),
+            &pair.phone.accel);
+  EXPECT_EQ(&sensor_trace(pair.phone, SensorType::kGyroscope),
+            &pair.phone.gyro);
+  EXPECT_EQ(&sensor_trace(pair.phone, SensorType::kMagnetometer),
+            &pair.phone.mag);
+  EXPECT_THROW((void)sensor_trace(pair.phone, SensorType::kLight),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sy::sensors

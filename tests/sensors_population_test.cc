@@ -1,0 +1,127 @@
+#include "sensors/population.h"
+
+#include <gtest/gtest.h>
+
+#include "sensors/drift.h"
+#include "sensors/tuning.h"
+
+namespace sy::sensors {
+namespace {
+
+TEST(Population, Figure2DemographicsAt35) {
+  const Population pop = Population::generate(35, 42);
+  const Demographics d = pop.demographics();
+  EXPECT_EQ(d.female, 16u);
+  EXPECT_EQ(d.male, 19u);
+  EXPECT_EQ(d.by_age.at(AgeBand::k20to25), 12u);
+  EXPECT_EQ(d.by_age.at(AgeBand::k25to30), 9u);
+  EXPECT_EQ(d.by_age.at(AgeBand::k30to35), 5u);
+  EXPECT_EQ(d.by_age.at(AgeBand::k35to40), 5u);
+  EXPECT_EQ(d.by_age.at(AgeBand::k40plus), 4u);
+}
+
+TEST(Population, DeterministicForSeed) {
+  const Population a = Population::generate(10, 7);
+  const Population b = Population::generate(10, 7);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.user(i).gait.freq_hz, b.user(i).gait.freq_hz);
+    EXPECT_DOUBLE_EQ(a.user(i).hold.tremor_amp, b.user(i).hold.tremor_amp);
+  }
+}
+
+TEST(Population, SeedsProduceDistinctUsers) {
+  const Population pop = Population::generate(20, 11);
+  for (std::size_t i = 1; i < 20; ++i) {
+    EXPECT_NE(pop.user(0).gait.phone_amp, pop.user(i).gait.phone_amp);
+  }
+}
+
+TEST(Population, UserIdsSequential) {
+  const Population pop = Population::generate(5, 3);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(pop.user(i).user_id, static_cast<int>(i));
+  }
+}
+
+class ProfileRanges : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProfileRanges, ParametersWithinPhysicalBounds) {
+  util::Rng rng(GetParam());
+  const UserProfile p = UserProfile::sample(0, rng);
+  namespace t = tuning;
+  EXPECT_GE(p.gait.freq_hz, t::kGaitFreqMin);
+  EXPECT_LE(p.gait.freq_hz, t::kGaitFreqMax);
+  EXPECT_GT(p.gait.phone_amp, 0.0);
+  EXPECT_GE(p.gait.harmonic2, t::kHarmonic2Min);
+  EXPECT_LE(p.gait.harmonic2, t::kHarmonic2Max);
+  EXPECT_GE(p.hold.tremor_freq_hz, t::kTremorFreqMin);
+  EXPECT_LE(p.hold.tremor_freq_hz, t::kTremorFreqMax);
+  EXPECT_GE(p.hold.watch_tremor_freq_hz, t::kTremorFreqMin);
+  EXPECT_LE(p.hold.watch_tremor_freq_hz, t::kTremorFreqMax);
+  EXPECT_GE(p.hold.tap_rate_hz, t::kTapRateMin);
+  EXPECT_LE(p.hold.tap_rate_hz, t::kTapRateMax);
+  EXPECT_GT(p.hold.tap_strength, 0.0);
+  EXPECT_GT(p.gait.watch_amp, 0.0);
+  EXPECT_GT(p.hold.watch_tap_coupling, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileRanges,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(Drift, StartsAtUnity) {
+  const BehavioralDrift drift(5, 14.0);
+  const Population pop = Population::generate(1, 2);
+  const UserProfile day0 = drift.apply(pop.user(0), 0.0);
+  EXPECT_NEAR(day0.gait.freq_hz, pop.user(0).gait.freq_hz, 1e-9);
+  EXPECT_NEAR(day0.hold.tremor_amp, pop.user(0).hold.tremor_amp, 1e-9);
+  EXPECT_NEAR(drift.magnitude(0.0), 0.0, 1e-12);
+}
+
+TEST(Drift, GrowsOverTime) {
+  // Averaged over many seeds, drift magnitude must increase with time.
+  double early = 0.0, late = 0.0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const BehavioralDrift drift(seed, 14.0);
+    early += drift.magnitude(1.0);
+    late += drift.magnitude(10.0);
+  }
+  EXPECT_GT(late, early);
+  EXPECT_GT(late / 40.0, 0.05);  // enough drift to matter within two weeks
+}
+
+TEST(Drift, RateScaleZeroDisables) {
+  const BehavioralDrift drift(9, 14.0, 0.0);
+  EXPECT_NEAR(drift.magnitude(14.0), 0.0, 1e-12);
+}
+
+TEST(Drift, InterpolatesBetweenDays) {
+  const BehavioralDrift drift(11, 10.0);
+  const double m3 = drift.magnitude(3.0);
+  const double m35 = drift.magnitude(3.5);
+  const double m4 = drift.magnitude(4.0);
+  EXPECT_GE(m35, std::min(m3, m4) - 1e-12);
+  EXPECT_LE(m35, std::max(m3, m4) + 1e-12);
+}
+
+TEST(Drift, ClampsBeyondHorizon) {
+  const BehavioralDrift drift(13, 7.0);
+  EXPECT_DOUBLE_EQ(drift.magnitude(7.0), drift.magnitude(100.0));
+}
+
+TEST(Drift, KeepsParametersPhysical) {
+  const Population pop = Population::generate(5, 17);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const BehavioralDrift drift(seed, 30.0);
+    for (double day = 0.0; day <= 30.0; day += 5.0) {
+      const UserProfile p = drift.apply(pop.user(0), day);
+      EXPECT_GT(p.gait.freq_hz, 0.5);
+      EXPECT_LT(p.gait.freq_hz, 4.0);
+      EXPECT_GT(p.gait.phone_amp, 0.0);
+      EXPECT_GE(p.gait.harmonic2, 0.05);
+      EXPECT_LE(p.gait.harmonic2, 0.9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sy::sensors

@@ -1,0 +1,114 @@
+#include "signal/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sy::signal {
+namespace {
+
+TEST(RunningStats, MatchesClosedForm) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  RunningStats s;
+  for (const double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0);       // population
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.range(), 4.0);
+  EXPECT_EQ(s.count(), 5u);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.range(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  util::Rng rng(3);
+  std::vector<double> xs(1000);
+  for (auto& x : xs) x = rng.gaussian(2.0, 3.0);
+
+  RunningStats all;
+  for (const double x : xs) all.add(x);
+
+  RunningStats a, b;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 400 ? a : b).add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, NumericallyStableLargeOffset) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+TEST(BatchStats, Helpers) {
+  const std::vector<double> xs{2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 4.0);
+  EXPECT_NEAR(variance(xs), 8.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(min_value(xs), 2.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 6.0);
+  EXPECT_DOUBLE_EQ(range(xs), 4.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{-2, -4, -6, -8};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, IndependentNearZero) {
+  util::Rng rng(5);
+  std::vector<double> xs(20000), ys(20000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.gaussian();
+    ys[i] = rng.gaussian();
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.03);
+}
+
+TEST(Pearson, ConstantSideIsZero) {
+  const std::vector<double> xs{1, 1, 1};
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Pearson, SizeMismatchThrows) {
+  const std::vector<double> xs{1, 2};
+  const std::vector<double> ys{1};
+  EXPECT_THROW((void)pearson(xs, ys), std::invalid_argument);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 17.5);
+}
+
+TEST(Percentile, Validation) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)percentile(empty, 0.5), std::invalid_argument);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)percentile(xs, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sy::signal

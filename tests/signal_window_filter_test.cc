@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "signal/filters.h"
+#include "signal/resample.h"
+#include "signal/window.h"
+
+namespace sy::signal {
+namespace {
+
+TEST(WindowSpec, SampleCounts) {
+  WindowSpec spec;
+  spec.window_seconds = 6.0;
+  spec.hop_seconds = 6.0;
+  spec.sample_rate_hz = 50.0;
+  EXPECT_EQ(spec.window_samples(), 300u);
+  EXPECT_EQ(spec.hop_samples(), 300u);
+}
+
+TEST(Segment, NonOverlapping) {
+  std::vector<double> xs(1000);
+  std::iota(xs.begin(), xs.end(), 0.0);
+  WindowSpec spec;
+  spec.window_seconds = 6.0;
+  spec.hop_seconds = 6.0;
+  spec.sample_rate_hz = 50.0;
+  const auto windows = segment(xs, spec);
+  ASSERT_EQ(windows.size(), 3u);  // 1000 / 300 -> 3 full windows
+  EXPECT_DOUBLE_EQ(windows[0].front(), 0.0);
+  EXPECT_DOUBLE_EQ(windows[1].front(), 300.0);
+  EXPECT_DOUBLE_EQ(windows[2].back(), 899.0);
+  EXPECT_EQ(window_count(1000, spec), 3u);
+}
+
+TEST(Segment, Sliding) {
+  std::vector<double> xs(100);
+  std::iota(xs.begin(), xs.end(), 0.0);
+  WindowSpec spec;
+  spec.window_seconds = 1.0;
+  spec.hop_seconds = 0.5;
+  spec.sample_rate_hz = 50.0;
+  const auto windows = segment(xs, spec);
+  ASSERT_EQ(windows.size(), 3u);  // starts at 0, 25, 50
+  EXPECT_DOUBLE_EQ(windows[1].front(), 25.0);
+}
+
+TEST(Segment, ShortInputYieldsNothing) {
+  std::vector<double> xs(10);
+  WindowSpec spec;  // 300-sample windows
+  EXPECT_TRUE(segment(xs, spec).empty());
+  EXPECT_EQ(window_count(10, spec), 0u);
+}
+
+TEST(Segment, ZeroWindowThrows) {
+  WindowSpec spec;
+  spec.window_seconds = 0.0;
+  std::vector<double> xs(10);
+  EXPECT_THROW((void)segment(xs, spec), std::invalid_argument);
+}
+
+TEST(LowPass, AttenuatesHighPassesLow) {
+  const double rate = 50.0;
+  LowPassFilter lp(2.0, rate);
+  // Feed a 20 Hz tone; output RMS should collapse.
+  double energy_out = 0.0, energy_in = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double x = std::sin(2.0 * 3.14159265 * 20.0 * i / rate);
+    const double y = lp.step(x);
+    if (i > 100) {  // skip transient
+      energy_in += x * x;
+      energy_out += y * y;
+    }
+  }
+  EXPECT_LT(energy_out, 0.05 * energy_in);
+
+  LowPassFilter lp2(2.0, rate);
+  double out = 0.0;
+  for (int i = 0; i < 500; ++i) out = lp2.step(1.0);
+  EXPECT_NEAR(out, 1.0, 1e-6);  // DC passes
+}
+
+TEST(LowPass, Validation) {
+  EXPECT_THROW(LowPassFilter(-1.0, 50.0), std::invalid_argument);
+  EXPECT_THROW(LowPassFilter(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(MovingAverage, SmoothsAndPreservesMeanOfConstant) {
+  std::vector<double> xs(20, 4.0);
+  const auto out = moving_average(xs, 5);
+  for (const double v : out) EXPECT_DOUBLE_EQ(v, 4.0);
+}
+
+TEST(MovingAverage, EdgesUseShrunkenWindows) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const auto out = moving_average(xs, 3);
+  EXPECT_DOUBLE_EQ(out[0], 1.5);  // mean of {1,2}
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 2.5);
+}
+
+TEST(MovingAverage, EvenWindowThrows) {
+  std::vector<double> xs(5, 0.0);
+  EXPECT_THROW((void)moving_average(xs, 4), std::invalid_argument);
+}
+
+TEST(RemoveDc, ZeroMeanOutput) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const auto out = remove_dc(xs);
+  EXPECT_NEAR(out[0] + out[1] + out[2], 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(out[0], -1.0);
+}
+
+TEST(Resample, IdentityOnAlignedSamples) {
+  std::vector<TimedSample> samples;
+  for (int i = 0; i < 50; ++i) {
+    samples.push_back({i * 0.02, static_cast<double>(i)});
+  }
+  const auto out = linear_resample(samples, 0.0, 50.0, 50);
+  EXPECT_EQ(out.gap_ticks, 0u);
+  for (int i = 0; i < 50; ++i) EXPECT_NEAR(out.values[i], i, 1e-9);
+}
+
+TEST(Resample, InterpolatesBetweenSamples) {
+  const std::vector<TimedSample> samples{{0.0, 0.0}, {0.1, 10.0}};
+  const auto out = linear_resample(samples, 0.0, 20.0, 3);  // t=0,.05,.1
+  EXPECT_NEAR(out.values[0], 0.0, 1e-9);
+  EXPECT_NEAR(out.values[1], 5.0, 1e-9);
+  EXPECT_NEAR(out.values[2], 10.0, 1e-9);
+}
+
+TEST(Resample, GapHoldsLastValue) {
+  const std::vector<TimedSample> samples{{0.0, 1.0}, {1.0, 9.0}};
+  const auto out = linear_resample(samples, 0.0, 10.0, 10, /*max_gap=*/0.25);
+  EXPECT_GT(out.gap_ticks, 0u);
+  EXPECT_NEAR(out.values[5], 1.0, 1e-9);  // held, not interpolated
+}
+
+TEST(Resample, EmptyInputAllGaps) {
+  const auto out = linear_resample({}, 0.0, 50.0, 10);
+  EXPECT_EQ(out.gap_ticks, 10u);
+  EXPECT_EQ(out.values.size(), 10u);
+}
+
+}  // namespace
+}  // namespace sy::signal

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/args.h"
+#include "util/csv.h"
+#include "util/sim_clock.h"
+#include "util/table.h"
+
+namespace sy::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Title");
+  t.set_header({"A", "BB"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| A   | BB |"), std::string::npos);
+  EXPECT_NE(out.find("| 333 | 4  |"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t("x");
+  t.set_header({"A", "B"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Table, SeparatorProducesRule) {
+  Table t("");
+  t.set_header({"A"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // 5 rules total: top, under header, separator, bottom... count '+' lines.
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+-", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.981, 1), "98.1%");
+  EXPECT_EQ(Table::pct(0.02841, 2), "2.84%");
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/sy_csv_test.csv";
+  {
+    CsvWriter w(path);
+    w.write_row(std::vector<std::string>{"a", "b,c"});
+    w.write_row(std::vector<double>{1.5, 2.5});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"b,c\"");
+  EXPECT_EQ(line2, "1.5,2.5");
+}
+
+TEST(Args, ParsesFlagsAndValues) {
+  const char* argv[] = {"prog", "--iters=20", "--fast", "--name=hello"};
+  Args args(4, argv);
+  EXPECT_EQ(args.get_int("iters", 1), 20);
+  EXPECT_TRUE(args.get_flag("fast"));
+  EXPECT_EQ(args.get("name", ""), "hello");
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_FALSE(args.get_flag("absent"));
+}
+
+TEST(Args, EnvironmentFallback) {
+  ::setenv("SY_PROBE_VALUE", "99", 1);
+  const char* argv[] = {"prog"};
+  Args args(1, argv);
+  EXPECT_EQ(args.get_int("probe-value", 0), 99);
+  ::unsetenv("SY_PROBE_VALUE");
+}
+
+TEST(Args, CommandLineBeatsEnvironment) {
+  ::setenv("SY_LEVEL", "1", 1);
+  const char* argv[] = {"prog", "--level=2"};
+  Args args(2, argv);
+  EXPECT_EQ(args.get_int("level", 0), 2);
+  ::unsetenv("SY_LEVEL");
+}
+
+TEST(SimClock, AdvancesDeterministically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now_ns(), 0);
+  clock.advance_seconds(1.5);
+  EXPECT_DOUBLE_EQ(clock.now_seconds(), 1.5);
+  clock.advance_ns(500'000'000);
+  EXPECT_DOUBLE_EQ(clock.now_seconds(), 2.0);
+}
+
+TEST(SimClock, StartOffset) {
+  SimClock clock(10.0);
+  EXPECT_DOUBLE_EQ(clock.now_seconds(), 10.0);
+}
+
+}  // namespace
+}  // namespace sy::util

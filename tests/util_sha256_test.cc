@@ -1,0 +1,86 @@
+#include "util/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sy::util {
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(Sha256::hex(std::string("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(Sha256::hex(std::string("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, NistTwoBlockMessage) {
+  EXPECT_EQ(
+      Sha256::hex(std::string(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk.data(), chunk.size());
+  const auto digest = h.digest();
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string hex;
+  for (const auto b : digest) {
+    hex.push_back(kHex[b >> 4]);
+    hex.push_back(kHex[b & 0xf]);
+  }
+  EXPECT_EQ(hex,
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const std::string data = "The quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (const char c : data) h.update(&c, 1);
+  const auto streamed = h.digest();
+  const auto oneshot = Sha256::hash(data.data(), data.size());
+  EXPECT_EQ(streamed, oneshot);
+}
+
+TEST(Sha256, DigestTwiceThrows) {
+  Sha256 h;
+  h.update("x", 1);
+  (void)h.digest();
+  EXPECT_THROW((void)h.digest(), std::logic_error);
+}
+
+TEST(Sha256, UpdateAfterDigestThrows) {
+  Sha256 h;
+  (void)h.digest();
+  EXPECT_THROW(h.update("x", 1), std::logic_error);
+}
+
+TEST(Sha256, SensitivityToSingleBit) {
+  const std::string a = "message";
+  const std::string b = "messagf";  // last char +1
+  EXPECT_NE(Sha256::hex(a), Sha256::hex(b));
+}
+
+// Boundary lengths around the 56/64-byte padding edges.
+class Sha256Boundary : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256Boundary, MatchesStreamed) {
+  const std::string data(GetParam(), 'q');
+  Sha256 h;
+  if (!data.empty()) h.update(data.data(), data.size());
+  const auto streamed = h.digest();
+  EXPECT_EQ(streamed, Sha256::hash(data.data(), data.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaddingEdges, Sha256Boundary,
+                         ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65, 119,
+                                           120, 128));
+
+}  // namespace
+}  // namespace sy::util
