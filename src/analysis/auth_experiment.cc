@@ -90,9 +90,10 @@ AuthEvalResult evaluate_authentication_temporal(
         const ml::Dataset test = scaler.transform(split.test);
         auto model = prototype.clone_untrained();
         model->fit(train.x, train.y);
+        const auto scores = model->decision_batch(test.x);
         for (std::size_t i = 0; i < test.size(); ++i) {
           outcome.by_context[context].add(test.y[i],
-                                          model->predict(test.x.row(i)));
+                                          scores[i] >= 0.0 ? 1 : -1);
         }
       }
     }

@@ -9,6 +9,10 @@ double ContextModel::score(std::span<const double> raw_vector) const {
   return classifier.decision(scaled);
 }
 
+std::vector<double> ContextModel::score_batch(const ml::Matrix& raw) const {
+  return classifier.decision_batch(scaler.transform(raw));
+}
+
 bool AuthModel::has_context(sensors::DetectedContext context) const {
   return models_.count(context) > 0;
 }

@@ -28,6 +28,10 @@ struct ContextModel {
   // Decision score of a raw (unscaled) authentication feature vector.
   // This is the paper's confidence score CS(k) = x_k^T w*.
   double score(std::span<const double> raw_vector) const;
+
+  // Batched scoring of raw row vectors: one scaler pass plus one blocked
+  // kernel evaluation for the whole block. Row i equals score(raw.row(i)).
+  std::vector<double> score_batch(const ml::Matrix& raw) const;
 };
 
 class AuthModel {

@@ -18,18 +18,70 @@ void AuthServer::contribute(int contributor_token,
   }
 }
 
-void AuthServer::simulate_transfer(std::size_t bytes, bool upload) {
+void apply_transfer(TransferStats& stats, const NetworkConfig& net,
+                    std::size_t bytes, bool upload) {
   const double seconds =
-      net_.latency_ms * 1e-3 +
-      static_cast<double>(bytes) * 8.0 / (net_.bandwidth_mbps * 1e6);
-  transfers_.total_delay_ms += seconds * 1e3;
+      net.latency_ms * 1e-3 +
+      static_cast<double>(bytes) * 8.0 / (net.bandwidth_mbps * 1e6);
+  stats.total_delay_ms += seconds * 1e3;
   if (upload) {
-    ++transfers_.uploads;
-    transfers_.bytes_up += bytes;
+    ++stats.uploads;
+    stats.bytes_up += bytes;
   } else {
-    ++transfers_.downloads;
-    transfers_.bytes_down += bytes;
+    ++stats.downloads;
+    stats.bytes_down += bytes;
   }
+}
+
+void AuthServer::simulate_transfer(std::size_t bytes, bool upload) {
+  apply_transfer(transfers_, net_, bytes, upload);
+}
+
+AuthModel train_user_from_store(const PopulationStore& store,
+                                const TrainingConfig& config, int user_token,
+                                const VectorsByContext& positives,
+                                util::Rng& rng, int version) {
+  if (positives.empty()) {
+    throw std::invalid_argument("AuthServer: no positive vectors uploaded");
+  }
+  AuthModel model(user_token, version);
+  for (const auto& [context, pos_vectors] : positives) {
+    if (pos_vectors.empty()) continue;
+    const auto it = store.find(context);
+    if (it == store.end()) {
+      throw std::runtime_error("AuthServer: no impostor data for context " +
+                               sensors::to_string(context));
+    }
+    // Candidate negatives: all store vectors not contributed by this user.
+    std::vector<const StoredVector*> candidates;
+    candidates.reserve(it->second.size());
+    for (const auto& sv : it->second) {
+      if (sv.contributor != user_token) candidates.push_back(&sv);
+    }
+    if (candidates.empty()) {
+      throw std::runtime_error(
+          "AuthServer: impostor store has only this user's data");
+    }
+
+    const auto want = static_cast<std::size_t>(
+        static_cast<double>(pos_vectors.size()) * config.negative_ratio);
+    ml::Dataset train;
+    for (const auto& v : pos_vectors) train.add(v, +1);
+    for (std::size_t i = 0; i < want; ++i) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(candidates.size()) - 1));
+      train.add(candidates[pick]->vector, -1);
+    }
+
+    ml::StandardScaler scaler;
+    scaler.fit(train.x);
+    const ml::Dataset scaled = scaler.transform(train);
+    ml::KrrClassifier krr(config.krr);
+    krr.fit(scaled.x, scaled.y);
+    model.set_context_model(context,
+                            ContextModel(std::move(scaler), std::move(krr)));
+  }
+  return model;
 }
 
 AuthModel AuthServer::train_user_model(int user_token,
@@ -49,43 +101,9 @@ AuthModel AuthServer::train_user_model(int user_token,
   }
   simulate_transfer(upload_bytes, /*upload=*/true);
 
-  AuthModel model(user_token, version);
-  for (const auto& [context, pos_vectors] : positives) {
-    if (pos_vectors.empty()) continue;
-    const auto it = store_.find(context);
-    if (it == store_.end()) {
-      throw std::runtime_error("AuthServer: no impostor data for context " +
-                               sensors::to_string(context));
-    }
-    // Candidate negatives: all store vectors not contributed by this user.
-    std::vector<const StoredVector*> candidates;
-    candidates.reserve(it->second.size());
-    for (const auto& sv : it->second) {
-      if (sv.contributor != user_token) candidates.push_back(&sv);
-    }
-    if (candidates.empty()) {
-      throw std::runtime_error(
-          "AuthServer: impostor store has only this user's data");
-    }
-
-    const auto want = static_cast<std::size_t>(
-        static_cast<double>(pos_vectors.size()) * config_.negative_ratio);
-    ml::Dataset train;
-    for (const auto& v : pos_vectors) train.add(v, +1);
-    for (std::size_t i = 0; i < want; ++i) {
-      const auto pick = static_cast<std::size_t>(
-          rng.uniform_int(0, static_cast<int>(candidates.size()) - 1));
-      train.add(candidates[pick]->vector, -1);
-    }
-
-    ml::StandardScaler scaler;
-    scaler.fit(train.x);
-    const ml::Dataset scaled = scaler.transform(train);
-    ml::KrrClassifier krr(config_.krr);
-    krr.fit(scaled.x, scaled.y);
-    model.set_context_model(context,
-                            ContextModel(std::move(scaler), std::move(krr)));
-  }
+  AuthModel model =
+      train_user_from_store(store_, config_, user_token, positives, rng,
+                            version);
 
   // Account the model download.
   std::size_t download_bytes = 0;

@@ -38,11 +38,39 @@ struct TransferStats {
   double total_delay_ms{0.0};
 };
 
+// Accounts one simulated transfer against `stats` using the latency/bandwidth
+// network model; shared by AuthServer and BatchAuthServer.
+void apply_transfer(TransferStats& stats, const NetworkConfig& net,
+                    std::size_t bytes, bool upload);
+
 struct TrainingConfig {
   ml::KrrConfig krr{};
   // Impostor vectors drawn per positive vector (1.0 = balanced classes).
   double negative_ratio{1.0};
 };
+
+// One anonymized population vector: the contributor token exists only to
+// avoid self-matching during training (paper's anonymization note).
+struct StoredVector {
+  int contributor;
+  std::vector<double> vector;
+};
+
+// The anonymized per-context population feature store. Treated as an
+// immutable snapshot during training so many users can train against it
+// concurrently without synchronization.
+using PopulationStore =
+    std::map<sensors::DetectedContext, std::vector<StoredVector>>;
+
+// Trains one user's per-context model bundle against an immutable store
+// snapshot. This is the single training kernel shared by AuthServer
+// (sequential) and BatchAuthServer (threaded): given the same store, request,
+// and RNG state both produce bit-identical models. Throws std::runtime_error
+// when the store lacks impostor data for a requested context.
+AuthModel train_user_from_store(const PopulationStore& store,
+                                const TrainingConfig& config, int user_token,
+                                const VectorsByContext& positives,
+                                util::Rng& rng, int version);
 
 class AuthServer {
  public:
@@ -65,17 +93,12 @@ class AuthServer {
   void set_network(NetworkConfig net) { net_ = net; }
 
  private:
-  struct StoredVector {
-    int contributor;
-    std::vector<double> vector;
-  };
-
   void simulate_transfer(std::size_t bytes, bool upload);
 
   TrainingConfig config_;
   NetworkConfig net_;
   TransferStats transfers_;
-  std::map<sensors::DetectedContext, std::vector<StoredVector>> store_;
+  PopulationStore store_;
 };
 
 }  // namespace sy::core

@@ -1,6 +1,9 @@
 #include "core/authenticator.h"
 
+#include <algorithm>
+#include <map>
 #include <stdexcept>
+#include <utility>
 
 namespace sy::core {
 
@@ -8,38 +11,70 @@ Authenticator::Authenticator(const context::ContextDetector* detector,
                              AuthModel model)
     : detector_(detector), model_(std::move(model)) {}
 
-AuthDecision Authenticator::authenticate(
+Authenticator::ResolvedContext Authenticator::resolve_context(
     std::span<const double> auth_vector) const {
   if (auth_vector.size() != 14 && auth_vector.size() != 28) {
     throw std::invalid_argument(
         "Authenticator: expected a 14- or 28-dim feature vector");
   }
-  AuthDecision decision;
+  ResolvedContext resolved;
   if (detector_ != nullptr) {
     // Context detection always runs on the phone-only prefix.
-    decision.context = detector_->detect(auth_vector.subspan(0, 14));
+    resolved.detected = detector_->detect(auth_vector.subspan(0, 14));
   } else {
-    decision.context = sensors::DetectedContext::kStationary;
+    resolved.detected = sensors::DetectedContext::kStationary;
   }
   // A context the user never produced during enrollment has no model; fall
   // back to whichever model exists rather than refusing service.
-  sensors::DetectedContext effective = decision.context;
-  if (!model_.has_context(effective)) {
+  resolved.effective = resolved.detected;
+  if (!model_.has_context(resolved.effective)) {
     if (model_.models().empty()) {
       throw std::logic_error("Authenticator: model bundle is empty");
     }
-    effective = model_.models().begin()->first;
+    resolved.effective = model_.models().begin()->first;
   }
-  decision.confidence = model_.score(effective, auth_vector);
+  return resolved;
+}
+
+AuthDecision Authenticator::authenticate(
+    std::span<const double> auth_vector) const {
+  const ResolvedContext resolved = resolve_context(auth_vector);
+  AuthDecision decision;
+  decision.context = resolved.detected;
+  decision.confidence = model_.score(resolved.effective, auth_vector);
   decision.accepted = decision.confidence >= 0.0;
   return decision;
 }
 
-std::vector<AuthDecision> Authenticator::authenticate_session(
+std::vector<AuthDecision> Authenticator::score_batch(
     const std::vector<std::vector<double>>& auth_vectors) const {
-  std::vector<AuthDecision> out;
-  out.reserve(auth_vectors.size());
-  for (const auto& v : auth_vectors) out.push_back(authenticate(v));
+  std::vector<AuthDecision> out(auth_vectors.size());
+  // Detect contexts row-by-row (cheap), then score each context's windows
+  // as one block through the scaler + kernel (the expensive part).
+  // Keyed by (context, dim): a session may mix 14- and 28-dim windows.
+  std::map<std::pair<sensors::DetectedContext, std::size_t>,
+           std::vector<std::size_t>>
+      groups;
+  for (std::size_t i = 0; i < auth_vectors.size(); ++i) {
+    const auto& v = auth_vectors[i];
+    const ResolvedContext resolved = resolve_context(v);
+    out[i].context = resolved.detected;
+    groups[{resolved.effective, v.size()}].push_back(i);
+  }
+
+  for (const auto& [key, indices] : groups) {
+    const auto& [context, dim] = key;
+    ml::Matrix block(indices.size(), dim);
+    for (std::size_t r = 0; r < indices.size(); ++r) {
+      const auto& v = auth_vectors[indices[r]];
+      std::copy(v.begin(), v.end(), block.row(r).begin());
+    }
+    const auto scores = model_.context_model(context).score_batch(block);
+    for (std::size_t r = 0; r < indices.size(); ++r) {
+      out[indices[r]].confidence = scores[r];
+      out[indices[r]].accepted = scores[r] >= 0.0;
+    }
+  }
   return out;
 }
 

@@ -35,15 +35,34 @@ class Authenticator {
   // context detection.
   AuthDecision authenticate(std::span<const double> auth_vector) const;
 
-  // Batch evaluation of a session's windows.
-  std::vector<AuthDecision> authenticate_session(
+  // Batch evaluation of a session's windows. Windows are grouped by their
+  // effective context, each group is scaled and kernel-scored as one block
+  // (amortizing the per-window scaler/kernel overhead), and decisions come
+  // back in input order — decision i is bit-identical to
+  // authenticate(auth_vectors[i]).
+  std::vector<AuthDecision> score_batch(
       const std::vector<std::vector<double>>& auth_vectors) const;
+
+  // Alias kept for existing callers; forwards to score_batch.
+  std::vector<AuthDecision> authenticate_session(
+      const std::vector<std::vector<double>>& auth_vectors) const {
+    return score_batch(auth_vectors);
+  }
 
   const AuthModel& model() const { return model_; }
   void replace_model(AuthModel model) { model_ = std::move(model); }
   bool context_aware() const { return detector_ != nullptr; }
 
  private:
+  struct ResolvedContext {
+    sensors::DetectedContext detected;   // what the detector saw
+    sensors::DetectedContext effective;  // which model will score it
+  };
+  // Validates the window dimension, runs context detection, and applies the
+  // missing-context fallback. Single source of the policy for both
+  // authenticate() and score_batch().
+  ResolvedContext resolve_context(std::span<const double> auth_vector) const;
+
   const context::ContextDetector* detector_;  // not owned
   AuthModel model_;
 };

@@ -1,0 +1,80 @@
+#include "core/batch_auth_server.h"
+
+#include <stdexcept>
+
+namespace sy::core {
+
+BatchAuthServer::BatchAuthServer(TrainingConfig config, NetworkConfig net,
+                                 util::ThreadPool* pool)
+    : config_(config),
+      net_(net),
+      store_(std::make_shared<PopulationStore>()),
+      pool_(pool) {}
+
+void BatchAuthServer::contribute(
+    int contributor_token, sensors::DetectedContext context,
+    const std::vector<std::vector<double>>& vectors) {
+  auto& bucket = (*store_)[context];
+  for (const auto& v : vectors) {
+    bucket.push_back({contributor_token, v});
+  }
+}
+
+std::vector<AuthModel> BatchAuthServer::train_user_models(
+    std::span<const EnrollmentRequest> requests) {
+  if (!net_.available) {
+    throw std::runtime_error("BatchAuthServer: network unavailable");
+  }
+  for (const auto& request : requests) {
+    if (request.positives == nullptr || request.positives->empty()) {
+      throw std::invalid_argument(
+          "BatchAuthServer: request without positive vectors");
+    }
+  }
+
+  // Uploads are accounted up front (request order), matching the sequential
+  // path where the upload happens before — and survives — a failed training.
+  for (const auto& request : requests) {
+    std::size_t upload_bytes = 0;
+    for (const auto& [context, vectors] : *request.positives) {
+      for (const auto& v : vectors) upload_bytes += v.size() * sizeof(double);
+    }
+    apply_transfer(transfers_, net_, upload_bytes, /*upload=*/true);
+  }
+
+  // Immutable snapshot shared (lock-free) by every worker.
+  const std::shared_ptr<const PopulationStore> snapshot = store_;
+  std::vector<AuthModel> models(requests.size());
+
+  auto train_one = [&](std::size_t i) {
+    const EnrollmentRequest& request = requests[i];
+    util::Rng rng(request.rng_seed);
+    models[i] =
+        train_user_from_store(*snapshot, config_, request.user_token,
+                              *request.positives, rng, request.version);
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(requests.size(), train_one);
+  } else {
+    util::ThreadPool::shared().parallel_for(requests.size(), train_one);
+  }
+
+  // Deterministic download accounting: request order, after the join.
+  for (const auto& model : models) {
+    std::size_t download_bytes = 0;
+    for (const auto& [context, cm] : model.models()) {
+      download_bytes += cm.classifier.pack().size() * sizeof(double);
+      download_bytes += cm.scaler.pack().size() * sizeof(double);
+    }
+    apply_transfer(transfers_, net_, download_bytes, /*upload=*/false);
+  }
+  return models;
+}
+
+std::size_t BatchAuthServer::store_size(
+    sensors::DetectedContext context) const {
+  const auto it = store_->find(context);
+  return it == store_->end() ? 0 : it->second.size();
+}
+
+}  // namespace sy::core

@@ -1,0 +1,68 @@
+// Batched multi-user enrollment for the cloud Authentication Server.
+//
+// The paper's server (§IV-A3) trains one KRR model per context per user;
+// enrollments are independent, so at population scale the work is
+// embarrassingly parallel. BatchAuthServer dispatches a batch of enrollment
+// requests across the work-stealing ThreadPool. All workers read one
+// immutable snapshot of the anonymized population store, and every request
+// carries its own RNG seed, so results are deterministic regardless of
+// scheduling — a batch of one is bit-identical to
+// AuthServer::train_user_model given the same store, config, and seed.
+//
+// Thread-safety contract: like AuthServer, the public methods are externally
+// synchronized (one caller at a time); the internal parallelism is across
+// workers inside train_user_models. A sharded store with concurrent
+// contribution is a ROADMAP follow-on.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/auth_server.h"
+#include "util/thread_pool.h"
+
+namespace sy::core {
+
+struct EnrollmentRequest {
+  int user_token{0};
+  // Not owned; must outlive train_user_models().
+  const VectorsByContext* positives{nullptr};
+  // Per-request stream seed: makes each user's impostor draw independent of
+  // batch composition and scheduling order.
+  std::uint64_t rng_seed{0};
+  int version{1};
+};
+
+class BatchAuthServer {
+ public:
+  // `pool` may be null: the process-wide ThreadPool::shared() is used.
+  explicit BatchAuthServer(TrainingConfig config = {}, NetworkConfig net = {},
+                           util::ThreadPool* pool = nullptr);
+
+  // Same anonymized contribution protocol as AuthServer.
+  void contribute(int contributor_token, sensors::DetectedContext context,
+                  const std::vector<std::vector<double>>& vectors);
+
+  // Trains all requests concurrently against one store snapshot; result[i]
+  // corresponds to requests[i]. Throws on network unavailability or any
+  // per-request training failure (first failure wins, batch completes
+  // draining first). Transfer accounting is aggregated in request order, so
+  // TransferStats are deterministic too.
+  std::vector<AuthModel> train_user_models(
+      std::span<const EnrollmentRequest> requests);
+
+  std::size_t store_size(sensors::DetectedContext context) const;
+  const TransferStats& transfers() const { return transfers_; }
+  void set_network(NetworkConfig net) { net_ = net; }
+
+ private:
+  TrainingConfig config_;
+  NetworkConfig net_;
+  TransferStats transfers_;
+  // Workers inside train_user_models share this as a const snapshot.
+  std::shared_ptr<PopulationStore> store_;
+  util::ThreadPool* pool_;  // not owned
+};
+
+}  // namespace sy::core

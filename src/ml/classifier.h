@@ -26,6 +26,14 @@ class BinaryClassifier {
   virtual void fit(const Matrix& x, const std::vector<int>& y) = 0;
   // Real-valued score; >= 0 means "legitimate user".
   virtual double decision(std::span<const double> x) const = 0;
+  // Scores every row of `x`. The default loops decision(); models with a
+  // cheaper amortized form (e.g. KRR's blocked cross-kernel) override it.
+  // Overrides must return exactly decision(x.row(i)) per row.
+  virtual std::vector<double> decision_batch(const Matrix& x) const {
+    std::vector<double> out(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i) out[i] = decision(x.row(i));
+    return out;
+  }
   virtual std::string name() const = 0;
   // Fresh untrained copy with the same hyperparameters (for CV loops).
   virtual std::unique_ptr<BinaryClassifier> clone_untrained() const = 0;

@@ -65,8 +65,9 @@ CvResult cross_validate(const BinaryClassifier& prototype, const Dataset& data,
 
       auto model = prototype.clone_untrained();
       model->fit(train);
+      const auto scores = model->decision_batch(test.x);
       for (std::size_t i = 0; i < test.size(); ++i) {
-        iter_counts.add(test.y[i], model->predict(test.x.row(i)));
+        iter_counts.add(test.y[i], scores[i] >= 0.0 ? 1 : -1);
       }
     }
     result.counts.merge(iter_counts);

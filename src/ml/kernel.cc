@@ -1,5 +1,6 @@
 #include "ml/kernel.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace sy::ml {
@@ -30,14 +31,32 @@ std::string Kernel::name() const {
   return "unknown";
 }
 
+namespace {
+
+// Tile edge for the blocked Gram/cross-kernel builders: a 64-row tile of
+// 28-dim doubles (~14 KiB) keeps both operand tiles resident in L1/L2.
+constexpr std::size_t kTile = 64;
+
+}  // namespace
+
 Matrix gram_matrix(const Matrix& x, const Kernel& kernel) {
   const std::size_t n = x.rows();
   Matrix k(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j <= i; ++j) {
-      const double v = kernel(x.row(i), x.row(j));
-      k(i, j) = v;
-      k(j, i) = v;
+  // Lower-triangular tiles; each entry is one kernel() call, so tiling
+  // changes visit order (for locality of the row operands) but not values.
+  for (std::size_t i0 = 0; i0 < n; i0 += kTile) {
+    const std::size_t i1 = std::min(i0 + kTile, n);
+    for (std::size_t j0 = 0; j0 <= i0; j0 += kTile) {
+      const std::size_t j1 = std::min(j0 + kTile, n);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const auto row_i = x.row(i);
+        const std::size_t j_end = std::min(j1, i + 1);
+        for (std::size_t j = j0; j < j_end; ++j) {
+          const double v = kernel(row_i, x.row(j));
+          k(i, j) = v;
+          k(j, i) = v;
+        }
+      }
     }
   }
   return k;
@@ -48,6 +67,25 @@ std::vector<double> kernel_vector(const Matrix& x, std::span<const double> z,
   std::vector<double> out(x.rows());
   for (std::size_t i = 0; i < x.rows(); ++i) out[i] = kernel(x.row(i), z);
   return out;
+}
+
+Matrix kernel_matrix(const Matrix& x, const Matrix& z, const Kernel& kernel) {
+  const std::size_t n = x.rows();
+  const std::size_t m = z.rows();
+  Matrix k(n, m);
+  for (std::size_t i0 = 0; i0 < n; i0 += kTile) {
+    const std::size_t i1 = std::min(i0 + kTile, n);
+    for (std::size_t j0 = 0; j0 < m; j0 += kTile) {
+      const std::size_t j1 = std::min(j0 + kTile, m);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const auto row_i = x.row(i);
+        for (std::size_t j = j0; j < j1; ++j) {
+          k(i, j) = kernel(row_i, z.row(j));
+        }
+      }
+    }
+  }
+  return k;
 }
 
 }  // namespace sy::ml

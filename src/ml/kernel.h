@@ -36,4 +36,9 @@ Matrix gram_matrix(const Matrix& x, const Kernel& kernel);
 std::vector<double> kernel_vector(const Matrix& x, std::span<const double> z,
                                   const Kernel& kernel);
 
+// Cross-kernel matrix K[i][j] = k(x_i, z_j) over the rows of `x` and `z`,
+// computed in cache-sized row tiles. Column j equals kernel_vector(x,
+// z.row(j)) bit-for-bit; the tiling only reorders which entries are visited.
+Matrix kernel_matrix(const Matrix& x, const Matrix& z, const Kernel& kernel);
+
 }  // namespace sy::ml

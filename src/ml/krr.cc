@@ -88,6 +88,24 @@ double KrrClassifier::decision(std::span<const double> x) const {
   return dot(alpha_, k);
 }
 
+std::vector<double> KrrClassifier::decision_batch(const Matrix& x) const {
+  if (!trained_) throw std::logic_error("KrrClassifier: not trained");
+  std::vector<double> out(x.rows());
+  if (weights_) {
+    for (std::size_t i = 0; i < x.rows(); ++i) out[i] = dot(*weights_, x.row(i));
+    return out;
+  }
+  // One blocked cross-kernel build amortizes the train_x_ streaming across
+  // all windows; the alpha reduction per column matches dot(alpha_, k).
+  const Matrix k = kernel_matrix(train_x_, x, config_.kernel);
+  for (std::size_t j = 0; j < x.rows(); ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < k.rows(); ++i) sum += alpha_[i] * k(i, j);
+    out[j] = sum;
+  }
+  return out;
+}
+
 std::string KrrClassifier::name() const {
   return "KRR(" + config_.kernel.name() + ")";
 }

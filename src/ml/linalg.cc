@@ -1,5 +1,6 @@
 #include "ml/linalg.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -52,16 +53,40 @@ std::vector<double> solve_spd(const Matrix& a, std::span<const double> b) {
   return cholesky_solve(cholesky(a), b);
 }
 
-Matrix solve_spd(const Matrix& a, const Matrix& b) {
-  const Matrix l = cholesky(a);
-  Matrix x(b.rows(), b.cols());
-  std::vector<double> col(b.rows());
-  for (std::size_t j = 0; j < b.cols(); ++j) {
-    for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
-    const auto sol = cholesky_solve(l, col);
-    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+Matrix cholesky_solve(const Matrix& l, const Matrix& b) {
+  const std::size_t n = l.rows();
+  if (b.rows() != n) throw std::invalid_argument("cholesky_solve: size");
+  const std::size_t nrhs = b.cols();
+  constexpr std::size_t kPanel = 32;
+
+  Matrix x = b;  // solved in place, panel by panel
+  for (std::size_t j0 = 0; j0 < nrhs; j0 += kPanel) {
+    const std::size_t j1 = std::min(j0 + kPanel, nrhs);
+    // Forward: L Z = B over the panel. The k-reduction per (i, j) runs in
+    // the same ascending order as the single-RHS path.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < i; ++k) {
+        const double lik = l(i, k);
+        for (std::size_t j = j0; j < j1; ++j) x(i, j) -= lik * x(k, j);
+      }
+      const double diag = l(i, i);
+      for (std::size_t j = j0; j < j1; ++j) x(i, j) /= diag;
+    }
+    // Back: L^T X = Z over the panel.
+    for (std::size_t ii = n; ii-- > 0;) {
+      for (std::size_t k = ii + 1; k < n; ++k) {
+        const double lki = l(k, ii);
+        for (std::size_t j = j0; j < j1; ++j) x(ii, j) -= lki * x(k, j);
+      }
+      const double diag = l(ii, ii);
+      for (std::size_t j = j0; j < j1; ++j) x(ii, j) /= diag;
+    }
   }
   return x;
+}
+
+Matrix solve_spd(const Matrix& a, const Matrix& b) {
+  return cholesky_solve(cholesky(a), b);
 }
 
 std::vector<double> solve_lu(Matrix a, std::vector<double> b) {

@@ -29,4 +29,10 @@ Matrix invert_spd(const Matrix& a);
 // Forward/back substitution with a lower-triangular factor L (A = L L^T).
 std::vector<double> cholesky_solve(const Matrix& l, std::span<const double> b);
 
+// Multi-RHS forward/back substitution, blocked over column panels of B so a
+// factor row is reused across the whole panel instead of being re-streamed
+// once per column. Per-column results are bit-identical to the single-RHS
+// overload (the reduction order over k is unchanged).
+Matrix cholesky_solve(const Matrix& l, const Matrix& b);
+
 }  // namespace sy::ml

@@ -2,51 +2,30 @@
 // evaluation loops are embarrassingly parallel). Results must be written to
 // pre-sized per-index slots; the callback must not touch shared mutable
 // state.
+//
+// Runs on the process-wide work-stealing ThreadPool instead of spawning a
+// fresh thread team per call, so nested and repeated loops reuse warm
+// workers.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
-#include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace sy::util {
 
 // Runs fn(i) for i in [0, n) across up to `threads` workers (0 = hardware
 // concurrency). Exceptions propagate to the caller (first one wins).
-inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+inline void parallel_for(std::size_t n,
+                         const std::function<void(std::size_t)>& fn,
                          unsigned threads = 0) {
   if (n == 0) return;
-  unsigned workers = threads != 0 ? threads : std::thread::hardware_concurrency();
-  if (workers < 1) workers = 1;
-  if (workers == 1 || n == 1) {
+  if (threads == 1 || n == 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-
-  std::vector<std::thread> pool;
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  std::atomic<std::size_t> next{0};
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      while (true) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= n) return;
-        try {
-          fn(i);
-        } catch (...) {
-          const std::scoped_lock lock(error_mutex);
-          if (!error) error = std::current_exception();
-          return;
-        }
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
+  ThreadPool::shared().parallel_for(n, fn, threads);
 }
 
 }  // namespace sy::util

@@ -1,0 +1,149 @@
+#include "util/thread_pool.h"
+
+namespace sy::util {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (n < 1) n = 1;
+  queues_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkQueue>());
+  }
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(sleep_mutex_);
+    stop_.store(true);
+  }
+  wake_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  // Round-robin placement; idle workers steal, so placement only matters for
+  // the common case where every queue is busy.
+  const std::size_t home = next_queue_.fetch_add(1) % queues_.size();
+  {
+    const std::scoped_lock lock(queues_[home]->mutex);
+    queues_[home]->tasks.push_back(std::move(task));
+  }
+  // Passing through sleep_mutex_ orders this push against the idle re-scan in
+  // worker_loop: a worker that missed the task is provably not yet waiting,
+  // so the notify below cannot be lost.
+  { const std::scoped_lock lock(sleep_mutex_); }
+  wake_.notify_one();
+}
+
+bool ThreadPool::try_acquire(std::size_t self, std::function<void()>& task) {
+  // Own queue first (LIFO: newest task is cache-warm), then steal the oldest
+  // task from siblings.
+  {
+    auto& q = *queues_[self];
+    const std::scoped_lock lock(q.mutex);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  for (std::size_t off = 1; off < queues_.size(); ++off) {
+    auto& q = *queues_[(self + off) % queues_.size()];
+    const std::scoped_lock lock(q.mutex);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  std::function<void()> task;
+  while (true) {
+    if (try_acquire(self, task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock lock(sleep_mutex_);
+    if (stop_.load()) return;
+    // Re-scan under sleep_mutex_: submit() pushes before touching
+    // sleep_mutex_, so anything this scan misses will notify us in wait().
+    if (try_acquire(self, task)) {
+      lock.unlock();
+      task();
+      task = nullptr;
+      continue;
+    }
+    wake_.wait(lock);
+  }
+}
+
+namespace {
+
+struct ForState {
+  std::function<void(std::size_t)> fn;
+  std::size_t n{0};
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr error;
+
+  void drain() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::scoped_lock lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1) + 1 == n) {
+        const std::scoped_lock lock(mutex);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t n,
+                              std::function<void(std::size_t)> fn,
+                              unsigned max_workers) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  unsigned helpers =
+      max_workers != 0 && max_workers <= size() ? max_workers : size();
+  if (helpers > n) helpers = static_cast<unsigned>(n);
+
+  auto state = std::make_shared<ForState>();
+  state->fn = std::move(fn);
+  state->n = n;
+  // helpers - 1 pool tasks; the calling thread is the last participant.
+  for (unsigned h = 0; h + 1 < helpers; ++h) {
+    submit([state] { state->drain(); });
+  }
+  state->drain();
+  std::unique_lock lock(state->mutex);
+  state->cv.wait(lock, [&] { return state->done.load() == state->n; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace sy::util
