@@ -1,0 +1,313 @@
+// Population-scale serving load on serve::AuthGateway: enroll a large
+// synthetic population (default 100k users), then drive a Poisson-arrival
+// scoring load with a skewed (hot-set) user popularity, occasional drift
+// reports feeding the async RetrainQueue, and a bounded ModelCache backed by
+// persisted ModelStore bundles — far more users than fit in the cache.
+//
+// Flags (also settable via SY_<KEY> env, see util/args.h):
+//   --users=N --contributors=N --windows=N --dim=N --events=N
+//   --shards=N --threads=N --cache-mb=N --rate=HZ --drift-prob=P
+//   --hot-fraction=P --hot-mass=P --seed=N --model-dir=PATH --keep-models
+//   --smoke (tiny preset for CI) --json=PATH (machine-readable summary)
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "serve/auth_gateway.h"
+#include "util/args.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+using namespace sy;
+
+namespace {
+
+std::vector<std::vector<double>> user_windows(int user, std::size_t n,
+                                              std::size_t dim,
+                                              std::uint64_t seed) {
+  // Per-user Gaussian cloud around a stable per-user center: enough
+  // structure for KRR to separate users, cheap enough for 100k of them.
+  util::Rng center_rng(9000 + static_cast<std::uint64_t>(user));
+  std::vector<double> center(dim);
+  for (auto& c : center) c = center_rng.uniform(-2.0, 2.0);
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> v(dim);
+    for (std::size_t d = 0; d < dim; ++d) v[d] = rng.gaussian(center[d], 0.6);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int run(int argc, char** argv);
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_serving: %s\n", e.what());
+    return 1;
+  }
+}
+
+int run(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const bool smoke = args.get_flag("smoke");
+
+  const auto n_users = static_cast<std::size_t>(
+      args.get_int("users", smoke ? 2000 : 100000));
+  const auto n_contributors = static_cast<std::size_t>(
+      args.get_int("contributors", smoke ? 200 : 1000));
+  const auto windows = static_cast<std::size_t>(args.get_int("windows", 8));
+  const auto dim = static_cast<std::size_t>(args.get_int("dim", 14));
+  const auto events = static_cast<std::size_t>(
+      args.get_int("events", smoke ? 5000 : 200000));
+  const auto shards = static_cast<std::size_t>(args.get_int("shards", 64));
+  const auto threads = static_cast<unsigned>(args.get_int("threads", 0));
+  const auto cache_mb = static_cast<std::size_t>(
+      args.get_int("cache-mb", smoke ? 2 : 64));
+  const double rate_hz = args.get_double("rate", 2000.0);
+  const double drift_prob = args.get_double("drift-prob", 0.0005);
+  const double hot_fraction = args.get_double("hot-fraction", 0.1);
+  const double hot_mass = args.get_double("hot-mass", 0.8);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+  const std::string json_path = args.get("json", "");
+
+  std::string model_dir = args.get("model-dir", "");
+  const bool own_model_dir = model_dir.empty();
+  if (own_model_dir) {
+    model_dir = (std::filesystem::temp_directory_path() /
+                 ("sy_bench_serving_" + std::to_string(seed)))
+                    .string();
+  }
+  std::filesystem::create_directories(model_dir);
+  // Remove an owned temp dir on EVERY exit path (including early failure
+  // returns and exceptions) — a failed 100k-user run must not leave
+  // gigabytes of bundles behind.
+  struct DirCleanup {
+    std::string dir;
+    bool active;
+    ~DirCleanup() {
+      if (!active) return;
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  } cleanup{model_dir, own_model_dir && !args.get_flag("keep-models")};
+
+  util::ThreadPool pool(threads);
+  serve::GatewayConfig config;
+  config.shards = shards;
+  config.cache_bytes = cache_mb << 20;
+  config.model_dir = model_dir;
+  serve::AuthGateway gateway(config, &pool);
+
+  std::printf(
+      "bench_serving — %zu users (%zu contributors) x %zu windows x %zu dims, "
+      "%zu shards, %u pool workers, %zu MB cache\n",
+      n_users, n_contributors, windows, dim, shards, pool.size(), cache_mb);
+
+  // --- Phase 1: population contribution (concurrent, sharded) -------------
+  util::Stopwatch timer;
+  pool.parallel_for(n_contributors, [&](std::size_t u) {
+    gateway.contribute(static_cast<int>(u),
+                       sensors::DetectedContext::kStationary,
+                       user_windows(static_cast<int>(u), windows, dim,
+                                    seed + 13 * u));
+  });
+  const double contribute_s = timer.elapsed_seconds();
+
+  // --- Phase 2: mass enrollment (one snapshot, trained in parallel) -------
+  timer.reset();
+  pool.parallel_for(n_users, [&](std::size_t u) {
+    core::VectorsByContext positives;
+    positives[sensors::DetectedContext::kStationary] =
+        user_windows(static_cast<int>(u), windows, dim, seed + 13 * u);
+    // Contributors already fed the anonymized store in phase 1.
+    (void)gateway.enroll(static_cast<int>(u), positives, seed + 17 * u + 1,
+                         /*contribute_positives=*/false);
+  });
+  const double enroll_s = timer.elapsed_seconds();
+  std::printf("contribute: %.2f s   enroll: %.2f s (%.0f users/s)\n",
+              contribute_s, enroll_s,
+              static_cast<double>(n_users) / enroll_s);
+
+  // Self-check: an enrolled user's own windows are overwhelmingly accepted.
+  {
+    const auto own = gateway.score_batch(
+        0, sensors::DetectedContext::kStationary,
+        user_windows(0, 50, dim, seed + 99));
+    std::size_t accepted = 0;
+    for (const auto& d : own) accepted += d.accepted ? 1u : 0u;
+    std::printf("self-check: owner accept rate %.0f%%\n",
+                100.0 * static_cast<double>(accepted) / 50.0);
+    if (accepted < 35) {
+      std::printf("FAIL: enrolled model does not accept its own user\n");
+      return 1;
+    }
+  }
+
+  // --- Phase 3: Poisson-arrival scoring load ------------------------------
+  // Arrival sequence drawn up front (one RNG => deterministic): exponential
+  // interarrivals at `rate`, user popularity skewed so `hot_mass` of the
+  // traffic hits the first `hot_fraction` of users — the regime where an
+  // LRU cache earns its keep.
+  struct Event {
+    int user;
+    bool drift;
+  };
+  std::vector<Event> arrivals(events);
+  double sim_clock_s = 0.0;
+  {
+    util::Rng rng(seed + 1000003);
+    const auto hot_users = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(n_users) *
+                                    hot_fraction));
+    for (auto& event : arrivals) {
+      sim_clock_s += rng.exponential(rate_hz);
+      const bool hot = rng.uniform() < hot_mass;
+      const auto span = hot ? hot_users : n_users;
+      event.user = static_cast<int>(rng.uniform_int(
+          0, static_cast<int>(span) - 1));
+      event.drift = rng.uniform() < drift_prob;
+    }
+  }
+
+  constexpr std::size_t kEventWindows = 4;
+  std::vector<double> latencies_ms(events);
+  std::vector<std::uint8_t> accepted_flags(events, 0);
+  timer.reset();
+  pool.parallel_for(events, [&](std::size_t i) {
+    const Event& event = arrivals[i];
+    // Synthetic payloads are generated before the timer starts: the
+    // latency percentiles in the JSON artifact must track the gateway,
+    // not the benchmark's own RNG work.
+    core::VectorsByContext drift_upload;
+    if (event.drift) {
+      drift_upload[sensors::DetectedContext::kStationary] =
+          user_windows(event.user, windows, dim, seed + 31 * i);
+    }
+    const auto score_windows =
+        user_windows(event.user, kEventWindows, dim, seed + 41 * i);
+
+    util::Stopwatch event_timer;
+    if (event.drift) {
+      // Fire-and-forget: the completion future is the RetrainQueue's
+      // concern; scoring continues on the old model.
+      (void)gateway.report_drift(event.user, std::move(drift_upload),
+                                 seed + 37 * i);
+    }
+    const auto decisions = gateway.score_batch(
+        event.user, sensors::DetectedContext::kStationary, score_windows);
+    latencies_ms[i] = event_timer.elapsed_ms();
+    std::size_t ok = 0;
+    for (const auto& d : decisions) ok += d.accepted ? 1u : 0u;
+    accepted_flags[i] = ok >= kEventWindows / 2 ? 1 : 0;
+  });
+  const double score_s = timer.elapsed_seconds();
+  gateway.wait_idle();  // drain in-flight drift retrains
+  const double drain_s = timer.elapsed_seconds() - score_s;
+
+  // --- Report -------------------------------------------------------------
+  const auto stats = gateway.stats();
+  std::vector<double> sorted = latencies_ms;
+  std::sort(sorted.begin(), sorted.end());
+  const double p50 = percentile(sorted, 0.50);
+  const double p95 = percentile(sorted, 0.95);
+  const double p99 = percentile(sorted, 0.99);
+  const double lat_max = sorted.empty() ? 0.0 : sorted.back();
+  const double events_per_s = static_cast<double>(events) / score_s;
+  const double hit_rate =
+      static_cast<double>(stats.cache.hits) /
+      static_cast<double>(std::max<std::uint64_t>(
+          1, stats.cache.hits + stats.cache.misses));
+  std::size_t accepted_events = 0;
+  for (const auto flag : accepted_flags) accepted_events += flag;
+
+  std::printf(
+      "scoring:    %zu events in %.2f s (%.0f events/s, offered %.0f/s over "
+      "%.1f s simulated)\n",
+      events, score_s, events_per_s, rate_hz, sim_clock_s);
+  std::printf("latency:    p50 %.3f ms   p95 %.3f ms   p99 %.3f ms\n", p50,
+              p95, p99);
+  std::printf("accepted:   %.1f%% of events\n",
+              100.0 * static_cast<double>(accepted_events) /
+                  static_cast<double>(events));
+  std::printf(
+      "cache:      %llu hits / %llu misses (%.1f%% hit), %llu evictions, "
+      "%llu reloads, %zu resident (%zu KB)\n",
+      static_cast<unsigned long long>(stats.cache.hits),
+      static_cast<unsigned long long>(stats.cache.misses), 100.0 * hit_rate,
+      static_cast<unsigned long long>(stats.cache.evictions),
+      static_cast<unsigned long long>(stats.cache.loads), stats.cache.entries,
+      stats.cache.bytes >> 10);
+  std::printf(
+      "retrains:   %llu reported, %llu coalesced, %llu completed "
+      "(drained in %.2f s)\n",
+      static_cast<unsigned long long>(stats.queue.submitted),
+      static_cast<unsigned long long>(stats.queue.coalesced),
+      static_cast<unsigned long long>(stats.queue.completed), drain_s);
+  std::printf("store:      %llu contributions, %llu snapshot rebuilds\n",
+              static_cast<unsigned long long>(stats.store.contributions),
+              static_cast<unsigned long long>(stats.store.snapshot_rebuilds));
+
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "bench_serving: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    json << "{\n"
+         << "  \"bench\": \"bench_serving\",\n"
+         << "  \"users\": " << n_users << ",\n"
+         << "  \"contributors\": " << n_contributors << ",\n"
+         << "  \"events\": " << events << ",\n"
+         << "  \"shards\": " << shards << ",\n"
+         << "  \"threads\": " << pool.size() << ",\n"
+         << "  \"cache_mb\": " << cache_mb << ",\n"
+         << "  \"enroll_seconds\": " << enroll_s << ",\n"
+         << "  \"enroll_users_per_second\": "
+         << static_cast<double>(n_users) / enroll_s << ",\n"
+         << "  \"score_seconds\": " << score_s << ",\n"
+         << "  \"events_per_second\": " << events_per_s << ",\n"
+         << "  \"latency_ms\": {\"p50\": " << p50 << ", \"p95\": " << p95
+         << ", \"p99\": " << p99 << ", \"max\": " << lat_max << "},\n"
+         << "  \"cache\": {\"hits\": " << stats.cache.hits
+         << ", \"misses\": " << stats.cache.misses
+         << ", \"evictions\": " << stats.cache.evictions
+         << ", \"loads\": " << stats.cache.loads
+         << ", \"hit_rate\": " << hit_rate << "},\n"
+         << "  \"retrains\": {\"submitted\": " << stats.queue.submitted
+         << ", \"coalesced\": " << stats.queue.coalesced
+         << ", \"completed\": " << stats.queue.completed
+         << ", \"failed\": " << stats.queue.failed << "},\n"
+         << "  \"store\": {\"contributions\": " << stats.store.contributions
+         << ", \"snapshot_rebuilds\": " << stats.store.snapshot_rebuilds
+         << "}\n"
+         << "}\n";
+    std::printf("json:       wrote %s\n", json_path.c_str());
+  }
+
+  // Regression gates for CI: every event must have been served, and drift
+  // retrains must all have completed (none stuck, none failed).
+  if (stats.queue.failed != 0) {
+    std::printf("FAIL: %llu retrain jobs failed\n",
+                static_cast<unsigned long long>(stats.queue.failed));
+    return 1;
+  }
+  return 0;
+}

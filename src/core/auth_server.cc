@@ -6,20 +6,45 @@
 
 namespace sy::core {
 
-AuthServer::AuthServer(TrainingConfig config, NetworkConfig net)
-    : config_(config), net_(net) {}
-
-void AuthServer::contribute(int contributor_token,
-                            sensors::DetectedContext context,
-                            const std::vector<std::vector<double>>& vectors) {
-  auto& bucket = store_[context];
+void CowPopulationStore::contribute(
+    int contributor_token, sensors::DetectedContext context,
+    const std::vector<std::vector<double>>& vectors) {
+  // Copy-on-write: clone only while an outstanding snapshot aliases the map,
+  // so training against a snapshot is never perturbed by later growth.
+  if (data_.use_count() > 1) {
+    data_ = std::make_shared<PopulationStore>(*data_);
+  }
+  auto& bucket = (*data_)[context];
   for (const auto& v : vectors) {
     bucket.push_back({contributor_token, v});
   }
 }
 
+std::size_t CowPopulationStore::store_size(
+    sensors::DetectedContext context) const {
+  const auto it = data_->find(context);
+  return it == data_->end() ? 0 : it->second.size();
+}
+
+AuthServer::AuthServer(TrainingConfig config, NetworkConfig net,
+                       std::shared_ptr<PopulationStoreBackend> store)
+    : config_(config),
+      net_(net),
+      store_(store != nullptr ? std::move(store)
+                              : std::make_shared<CowPopulationStore>()) {}
+
+void AuthServer::contribute(int contributor_token,
+                            sensors::DetectedContext context,
+                            const std::vector<std::vector<double>>& vectors) {
+  store_->contribute(contributor_token, context, vectors);
+}
+
 void apply_transfer(TransferStats& stats, const NetworkConfig& net,
                     std::size_t bytes, bool upload) {
+  if (!net.available) {
+    throw NetworkUnavailableError(
+        "apply_transfer: network unavailable, transfer cannot complete");
+  }
   const double seconds =
       net.latency_ms * 1e-3 +
       static_cast<double>(bytes) * 8.0 / (net.bandwidth_mbps * 1e6);
@@ -35,6 +60,23 @@ void apply_transfer(TransferStats& stats, const NetworkConfig& net,
 
 void AuthServer::simulate_transfer(std::size_t bytes, bool upload) {
   apply_transfer(transfers_, net_, bytes, upload);
+}
+
+std::size_t upload_bytes(const VectorsByContext& positives) {
+  std::size_t bytes = 0;
+  for (const auto& [context, vectors] : positives) {
+    for (const auto& v : vectors) bytes += v.size() * sizeof(double);
+  }
+  return bytes;
+}
+
+std::size_t model_download_bytes(const AuthModel& model) {
+  std::size_t bytes = 0;
+  for (const auto& [context, cm] : model.models()) {
+    bytes += cm.classifier.pack().size() * sizeof(double);
+    bytes += cm.scaler.pack().size() * sizeof(double);
+  }
+  return bytes;
 }
 
 AuthModel train_user_from_store(const PopulationStore& store,
@@ -88,36 +130,24 @@ AuthModel AuthServer::train_user_model(int user_token,
                                        const VectorsByContext& positives,
                                        util::Rng& rng, int version) {
   if (!net_.available) {
-    throw std::runtime_error("AuthServer: network unavailable");
+    throw NetworkUnavailableError("AuthServer: network unavailable");
   }
   if (positives.empty()) {
     throw std::invalid_argument("AuthServer: no positive vectors uploaded");
   }
 
-  // Account the upload (8 bytes per double).
-  std::size_t upload_bytes = 0;
-  for (const auto& [context, vectors] : positives) {
-    for (const auto& v : vectors) upload_bytes += v.size() * sizeof(double);
-  }
-  simulate_transfer(upload_bytes, /*upload=*/true);
+  simulate_transfer(upload_bytes(positives), /*upload=*/true);
 
-  AuthModel model =
-      train_user_from_store(store_, config_, user_token, positives, rng,
-                            version);
+  const std::shared_ptr<const PopulationStore> snapshot = store_->snapshot();
+  AuthModel model = train_user_from_store(*snapshot, config_, user_token,
+                                          positives, rng, version);
 
-  // Account the model download.
-  std::size_t download_bytes = 0;
-  for (const auto& [context, cm] : model.models()) {
-    download_bytes += cm.classifier.pack().size() * sizeof(double);
-    download_bytes += cm.scaler.pack().size() * sizeof(double);
-  }
-  simulate_transfer(download_bytes, /*upload=*/false);
+  simulate_transfer(model_download_bytes(model), /*upload=*/false);
   return model;
 }
 
 std::size_t AuthServer::store_size(sensors::DetectedContext context) const {
-  const auto it = store_.find(context);
-  return it == store_.end() ? 0 : it->second.size();
+  return store_->store_size(context);
 }
 
 }  // namespace sy::core

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "core/auth_model.h"
@@ -38,10 +40,26 @@ struct TransferStats {
   double total_delay_ms{0.0};
 };
 
+// Thrown by any transfer/training path when NetworkConfig::available is
+// false. Training is the only phase that needs connectivity (§III); callers
+// that can wait (e.g. the drift-retraining path) catch this and queue the
+// work instead of failing the session.
+struct NetworkUnavailableError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 // Accounts one simulated transfer against `stats` using the latency/bandwidth
-// network model; shared by AuthServer and BatchAuthServer.
+// network model; shared by AuthServer and BatchAuthServer. Throws
+// NetworkUnavailableError when the network is down — a transfer over a dead
+// link must never silently succeed.
 void apply_transfer(TransferStats& stats, const NetworkConfig& net,
                     std::size_t bytes, bool upload);
+
+// Wire sizes of the two transfer payloads (8 bytes per double), shared by
+// AuthServer, BatchAuthServer, and serve::AuthGateway so the simulated
+// accounting can never drift between them.
+std::size_t upload_bytes(const VectorsByContext& positives);
+std::size_t model_download_bytes(const AuthModel& model);
 
 struct TrainingConfig {
   ml::KrrConfig krr{};
@@ -62,6 +80,47 @@ struct StoredVector {
 using PopulationStore =
     std::map<sensors::DetectedContext, std::vector<StoredVector>>;
 
+// Contribution/snapshot backend behind AuthServer and BatchAuthServer.
+// Implementations choose their own synchronization contract:
+// CowPopulationStore (below) keeps the servers' historical
+// externally-synchronized single-map behavior; serve::ShardedPopulationStore
+// is internally synchronized and scales contribution across shards.
+class PopulationStoreBackend {
+ public:
+  virtual ~PopulationStoreBackend() = default;
+
+  // Anonymized contribution: the token exists only to avoid self-matching
+  // during training.
+  virtual void contribute(int contributor_token,
+                          sensors::DetectedContext context,
+                          const std::vector<std::vector<double>>& vectors) = 0;
+
+  // Immutable snapshot of the whole store. The returned map must never
+  // change after the call: later contributions go to fresh storage.
+  virtual std::shared_ptr<const PopulationStore> snapshot() const = 0;
+
+  virtual std::size_t store_size(sensors::DetectedContext context) const = 0;
+};
+
+// The original single-map store with copy-on-write snapshots: contribution
+// clones the map only while a snapshot is outstanding, so training against a
+// snapshot is never perturbed. Public methods are externally synchronized
+// (one caller at a time), matching the historical server contract.
+class CowPopulationStore final : public PopulationStoreBackend {
+ public:
+  CowPopulationStore() : data_(std::make_shared<PopulationStore>()) {}
+
+  void contribute(int contributor_token, sensors::DetectedContext context,
+                  const std::vector<std::vector<double>>& vectors) override;
+  std::shared_ptr<const PopulationStore> snapshot() const override {
+    return data_;
+  }
+  std::size_t store_size(sensors::DetectedContext context) const override;
+
+ private:
+  std::shared_ptr<PopulationStore> data_;
+};
+
 // Trains one user's per-context model bundle against an immutable store
 // snapshot. This is the single training kernel shared by AuthServer
 // (sequential) and BatchAuthServer (threaded): given the same store, request,
@@ -74,7 +133,12 @@ AuthModel train_user_from_store(const PopulationStore& store,
 
 class AuthServer {
  public:
-  explicit AuthServer(TrainingConfig config = {}, NetworkConfig net = {});
+  // `store` is the contribution/snapshot backend; null means a private
+  // CowPopulationStore (the historical single-map behavior). Injecting a
+  // shared serve::ShardedPopulationStore lets many servers/gateways feed one
+  // population.
+  explicit AuthServer(TrainingConfig config = {}, NetworkConfig net = {},
+                      std::shared_ptr<PopulationStoreBackend> store = nullptr);
 
   // Anonymized contribution: vectors enter the population store without any
   // user identifier (contributor ids are only used to avoid self-matching
@@ -83,14 +147,18 @@ class AuthServer {
                   const std::vector<std::vector<double>>& vectors);
 
   // Trains per-context models from the user's uploaded positives plus
-  // anonymized impostor samples. Throws std::runtime_error when the network
-  // is unavailable or the store lacks impostor data for a context.
+  // anonymized impostor samples. Throws NetworkUnavailableError when the
+  // network is unavailable, std::runtime_error when the store lacks impostor
+  // data for a context.
   AuthModel train_user_model(int user_token, const VectorsByContext& positives,
                              util::Rng& rng, int version = 1);
 
   std::size_t store_size(sensors::DetectedContext context) const;
   const TransferStats& transfers() const { return transfers_; }
   void set_network(NetworkConfig net) { net_ = net; }
+  const std::shared_ptr<PopulationStoreBackend>& store() const {
+    return store_;
+  }
 
  private:
   void simulate_transfer(std::size_t bytes, bool upload);
@@ -98,7 +166,7 @@ class AuthServer {
   TrainingConfig config_;
   NetworkConfig net_;
   TransferStats transfers_;
-  PopulationStore store_;
+  std::shared_ptr<PopulationStoreBackend> store_;
 };
 
 }  // namespace sy::core

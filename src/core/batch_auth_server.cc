@@ -5,25 +5,24 @@
 namespace sy::core {
 
 BatchAuthServer::BatchAuthServer(TrainingConfig config, NetworkConfig net,
-                                 util::ThreadPool* pool)
+                                 util::ThreadPool* pool,
+                                 std::shared_ptr<PopulationStoreBackend> store)
     : config_(config),
       net_(net),
-      store_(std::make_shared<PopulationStore>()),
+      store_(store != nullptr ? std::move(store)
+                              : std::make_shared<CowPopulationStore>()),
       pool_(pool) {}
 
 void BatchAuthServer::contribute(
     int contributor_token, sensors::DetectedContext context,
     const std::vector<std::vector<double>>& vectors) {
-  auto& bucket = (*store_)[context];
-  for (const auto& v : vectors) {
-    bucket.push_back({contributor_token, v});
-  }
+  store_->contribute(contributor_token, context, vectors);
 }
 
 std::vector<AuthModel> BatchAuthServer::train_user_models(
     std::span<const EnrollmentRequest> requests) {
   if (!net_.available) {
-    throw std::runtime_error("BatchAuthServer: network unavailable");
+    throw NetworkUnavailableError("BatchAuthServer: network unavailable");
   }
   for (const auto& request : requests) {
     if (request.positives == nullptr || request.positives->empty()) {
@@ -35,15 +34,12 @@ std::vector<AuthModel> BatchAuthServer::train_user_models(
   // Uploads are accounted up front (request order), matching the sequential
   // path where the upload happens before — and survives — a failed training.
   for (const auto& request : requests) {
-    std::size_t upload_bytes = 0;
-    for (const auto& [context, vectors] : *request.positives) {
-      for (const auto& v : vectors) upload_bytes += v.size() * sizeof(double);
-    }
-    apply_transfer(transfers_, net_, upload_bytes, /*upload=*/true);
+    apply_transfer(transfers_, net_, upload_bytes(*request.positives),
+                   /*upload=*/true);
   }
 
   // Immutable snapshot shared (lock-free) by every worker.
-  const std::shared_ptr<const PopulationStore> snapshot = store_;
+  const std::shared_ptr<const PopulationStore> snapshot = store_->snapshot();
   std::vector<AuthModel> models(requests.size());
 
   auto train_one = [&](std::size_t i) {
@@ -61,20 +57,15 @@ std::vector<AuthModel> BatchAuthServer::train_user_models(
 
   // Deterministic download accounting: request order, after the join.
   for (const auto& model : models) {
-    std::size_t download_bytes = 0;
-    for (const auto& [context, cm] : model.models()) {
-      download_bytes += cm.classifier.pack().size() * sizeof(double);
-      download_bytes += cm.scaler.pack().size() * sizeof(double);
-    }
-    apply_transfer(transfers_, net_, download_bytes, /*upload=*/false);
+    apply_transfer(transfers_, net_, model_download_bytes(model),
+                   /*upload=*/false);
   }
   return models;
 }
 
 std::size_t BatchAuthServer::store_size(
     sensors::DetectedContext context) const {
-  const auto it = store_->find(context);
-  return it == store_->end() ? 0 : it->second.size();
+  return store_->store_size(context);
 }
 
 }  // namespace sy::core

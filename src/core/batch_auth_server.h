@@ -11,8 +11,8 @@
 //
 // Thread-safety contract: like AuthServer, the public methods are externally
 // synchronized (one caller at a time); the internal parallelism is across
-// workers inside train_user_models. A sharded store with concurrent
-// contribution is a ROADMAP follow-on.
+// workers inside train_user_models. Inject a serve::ShardedPopulationStore
+// backend for internally-synchronized, concurrent contribution.
 #pragma once
 
 #include <memory>
@@ -37,8 +37,11 @@ struct EnrollmentRequest {
 class BatchAuthServer {
  public:
   // `pool` may be null: the process-wide ThreadPool::shared() is used.
+  // `store` may be null: a private CowPopulationStore is created.
   explicit BatchAuthServer(TrainingConfig config = {}, NetworkConfig net = {},
-                           util::ThreadPool* pool = nullptr);
+                           util::ThreadPool* pool = nullptr,
+                           std::shared_ptr<PopulationStoreBackend> store =
+                               nullptr);
 
   // Same anonymized contribution protocol as AuthServer.
   void contribute(int contributor_token, sensors::DetectedContext context,
@@ -55,13 +58,16 @@ class BatchAuthServer {
   std::size_t store_size(sensors::DetectedContext context) const;
   const TransferStats& transfers() const { return transfers_; }
   void set_network(NetworkConfig net) { net_ = net; }
+  const std::shared_ptr<PopulationStoreBackend>& store() const {
+    return store_;
+  }
 
  private:
   TrainingConfig config_;
   NetworkConfig net_;
   TransferStats transfers_;
-  // Workers inside train_user_models share this as a const snapshot.
-  std::shared_ptr<PopulationStore> store_;
+  // Workers inside train_user_models share one immutable snapshot of this.
+  std::shared_ptr<PopulationStoreBackend> store_;
   util::ThreadPool* pool_;  // not owned
 };
 

@@ -1,8 +1,10 @@
 #include "core/model_store.h"
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "util/sha256.h"
 
@@ -65,7 +67,7 @@ class Reader {
  private:
   void require(std::size_t n) const {
     if (pos_ + n > bytes_.size()) {
-      throw std::runtime_error("ModelStore: truncated model file");
+      throw ModelCorruptError("ModelStore: truncated model file");
     }
   }
   const std::vector<std::uint8_t>& bytes_;
@@ -93,26 +95,26 @@ std::vector<std::uint8_t> ModelStore::serialize(const AuthModel& model) {
 
 AuthModel ModelStore::deserialize(const std::vector<std::uint8_t>& bytes) {
   if (bytes.size() < 4 + 16 + 32) {
-    throw std::runtime_error("ModelStore: file too small");
+    throw ModelCorruptError("ModelStore: file too small");
   }
   // Verify digest first.
   const std::size_t body = bytes.size() - 32;
   const auto digest = util::Sha256::hash(bytes.data(), body);
   if (!std::equal(digest.begin(), digest.end(), bytes.begin() + static_cast<std::ptrdiff_t>(body))) {
-    throw std::runtime_error("ModelStore: integrity digest mismatch");
+    throw ModelCorruptError("ModelStore: integrity digest mismatch");
   }
 
   Reader reader(bytes);
   char magic[4];
   std::memcpy(magic, bytes.data(), 4);
   if (std::memcmp(magic, kMagic, 4) != 0) {
-    throw std::runtime_error("ModelStore: bad magic");
+    throw ModelCorruptError("ModelStore: bad magic");
   }
   // Skip magic (Reader starts at 0).
   reader.u32();  // magic as u32 — consumed positionally
   const std::uint32_t format = reader.u32();
   if (format != kFormatVersion) {
-    throw std::runtime_error("ModelStore: unsupported format version");
+    throw ModelCorruptError("ModelStore: unsupported format version");
   }
   const auto user = static_cast<int>(reader.u32());
   const auto version = static_cast<int>(reader.u32());
@@ -128,26 +130,42 @@ AuthModel ModelStore::deserialize(const std::vector<std::uint8_t>& bytes) {
     model.set_context_model(context, std::move(cm));
   }
   if (reader.pos() != body) {
-    throw std::runtime_error("ModelStore: trailing bytes in model file");
+    throw ModelCorruptError("ModelStore: trailing bytes in model file");
   }
   return model;
 }
 
 void ModelStore::save(const AuthModel& model, const std::string& path) {
-  const auto bytes = serialize(model);
+  save_bytes(serialize(model), path);
+}
+
+void ModelStore::save_bytes(const std::vector<std::uint8_t>& bytes,
+                            const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("ModelStore: cannot open " + path);
+  if (!out) throw ModelStoreError("ModelStore: cannot open " + path);
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("ModelStore: write failed " + path);
+  if (!out) throw ModelStoreError("ModelStore: write failed " + path);
 }
 
 AuthModel ModelStore::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("ModelStore: cannot open " + path);
+  if (!in) {
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+      throw ModelMissingError("ModelStore: no such model file: " + path);
+    }
+    throw ModelStoreError("ModelStore: cannot open " + path);
+  }
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
-  return deserialize(bytes);
+  try {
+    return deserialize(bytes);
+  } catch (const ModelCorruptError& e) {
+    // Re-throw with the offending path: a serving fleet sees thousands of
+    // bundles and a bare "digest mismatch" is undebuggable.
+    throw ModelCorruptError(std::string(e.what()) + " (" + path + ")");
+  }
 }
 
 std::string ModelStore::digest_hex(const std::vector<std::uint8_t>& bytes) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -17,15 +18,35 @@
 
 namespace sy::core {
 
+// Base of every model-store failure; the two subclasses let callers (e.g. a
+// gateway's cache miss path) distinguish "model was never persisted" from
+// "model exists but is corrupt or tampered" — the former is retrainable, the
+// latter is a security event.
+struct ModelStoreError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+struct ModelMissingError : ModelStoreError {
+  using ModelStoreError::ModelStoreError;
+};
+struct ModelCorruptError : ModelStoreError {
+  using ModelStoreError::ModelStoreError;
+};
+
 class ModelStore {
  public:
   // Serializes the bundle (including digest).
   static std::vector<std::uint8_t> serialize(const AuthModel& model);
-  // Parses and verifies; throws std::runtime_error on corruption.
+  // Parses and verifies; throws ModelCorruptError on corruption.
   static AuthModel deserialize(const std::vector<std::uint8_t>& bytes);
 
-  // File round-trip.
+  // File round-trip. load() throws ModelMissingError when `path` does not
+  // exist and ModelCorruptError (with the offending path in the message)
+  // when the bundle fails parsing or integrity verification.
   static void save(const AuthModel& model, const std::string& path);
+  // Writes an already-serialized bundle (callers that also need the bytes
+  // for size accounting serialize once and reuse them).
+  static void save_bytes(const std::vector<std::uint8_t>& bytes,
+                         const std::string& path);
   static AuthModel load(const std::string& path);
 
   // Hex digest of a serialized bundle (for audit logs).

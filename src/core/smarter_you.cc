@@ -85,7 +85,7 @@ int SmarterYou::model_version() const {
 }
 
 void SmarterYou::maybe_retrain(util::Rng& rng) {
-  if (!monitor_.retrain_needed()) return;
+  if (!retrain_pending_ && !monitor_.retrain_needed()) return;
   if (response_.locked()) return;  // an attacker cannot reach this path
 
   VectorsByContext upload;
@@ -97,10 +97,21 @@ void SmarterYou::maybe_retrain(util::Rng& rng) {
   if (upload.empty()) return;
 
   const int next_version = authenticator_->model().version() + 1;
-  AuthModel model =
-      server_->train_user_model(user_token_, upload, rng, next_version);
+  AuthModel model;
+  try {
+    model = server_->train_user_model(user_token_, upload, rng, next_version);
+  } catch (const NetworkUnavailableError&) {
+    // Training is the only phase that needs connectivity (§III). The drift
+    // signal must not be lost and the session must not fail: queue the
+    // retrain and retry on the next opportunity.
+    retrain_pending_ = true;
+    util::log_warn("SmarterYou: retrain for user ", user_token_,
+                   " deferred, network unavailable");
+    return;
+  }
   authenticator_->replace_model(std::move(model));
   monitor_.reset();
+  retrain_pending_ = false;
   ++retrain_count_;
   util::log_info("SmarterYou: retrained user ", user_token_, " to version ",
                  next_version);

@@ -83,6 +83,10 @@ class SmarterYou {
   const ResponseModule& response() const { return response_; }
   const ConfidenceMonitor& confidence() const { return monitor_; }
   int retrain_count() const { return retrain_count_; }
+  // True when a drift-triggered retrain is queued because the network was
+  // unavailable; it is retried (and the flag cleared) as soon as a later
+  // session or explicit re-auth finds the network back up.
+  bool retrain_pending() const { return retrain_pending_; }
   int model_version() const;
 
  private:
@@ -104,6 +108,7 @@ class SmarterYou {
   ResponseModule response_;
   ConfidenceMonitor monitor_;
   int retrain_count_{0};
+  bool retrain_pending_{false};
 };
 
 }  // namespace sy::core

@@ -1,0 +1,234 @@
+#include "serve/auth_gateway.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include "core/model_store.h"
+#include "ml/matrix.h"
+#include "util/rng.h"
+
+namespace sy::serve {
+
+AuthGateway::AuthGateway(GatewayConfig config, util::ThreadPool* pool)
+    : config_(config),
+      store_(std::make_shared<ShardedPopulationStore>(config.shards)),
+      cache_(config.cache_bytes,
+             [this](int user) { return load_model(user); }),
+      net_(config.network),
+      queue_(
+          store_.get(), config.training,
+          [this](int user, const core::AuthModel& model) {
+            // Ship the fresh bundle to the phone, then make it live.
+            account_transfer(core::model_download_bytes(model), /*upload=*/false);
+            (void)install_model(
+                user, std::make_shared<const core::AuthModel>(model));
+          },
+          pool) {}
+
+std::string AuthGateway::model_path(int user_token) const {
+  return config_.model_dir + "/user_" + std::to_string(user_token) + ".symd";
+}
+
+void AuthGateway::account_transfer(std::size_t bytes, bool upload) {
+  std::lock_guard<std::mutex> lock(transfer_mutex_);
+  core::apply_transfer(transfers_, net_, bytes, upload);
+}
+
+void AuthGateway::set_network(core::NetworkConfig net) {
+  std::lock_guard<std::mutex> lock(transfer_mutex_);
+  net_ = net;
+}
+
+void AuthGateway::contribute(int contributor_token,
+                             sensors::DetectedContext context,
+                             const std::vector<std::vector<double>>& vectors) {
+  store_->contribute(contributor_token, context, vectors);
+}
+
+std::optional<ModelCache::LoadedModel> AuthGateway::load_model(
+    int user_token) {
+  if (config_.model_dir.empty()) return std::nullopt;
+  const std::string path = model_path(user_token);
+  try {
+    core::AuthModel model = core::ModelStore::load(path);
+    // The file IS the ModelStore serialization: its size is the cache
+    // charge, sparing a redundant serialize+digest pass per miss.
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    return ModelCache::LoadedModel{
+        std::move(model), ec ? 0 : static_cast<std::size_t>(size)};
+  } catch (const core::ModelMissingError&) {
+    // Never persisted: an unknown (or never-enrolled) user, not an error.
+    return std::nullopt;
+  }
+  // ModelCorruptError propagates — a tampered bundle is a security event.
+}
+
+bool AuthGateway::install_model(int user_token,
+                                std::shared_ptr<const core::AuthModel> model) {
+  // Same-user installs serialize on a stripe so the version check below and
+  // the disk/cache writes commit as one unit: without it, a stale install
+  // could pass the check, then lose the write race against a newer one.
+  std::lock_guard<std::mutex> install_lock(
+      install_mutexes_[static_cast<std::size_t>(
+          util::splitmix64(static_cast<std::uint64_t>(user_token)) %
+          install_mutexes_.size())]);
+  {
+    std::lock_guard<std::mutex> lock(version_mutex_);
+    const auto it = versions_.find(user_token);
+    if (it != versions_.end() && it->second.installed != 0 &&
+        model->version() <= it->second.installed) {
+      return false;  // a newer model is already live
+    }
+  }
+  const auto bytes = core::ModelStore::serialize(*model);
+  if (!config_.model_dir.empty()) {
+    // Publish atomically (write-temp-then-rename): a concurrent cache-miss
+    // loader reading this user's bundle must see the old or the new file,
+    // never a torn in-place rewrite.
+    const std::string path = model_path(user_token);
+    const std::string tmp = path + ".tmp";
+    core::ModelStore::save_bytes(bytes, tmp);
+    std::filesystem::rename(tmp, path);
+  }
+  const int version = model->version();
+  cache_.put(user_token, std::move(model), bytes.size());
+  {
+    // Publish the version only now: model_version() must never get ahead of
+    // what disk and cache actually hold, or the staleness self-heal in
+    // score_batch() would chase a model that does not exist yet.
+    std::lock_guard<std::mutex> lock(version_mutex_);
+    auto& slot = versions_[user_token];
+    slot.installed = std::max(slot.installed, version);
+    slot.reserved = std::max(slot.reserved, slot.installed);
+  }
+  return true;
+}
+
+std::shared_ptr<const core::AuthModel> AuthGateway::enroll(
+    int user_token, const core::VectorsByContext& positives,
+    std::uint64_t rng_seed, bool contribute_positives) {
+  account_transfer(core::upload_bytes(positives), /*upload=*/true);
+  // Snapshot BEFORE contributing: the enrollee's own vectors are excluded
+  // from their impostor draw anyway (token filter), so training against the
+  // pre-contribution snapshot is result-identical and spares one rebuild.
+  const std::shared_ptr<const core::PopulationStore> snapshot =
+      store_->snapshot();
+  if (contribute_positives) {
+    for (const auto& [context, vectors] : positives) {
+      store_->contribute(user_token, context, vectors);
+    }
+  }
+  // Reserve the next version (first enrollment = 1): a re-enrollment must
+  // install — training a fixed version 1 would lose against the stale-install
+  // guard and silently diverge the served model from the returned one.
+  int version = 0;
+  {
+    std::lock_guard<std::mutex> lock(version_mutex_);
+    auto& slot = versions_[user_token];
+    slot.reserved = std::max(slot.reserved, slot.installed) + 1;
+    version = slot.reserved;
+  }
+  util::Rng rng(rng_seed);
+  auto model = std::make_shared<const core::AuthModel>(
+      core::train_user_from_store(*snapshot, config_.training, user_token,
+                                  positives, rng, version));
+  account_transfer(core::model_download_bytes(*model), /*upload=*/false);
+  (void)install_model(user_token, model);
+  return model;
+}
+
+std::vector<core::AuthDecision> AuthGateway::score_batch(
+    int user_token, sensors::DetectedContext context,
+    const std::vector<std::vector<double>>& windows) {
+  std::shared_ptr<const core::AuthModel> model = cache_.get(user_token);
+  // Self-heal a rare staleness window: a cache-miss load racing a retrain
+  // install can re-insert the older bundle after the newer entry was
+  // evicted. install_model publishes model_version() only after disk and
+  // cache hold the new model, so one evict-and-reload gets the fresh one.
+  if (model != nullptr && model->version() < model_version(user_token)) {
+    cache_.erase(user_token);
+    model = cache_.get(user_token);
+  }
+  if (model == nullptr) {
+    throw std::out_of_range("AuthGateway: no model for user " +
+                            std::to_string(user_token));
+  }
+  if (model->models().empty()) {
+    throw std::logic_error("AuthGateway: model bundle is empty");
+  }
+  // Same fallback as the on-phone Authenticator: a context the user never
+  // produced during enrollment scores under whichever model exists.
+  sensors::DetectedContext effective = context;
+  if (!model->has_context(effective)) {
+    effective = model->models().begin()->first;
+  }
+
+  std::vector<core::AuthDecision> out(windows.size());
+  if (windows.empty()) return out;
+  // One blocked scaler + kernel pass for the whole batch; all windows of a
+  // request share the phone-detected context.
+  const std::size_t dim = windows.front().size();
+  ml::Matrix block(windows.size(), dim);
+  for (std::size_t r = 0; r < windows.size(); ++r) {
+    if (windows[r].size() != dim) {
+      throw std::invalid_argument(
+          "AuthGateway: ragged window dimensions in one batch");
+    }
+    std::copy(windows[r].begin(), windows[r].end(), block.row(r).begin());
+  }
+  const std::vector<double> scores =
+      model->context_model(effective).score_batch(block);
+  for (std::size_t r = 0; r < windows.size(); ++r) {
+    out[r].context = context;
+    out[r].confidence = scores[r];
+    out[r].accepted = scores[r] >= 0.0;
+  }
+  return out;
+}
+
+std::shared_future<core::AuthModel> AuthGateway::report_drift(
+    int user_token, core::VectorsByContext positives, std::uint64_t rng_seed) {
+  account_transfer(core::upload_bytes(positives), /*upload=*/true);
+  RetrainQueue::Request request;
+  request.user_token = user_token;
+  request.positives = std::move(positives);
+  request.rng_seed = rng_seed;
+  {
+    // Reserve a version strictly above anything installed OR in flight:
+    // concurrent non-coalesced retrains must never train the same number
+    // (install_model orders models by it).
+    std::lock_guard<std::mutex> lock(version_mutex_);
+    auto& slot = versions_[user_token];
+    slot.reserved = std::max(slot.reserved, slot.installed) + 1;
+    request.version = slot.reserved;
+  }
+  return queue_.submit(std::move(request));
+}
+
+int AuthGateway::model_version(int user_token) const {
+  std::lock_guard<std::mutex> lock(version_mutex_);
+  const auto it = versions_.find(user_token);
+  return it == versions_.end() ? 0 : it->second.installed;
+}
+
+AuthGateway::Stats AuthGateway::stats() const {
+  Stats out;
+  out.cache = cache_.stats();
+  out.queue = queue_.stats();
+  out.store = store_->stats();
+  {
+    std::lock_guard<std::mutex> lock(transfer_mutex_);
+    out.transfers = transfers_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(version_mutex_);
+    out.enrolled_users = versions_.size();
+  }
+  return out;
+}
+
+}  // namespace sy::serve

@@ -1,0 +1,144 @@
+// Multi-tenant authentication gateway — the cloud side of Fig. 1 scaled up.
+//
+// Fronts the existing core with the three serve:: pieces:
+//   contribute()   -> ShardedPopulationStore (per-shard locking)
+//   enroll()       -> synchronous training against the current population
+//                     snapshot; bundle persisted (model_dir) and cached
+//   score_batch()  -> ModelCache lookup (LRU over ModelStore bytes; misses
+//                     reload persisted bundles) + blocked per-context scoring
+//   report_drift() -> RetrainQueue; the finished model is swapped into the
+//                     cache (and persisted) via the queue's callback before
+//                     the returned future resolves — scoring never blocks on
+//                     a retrain (§V-I made asynchronous)
+//
+// All entry points are thread-safe; simulated network transfers are
+// accounted exactly like AuthServer's (and throw NetworkUnavailableError
+// when the link is down).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/auth_server.h"
+#include "core/authenticator.h"
+#include "serve/model_cache.h"
+#include "serve/retrain_queue.h"
+#include "serve/sharded_population_store.h"
+#include "util/thread_pool.h"
+
+namespace sy::serve {
+
+struct GatewayConfig {
+  std::size_t shards{16};
+  std::size_t cache_bytes{64ull << 20};
+  core::TrainingConfig training{};
+  core::NetworkConfig network{};
+  // Directory for persisted ModelStore bundles. Empty disables persistence:
+  // evicted models are then gone until the user re-enrolls or drift-retrains.
+  std::string model_dir{};
+};
+
+class AuthGateway {
+ public:
+  explicit AuthGateway(GatewayConfig config = {},
+                       util::ThreadPool* pool = nullptr);
+  // Drains the retrain queue before any member goes away.
+  ~AuthGateway() = default;
+
+  // Anonymized population contribution (paper §IV-A3).
+  void contribute(int contributor_token, sensors::DetectedContext context,
+                  const std::vector<std::vector<double>>& vectors);
+
+  // Synchronous enrollment: accounts the upload, trains per-context models
+  // against the population snapshot, persists + caches the bundle, accounts
+  // the model download. When `contribute_positives` is set the uploaded
+  // vectors also join the anonymized population store. Returns the trained
+  // model at the next reserved version (1 on first enrollment); a
+  // re-enrollment trains and installs a fresh higher version.
+  //
+  // Mass onboarding: per-enroll contribution leaves the merged snapshot
+  // stale for every following enrollment, forcing an O(store) rebuild each
+  // time. Contribute the whole population first, then enroll with
+  // contribute_positives=false (what bench_serving does) — one rebuild
+  // total. Incremental snapshot maintenance is a ROADMAP follow-on.
+  std::shared_ptr<const core::AuthModel> enroll(
+      int user_token, const core::VectorsByContext& positives,
+      std::uint64_t rng_seed, bool contribute_positives = true);
+
+  // Scores one user's windows under the phone-detected context, with the
+  // same missing-context fallback as the on-phone Authenticator. Throws
+  // std::out_of_range for a user the gateway has never enrolled.
+  std::vector<core::AuthDecision> score_batch(
+      int user_token, sensors::DetectedContext context,
+      const std::vector<std::vector<double>>& windows);
+
+  // Drift trigger: enqueues an async retrain at a version reserved above
+  // every installed or in-flight one, so concurrent retrains never collide
+  // on a version number. The new model is swapped into the cache (and
+  // persisted) before the future resolves; concurrent reports for one user
+  // coalesce while queued (the coalesced job trains the highest reserved
+  // version).
+  std::shared_future<core::AuthModel> report_drift(
+      int user_token, core::VectorsByContext positives,
+      std::uint64_t rng_seed);
+
+  // Latest installed model version for a user; 0 when never enrolled.
+  int model_version(int user_token) const;
+
+  void set_network(core::NetworkConfig net);
+  void wait_idle() { queue_.wait_idle(); }
+
+  struct Stats {
+    ModelCache::Stats cache;
+    RetrainQueue::Stats queue;
+    ShardedPopulationStore::Stats store;
+    core::TransferStats transfers;
+    std::size_t enrolled_users{0};
+  };
+  Stats stats() const;
+
+  const ShardedPopulationStore& store() const { return *store_; }
+  const ModelCache& cache() const { return cache_; }
+
+ private:
+  std::optional<ModelCache::LoadedModel> load_model(int user_token);
+  // RetrainQueue swap callback and the tail of enroll(): persist + cache a
+  // model iff its version is newer than the installed one (a slow, stale
+  // retrain finishing after a newer one must not overwrite it). Same-user
+  // installs are serialized on a striped mutex so the version check and the
+  // cache/disk writes commit atomically. Returns false when skipped.
+  bool install_model(int user_token,
+                     std::shared_ptr<const core::AuthModel> model);
+  std::string model_path(int user_token) const;
+  void account_transfer(std::size_t bytes, bool upload);
+
+  GatewayConfig config_;
+  std::shared_ptr<ShardedPopulationStore> store_;
+  ModelCache cache_;
+
+  mutable std::mutex transfer_mutex_;
+  core::NetworkConfig net_;
+  core::TransferStats transfers_;
+
+  struct VersionSlot {
+    int installed{0};  // version of the live model (0 = never enrolled)
+    int reserved{0};   // highest version handed to an in-flight retrain
+  };
+  mutable std::mutex version_mutex_;
+  std::unordered_map<int, VersionSlot> versions_;
+  // Striped per-user install serialization; see install_model().
+  std::array<std::mutex, 16> install_mutexes_;
+
+  // Declared last: destroyed first, draining in-flight retrains while the
+  // store/cache they reference are still alive.
+  RetrainQueue queue_;
+};
+
+}  // namespace sy::serve

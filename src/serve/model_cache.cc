@@ -1,0 +1,121 @@
+#include "serve/model_cache.h"
+
+#include <utility>
+
+#include "core/model_store.h"
+
+namespace sy::serve {
+
+ModelCache::ModelCache(std::size_t capacity_bytes, Loader loader)
+    : capacity_(capacity_bytes), loader_(std::move(loader)) {}
+
+void ModelCache::touch_locked(Entry& entry, int user) {
+  lru_.erase(entry.lru_it);
+  lru_.push_front(user);
+  entry.lru_it = lru_.begin();
+}
+
+void ModelCache::insert_locked(int user,
+                               std::shared_ptr<const core::AuthModel> model,
+                               std::size_t bytes) {
+  const auto it = entries_.find(user);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.bytes;
+    it->second.model = std::move(model);
+    it->second.bytes = bytes;
+    touch_locked(it->second, user);
+  } else {
+    lru_.push_front(user);
+    entries_[user] = Entry{std::move(model), bytes, lru_.begin()};
+  }
+  bytes_ += bytes;
+  evict_to_budget_locked(user);
+}
+
+void ModelCache::evict_to_budget_locked(int keep_user) {
+  // Never evict the entry that triggered the pass: an oversized model must
+  // still be served, and the caller holds a shared_ptr to it anyway.
+  while (bytes_ > capacity_ && !lru_.empty() && lru_.back() != keep_user) {
+    const int victim = lru_.back();
+    lru_.pop_back();
+    const auto it = entries_.find(victim);
+    bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    ++evictions_;
+  }
+}
+
+void ModelCache::put(int user, core::AuthModel model) {
+  const std::size_t bytes = core::ModelStore::serialize(model).size();
+  put(user, std::make_shared<const core::AuthModel>(std::move(model)), bytes);
+}
+
+void ModelCache::put(int user, std::shared_ptr<const core::AuthModel> model,
+                     std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  insert_locked(user, std::move(model), bytes);
+}
+
+std::shared_ptr<const core::AuthModel> ModelCache::get(int user) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(user);
+    if (it != entries_.end()) {
+      ++hits_;
+      touch_locked(it->second, user);
+      return it->second.model;
+    }
+    ++misses_;
+  }
+  if (!loader_) return nullptr;
+
+  // Load outside the lock: a slow disk read must not block hits.
+  std::optional<LoadedModel> loaded = loader_(user);
+  if (!loaded.has_value()) return nullptr;
+
+  const std::size_t bytes =
+      loaded->bytes != 0 ? loaded->bytes
+                         : core::ModelStore::serialize(loaded->model).size();
+  auto shared =
+      std::make_shared<const core::AuthModel>(std::move(loaded->model));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++loads_;
+  // Insert-if-absent: an entry that appeared while we were loading is at
+  // least as fresh as what we read (a retrain swap may have installed a
+  // newer model mid-load; overwriting it would serve stale scores).
+  const auto it = entries_.find(user);
+  if (it != entries_.end()) {
+    touch_locked(it->second, user);
+    return it->second.model;
+  }
+  insert_locked(user, shared, bytes);
+  return shared;
+}
+
+bool ModelCache::contains(int user) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(user) != entries_.end();
+}
+
+void ModelCache::erase(int user) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(user);
+  if (it == entries_.end()) return;
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+ModelCache::Stats ModelCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.evictions = evictions_;
+  out.loads = loads_;
+  out.entries = entries_.size();
+  out.bytes = bytes_;
+  return out;
+}
+
+}  // namespace sy::serve

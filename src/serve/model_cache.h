@@ -1,0 +1,96 @@
+// Bounded LRU cache of deserialized AuthModels for the serving gateway.
+//
+// A gateway serves far more enrolled users than fit in memory; models are
+// persisted as ModelStore bundles and only the hot working set stays
+// deserialized. Entries are charged at their ModelStore-serialized size, so
+// the byte budget maps directly onto bundle storage. A miss invokes the
+// optional loader (disk load, remote fetch, deterministic retrain) outside
+// the cache lock; hit/miss/eviction/load counters feed the gateway's
+// telemetry.
+//
+// Thread-safe. Lookups return shared_ptrs, so a model stays valid for
+// in-flight scoring even if it is evicted or swapped concurrently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "core/auth_model.h"
+
+namespace sy::serve {
+
+class ModelCache {
+ public:
+  // A loaded model plus its serialized size; bytes == 0 means unknown and
+  // the cache measures it via ModelStore::serialize.
+  struct LoadedModel {
+    core::AuthModel model;
+    std::size_t bytes{0};
+  };
+  // Returns the model for a user absent from the cache, or nullopt when the
+  // user is unknown. Called outside the cache lock; may run concurrently
+  // for different users.
+  using Loader = std::function<std::optional<LoadedModel>(int user)>;
+
+  // `capacity_bytes` bounds the sum of serialized entry sizes; a single
+  // entry larger than the budget is still admitted (the cache must serve).
+  explicit ModelCache(std::size_t capacity_bytes, Loader loader = nullptr);
+
+  // Inserts or replaces a user's model (replace = model swap after a
+  // retrain), then evicts LRU entries until the budget holds.
+  void put(int user, core::AuthModel model);
+  // Same, for callers that already hold a shared model and know its
+  // serialized size (avoids a redundant serialize+digest pass).
+  void put(int user, std::shared_ptr<const core::AuthModel> model,
+           std::size_t bytes);
+
+  // Hit: bumps recency and returns the cached model. Miss: runs the loader,
+  // caches and returns its result, or nullptr when the user is unknown.
+  std::shared_ptr<const core::AuthModel> get(int user);
+
+  bool contains(int user) const;
+  void erase(int user);
+
+  struct Stats {
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+    std::uint64_t evictions{0};
+    std::uint64_t loads{0};  // successful loader invocations
+    std::size_t entries{0};
+    std::size_t bytes{0};
+  };
+  Stats stats() const;
+  std::size_t capacity_bytes() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const core::AuthModel> model;
+    std::size_t bytes{0};
+    std::list<int>::iterator lru_it;  // position in lru_ (front = hottest)
+  };
+
+  // All three called with mutex_ held.
+  void insert_locked(int user, std::shared_ptr<const core::AuthModel> model,
+                     std::size_t bytes);
+  void evict_to_budget_locked(int keep_user);
+  void touch_locked(Entry& entry, int user);
+
+  const std::size_t capacity_;
+  const Loader loader_;
+
+  mutable std::mutex mutex_;
+  std::list<int> lru_;
+  std::unordered_map<int, Entry> entries_;
+  std::size_t bytes_{0};
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+  std::uint64_t evictions_{0};
+  std::uint64_t loads_{0};
+};
+
+}  // namespace sy::serve

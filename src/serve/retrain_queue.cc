@@ -1,0 +1,114 @@
+#include "serve/retrain_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace sy::serve {
+
+RetrainQueue::RetrainQueue(const core::PopulationStoreBackend* store,
+                           core::TrainingConfig config, SwapFn swap,
+                           util::ThreadPool* pool)
+    : store_(store), config_(config), swap_(std::move(swap)), pool_(pool) {}
+
+RetrainQueue::~RetrainQueue() {
+  // Pool tasks capture shared_ptr<Job> plus `this`; every accepted job must
+  // finish before the members they reference go away.
+  wait_idle();
+}
+
+std::shared_future<core::AuthModel> RetrainQueue::submit(Request request) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++submitted_;
+    const auto it = queued_.find(request.user_token);
+    if (it != queued_.end()) {
+      // Coalesce per (user, context): the job hasn't started, so replace its
+      // payload context-by-context — the latest drift window supersedes the
+      // one it was queued with — and share the existing future.
+      Job& pending = *it->second;
+      for (auto& [context, vectors] : request.positives) {
+        pending.request.positives[context] = std::move(vectors);
+      }
+      pending.request.rng_seed = request.rng_seed;
+      pending.request.version =
+          std::max(pending.request.version, request.version);
+      ++coalesced_;
+      return pending.future;
+    }
+    job = std::make_shared<Job>();
+    job->request = std::move(request);
+    job->future = job->promise.get_future().share();
+    queued_[job->request.user_token] = job;
+    ++in_flight_;
+  }
+
+  auto task = [this, job] { run(job); };
+  if (pool_ != nullptr) {
+    pool_->submit(std::move(task));
+  } else {
+    util::ThreadPool::shared().submit(std::move(task));
+  }
+  return job->future;
+}
+
+void RetrainQueue::run(const std::shared_ptr<Job>& job) {
+  Request request;
+  {
+    // Leaving queued_ closes the coalescing window: from here on a new
+    // submit for this user starts a fresh job with fresher data. Only this
+    // job's own entry may be removed — with out-of-order worker scheduling,
+    // the user's map slot can already hold a newer job.
+    std::lock_guard<std::mutex> lock(mutex_);
+    request = std::move(job->request);
+    const auto it = queued_.find(request.user_token);
+    if (it != queued_.end() && it->second == job) queued_.erase(it);
+  }
+
+  bool ok = false;
+  try {
+    const std::shared_ptr<const core::PopulationStore> snapshot =
+        store_->snapshot();
+    util::Rng rng(request.rng_seed);
+    core::AuthModel model =
+        core::train_user_from_store(*snapshot, config_, request.user_token,
+                                    request.positives, rng, request.version);
+    // Swap before resolving: when the future is ready, the new model is
+    // already live in the gateway.
+    if (swap_) swap_(request.user_token, model);
+    job->promise.set_value(std::move(model));
+    ok = true;
+  } catch (...) {
+    job->promise.set_exception(std::current_exception());
+  }
+
+  {
+    // Notify under the mutex: wait_idle() (e.g. in the destructor) may tear
+    // the queue down the instant in_flight_ hits zero, so the condvar must
+    // not be touched after the lock is released.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ok ? ++completed_ : ++failed_;
+    --in_flight_;
+    idle_.notify_all();
+  }
+}
+
+void RetrainQueue::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+RetrainQueue::Stats RetrainQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out;
+  out.submitted = submitted_;
+  out.coalesced = coalesced_;
+  out.completed = completed_;
+  out.failed = failed_;
+  out.in_flight = in_flight_;
+  return out;
+}
+
+}  // namespace sy::serve

@@ -1,0 +1,97 @@
+// Asynchronous drift-retraining queue (paper §V-I, Fig. 7 — made non-blocking).
+//
+// The on-phone path (core::SmarterYou + ConfidenceMonitor) detects
+// behavioral drift and today retrains synchronously, stalling the scoring
+// loop for the round-trip + training time. RetrainQueue moves that work onto
+// util::ThreadPool: a drift trigger enqueues a training job against the
+// population store's current snapshot, and the finished AuthModel is swapped
+// in through a callback (installed by the gateway: cache put + persistence)
+// before the caller-visible future resolves — scoring never blocks.
+//
+// Duplicate triggers are coalesced per (user, context): while a user's job
+// is still queued, later requests fold their per-context vectors into it
+// (latest upload wins per context) and all callers share the same future.
+// Once the job has started, a new request queues a fresh job — it trains
+// with newer data against a newer snapshot.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/auth_server.h"
+#include "util/thread_pool.h"
+
+namespace sy::serve {
+
+class RetrainQueue {
+ public:
+  // Invoked on the worker thread with the finished model before the job's
+  // future resolves; this is where the gateway swaps the live model.
+  using SwapFn = std::function<void(int user, const core::AuthModel& model)>;
+
+  struct Request {
+    int user_token{0};
+    core::VectorsByContext positives;  // owned: the drift-window upload
+    std::uint64_t rng_seed{0};
+    int version{1};
+  };
+
+  // `store` is not owned and must outlive the queue. `pool` may be null
+  // (ThreadPool::shared()); a non-null pool must outlive the queue.
+  RetrainQueue(const core::PopulationStoreBackend* store,
+               core::TrainingConfig config, SwapFn swap,
+               util::ThreadPool* pool = nullptr);
+  // Drains: blocks until every accepted job has completed or failed.
+  ~RetrainQueue();
+
+  RetrainQueue(const RetrainQueue&) = delete;
+  RetrainQueue& operator=(const RetrainQueue&) = delete;
+
+  // Enqueues an async retrain and returns a future for the new model.
+  // Training failures (and swap-callback failures) surface through the
+  // future as exceptions; the scoring path keeps the old model either way.
+  std::shared_future<core::AuthModel> submit(Request request);
+
+  // Blocks until no job is queued or running.
+  void wait_idle();
+
+  struct Stats {
+    std::uint64_t submitted{0};  // submit() calls
+    std::uint64_t coalesced{0};  // submits folded into a queued job
+    std::uint64_t completed{0};
+    std::uint64_t failed{0};
+    std::size_t in_flight{0};  // queued or running right now
+  };
+  Stats stats() const;
+
+ private:
+  struct Job {
+    Request request;
+    std::promise<core::AuthModel> promise;
+    std::shared_future<core::AuthModel> future;
+  };
+
+  void run(const std::shared_ptr<Job>& job);
+
+  const core::PopulationStoreBackend* store_;  // not owned
+  core::TrainingConfig config_;
+  SwapFn swap_;
+  util::ThreadPool* pool_;  // not owned
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_;
+  // Queued-but-not-started jobs, keyed by user token (the coalescing window).
+  std::map<int, std::shared_ptr<Job>> queued_;
+  std::size_t in_flight_{0};
+  std::uint64_t submitted_{0};
+  std::uint64_t coalesced_{0};
+  std::uint64_t completed_{0};
+  std::uint64_t failed_{0};
+};
+
+}  // namespace sy::serve

@@ -1,0 +1,109 @@
+#include "serve/sharded_population_store.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace sy::serve {
+
+ShardedPopulationStore::ShardedPopulationStore(std::size_t shards) {
+  if (shards == 0) {
+    throw std::invalid_argument(
+        "ShardedPopulationStore: shard count must be positive");
+  }
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  cached_versions_.assign(shards, 0);
+}
+
+std::size_t ShardedPopulationStore::shard_of(int contributor_token) const {
+  // splitmix64 spreads adjacent tokens (the common enrollment pattern)
+  // uniformly across shards.
+  const auto h =
+      util::splitmix64(static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(contributor_token)));
+  return static_cast<std::size_t>(h % shards_.size());
+}
+
+void ShardedPopulationStore::contribute(
+    int contributor_token, sensors::DetectedContext context,
+    const std::vector<std::vector<double>>& vectors) {
+  Shard& shard = *shards_[shard_of(contributor_token)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto& bucket = shard.data[context];
+  for (const auto& v : vectors) {
+    bucket.push_back({contributor_token, v});
+  }
+  ++shard.version;
+  contributions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const core::PopulationStore> ShardedPopulationStore::snapshot()
+    const {
+  std::lock_guard<std::mutex> cache_lock(snapshot_mutex_);
+
+  // Cheap staleness probe: compare each shard's version to what the cached
+  // snapshot merged. Contributions racing past the probe are picked up by
+  // the next snapshot — exactly the semantics of the single-map store, where
+  // a snapshot reflects contributions that happened-before it.
+  bool stale = cached_ == nullptr;
+  if (!stale) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+      if (shards_[s]->version != cached_versions_[s]) {
+        stale = true;
+        break;
+      }
+    }
+  }
+  if (!stale) {
+    snapshot_reuses_.fetch_add(1, std::memory_order_relaxed);
+    return cached_;
+  }
+
+  // Rebuild: merge shards in index order. Each shard is locked only while
+  // its data is copied, so contributors to other shards are never stalled.
+  auto merged = std::make_shared<core::PopulationStore>();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+    for (const auto& [context, bucket] : shards_[s]->data) {
+      auto& out = (*merged)[context];
+      out.insert(out.end(), bucket.begin(), bucket.end());
+    }
+    cached_versions_[s] = shards_[s]->version;
+  }
+  cached_ = std::move(merged);
+  snapshot_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  return cached_;
+}
+
+std::size_t ShardedPopulationStore::store_size(
+    sensors::DetectedContext context) const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    const auto it = shard->data.find(context);
+    if (it != shard->data.end()) total += it->second.size();
+  }
+  return total;
+}
+
+std::size_t ShardedPopulationStore::shard_size(
+    std::size_t shard, sensors::DetectedContext context) const {
+  const Shard& s = *shards_.at(shard);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.data.find(context);
+  return it == s.data.end() ? 0 : it->second.size();
+}
+
+ShardedPopulationStore::Stats ShardedPopulationStore::stats() const {
+  Stats out;
+  out.contributions = contributions_.load(std::memory_order_relaxed);
+  out.snapshot_rebuilds = snapshot_rebuilds_.load(std::memory_order_relaxed);
+  out.snapshot_reuses = snapshot_reuses_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace sy::serve

@@ -1,0 +1,80 @@
+// Sharded population feature store for the serving gateway.
+//
+// The single copy-on-write map behind AuthServer serializes every
+// contribution through one structure; at gateway scale thousands of phones
+// upload concurrently. ShardedPopulationStore partitions contributors across
+// N shards by user-hash: contribution takes only the owning shard's mutex,
+// so writers on different shards never contend. Training still wants one
+// immutable map, so snapshot() merges the shards (in shard-index order, a
+// deterministic layout) into a cached std::shared_ptr<const PopulationStore>
+// that is rebuilt lazily only after new contributions.
+//
+// Determinism contract: with shards == 1 and the same contribution order,
+// the merged snapshot is element-for-element identical to the single-map
+// CowPopulationStore path, so trained models are bit-identical (asserted in
+// tests/serve_sharded_store_test.cc).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/auth_server.h"
+
+namespace sy::serve {
+
+class ShardedPopulationStore final : public core::PopulationStoreBackend {
+ public:
+  explicit ShardedPopulationStore(std::size_t shards = 16);
+
+  // Thread-safe: locks only the contributor's shard.
+  void contribute(int contributor_token, sensors::DetectedContext context,
+                  const std::vector<std::vector<double>>& vectors) override;
+
+  // Thread-safe: returns the cached merged snapshot, rebuilding it first if
+  // any shard grew since the last call. The returned map never changes.
+  // A rebuild copies the whole store (O(total vectors)), so alternating
+  // contribute/snapshot per user is quadratic in users — batch
+  // contributions, then snapshot (see AuthGateway::enroll's note).
+  std::shared_ptr<const core::PopulationStore> snapshot() const override;
+
+  // Thread-safe: sums the per-shard bucket sizes for `context`.
+  std::size_t store_size(sensors::DetectedContext context) const override;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  // Which shard a contributor's vectors land in (splitmix64 of the token).
+  std::size_t shard_of(int contributor_token) const;
+  // Vectors held by one shard for `context` (diagnostics / balance checks).
+  std::size_t shard_size(std::size_t shard,
+                         sensors::DetectedContext context) const;
+
+  struct Stats {
+    std::uint64_t contributions{0};      // contribute() calls
+    std::uint64_t snapshot_rebuilds{0};  // snapshots that had to merge
+    std::uint64_t snapshot_reuses{0};    // snapshots served from cache
+  };
+  Stats stats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    core::PopulationStore data;
+    // Bumped on every contribution; the snapshot cache keys off the vector
+    // of shard versions it merged.
+    std::uint64_t version{0};
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex snapshot_mutex_;
+  mutable std::shared_ptr<const core::PopulationStore> cached_;
+  mutable std::vector<std::uint64_t> cached_versions_;
+
+  mutable std::atomic<std::uint64_t> contributions_{0};
+  mutable std::atomic<std::uint64_t> snapshot_rebuilds_{0};
+  mutable std::atomic<std::uint64_t> snapshot_reuses_{0};
+};
+
+}  // namespace sy::serve

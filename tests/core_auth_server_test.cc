@@ -73,8 +73,42 @@ TEST(AuthServer, NetworkUnavailableThrows) {
   server.contribute(1, kStationary, user_vectors(1, 40, rng));
   VectorsByContext positives;
   positives[kStationary] = user_vectors(0, 40, rng);
+  // The specific NetworkUnavailableError type lets callers queue the work
+  // instead of treating it like a training failure.
   EXPECT_THROW((void)server.train_user_model(0, positives, rng),
-               std::runtime_error);
+               NetworkUnavailableError);
+}
+
+TEST(ApplyTransfer, FailsExplicitlyWhenNetworkDown) {
+  // A transfer over a dead link must never silently succeed (or account
+  // bytes/delay as if it had happened).
+  TransferStats stats;
+  NetworkConfig net;
+  net.available = false;
+  EXPECT_THROW(apply_transfer(stats, net, 1024, /*upload=*/true),
+               NetworkUnavailableError);
+  EXPECT_EQ(stats.uploads, 0u);
+  EXPECT_EQ(stats.bytes_up, 0u);
+  EXPECT_EQ(stats.total_delay_ms, 0.0);
+
+  net.available = true;
+  apply_transfer(stats, net, 1024, /*upload=*/true);
+  EXPECT_EQ(stats.uploads, 1u);
+  EXPECT_EQ(stats.bytes_up, 1024u);
+}
+
+TEST(CowPopulationStore, SnapshotUnperturbedByLaterContribution) {
+  CowPopulationStore store;
+  util::Rng rng(77);
+  store.contribute(1, kStationary, user_vectors(1, 10, rng));
+  const auto snapshot = store.snapshot();
+  ASSERT_EQ(snapshot->at(kStationary).size(), 10u);
+
+  // Growth while the snapshot is outstanding must copy, not mutate.
+  store.contribute(2, kStationary, user_vectors(2, 5, rng));
+  EXPECT_EQ(snapshot->at(kStationary).size(), 10u);
+  EXPECT_EQ(store.store_size(kStationary), 15u);
+  EXPECT_EQ(store.snapshot()->at(kStationary).size(), 15u);
 }
 
 TEST(AuthServer, EmptyUploadThrows) {

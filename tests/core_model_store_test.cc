@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "ml/dataset.h"
 #include "util/rng.h"
 
@@ -115,9 +117,51 @@ TEST(ModelStore, DigestIsStable) {
   EXPECT_EQ(ModelStore::digest_hex(bytes).size(), 64u);
 }
 
-TEST(ModelStore, MissingFileThrows) {
-  EXPECT_THROW((void)ModelStore::load("/nonexistent/sy_model.bin"),
-               std::runtime_error);
+TEST(ModelStore, MissingFileThrowsMissingErrorWithPath) {
+  const std::string path = ::testing::TempDir() + "/sy_model_absent.bin";
+  try {
+    (void)ModelStore::load(path);
+    FAIL() << "expected ModelMissingError";
+  } catch (const ModelMissingError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "message must name the offending path: " << e.what();
+  }
+}
+
+TEST(ModelStore, CorruptFileThrowsCorruptErrorWithPath) {
+  // A file that exists but fails integrity verification must be reported as
+  // corrupt — a different operator action than a missing bundle.
+  const AuthModel model = make_trained_model();
+  auto bytes = ModelStore::serialize(model);
+  bytes[bytes.size() / 2] ^= 0x01;
+  const std::string path = ::testing::TempDir() + "/sy_model_corrupt.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    (void)ModelStore::load(path);
+    FAIL() << "expected ModelCorruptError";
+  } catch (const ModelCorruptError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "message must name the offending path: " << e.what();
+  }
+}
+
+TEST(ModelStore, MissingAndCorruptAreDistinguishable) {
+  // Both derive from ModelStoreError (and runtime_error for legacy callers),
+  // but neither is an instance of the other.
+  const std::string missing = ::testing::TempDir() + "/sy_model_none.bin";
+  EXPECT_THROW((void)ModelStore::load(missing), ModelStoreError);
+  bool caught_corrupt_as_missing = false;
+  try {
+    (void)ModelStore::deserialize(std::vector<std::uint8_t>(200, 0x42));
+  } catch (const ModelMissingError&) {
+    caught_corrupt_as_missing = true;
+  } catch (const ModelCorruptError&) {
+  }
+  EXPECT_FALSE(caught_corrupt_as_missing);
 }
 
 }  // namespace

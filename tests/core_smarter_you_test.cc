@@ -200,5 +200,59 @@ TEST(SmarterYou, DriftTriggersAutomaticRetraining) {
   EXPECT_GE(system.model_version(), 2);
 }
 
+TEST(SmarterYou, RetrainDeferredWhileNetworkDownThenCompletes) {
+  Fixture f;
+  SmarterYouConfig config = f.small_config();
+  config.confidence.epsilon = 0.65;
+  config.confidence.trigger_days = 0.001;
+  SmarterYou system(config, &f.detector, &f.server, 0);
+
+  for (int i = 0; i < 10 && !system.enrolled(); ++i) {
+    const auto context = i % 2 == 0 ? sensors::UsageContext::kStationaryUse
+                                    : sensors::UsageContext::kMoving;
+    system.enroll_session(f.session(0, context), f.rng);
+  }
+  ASSERT_TRUE(system.enrolled());
+
+  // Take the network down: drift triggers must queue, not fail the session
+  // and not silently succeed.
+  NetworkConfig offline;
+  offline.available = false;
+  f.server.set_network(offline);
+
+  const sensors::BehavioralDrift drift(93, 25.0, 2.5);
+  bool deferred = false;
+  int day = 0;
+  for (; day < 25 && !deferred; ++day) {
+    const sensors::UserProfile drifted =
+        drift.apply(f.pop.user(0), static_cast<double>(day));
+    auto session = sensors::collect_session(
+        drifted,
+        day % 2 ? sensors::UsageContext::kMoving
+                : sensors::UsageContext::kStationaryUse,
+        f.collect, f.rng);
+    session.day = static_cast<double>(day);
+    EXPECT_NO_THROW((void)system.process_session(session, f.rng));
+    if (system.response().locked()) system.explicit_reauth(true, f.rng);
+    deferred = system.retrain_pending();
+  }
+  ASSERT_TRUE(deferred);
+  EXPECT_EQ(system.retrain_count(), 0);
+  EXPECT_EQ(system.model_version(), 1);
+
+  // Connectivity returns: the queued retrain completes on the next session.
+  f.server.set_network(NetworkConfig{});
+  const sensors::UserProfile drifted =
+      drift.apply(f.pop.user(0), static_cast<double>(day));
+  auto session = sensors::collect_session(
+      drifted, sensors::UsageContext::kStationaryUse, f.collect, f.rng);
+  session.day = static_cast<double>(day);
+  (void)system.process_session(session, f.rng);
+  if (system.response().locked()) system.explicit_reauth(true, f.rng);
+  EXPECT_FALSE(system.retrain_pending());
+  EXPECT_GE(system.retrain_count(), 1);
+  EXPECT_GE(system.model_version(), 2);
+}
+
 }  // namespace
 }  // namespace sy::core

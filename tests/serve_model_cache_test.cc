@@ -1,0 +1,149 @@
+// ModelCache: byte-budgeted LRU semantics, miss-loader path, and stats.
+#include "serve/model_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "core/model_store.h"
+#include "ml/dataset.h"
+#include "util/rng.h"
+
+namespace sy::serve {
+namespace {
+
+// Small trained bundle; every call with the same seed is identical, and the
+// serialized size is identical across users (same training shape).
+core::AuthModel trained_model(int user, std::uint64_t seed = 17) {
+  util::Rng rng(seed);
+  ml::Dataset train;
+  std::vector<double> x(8);
+  for (int i = 0; i < 12; ++i) {
+    for (auto& v : x) v = rng.gaussian(1.0, 1.0);
+    train.add(x, +1);
+    for (auto& v : x) v = rng.gaussian(-1.0, 1.0);
+    train.add(x, -1);
+  }
+  ml::StandardScaler scaler;
+  scaler.fit(train.x);
+  ml::KrrClassifier krr{ml::KrrConfig{}};
+  const auto scaled = scaler.transform(train);
+  krr.fit(scaled.x, scaled.y);
+  core::AuthModel model(user, 1);
+  model.set_context_model(sensors::DetectedContext::kStationary,
+                          core::ContextModel(std::move(scaler),
+                                             std::move(krr)));
+  return model;
+}
+
+std::size_t model_bytes() {
+  static const std::size_t bytes =
+      core::ModelStore::serialize(trained_model(0)).size();
+  return bytes;
+}
+
+TEST(ModelCache, HitAndMissAccounting) {
+  ModelCache cache(10 * model_bytes());
+  cache.put(1, trained_model(1));
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(cache.get(2), nullptr);  // no loader: unknown user stays unknown
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, model_bytes());
+}
+
+TEST(ModelCache, EvictsLeastRecentlyUsed) {
+  // Budget for exactly two bundles.
+  ModelCache cache(2 * model_bytes());
+  cache.put(1, trained_model(1));
+  cache.put(2, trained_model(2));
+  EXPECT_NE(cache.get(1), nullptr);  // 1 is now hotter than 2
+
+  cache.put(3, trained_model(3));  // over budget: 2 is the LRU victim
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, cache.capacity_bytes());
+}
+
+TEST(ModelCache, LoaderServesMissesAndCachesResult) {
+  int loader_calls = 0;
+  ModelCache cache(
+      10 * model_bytes(),
+      [&loader_calls](int user) -> std::optional<ModelCache::LoadedModel> {
+        ++loader_calls;
+        if (user >= 100) return std::nullopt;  // unknown users
+        // bytes omitted: the cache measures via ModelStore::serialize.
+        return ModelCache::LoadedModel{trained_model(user), 0};
+      });
+
+  const auto model = cache.get(7);
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->user_id(), 7);
+  EXPECT_EQ(loader_calls, 1);
+
+  // Second lookup is a hit — the loader is not consulted again.
+  EXPECT_NE(cache.get(7), nullptr);
+  EXPECT_EQ(loader_calls, 1);
+
+  EXPECT_EQ(cache.get(100), nullptr);
+  EXPECT_EQ(loader_calls, 2);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.loads, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(ModelCache, ReplaceRechargesBytes) {
+  ModelCache cache(10 * model_bytes());
+  cache.put(1, trained_model(1));
+  cache.put(1, trained_model(1, /*seed=*/99));  // model swap after retrain
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, model_bytes());
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ModelCache, OversizedEntryIsStillAdmitted) {
+  // A single bundle larger than the whole budget must still be servable.
+  ModelCache cache(model_bytes() / 2);
+  cache.put(1, trained_model(1));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_NE(cache.get(1), nullptr);
+
+  // But it is the first victim once another entry arrives.
+  cache.put(2, trained_model(2));
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(ModelCache, EvictedModelRemainsValidForHolders) {
+  ModelCache cache(2 * model_bytes());
+  cache.put(1, trained_model(1));
+  const auto held = cache.get(1);
+  ASSERT_NE(held, nullptr);
+
+  cache.put(2, trained_model(2));
+  cache.put(3, trained_model(3));
+  EXPECT_FALSE(cache.contains(1));
+  // In-flight scoring with the evicted model is unaffected.
+  EXPECT_EQ(held->user_id(), 1);
+  EXPECT_EQ(held->context_count(), 1u);
+}
+
+TEST(ModelCache, EraseRemovesEntryAndBytes) {
+  ModelCache cache(10 * model_bytes());
+  cache.put(1, trained_model(1));
+  cache.erase(1);
+  cache.erase(1);  // idempotent
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+}  // namespace
+}  // namespace sy::serve

@@ -1,0 +1,214 @@
+// RetrainQueue: async completion, per-(user, context) coalescing, swap
+// ordering, and failure propagation through the future.
+#include "serve/retrain_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "serve/sharded_population_store.h"
+#include "util/rng.h"
+
+namespace sy::serve {
+namespace {
+
+constexpr auto kStationary = sensors::DetectedContext::kStationary;
+constexpr auto kMoving = sensors::DetectedContext::kMoving;
+
+std::vector<std::vector<double>> user_vectors(int user, std::size_t n,
+                                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x(6);
+    for (auto& v : x) v = rng.gaussian(3.0 * user, 1.0);
+    out.push_back(std::move(x));
+  }
+  return out;
+}
+
+struct Fixture {
+  ShardedPopulationStore store{4};
+
+  Fixture() {
+    for (int u = 0; u < 5; ++u) {
+      store.contribute(u, kStationary, user_vectors(u, 30, 50 + u));
+      store.contribute(u, kMoving, user_vectors(u, 30, 150 + u));
+    }
+  }
+
+  RetrainQueue::Request request(int user, std::uint64_t seed, int version = 2,
+                                bool moving = false) {
+    RetrainQueue::Request r;
+    r.user_token = user;
+    r.positives[moving ? kMoving : kStationary] =
+        user_vectors(user, 25, seed);
+    r.rng_seed = seed;
+    r.version = version;
+    return r;
+  }
+
+  // Occupies every pool worker until release() — jobs submitted meanwhile
+  // stay queued, which is the coalescing window. block() returns only once
+  // every blocker has STARTED: workers pop their own queue LIFO, so a
+  // blocker still queued would run after (not before) a later submit.
+  struct PoolGate {
+    std::promise<void> go;
+    std::shared_future<void> gate{go.get_future().share()};
+    std::shared_ptr<std::atomic<unsigned>> started{
+        std::make_shared<std::atomic<unsigned>>(0)};
+    void block(util::ThreadPool& pool) {
+      for (unsigned i = 0; i < pool.size(); ++i) {
+        pool.submit([g = gate, s = started] {
+          s->fetch_add(1);
+          g.wait();
+        });
+      }
+      while (started->load() < pool.size()) std::this_thread::yield();
+    }
+    void release() { go.set_value(); }
+  };
+};
+
+TEST(RetrainQueue, CompletesAsynchronouslyAndSwapsBeforeFutureResolves) {
+  Fixture f;
+  util::ThreadPool pool(2);
+  std::atomic<int> swapped_user{-1};
+  std::atomic<int> swapped_version{0};
+  RetrainQueue queue(
+      &f.store, {},
+      [&](int user, const core::AuthModel& model) {
+        swapped_user.store(user);
+        swapped_version.store(model.version());
+      },
+      &pool);
+
+  auto future = queue.submit(f.request(0, 777, /*version=*/2));
+  const core::AuthModel model = future.get();
+  // The swap callback ran before the future resolved.
+  EXPECT_EQ(swapped_user.load(), 0);
+  EXPECT_EQ(swapped_version.load(), 2);
+  EXPECT_EQ(model.user_id(), 0);
+  EXPECT_EQ(model.version(), 2);
+
+  queue.wait_idle();
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+}
+
+TEST(RetrainQueue, MatchesSynchronousTrainingBitForBit) {
+  Fixture f;
+  util::ThreadPool pool(2);
+  RetrainQueue queue(&f.store, {}, nullptr, &pool);
+
+  auto request = f.request(1, 888, 3);
+  const auto positives = request.positives;  // keep a copy for the reference
+  const core::AuthModel async_model = queue.submit(std::move(request)).get();
+
+  util::Rng rng(888);
+  const core::AuthModel sync_model = core::train_user_from_store(
+      *f.store.snapshot(), {}, 1, positives, rng, 3);
+  ASSERT_EQ(async_model.models().size(), sync_model.models().size());
+  for (const auto& [context, cm] : sync_model.models()) {
+    EXPECT_EQ(cm.classifier.pack(),
+              async_model.context_model(context).classifier.pack());
+  }
+}
+
+TEST(RetrainQueue, CoalescesDuplicateRequestsWhileQueued) {
+  Fixture f;
+  util::ThreadPool pool(1);
+  std::atomic<int> swaps{0};
+  RetrainQueue queue(
+      &f.store, {},
+      [&](int, const core::AuthModel&) { ++swaps; }, &pool);
+
+  Fixture::PoolGate gate;
+  gate.block(pool);
+
+  // Three drift reports for user 2 while its job is queued: one stationary,
+  // then a moving window, then a fresher stationary window. They must fold
+  // into ONE job whose payload is the union of contexts with the latest
+  // upload per context.
+  auto first = queue.submit(f.request(2, 100, 2, /*moving=*/false));
+  auto second = queue.submit(f.request(2, 101, 2, /*moving=*/true));
+  auto third = queue.submit(f.request(2, 102, 2, /*moving=*/false));
+  // A different user is NOT coalesced with user 2.
+  auto other = queue.submit(f.request(3, 103, 2));
+
+  gate.release();
+  const core::AuthModel model = third.get();
+  (void)other.get();
+  queue.wait_idle();
+
+  // All three callers share one future and one training run.
+  EXPECT_TRUE(first.get().has_context(kStationary));
+  EXPECT_TRUE(second.get().has_context(kMoving));
+  EXPECT_EQ(model.context_count(), 2u);
+  EXPECT_EQ(swaps.load(), 2);  // one per job, not one per submit
+
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.coalesced, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(RetrainQueue, SubmitAfterStartQueuesAFreshJob) {
+  Fixture f;
+  util::ThreadPool pool(2);
+  RetrainQueue queue(&f.store, {}, nullptr, &pool);
+
+  const core::AuthModel v2 = queue.submit(f.request(0, 200, 2)).get();
+  // The first job already completed, so this cannot coalesce with it.
+  const core::AuthModel v3 = queue.submit(f.request(0, 201, 3)).get();
+  EXPECT_EQ(v2.version(), 2);
+  EXPECT_EQ(v3.version(), 3);
+  queue.wait_idle();
+  EXPECT_EQ(queue.stats().coalesced, 0u);
+  EXPECT_EQ(queue.stats().completed, 2u);
+}
+
+TEST(RetrainQueue, TrainingFailureSurfacesThroughFuture) {
+  ShardedPopulationStore empty_store(2);  // no impostor data at all
+  util::ThreadPool pool(2);
+  std::atomic<int> swaps{0};
+  RetrainQueue queue(
+      &empty_store, {},
+      [&](int, const core::AuthModel&) { ++swaps; }, &pool);
+
+  RetrainQueue::Request request;
+  request.user_token = 0;
+  request.positives[kStationary] = user_vectors(0, 10, 300);
+  request.rng_seed = 300;
+  auto future = queue.submit(std::move(request));
+  EXPECT_THROW((void)future.get(), std::runtime_error);
+  queue.wait_idle();
+  EXPECT_EQ(swaps.load(), 0);  // a failed retrain must never swap
+  EXPECT_EQ(queue.stats().failed, 1u);
+  EXPECT_EQ(queue.stats().completed, 0u);
+}
+
+TEST(RetrainQueue, DestructorDrainsOutstandingJobs) {
+  Fixture f;
+  util::ThreadPool pool(1);
+  std::atomic<int> swaps{0};
+  {
+    RetrainQueue queue(
+        &f.store, {},
+        [&](int, const core::AuthModel&) { ++swaps; }, &pool);
+    (void)queue.submit(f.request(0, 400));
+    (void)queue.submit(f.request(1, 401));
+    // Destructor must wait for both jobs, not abandon them.
+  }
+  EXPECT_EQ(swaps.load(), 2);
+}
+
+}  // namespace
+}  // namespace sy::serve

@@ -1,0 +1,190 @@
+// ShardedPopulationStore: the 1-shard configuration must be bit-identical
+// to the single-map CowPopulationStore path, multi-shard must preserve every
+// vector, and snapshots must be cached and immutable.
+#include "serve/sharded_population_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/auth_server.h"
+#include "core/batch_auth_server.h"
+#include "util/rng.h"
+
+namespace sy::serve {
+namespace {
+
+constexpr auto kStationary = sensors::DetectedContext::kStationary;
+constexpr auto kMoving = sensors::DetectedContext::kMoving;
+
+std::vector<std::vector<double>> user_vectors(int user, std::size_t n,
+                                              util::Rng& rng) {
+  std::vector<std::vector<double>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x(6);
+    for (auto& v : x) v = rng.gaussian(3.0 * user, 1.0);
+    out.push_back(std::move(x));
+  }
+  return out;
+}
+
+void expect_models_identical(const core::AuthModel& a,
+                             const core::AuthModel& b) {
+  ASSERT_EQ(a.models().size(), b.models().size());
+  for (const auto& [context, cm] : a.models()) {
+    ASSERT_TRUE(b.has_context(context));
+    EXPECT_EQ(cm.classifier.pack(), b.context_model(context).classifier.pack());
+    EXPECT_EQ(cm.scaler.pack(), b.context_model(context).scaler.pack());
+  }
+}
+
+TEST(ShardedPopulationStore, RejectsZeroShards) {
+  EXPECT_THROW(ShardedPopulationStore(0), std::invalid_argument);
+}
+
+TEST(ShardedPopulationStore, OneShardSnapshotIdenticalToCowStore) {
+  core::CowPopulationStore cow;
+  ShardedPopulationStore sharded(1);
+  util::Rng rng(31);
+  for (int u = 0; u < 5; ++u) {
+    const auto stationary = user_vectors(u, 30, rng);
+    const auto moving = user_vectors(u, 20, rng);
+    cow.contribute(u, kStationary, stationary);
+    cow.contribute(u, kMoving, moving);
+    sharded.contribute(u, kStationary, stationary);
+    sharded.contribute(u, kMoving, moving);
+  }
+
+  const auto a = cow.snapshot();
+  const auto b = sharded.snapshot();
+  ASSERT_EQ(a->size(), b->size());
+  for (const auto& [context, bucket] : *a) {
+    const auto& other = b->at(context);
+    ASSERT_EQ(bucket.size(), other.size());
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      // Element-for-element: same contributor, same vector, same position —
+      // the precondition for bit-identical impostor draws.
+      EXPECT_EQ(bucket[i].contributor, other[i].contributor);
+      EXPECT_EQ(bucket[i].vector, other[i].vector);
+    }
+  }
+}
+
+TEST(ShardedPopulationStore, OneShardTrainsBitIdenticalModels) {
+  // Acceptance criterion: AuthServer over a 1-shard ShardedPopulationStore
+  // is bit-identical to the default single-map path.
+  core::AuthServer reference;
+  core::AuthServer sharded_server(
+      {}, {}, std::make_shared<ShardedPopulationStore>(1));
+  util::Rng data_rng(32);
+  std::vector<core::VectorsByContext> positives(4);
+  for (int u = 0; u < 4; ++u) {
+    positives[u][kStationary] = user_vectors(u, 40, data_rng);
+    positives[u][kMoving] = user_vectors(u, 25, data_rng);
+    for (const auto& [context, vectors] : positives[u]) {
+      reference.contribute(u, context, vectors);
+      sharded_server.contribute(u, context, vectors);
+    }
+  }
+  for (int u = 0; u < 4; ++u) {
+    util::Rng rng_a(100 + u);
+    util::Rng rng_b(100 + u);
+    const auto a = reference.train_user_model(u, positives[u], rng_a);
+    const auto b = sharded_server.train_user_model(u, positives[u], rng_b);
+    expect_models_identical(a, b);
+  }
+}
+
+TEST(ShardedPopulationStore, MultiShardPreservesEveryVector) {
+  ShardedPopulationStore sharded(8);
+  core::CowPopulationStore cow;
+  util::Rng rng(33);
+  for (int u = 0; u < 20; ++u) {
+    const auto vectors = user_vectors(u, 10, rng);
+    sharded.contribute(u, kStationary, vectors);
+    cow.contribute(u, kStationary, vectors);
+  }
+  EXPECT_EQ(sharded.store_size(kStationary), 200u);
+
+  // Same multiset of (contributor, vector) regardless of shard layout.
+  auto key_set = [](const core::PopulationStore& store) {
+    std::multiset<std::pair<int, std::vector<double>>> out;
+    for (const auto& sv : store.at(kStationary)) {
+      out.insert({sv.contributor, sv.vector});
+    }
+    return out;
+  };
+  EXPECT_EQ(key_set(*sharded.snapshot()), key_set(*cow.snapshot()));
+
+  // The hash actually spreads 20 contributors over 8 shards.
+  std::size_t populated = 0;
+  for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
+    if (sharded.shard_size(s, kStationary) > 0) ++populated;
+  }
+  EXPECT_GT(populated, 1u);
+}
+
+TEST(ShardedPopulationStore, ContributorShardIsStable) {
+  ShardedPopulationStore sharded(8);
+  for (int u = -5; u < 50; ++u) {
+    EXPECT_EQ(sharded.shard_of(u), sharded.shard_of(u));
+    EXPECT_LT(sharded.shard_of(u), sharded.shard_count());
+  }
+}
+
+TEST(ShardedPopulationStore, SnapshotIsCachedUntilContribution) {
+  ShardedPopulationStore sharded(4);
+  util::Rng rng(34);
+  sharded.contribute(1, kStationary, user_vectors(1, 10, rng));
+
+  const auto first = sharded.snapshot();
+  const auto second = sharded.snapshot();
+  EXPECT_EQ(first.get(), second.get());  // served from cache
+  EXPECT_EQ(sharded.stats().snapshot_rebuilds, 1u);
+  EXPECT_EQ(sharded.stats().snapshot_reuses, 1u);
+
+  sharded.contribute(2, kStationary, user_vectors(2, 10, rng));
+  const auto third = sharded.snapshot();
+  EXPECT_NE(first.get(), third.get());  // rebuilt after growth
+  EXPECT_EQ(sharded.stats().snapshot_rebuilds, 2u);
+}
+
+TEST(ShardedPopulationStore, SnapshotImmutableAfterLaterContributions) {
+  ShardedPopulationStore sharded(4);
+  util::Rng rng(35);
+  sharded.contribute(1, kStationary, user_vectors(1, 10, rng));
+  const auto snapshot = sharded.snapshot();
+  ASSERT_EQ(snapshot->at(kStationary).size(), 10u);
+
+  sharded.contribute(2, kStationary, user_vectors(2, 10, rng));
+  sharded.contribute(1, kMoving, user_vectors(1, 5, rng));
+  EXPECT_EQ(snapshot->at(kStationary).size(), 10u);
+  EXPECT_EQ(snapshot->count(kMoving), 0u);
+  EXPECT_EQ(sharded.snapshot()->at(kStationary).size(), 20u);
+}
+
+TEST(ShardedPopulationStore, WorksAsBatchAuthServerBackend) {
+  auto backend = std::make_shared<ShardedPopulationStore>(4);
+  core::BatchAuthServer server({}, {}, nullptr, backend);
+  util::Rng data_rng(36);
+  std::vector<core::VectorsByContext> positives(4);
+  std::vector<core::EnrollmentRequest> requests(4);
+  for (int u = 0; u < 4; ++u) {
+    positives[u][kStationary] = user_vectors(u, 30, data_rng);
+    server.contribute(u, kStationary, positives[u][kStationary]);
+    requests[u].user_token = u;
+    requests[u].positives = &positives[u];
+    requests[u].rng_seed = 900 + static_cast<std::uint64_t>(u);
+  }
+  const auto models = server.train_user_models(requests);
+  ASSERT_EQ(models.size(), 4u);
+  for (const auto& model : models) {
+    EXPECT_EQ(model.context_count(), 1u);
+  }
+  EXPECT_EQ(server.store_size(kStationary), 120u);
+}
+
+}  // namespace
+}  // namespace sy::serve

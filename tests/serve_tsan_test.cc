@@ -1,0 +1,202 @@
+// TSan-targeted hammering of the serve subsystem's concurrency contracts
+// (registered in the sanitizer CI jobs; also runs as a plain ctest suite):
+//   - ShardedPopulationStore: contribute racing snapshot/store_size
+//   - RetrainQueue: concurrent submits (coalescing) racing model swaps
+//   - ModelCache: eviction racing parallel lookups and puts
+// Assertions are deliberately coarse (counts, invariants); the point is the
+// interleavings TSan observes, not the values.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/model_store.h"
+#include "ml/dataset.h"
+#include "serve/model_cache.h"
+#include "serve/retrain_queue.h"
+#include "serve/sharded_population_store.h"
+#include "util/rng.h"
+
+namespace sy::serve {
+namespace {
+
+constexpr auto kStationary = sensors::DetectedContext::kStationary;
+constexpr auto kMoving = sensors::DetectedContext::kMoving;
+
+std::vector<std::vector<double>> user_vectors(int user, std::size_t n,
+                                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x(6);
+    for (auto& v : x) v = rng.gaussian(3.0 * user, 1.0);
+    out.push_back(std::move(x));
+  }
+  return out;
+}
+
+core::AuthModel tiny_model(int user, int version = 1) {
+  util::Rng rng(40 + static_cast<std::uint64_t>(user));
+  ml::Dataset train;
+  std::vector<double> x(6);
+  for (int i = 0; i < 10; ++i) {
+    for (auto& v : x) v = rng.gaussian(1.0, 1.0);
+    train.add(x, +1);
+    for (auto& v : x) v = rng.gaussian(-1.0, 1.0);
+    train.add(x, -1);
+  }
+  ml::StandardScaler scaler;
+  scaler.fit(train.x);
+  ml::KrrClassifier krr{ml::KrrConfig{}};
+  const auto scaled = scaler.transform(train);
+  krr.fit(scaled.x, scaled.y);
+  core::AuthModel model(user, version);
+  model.set_context_model(kStationary,
+                          core::ContextModel(std::move(scaler),
+                                             std::move(krr)));
+  return model;
+}
+
+TEST(ServeTsan, ConcurrentContributeAndSnapshot) {
+  ShardedPopulationStore store(8);
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 3;
+  constexpr int kRounds = 25;
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&store, w] {
+      for (int r = 0; r < kRounds; ++r) {
+        const int user = w * kRounds + r;
+        store.contribute(user, kStationary,
+                         user_vectors(user, 4, 3000 + user));
+        store.contribute(user, kMoving, user_vectors(user, 2, 4000 + user));
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&store, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snapshot = store.snapshot();
+        // A snapshot is internally consistent: iterating it while writers
+        // contribute must be safe, and it never shrinks.
+        std::size_t total = 0;
+        for (const auto& [context, bucket] : *snapshot) {
+          total += bucket.size();
+        }
+        (void)total;
+        (void)store.store_size(kStationary);
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  stop.store(true);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(store.store_size(kStationary),
+            static_cast<std::size_t>(kWriters * kRounds * 4));
+  EXPECT_EQ(store.snapshot()->at(kMoving).size(),
+            static_cast<std::size_t>(kWriters * kRounds * 2));
+  EXPECT_EQ(store.stats().contributions,
+            static_cast<std::uint64_t>(2 * kWriters * kRounds));
+}
+
+TEST(ServeTsan, RetrainCoalescingAndSwapRaces) {
+  ShardedPopulationStore store(4);
+  for (int u = 0; u < 6; ++u) {
+    store.contribute(u, kStationary, user_vectors(u, 20, 5000 + u));
+  }
+  util::ThreadPool pool(4);
+  // The swap target shared by workers: a cache, as in the gateway.
+  ModelCache cache(1 << 20);
+  {
+    RetrainQueue queue(
+        &store, {},
+        [&cache](int user, const core::AuthModel& model) {
+          cache.put(user, model);
+        },
+        &pool);
+
+    constexpr int kSubmitters = 4;
+    constexpr int kPerThread = 10;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kSubmitters; ++t) {
+      threads.emplace_back([&queue, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          RetrainQueue::Request request;
+          request.user_token = i % 3;  // heavy duplication => coalescing
+          request.positives[kStationary] =
+              user_vectors(request.user_token, 15,
+                           6000 + static_cast<std::uint64_t>(t * 100 + i));
+          request.rng_seed = 7000 + static_cast<std::uint64_t>(t * 100 + i);
+          request.version = 2 + i;
+          auto future = queue.submit(std::move(request));
+          if (i % 4 == 0) (void)future.get();  // some callers block, some not
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    queue.wait_idle();
+
+    const auto stats = queue.stats();
+    EXPECT_EQ(stats.submitted,
+              static_cast<std::uint64_t>(kSubmitters * kPerThread));
+    EXPECT_EQ(stats.submitted,
+              stats.coalesced + stats.completed + stats.failed);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_EQ(stats.in_flight, 0u);
+  }
+  // Every hammered user ended up with a swapped-in model.
+  for (int u = 0; u < 3; ++u) {
+    EXPECT_NE(cache.get(u), nullptr);
+  }
+}
+
+TEST(ServeTsan, CacheEvictionUnderParallelLookups) {
+  const std::size_t one_model =
+      core::ModelStore::serialize(tiny_model(0)).size();
+  std::atomic<std::uint64_t> loader_calls{0};
+  // Room for only 3 of the 16 users: constant eviction pressure.
+  ModelCache cache(
+      3 * one_model,
+      [&loader_calls](int user) -> std::optional<ModelCache::LoadedModel> {
+        loader_calls.fetch_add(1, std::memory_order_relaxed);
+        return ModelCache::LoadedModel{tiny_model(user), 0};
+      });
+
+  constexpr int kThreads = 6;
+  constexpr int kLookups = 200;
+  constexpr int kUsers = 16;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      util::Rng rng(8000 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kLookups; ++i) {
+        const int user = rng.uniform_int(0, kUsers - 1);
+        if (i % 31 == 0) {
+          cache.put(user, tiny_model(user, /*version=*/2));
+        } else {
+          const auto model = cache.get(user);
+          ASSERT_NE(model, nullptr);
+          EXPECT_EQ(model->user_id(), user);
+          // Use the model after potential concurrent eviction.
+          EXPECT_GE(model->context_count(), 1u);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.entries, 4u);  // 3 fit + at most the freshly kept one
+  EXPECT_EQ(stats.loads, loader_calls.load());
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace sy::serve
