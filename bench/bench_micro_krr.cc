@@ -6,11 +6,24 @@
 // enormously cheaper. These benchmarks expose both paths, the incremental
 // (Woodbury) update, and the SVM baseline's training cost for comparison
 // (the paper picks KRR over SVM partly on cost).
+//
+// --backend=scalar|avx2|auto selects the num:: dispatch path (default: the
+// process default, i.e. SY_NUM_BACKEND or the detected best). The active
+// backend is recorded in the benchmark context ("sy_num_backend" in the
+// JSON output), so the perf trajectory records which path ran.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "ml/dataset.h"
+#include "ml/kernel.h"
 #include "ml/krr.h"
+#include "ml/linalg.h"
 #include "ml/svm.h"
+#include "num/backend.h"
 #include "util/rng.h"
 
 using namespace sy;
@@ -139,6 +152,86 @@ void BM_SvmTrain(benchmark::State& state) {
 BENCHMARK(BM_SvmTrain)->Arg(200)->Arg(400)->Arg(800)
     ->Unit(benchmark::kMillisecond);
 
+// --- Dispatched num:: hot kernels (ISSUE 3 acceptance gate) ---------------
+// The RBF gram build and the blocked Cholesky are where the dual fit's time
+// goes; these isolate them so the scalar-vs-avx2 speedup is directly
+// comparable across runs of differing --backend.
+
+void BM_RbfGram(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ml::Dataset data = blobs(n / 2, 28, 21);
+  const ml::Kernel kernel = ml::Kernel::rbf();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::gram_matrix(data.x, kernel));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_RbfGram)->Arg(200)->Arg(400)->Arg(800);
+
+void BM_BlockedCholesky(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ml::Dataset data = blobs(n / 2, 28, 23);
+  ml::Matrix a = ml::gram_matrix(data.x, ml::Kernel::rbf());
+  a.add_diagonal(0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::cholesky(a));
+  }
+}
+BENCHMARK(BM_BlockedCholesky)->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+// Batched dual scoring — the serving gateway's per-request hot path.
+void BM_KrrDecisionBatch(benchmark::State& state) {
+  const ml::Dataset train = blobs(400, 28, 25);
+  ml::KrrClassifier krr{ml::KrrConfig{}};
+  krr.fit(train.x, train.y);
+  const ml::Dataset probe = blobs(128, 28, 27);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(krr.decision_batch(probe.x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(probe.x.rows()));
+}
+BENCHMARK(BM_KrrDecisionBatch);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --backend=... before benchmark::Initialize (it rejects flags it
+  // does not own). SY_NUM_BACKEND has already been applied by num::backend.
+  std::vector<char*> args;
+  std::string backend;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      backend = argv[i] + 10;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!backend.empty()) {
+    const auto parsed = num::parse_backend(backend);
+    if (!parsed) {
+      std::fprintf(stderr, "bench_micro_krr: unknown --backend=%s\n",
+                   backend.c_str());
+      return 1;
+    }
+    try {
+      num::set_backend(*parsed);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_micro_krr: %s\n", e.what());
+      return 1;
+    }
+  }
+  benchmark::AddCustomContext(
+      "sy_num_backend", std::string(num::backend_name(num::active_backend())));
+
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

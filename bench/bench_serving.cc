@@ -8,6 +8,7 @@
 //   --users=N --contributors=N --windows=N --dim=N --events=N
 //   --shards=N --threads=N --cache-mb=N --rate=HZ --drift-prob=P
 //   --hot-fraction=P --hot-mass=P --seed=N --model-dir=PATH --keep-models
+//   --backend=scalar|avx2|auto (num:: dispatch path; default process-wide)
 //   --smoke (tiny preset for CI) --json=PATH (machine-readable summary)
 #include <algorithm>
 #include <cstdio>
@@ -16,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "num/backend.h"
 #include "serve/auth_gateway.h"
 #include "util/args.h"
 #include "util/rng.h"
@@ -87,6 +89,20 @@ int run(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
   const std::string json_path = args.get("json", "");
 
+  const std::string backend_flag = args.get("backend", "");
+  if (!backend_flag.empty()) {
+    const auto parsed = num::parse_backend(backend_flag);
+    if (!parsed) {
+      std::fprintf(stderr, "bench_serving: unknown --backend=%s\n",
+                   backend_flag.c_str());
+      return 1;
+    }
+    // set_backend throws when the CPU cannot run the requested backend;
+    // run() is wrapped in a try/catch in main that prints and exits 1.
+    num::set_backend(*parsed);
+  }
+  const std::string backend{num::backend_name(num::active_backend())};
+
   std::string model_dir = args.get("model-dir", "");
   const bool own_model_dir = model_dir.empty();
   if (own_model_dir) {
@@ -117,8 +133,9 @@ int run(int argc, char** argv) {
 
   std::printf(
       "bench_serving — %zu users (%zu contributors) x %zu windows x %zu dims, "
-      "%zu shards, %u pool workers, %zu MB cache\n",
-      n_users, n_contributors, windows, dim, shards, pool.size(), cache_mb);
+      "%zu shards, %u pool workers, %zu MB cache, %s kernels\n",
+      n_users, n_contributors, windows, dim, shards, pool.size(), cache_mb,
+      backend.c_str());
 
   // --- Phase 1: population contribution (concurrent, sharded) -------------
   util::Stopwatch timer;
@@ -273,6 +290,7 @@ int run(int argc, char** argv) {
     }
     json << "{\n"
          << "  \"bench\": \"bench_serving\",\n"
+         << "  \"backend\": \"" << backend << "\",\n"
          << "  \"users\": " << n_users << ",\n"
          << "  \"contributors\": " << n_contributors << ",\n"
          << "  \"events\": " << events << ",\n"

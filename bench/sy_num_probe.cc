@@ -1,0 +1,108 @@
+// Numeric backend probe for CI logs and quick local sanity: prints which
+// dispatch path this machine runs, then measures the two ISSUE 3 hot kernels
+// (fused RBF row kernel, blocked Cholesky) on every available backend and
+// reports the speedup over scalar. No Google Benchmark dependency, so it
+// runs everywhere the library builds.
+//
+// Flags (or SY_<KEY> env): --rows=N --dim=N --chol-n=N --reps=N
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "num/backend.h"
+#include "num/kernels.h"
+#include "util/args.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+using namespace sy;
+
+namespace {
+
+template <typename Fn>
+double time_best_of(int reps, const Fn& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    util::Stopwatch timer;
+    fn();
+    best = std::min(best, timer.elapsed_seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto rows = static_cast<std::size_t>(args.get_int("rows", 2048));
+  const auto dim = static_cast<std::size_t>(args.get_int("dim", 28));
+  const auto chol_n = static_cast<std::size_t>(args.get_int("chol-n", 512));
+  const int reps = static_cast<int>(args.get_int("reps", 5));
+
+  std::printf("sy_num_probe — detected backend: %s, default active: %s\n",
+              std::string(num::backend_name(num::detected_backend())).c_str(),
+              std::string(num::backend_name(num::active_backend())).c_str());
+
+  util::Rng rng(31);
+  std::vector<double> data(rows * dim);
+  for (auto& v : data) v = rng.gaussian();
+  std::vector<double> center(dim);
+  for (auto& v : center) v = rng.gaussian();
+  std::vector<double> out(rows);
+  const double gamma = 1.0 / static_cast<double>(dim);
+
+  // Random SPD for the factorization: B B^T + n I.
+  std::vector<double> spd(chol_n * chol_n, 0.0);
+  {
+    std::vector<double> b(chol_n * chol_n);
+    for (auto& v : b) v = rng.gaussian();
+    for (std::size_t i = 0; i < chol_n; ++i) {
+      for (std::size_t j = 0; j < chol_n; ++j) {
+        spd[i * chol_n + j] = num::scalar::dot(
+            {b.data() + i * chol_n, chol_n}, {b.data() + j * chol_n, chol_n});
+      }
+      spd[i * chol_n + i] += static_cast<double>(chol_n);
+    }
+  }
+
+  std::vector<num::Backend> backends{num::Backend::kScalar};
+  if (num::avx2::available()) backends.push_back(num::Backend::kAvx2);
+
+  double rbf_scalar_s = 0.0;
+  double chol_scalar_s = 0.0;
+  const num::Backend saved = num::active_backend();
+  for (const num::Backend backend : backends) {
+    num::set_backend(backend);
+
+    const double rbf_s = time_best_of(reps, [&] {
+      num::rbf_row_kernel(data.data(), rows, dim, center.data(), dim, gamma,
+                          out.data());
+    });
+    std::vector<double> a;
+    const double chol_s = time_best_of(reps, [&] {
+      a = spd;
+      (void)num::cholesky_inplace(a.data(), chol_n, chol_n);
+    });
+
+    const double kernels_per_s = static_cast<double>(rows) / rbf_s;
+    if (backend == num::Backend::kScalar) {
+      rbf_scalar_s = rbf_s;
+      chol_scalar_s = chol_s;
+      std::printf(
+          "kernel-throughput [%s] rbf_row_kernel(%zux%zu): %.1f Mkernels/s"
+          "   cholesky(n=%zu): %.2f ms\n",
+          std::string(num::backend_name(backend)).c_str(), rows, dim,
+          kernels_per_s / 1e6, chol_n, chol_s * 1e3);
+    } else {
+      std::printf(
+          "kernel-throughput [%s] rbf_row_kernel(%zux%zu): %.1f Mkernels/s"
+          " (%.2fx scalar)   cholesky(n=%zu): %.2f ms (%.2fx scalar)\n",
+          std::string(num::backend_name(backend)).c_str(), rows, dim,
+          kernels_per_s / 1e6, rbf_scalar_s / rbf_s, chol_n, chol_s * 1e3,
+          chol_scalar_s / chol_s);
+    }
+  }
+  num::set_backend(saved);
+  return 0;
+}

@@ -62,6 +62,14 @@ void AuthServer::simulate_transfer(std::size_t bytes, bool upload) {
   apply_transfer(transfers_, net_, bytes, upload);
 }
 
+void AuthServer::account_upload(const VectorsByContext& positives) {
+  simulate_transfer(upload_bytes(positives), /*upload=*/true);
+}
+
+void AuthServer::account_model_download(const AuthModel& model) {
+  simulate_transfer(model_download_bytes(model), /*upload=*/false);
+}
+
 std::size_t upload_bytes(const VectorsByContext& positives) {
   std::size_t bytes = 0;
   for (const auto& [context, vectors] : positives) {

@@ -153,6 +153,13 @@ class AuthServer {
   AuthModel train_user_model(int user_token, const VectorsByContext& positives,
                              util::Rng& rng, int version = 1);
 
+  // Public transfer accounting for out-of-band flows (the async retrain
+  // bridge uploads drift windows and downloads the finished model around the
+  // serve::RetrainQueue rather than through train_user_model). Both throw
+  // NetworkUnavailableError when the link is down.
+  void account_upload(const VectorsByContext& positives);
+  void account_model_download(const AuthModel& model);
+
   std::size_t store_size(sensors::DetectedContext context) const;
   const TransferStats& transfers() const { return transfers_; }
   void set_network(NetworkConfig net) { net_ = net; }

@@ -1,5 +1,6 @@
 #include "core/smarter_you.h"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "util/logging.h"
@@ -84,7 +85,43 @@ int SmarterYou::model_version() const {
   return authenticator_ ? authenticator_->model().version() : 0;
 }
 
+bool SmarterYou::poll_async_retrain() {
+  if (!async_future_.valid()) return false;
+  if (async_future_.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    return false;
+  }
+  try {
+    const AuthModel& model = async_future_.get();
+    // Delivery needs connectivity: when the phone is offline the trained
+    // model stays ready in the cloud and the download retries next poll.
+    server_->account_model_download(model);
+    authenticator_->replace_model(model);
+  } catch (const NetworkUnavailableError&) {
+    return false;
+  } catch (const std::exception& e) {
+    // Training failed (e.g. a context without impostor data); the old model
+    // keeps serving and a later drift trigger starts over.
+    async_future_ = {};
+    util::log_warn("SmarterYou: async retrain for user ", user_token_,
+                   " failed: ", e.what());
+    return false;
+  }
+  const int version = authenticator_->model().version();
+  async_future_ = {};
+  monitor_.reset();
+  retrain_pending_ = false;
+  ++retrain_count_;
+  util::log_info("SmarterYou: async retrain installed version ", version,
+                 " for user ", user_token_);
+  return true;
+}
+
 void SmarterYou::maybe_retrain(util::Rng& rng) {
+  if (async_retrain_) {
+    (void)poll_async_retrain();
+    if (async_future_.valid()) return;  // one retrain in flight at a time
+  }
   if (!retrain_pending_ && !monitor_.retrain_needed()) return;
   if (response_.locked()) return;  // an attacker cannot reach this path
 
@@ -97,6 +134,25 @@ void SmarterYou::maybe_retrain(util::Rng& rng) {
   if (upload.empty()) return;
 
   const int next_version = authenticator_->model().version() + 1;
+  if (async_retrain_) {
+    try {
+      // The hook accounts the upload (throwing while offline, which defers
+      // below exactly like the sync path) and enqueues onto the shared
+      // retrain queue; scoring continues on the old model meanwhile.
+      async_future_ = async_retrain_(user_token_, std::move(upload),
+                                     rng.next_u64(), next_version);
+    } catch (const NetworkUnavailableError&) {
+      retrain_pending_ = true;
+      util::log_warn("SmarterYou: async retrain for user ", user_token_,
+                     " deferred, network unavailable");
+      return;
+    }
+    retrain_pending_ = false;
+    util::log_info("SmarterYou: async retrain queued for user ", user_token_,
+                   " at version ", next_version);
+    return;
+  }
+
   AuthModel model;
   try {
     model = server_->train_user_model(user_token_, upload, rng, next_version);

@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <optional>
 #include <vector>
 
@@ -69,6 +71,28 @@ class SmarterYou {
   std::vector<WindowOutcome> process_session(
       const sensors::CollectedSession& session, util::Rng& rng);
 
+  // --- Asynchronous retraining (serve::RetrainQueue wiring) -------------
+  // Submits a drift retrain off-thread and returns a future for the trained
+  // model. serve::attach_async_retrains installs one backed by the shared
+  // RetrainQueue; the hook throws NetworkUnavailableError when the upload
+  // cannot leave the phone, which defers exactly like the sync path
+  // (retrain_pending()). While a hook is installed, maybe_retrain submits
+  // instead of blocking on AuthServer, and the finished model is installed
+  // by poll_async_retrain() on the next session / explicit re-auth.
+  using AsyncRetrainFn = std::function<std::shared_future<AuthModel>(
+      int user_token, VectorsByContext positives, std::uint64_t rng_seed,
+      int version)>;
+  void set_async_retrainer(AsyncRetrainFn retrainer) {
+    async_retrain_ = std::move(retrainer);
+  }
+  // True while a submitted async retrain has not been installed yet.
+  bool async_retrain_in_flight() const { return async_future_.valid(); }
+  // Installs a finished async retrain if one is ready; returns true when the
+  // model was swapped in. A ready model is *kept* (and retried later) when
+  // the network is down at install time — delivery needs connectivity, and
+  // the cloud-side result must not be lost to a dead link.
+  bool poll_async_retrain();
+
   // Explicit re-authentication (password/biometric) after a lockout.
   void explicit_reauth(bool success) { response_.explicit_auth(success); }
   // Same, but also re-evaluates the retraining trigger: a legitimate user
@@ -109,6 +133,9 @@ class SmarterYou {
   ConfidenceMonitor monitor_;
   int retrain_count_{0};
   bool retrain_pending_{false};
+
+  AsyncRetrainFn async_retrain_;
+  std::shared_future<AuthModel> async_future_;
 };
 
 }  // namespace sy::core

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "num/kernels.h"
+#include "util/assert.h"
+
 namespace sy::ml {
 
 double Kernel::effective_gamma(std::size_t dim) const {
@@ -37,25 +40,43 @@ namespace {
 // 28-dim doubles (~14 KiB) keeps both operand tiles resident in L1/L2.
 constexpr std::size_t kTile = 64;
 
+// One row of kernel values k(center, rows[j0..j1)) into `out`, with gamma
+// resolved once at the batch level (never re-derived per entry). The RBF
+// case is the fused num:: row kernel — squared distance and exp in one
+// dispatched pass over the row tile.
+void kernel_row(const Matrix& rows, std::size_t j0, std::size_t j1,
+                std::span<const double> center, const Kernel& kernel,
+                double gamma, double* out) {
+  if (kernel.type == KernelType::kRbf) {
+    num::rbf_row_kernel(rows.data().data() + j0 * rows.cols(), j1 - j0,
+                        rows.cols(), center.data(), rows.cols(), gamma,
+                        out);
+    return;
+  }
+  for (std::size_t j = j0; j < j1; ++j) {
+    out[j - j0] = num::dot(rows.row(j), center);
+  }
+}
+
 }  // namespace
 
 Matrix gram_matrix(const Matrix& x, const Kernel& kernel) {
   const std::size_t n = x.rows();
   Matrix k(n, n);
-  // Lower-triangular tiles; each entry is one kernel() call, so tiling
-  // changes visit order (for locality of the row operands) but not values.
+  if (n == 0) return k;
+  const double gamma = kernel.effective_gamma(x.cols());
+  // Lower-triangular tiles: tiling changes visit order (for locality of the
+  // row operands) but not values; the upper triangle is mirrored, so exact
+  // symmetry holds by construction on every backend.
   for (std::size_t i0 = 0; i0 < n; i0 += kTile) {
     const std::size_t i1 = std::min(i0 + kTile, n);
     for (std::size_t j0 = 0; j0 <= i0; j0 += kTile) {
       const std::size_t j1 = std::min(j0 + kTile, n);
       for (std::size_t i = i0; i < i1; ++i) {
-        const auto row_i = x.row(i);
         const std::size_t j_end = std::min(j1, i + 1);
-        for (std::size_t j = j0; j < j_end; ++j) {
-          const double v = kernel(row_i, x.row(j));
-          k(i, j) = v;
-          k(j, i) = v;
-        }
+        if (j_end <= j0) continue;
+        kernel_row(x, j0, j_end, x.row(i), kernel, gamma, &k(i, j0));
+        for (std::size_t j = j0; j < j_end; ++j) k(j, i) = k(i, j);
       }
     }
   }
@@ -64,8 +85,12 @@ Matrix gram_matrix(const Matrix& x, const Kernel& kernel) {
 
 std::vector<double> kernel_vector(const Matrix& x, std::span<const double> z,
                                   const Kernel& kernel) {
+  SY_ASSERT(x.rows() == 0 || z.size() == x.cols(),
+            "kernel_vector: dimension mismatch");
   std::vector<double> out(x.rows());
-  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = kernel(x.row(i), z);
+  if (x.rows() == 0) return out;
+  const double gamma = kernel.effective_gamma(x.cols());
+  kernel_row(x, 0, x.rows(), z, kernel, gamma, out.data());
   return out;
 }
 
@@ -73,15 +98,20 @@ Matrix kernel_matrix(const Matrix& x, const Matrix& z, const Kernel& kernel) {
   const std::size_t n = x.rows();
   const std::size_t m = z.rows();
   Matrix k(n, m);
+  if (n == 0 || m == 0) return k;
+  SY_ASSERT(x.cols() == z.cols(), "kernel_matrix: dimension mismatch");
+  const double gamma = kernel.effective_gamma(x.cols());
+  // Row i of the output is k(x_i, z_j) over a z-row tile — contiguous writes
+  // through the same fused row kernel as kernel_vector. The RBF kernel is
+  // symmetric in its operands lane-for-lane ((a-b)^2 == (b-a)^2 exactly), so
+  // column j still equals kernel_vector(x, z.row(j)) bit-for-bit on every
+  // backend.
   for (std::size_t i0 = 0; i0 < n; i0 += kTile) {
     const std::size_t i1 = std::min(i0 + kTile, n);
     for (std::size_t j0 = 0; j0 < m; j0 += kTile) {
       const std::size_t j1 = std::min(j0 + kTile, m);
       for (std::size_t i = i0; i < i1; ++i) {
-        const auto row_i = x.row(i);
-        for (std::size_t j = j0; j < j1; ++j) {
-          k(i, j) = kernel(row_i, z.row(j));
-        }
+        kernel_row(z, j0, j1, x.row(i), kernel, gamma, &k(i, j0));
       }
     }
   }

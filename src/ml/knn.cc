@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "num/kernels.h"
+
 namespace sy::ml {
 
 KnnClassifier::KnnClassifier(KnnConfig config) : config_(config) {
@@ -27,7 +29,7 @@ double KnnClassifier::decision(std::span<const double> x) const {
   std::vector<std::pair<double, int>> dist;
   dist.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    dist.emplace_back(squared_distance(train_x_.row(i), x), train_y_[i]);
+    dist.emplace_back(num::squared_distance(train_x_.row(i), x), train_y_[i]);
   }
   std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
                    dist.end(),

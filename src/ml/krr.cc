@@ -1,9 +1,11 @@
 #include "ml/krr.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "ml/linalg.h"
+#include "num/kernels.h"
 
 namespace sy::ml {
 
@@ -52,14 +54,15 @@ void KrrClassifier::fit_dual(const Matrix& x, std::span<const double> y) {
 
 void KrrClassifier::fit_primal(const Matrix& x, std::span<const double> y) {
   const std::size_t m = x.cols();
-  // Gram in feature space: X^T X + rho I_M (M x M).
+  // Gram in feature space: X^T X + rho I_M (M x M), accumulated sample by
+  // sample as rank-one axpy updates of each lower-triangular row.
   Matrix g(m, m);
   for (std::size_t i = 0; i < x.rows(); ++i) {
     const auto row = x.row(i);
     for (std::size_t a = 0; a < m; ++a) {
       const double ra = row[a];
       if (ra == 0.0) continue;
-      for (std::size_t b = 0; b <= a; ++b) g(a, b) += ra * row[b];
+      num::axpy(ra, row.first(a + 1), g.row(a).first(a + 1));
     }
   }
   for (std::size_t a = 0; a < m; ++a) {
@@ -69,8 +72,7 @@ void KrrClassifier::fit_primal(const Matrix& x, std::span<const double> y) {
 
   xty_.assign(m, 0.0);
   for (std::size_t i = 0; i < x.rows(); ++i) {
-    const auto row = x.row(i);
-    for (std::size_t a = 0; a < m; ++a) xty_[a] += row[a] * y[i];
+    num::axpy(y[i], x.row(i), xty_);
   }
 
   inv_gram_ = invert_spd(g);
@@ -84,8 +86,14 @@ double KrrClassifier::decision(std::span<const double> x) const {
   if (weights_) {
     return dot(*weights_, x);
   }
-  const auto k = kernel_vector(train_x_, x, config_.kernel);
-  return dot(alpha_, k);
+  // Route the dual path through the batch reduction so a single window
+  // scores bit-identically to the same window inside any batch, on every
+  // backend (the Authenticator batch-vs-single contract). On the scalar
+  // backend this is the same ascending-i accumulation as the historical
+  // dot(alpha_, kernel_vector(...)).
+  Matrix one(1, x.size());
+  std::copy(x.begin(), x.end(), one.row(0).begin());
+  return decision_batch(one).front();
 }
 
 std::vector<double> KrrClassifier::decision_batch(const Matrix& x) const {
@@ -96,12 +104,12 @@ std::vector<double> KrrClassifier::decision_batch(const Matrix& x) const {
     return out;
   }
   // One blocked cross-kernel build amortizes the train_x_ streaming across
-  // all windows; the alpha reduction per column matches dot(alpha_, k).
+  // all windows. The alpha reduction runs as contiguous row axpys; each
+  // column still accumulates alpha_[i] * k(i, j) in ascending i, matching
+  // dot(alpha_, k) on the scalar backend.
   const Matrix k = kernel_matrix(train_x_, x, config_.kernel);
-  for (std::size_t j = 0; j < x.rows(); ++j) {
-    double sum = 0.0;
-    for (std::size_t i = 0; i < k.rows(); ++i) sum += alpha_[i] * k(i, j);
-    out[j] = sum;
+  for (std::size_t i = 0; i < k.rows(); ++i) {
+    num::axpy(alpha_[i], k.row(i), out);
   }
   return out;
 }
@@ -136,11 +144,9 @@ void KrrClassifier::rank_one_update(std::span<const double> x, double label,
   }
   const double scale = sign / denom;
   for (std::size_t a = 0; a < m; ++a) {
-    for (std::size_t b = 0; b < m; ++b) {
-      inv_gram_(a, b) -= scale * ax[a] * ax[b];
-    }
+    num::axpy(-(scale * ax[a]), ax, inv_gram_.row(a));
   }
-  for (std::size_t a = 0; a < m; ++a) xty_[a] += sign * label * x[a];
+  num::axpy(sign * label, x, xty_);
   weights_ = inv_gram_ * std::span<const double>(xty_);
 }
 

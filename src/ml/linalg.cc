@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "num/kernels.h"
+
 namespace sy::ml {
 
 Matrix cholesky(const Matrix& a) {
@@ -11,20 +13,17 @@ Matrix cholesky(const Matrix& a) {
     throw std::invalid_argument("cholesky: matrix must be square");
   }
   const std::size_t n = a.rows();
+  // Copy the lower triangle into the zero-initialized factor and run the
+  // blocked in-place factorization on it; the strictly upper triangle stays
+  // zero, matching the historical output shape.
   Matrix l(n, n);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j <= i; ++j) {
-      double sum = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
-      if (i == j) {
-        if (sum <= 0.0) {
-          throw std::runtime_error("cholesky: matrix not positive definite");
-        }
-        l(i, j) = std::sqrt(sum);
-      } else {
-        l(i, j) = sum / l(j, j);
-      }
-    }
+    const auto src = a.row(i);
+    auto dst = l.row(i);
+    for (std::size_t j = 0; j <= i; ++j) dst[j] = src[j];
+  }
+  if (num::cholesky_inplace(l.data().data(), n, n) != n) {
+    throw std::runtime_error("cholesky: matrix not positive definite");
   }
   return l;
 }
@@ -32,11 +31,12 @@ Matrix cholesky(const Matrix& a) {
 std::vector<double> cholesky_solve(const Matrix& l, std::span<const double> b) {
   const std::size_t n = l.rows();
   if (b.size() != n) throw std::invalid_argument("cholesky_solve: size");
-  // Forward: L z = b
+  // Forward: L z = b. The row of L up to the diagonal is contiguous, so the
+  // reduction is a dispatched dot_sub (scalar path: the same ascending-k
+  // "sum -= l(i,k) * z[k]" sequence as ever).
   std::vector<double> z(n);
   for (std::size_t i = 0; i < n; ++i) {
-    double sum = b[i];
-    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * z[k];
+    const double sum = num::dot_sub(b[i], l.row(i).first(i), {z.data(), i});
     z[i] = sum / l(i, i);
   }
   // Back: L^T x = z
@@ -61,25 +61,27 @@ Matrix cholesky_solve(const Matrix& l, const Matrix& b) {
 
   Matrix x = b;  // solved in place, panel by panel
   for (std::size_t j0 = 0; j0 < nrhs; j0 += kPanel) {
-    const std::size_t j1 = std::min(j0 + kPanel, nrhs);
-    // Forward: L Z = B over the panel. The k-reduction per (i, j) runs in
-    // the same ascending order as the single-RHS path.
+    const std::size_t width = std::min(j0 + kPanel, nrhs) - j0;
+    // Forward: L Z = B over the panel. Each k-step is a dispatched axpy of
+    // row k into row i; the per-column reduction still runs in the same
+    // ascending-k order as the single-RHS path (y += (-lik) * x is the same
+    // doubles op as y -= lik * x).
     for (std::size_t i = 0; i < n; ++i) {
+      auto xi = x.row(i).subspan(j0, width);
       for (std::size_t k = 0; k < i; ++k) {
-        const double lik = l(i, k);
-        for (std::size_t j = j0; j < j1; ++j) x(i, j) -= lik * x(k, j);
+        num::axpy(-l(i, k), x.row(k).subspan(j0, width), xi);
       }
       const double diag = l(i, i);
-      for (std::size_t j = j0; j < j1; ++j) x(i, j) /= diag;
+      for (double& v : xi) v /= diag;
     }
     // Back: L^T X = Z over the panel.
     for (std::size_t ii = n; ii-- > 0;) {
+      auto xi = x.row(ii).subspan(j0, width);
       for (std::size_t k = ii + 1; k < n; ++k) {
-        const double lki = l(k, ii);
-        for (std::size_t j = j0; j < j1; ++j) x(ii, j) -= lki * x(k, j);
+        num::axpy(-l(k, ii), x.row(k).subspan(j0, width), xi);
       }
       const double diag = l(ii, ii);
-      for (std::size_t j = j0; j < j1; ++j) x(ii, j) /= diag;
+      for (double& v : xi) v /= diag;
     }
   }
   return x;

@@ -12,6 +12,9 @@ namespace sy::ml {
 
 // Cholesky factorization A = L L^T of an SPD matrix; returns lower-triangular
 // L. Throws std::runtime_error if A is not (numerically) positive definite.
+// Blocked right-looking via num::cholesky_inplace (panel factor + fused
+// triangular solve + rank-k update on the dispatched backend); the scalar
+// backend is bit-identical to the classic unblocked left-looking loop.
 Matrix cholesky(const Matrix& a);
 
 // Solves A x = b for SPD A via Cholesky.

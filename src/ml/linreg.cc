@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "ml/linalg.h"
+#include "num/kernels.h"
 
 namespace sy::ml {
 
@@ -27,9 +28,10 @@ void LinearRegressionClassifier::fit(const Matrix& x,
     for (std::size_t j = 0; j < m; ++j) row[j] = xi[j];
     row[m] = 1.0;
     const double yi = static_cast<double>(y[i]);
+    num::axpy(yi, row, xty);
     for (std::size_t a = 0; a < d; ++a) {
-      xty[a] += row[a] * yi;
-      for (std::size_t b = 0; b <= a; ++b) g(a, b) += row[a] * row[b];
+      num::axpy(row[a], std::span<const double>(row).first(a + 1),
+                g.row(a).first(a + 1));
     }
   }
   for (std::size_t a = 0; a < d; ++a) {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "num/kernels.h"
+
 namespace sy::ml {
 
 Matrix Matrix::identity(std::size_t n) {
@@ -35,14 +37,12 @@ Matrix Matrix::operator*(const Matrix& other) const {
     throw std::invalid_argument("Matrix multiply: dimension mismatch");
   }
   Matrix out(rows_, other.cols_);
-  // ikj loop order keeps the inner loop contiguous for both operands.
+  // ikj loop order keeps the inner axpy contiguous for both operands.
   for (std::size_t i = 0; i < rows_; ++i) {
     for (std::size_t k = 0; k < cols_; ++k) {
       const double a = (*this)(i, k);
       if (a == 0.0) continue;
-      const double* brow = other.data_.data() + k * other.cols_;
-      double* orow = out.data_.data() + i * other.cols_;
-      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+      num::axpy(a, other.row(k), out.row(i));
     }
   }
   return out;
@@ -107,20 +107,11 @@ void Matrix::append_row(std::span<const double> row_values) {
 }
 
 double dot(std::span<const double> a, std::span<const double> b) {
-  SY_ASSERT(a.size() == b.size(), "dot: size mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return num::dot(a, b);
 }
 
 double squared_distance(std::span<const double> a, std::span<const double> b) {
-  SY_ASSERT(a.size() == b.size(), "squared_distance: size mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
+  return num::squared_distance(a, b);
 }
 
 }  // namespace sy::ml

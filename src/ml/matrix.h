@@ -75,9 +75,10 @@ class Matrix {
   std::vector<double> data_;
 };
 
-// Inner product of equal-length spans.
+// Inner product of equal-length spans. Forwards to the dispatched
+// num:: kernel (scalar backend bit-identical to the historical loop).
 double dot(std::span<const double> a, std::span<const double> b);
-// Squared Euclidean distance.
+// Squared Euclidean distance; forwards to num::squared_distance.
 double squared_distance(std::span<const double> a, std::span<const double> b);
 
 }  // namespace sy::ml

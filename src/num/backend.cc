@@ -1,0 +1,81 @@
+#include "num/backend.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "num/kernels.h"
+#include "util/logging.h"
+
+namespace sy::num {
+
+namespace {
+
+std::atomic<Backend> g_active{Backend::kScalar};
+std::once_flag g_init;
+
+Backend startup_backend() {
+  const char* env = std::getenv("SY_NUM_BACKEND");
+  if (env != nullptr && *env != '\0') {
+    const auto parsed = parse_backend(env);
+    if (!parsed) {
+      util::log_warn("SY_NUM_BACKEND=", env,
+                     " is not a backend (scalar|avx2|auto); using detected");
+    } else if (*parsed == Backend::kAvx2 && !avx2::available()) {
+      // Dispatching into AVX2 code on a CPU without it is an illegal
+      // instruction, not a slow path — never honor that request.
+      util::log_warn("SY_NUM_BACKEND=avx2 unsupported on this CPU; "
+                     "using detected backend");
+    } else {
+      return *parsed;
+    }
+  }
+  return detected_backend();
+}
+
+void ensure_initialized() {
+  std::call_once(g_init, [] {
+    g_active.store(startup_backend(), std::memory_order_relaxed);
+  });
+}
+
+}  // namespace
+
+std::string_view backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) {
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "avx2") return Backend::kAvx2;
+  if (name == "auto") return detected_backend();
+  return std::nullopt;
+}
+
+Backend detected_backend() {
+  return avx2::available() ? Backend::kAvx2 : Backend::kScalar;
+}
+
+Backend active_backend() {
+  ensure_initialized();
+  return g_active.load(std::memory_order_relaxed);
+}
+
+void set_backend(Backend backend) {
+  ensure_initialized();
+  if (backend == Backend::kAvx2 && !avx2::available()) {
+    throw std::invalid_argument(
+        "num::set_backend: avx2 backend unsupported on this CPU");
+  }
+  g_active.store(backend, std::memory_order_relaxed);
+}
+
+}  // namespace sy::num

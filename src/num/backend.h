@@ -1,0 +1,45 @@
+// Runtime CPU dispatch for the numeric kernel layer.
+//
+// src/num/ owns the hot numeric kernels (dot, squared_distance, axpy, the
+// fused RBF row kernel, and the blocked Cholesky factorization) behind a
+// process-wide backend selector. The scalar backend is the bit-exact
+// reference: it performs exactly the operation sequence of the historical
+// hand-written loops in ml/ and signal/, so results on kScalar are
+// bit-identical to the pre-num:: code. The AVX2 backend reorders reductions
+// (lane-parallel partial sums, FMA contraction) and matches scalar to within
+// 1e-12 relative tolerance — asserted by tests/num_kernels_test.
+//
+// Selection order at startup:
+//   1. SY_NUM_BACKEND environment variable ("scalar" | "avx2" | "auto"),
+//   2. otherwise the best backend the CPU supports (AVX2+FMA when present).
+// Tests and benchmarks may override at any time via set_backend().
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace sy::num {
+
+enum class Backend {
+  kScalar,  // portable reference, bit-exact contract
+  kAvx2,    // AVX2 + FMA (x86-64), tolerance contract
+};
+
+// Human-readable backend name ("scalar", "avx2").
+std::string_view backend_name(Backend backend);
+
+// Parses "scalar" / "avx2" / "auto"; "auto" resolves to detected_backend().
+// Returns nullopt for anything else.
+std::optional<Backend> parse_backend(std::string_view name);
+
+// Best backend this CPU supports (kAvx2 requires AVX2 and FMA).
+Backend detected_backend();
+
+// The backend the dispatched num:: entry points currently use.
+Backend active_backend();
+
+// Overrides the active backend (tests, benchmarks, the --backend flags).
+// Throws std::invalid_argument if the CPU cannot run `backend`.
+void set_backend(Backend backend);
+
+}  // namespace sy::num

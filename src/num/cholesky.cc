@@ -1,0 +1,87 @@
+// Blocked right-looking Cholesky factorization.
+//
+// Classic three-phase schedule per 64-column panel:
+//   1. panel factor — unblocked factorization of columns [p0, p1) over all
+//      rows below, column by column (this fuses the L11 factor and the
+//      L21 triangular solve);
+//   2. (fused into 1);
+//   3. rank-k trailing update — A22 -= L21 L21^T on the lower triangle of
+//      the remaining rows/columns.
+//
+// Every per-entry reduction is a dot_sub over contiguous row segments (the
+// panel slices of rows i and j), dispatched once per factorization to the
+// active backend.
+//
+// Bit-exactness of the scalar path: entry (i,j) undergoes subtractions of
+// l(i,k)*l(j,k) in strictly ascending k (trailing updates apply panels in
+// ascending order; the panel factor finishes k in [p0,j)), then the same
+// sqrt / divide as the textbook left-looking loop this replaced. Storing the
+// partially-updated entry back to memory between panels is exact, so the
+// factor is bit-identical to the unblocked reference — blocking reorders
+// only which entry is touched next, never an entry's own operation order.
+#include "num/backend.h"
+#include "num/kernels.h"
+
+#include <cmath>
+
+namespace sy::num {
+
+namespace {
+
+// Panel width: 64 columns * 8 bytes = one 512-byte row segment; the trailing
+// update then reuses each row's panel slice across a whole row of the
+// trailing matrix while it is hot.
+constexpr std::size_t kPanel = 64;
+
+using DotSubFn = double (*)(double, std::span<const double>,
+                            std::span<const double>);
+
+}  // namespace
+
+std::size_t cholesky_inplace(double* a, std::size_t n, std::size_t stride) {
+  const bool use_avx2 = active_backend() == Backend::kAvx2;
+  const DotSubFn dot_sub_fn = use_avx2 ? avx2::dot_sub : scalar::dot_sub;
+
+  for (std::size_t p0 = 0; p0 < n; p0 += kPanel) {
+    const std::size_t p1 = p0 + kPanel < n ? p0 + kPanel : n;
+
+    // Panel factor: columns [p0, p1), all rows below the diagonal.
+    for (std::size_t j = p0; j < p1; ++j) {
+      double* row_j = a + j * stride;
+      const std::span<const double> lj{row_j + p0, j - p0};
+      double diag = dot_sub_fn(row_j[j], lj, lj);
+      if (diag <= 0.0) return j;  // not (numerically) positive definite
+      diag = std::sqrt(diag);
+      row_j[j] = diag;
+      for (std::size_t i = j + 1; i < n; ++i) {
+        double* row_i = a + i * stride;
+        row_i[j] = dot_sub_fn(row_i[j], {row_i + p0, j - p0}, lj) / diag;
+      }
+    }
+
+    // Rank-k trailing update: lower triangle of rows/columns [p1, n). The
+    // AVX2 path register-blocks four columns per call (dot_sub4), which
+    // amortizes call overhead and replaces four horizontal reductions with
+    // one cross-lane shuffle + vector subtract.
+    const std::size_t nb = p1 - p0;
+    for (std::size_t i = p1; i < n; ++i) {
+      double* row_i = a + i * stride;
+      const std::span<const double> li{row_i + p0, nb};
+      std::size_t j = p1;
+      if (use_avx2) {
+        for (; j + 4 <= i + 1; j += 4) {
+          const double* bs[4] = {
+              a + j * stride + p0, a + (j + 1) * stride + p0,
+              a + (j + 2) * stride + p0, a + (j + 3) * stride + p0};
+          avx2::dot_sub4(row_i + j, li.data(), bs, nb);
+        }
+      }
+      for (; j <= i; ++j) {
+        row_i[j] = dot_sub_fn(row_i[j], li, {a + j * stride + p0, nb});
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace sy::num

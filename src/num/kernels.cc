@@ -1,0 +1,44 @@
+// Dispatched entry points: one branch on the active backend per call. The
+// kernels are leaf-level (a 28-dim dot, a 64-row RBF tile), so the branch is
+// noise; callers that loop millions of times over tiles still pay it only
+// once per tile because the tile itself is the dispatched unit.
+#include "num/backend.h"
+#include "num/kernels.h"
+
+namespace sy::num {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  return active_backend() == Backend::kAvx2 ? avx2::dot(a, b)
+                                            : scalar::dot(a, b);
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  return active_backend() == Backend::kAvx2 ? avx2::squared_distance(a, b)
+                                            : scalar::squared_distance(a, b);
+}
+
+double dot_sub(double init, std::span<const double> a,
+               std::span<const double> b) {
+  return active_backend() == Backend::kAvx2 ? avx2::dot_sub(init, a, b)
+                                            : scalar::dot_sub(init, a, b);
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (active_backend() == Backend::kAvx2) {
+    avx2::axpy(alpha, x, y);
+  } else {
+    scalar::axpy(alpha, x, y);
+  }
+}
+
+void rbf_row_kernel(const double* rows, std::size_t n_rows, std::size_t stride,
+                    const double* center, std::size_t dim, double gamma,
+                    double* out) {
+  if (active_backend() == Backend::kAvx2) {
+    avx2::rbf_row_kernel(rows, n_rows, stride, center, dim, gamma, out);
+  } else {
+    scalar::rbf_row_kernel(rows, n_rows, stride, center, dim, gamma, out);
+  }
+}
+
+}  // namespace sy::num

@@ -1,0 +1,94 @@
+// The numeric hot kernels every score and retrain bottoms out in.
+//
+// Top-level functions dispatch on backend::active_backend(); the explicit
+// scalar:: / avx2:: namespaces exist for tests and for callers that resolve
+// the backend once per batch (ml::gram_matrix, num::cholesky_inplace).
+//
+// Contracts:
+//   scalar:: — bit-exact reference. Each kernel performs the same doubles
+//     operations in the same order as the historical loops in ml/matrix.cc,
+//     ml/kernel.cc and ml/linalg.cc, so the scalar backend reproduces
+//     pre-refactor results bit-for-bit.
+//   avx2::  — lane-parallel partial sums + FMA; agrees with scalar to within
+//     1e-12 relative tolerance (property-tested, including remainder lanes).
+//     On non-x86 builds the avx2:: symbols forward to scalar:: and
+//     avx2::available() is false.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace sy::num {
+
+// Inner product <a, b> of equal-length spans.
+double dot(std::span<const double> a, std::span<const double> b);
+
+// Squared Euclidean distance ||a - b||^2.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+// init - <a, b>. The scalar path subtracts term-by-term in ascending index
+// order — exactly the reduction shape of triangular solves and the Cholesky
+// trailing update ("sum -= l(i,k) * l(j,k)").
+double dot_sub(double init, std::span<const double> a,
+               std::span<const double> b);
+
+// y += alpha * x (element-wise, ascending index order).
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+// Fused RBF row kernel: out[i] = exp(-gamma * ||rows_i - center||^2) for
+// n_rows row-major rows of length dim, consecutive rows `stride` doubles
+// apart. gamma must already be resolved (Kernel::effective_gamma is hoisted
+// to the batch level by the callers — it is never re-derived per row).
+void rbf_row_kernel(const double* rows, std::size_t n_rows, std::size_t stride,
+                    const double* center, std::size_t dim, double gamma,
+                    double* out);
+
+// Blocked right-looking Cholesky factorization, in place on the lower
+// triangle of the row-major n x n matrix `a` (leading dimension `stride`,
+// stride >= n). Panel factor + fused triangular solve + rank-k trailing
+// update; the inner reductions dispatch on the active backend. The strictly
+// upper triangle is left untouched.
+//
+// Returns n on success. On a non-positive pivot, returns its index j (the
+// matrix is not positive definite); entries at and beyond column j are
+// partially updated garbage.
+//
+// Scalar bit-exactness: every entry undergoes the same subtraction sequence
+// (ascending k), sqrt, and division as the classic unblocked left-looking
+// loop, so the scalar factor is bit-identical to it; blocking only reorders
+// which entry is visited next, never the per-entry operation order.
+std::size_t cholesky_inplace(double* a, std::size_t n, std::size_t stride);
+
+namespace scalar {
+double dot(std::span<const double> a, std::span<const double> b);
+double squared_distance(std::span<const double> a, std::span<const double> b);
+double dot_sub(double init, std::span<const double> a,
+               std::span<const double> b);
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+void rbf_row_kernel(const double* rows, std::size_t n_rows, std::size_t stride,
+                    const double* center, std::size_t dim, double gamma,
+                    double* out);
+}  // namespace scalar
+
+namespace avx2 {
+// True when the AVX2+FMA code path is compiled in and this CPU supports it.
+bool available();
+double dot(std::span<const double> a, std::span<const double> b);
+double squared_distance(std::span<const double> a, std::span<const double> b);
+double dot_sub(double init, std::span<const double> a,
+               std::span<const double> b);
+// dst[c] -= <a, b[c]> for four right-hand rows at once — the Cholesky
+// trailing update's register-blocked micro-kernel (one call, one vector
+// subtract, no per-entry horizontal reduction).
+void dot_sub4(double* dst, const double* a, const double* const b[4],
+              std::size_t n);
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+void rbf_row_kernel(const double* rows, std::size_t n_rows, std::size_t stride,
+                    const double* center, std::size_t dim, double gamma,
+                    double* out);
+// Vectorized double-precision exp on 4 lanes (Cephes-style range reduction +
+// rational polynomial, ~1 ulp for normal results). Exposed for tests.
+void exp4(const double* x, double* out);
+}  // namespace avx2
+
+}  // namespace sy::num

@@ -1,0 +1,365 @@
+// AVX2 + FMA kernels, selected at runtime (function-level target attributes,
+// so this translation unit builds without -mavx2 and plain x86-64 binaries
+// stay portable). Reductions use lane-parallel partial sums and fused
+// multiply-add, so results differ from the scalar reference in the last
+// bits; the contract is 1e-12 relative agreement (tests/num_kernels_test).
+//
+// exp is vectorized with the classic Cephes expm approach: round x/ln2 to an
+// integer n, reduce with the split ln2 = C1 + C2, evaluate a degree-(2,3)
+// rational in the reduced argument, and scale by 2^n in two halves so the
+// underflow tail degrades gracefully into denormals instead of snapping to
+// zero. Accuracy is ~1 ulp for normal results — far inside the 1e-12 budget.
+#include "num/kernels.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SY_NUM_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define SY_NUM_HAVE_AVX2 0
+#endif
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace sy::num::avx2 {
+
+#if SY_NUM_HAVE_AVX2
+
+#define SY_AVX2 __attribute__((target("avx2,fma")))
+
+bool available() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+namespace {
+
+SY_AVX2 inline double hsum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d sum2 = _mm_add_pd(lo, hi);
+  const __m128d swapped = _mm_unpackhi_pd(sum2, sum2);
+  return _mm_cvtsd_f64(_mm_add_sd(sum2, swapped));
+}
+
+// 2^e for integer-valued e lanes in [-1022, 1023], built in the exponent
+// field. Out-of-range lanes are the callers' problem (exp4 splits its
+// scaling in halves precisely so each half stays in range).
+SY_AVX2 inline __m256d pow2i(__m256d e) {
+  const __m128i e32 = _mm256_cvtpd_epi32(e);
+  const __m256i e64 = _mm256_cvtepi32_epi64(e32);
+  const __m256i bits =
+      _mm256_slli_epi64(_mm256_add_epi64(e64, _mm256_set1_epi64x(1023)), 52);
+  return _mm256_castsi256_pd(bits);
+}
+
+// Cephes exp() constants (double precision).
+constexpr double kLog2E = 1.4426950408889634073599;
+constexpr double kC1 = 6.93145751953125e-1;
+constexpr double kC2 = 1.42860682030941723212e-6;
+constexpr double kP0 = 1.26177193074810590878e-4;
+constexpr double kP1 = 3.02994407707441961300e-2;
+constexpr double kP2 = 9.99999999999999999910e-1;
+constexpr double kQ0 = 3.00198505138664455042e-6;
+constexpr double kQ1 = 2.52448340349684104192e-3;
+constexpr double kQ2 = 2.27265548208155028766e-1;
+constexpr double kQ3 = 2.00000000000000000005e0;
+// Clamp bounds: beyond these exp saturates to inf / rounds to zero anyway.
+constexpr double kMaxArg = 709.78271289338397;
+constexpr double kMinArg = -745.13321910194122;
+
+SY_AVX2 inline __m256d exp_pd(__m256d x) {
+  // The clamp would silently absorb out-of-range and NaN lanes; remember
+  // the raw input and patch those lanes at the end: above kMaxArg the true
+  // exp overflows to +inf, below kMinArg it underflows to +0 (std::exp may
+  // still return the last denormal in a sliver below the cutoff — inside
+  // the documented absolute floor), and NaN propagates like std::exp.
+  const __m256d input = x;
+  const __m256d nan_lanes = _mm256_cmp_pd(x, x, _CMP_UNORD_Q);
+  x = _mm256_min_pd(x, _mm256_set1_pd(kMaxArg));
+  x = _mm256_max_pd(x, _mm256_set1_pd(kMinArg));
+
+  // n = round(x / ln2); reduce with the split ln2 so r is exact-ish.
+  const __m256d n = _mm256_round_pd(
+      _mm256_mul_pd(x, _mm256_set1_pd(kLog2E)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256d r = _mm256_fnmadd_pd(n, _mm256_set1_pd(kC1), x);
+  r = _mm256_fnmadd_pd(n, _mm256_set1_pd(kC2), r);
+
+  // Rational approximation: exp(r) = 1 + 2 r P(r^2) / (Q(r^2) - r P(r^2)).
+  const __m256d rr = _mm256_mul_pd(r, r);
+  __m256d p = _mm256_set1_pd(kP0);
+  p = _mm256_fmadd_pd(p, rr, _mm256_set1_pd(kP1));
+  p = _mm256_fmadd_pd(p, rr, _mm256_set1_pd(kP2));
+  p = _mm256_mul_pd(p, r);
+  __m256d q = _mm256_set1_pd(kQ0);
+  q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(kQ1));
+  q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(kQ2));
+  q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(kQ3));
+  const __m256d e =
+      _mm256_fmadd_pd(_mm256_set1_pd(2.0),
+                      _mm256_div_pd(p, _mm256_sub_pd(q, p)),
+                      _mm256_set1_pd(1.0));
+
+  // Scale by 2^n in two halves: each half stays inside the normal exponent
+  // range, and the final multiply may round into a denormal when n < -1022.
+  const __m256d n1 = _mm256_round_pd(
+      _mm256_mul_pd(n, _mm256_set1_pd(0.5)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  const __m256d n2 = _mm256_sub_pd(n, n1);
+  __m256d result = _mm256_mul_pd(_mm256_mul_pd(e, pow2i(n1)), pow2i(n2));
+  // Ordered compares are false on NaN lanes, so the order here matters:
+  // overflow, underflow, then NaN restoration.
+  result = _mm256_blendv_pd(
+      result, _mm256_set1_pd(std::numeric_limits<double>::infinity()),
+      _mm256_cmp_pd(input, _mm256_set1_pd(kMaxArg), _CMP_GT_OQ));
+  result = _mm256_blendv_pd(
+      result, _mm256_setzero_pd(),
+      _mm256_cmp_pd(input, _mm256_set1_pd(kMinArg), _CMP_LT_OQ));
+  return _mm256_blendv_pd(result, input, nan_lanes);
+}
+
+}  // namespace
+
+SY_AVX2 void exp4(const double* x, double* out) {
+  _mm256_storeu_pd(out, exp_pd(_mm256_loadu_pd(x)));
+}
+
+SY_AVX2 double dot(std::span<const double> a, std::span<const double> b) {
+  SY_ASSERT(a.size() == b.size(), "num::dot: size mismatch");
+  const std::size_t n = a.size();
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a.data() + i),
+                           _mm256_loadu_pd(b.data() + i), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a.data() + i + 4),
+                           _mm256_loadu_pd(b.data() + i + 4), acc1);
+  }
+  if (i + 4 <= n) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a.data() + i),
+                           _mm256_loadu_pd(b.data() + i), acc0);
+    i += 4;
+  }
+  double acc = hsum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+SY_AVX2 double squared_distance(std::span<const double> a,
+                                std::span<const double> b) {
+  SY_ASSERT(a.size() == b.size(), "num::squared_distance: size mismatch");
+  const std::size_t n = a.size();
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(a.data() + i),
+                                     _mm256_loadu_pd(b.data() + i));
+    const __m256d d1 = _mm256_sub_pd(_mm256_loadu_pd(a.data() + i + 4),
+                                     _mm256_loadu_pd(b.data() + i + 4));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+  }
+  if (i + 4 <= n) {
+    const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(a.data() + i),
+                                    _mm256_loadu_pd(b.data() + i));
+    acc0 = _mm256_fmadd_pd(d, d, acc0);
+    i += 4;
+  }
+  double acc = hsum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+SY_AVX2 double dot_sub(double init, std::span<const double> a,
+                       std::span<const double> b) {
+  return init - dot(a, b);
+}
+
+SY_AVX2 void dot_sub4(double* dst, const double* a, const double* const b[4],
+                      std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d va = _mm256_loadu_pd(a + i);
+    acc0 = _mm256_fmadd_pd(va, _mm256_loadu_pd(b[0] + i), acc0);
+    acc1 = _mm256_fmadd_pd(va, _mm256_loadu_pd(b[1] + i), acc1);
+    acc2 = _mm256_fmadd_pd(va, _mm256_loadu_pd(b[2] + i), acc2);
+    acc3 = _mm256_fmadd_pd(va, _mm256_loadu_pd(b[3] + i), acc3);
+  }
+  // Cross-lane reduce all four accumulators into one [s0 s1 s2 s3] vector.
+  const __m256d h01 = _mm256_hadd_pd(acc0, acc1);  // [a0+a0' a1+a1' ..]
+  const __m256d h23 = _mm256_hadd_pd(acc2, acc3);
+  __m256d sums = _mm256_add_pd(_mm256_permute2f128_pd(h01, h23, 0x20),
+                               _mm256_permute2f128_pd(h01, h23, 0x31));
+  if (i < n) {
+    double tail[4] = {0.0, 0.0, 0.0, 0.0};
+    for (; i < n; ++i) {
+      const double va = a[i];
+      tail[0] += va * b[0][i];
+      tail[1] += va * b[1][i];
+      tail[2] += va * b[2][i];
+      tail[3] += va * b[3][i];
+    }
+    sums = _mm256_add_pd(sums, _mm256_loadu_pd(tail));
+  }
+  _mm256_storeu_pd(dst, _mm256_sub_pd(_mm256_loadu_pd(dst), sums));
+}
+
+SY_AVX2 void axpy(double alpha, std::span<const double> x,
+                  std::span<double> y) {
+  SY_ASSERT(x.size() == y.size(), "num::axpy: size mismatch");
+  const std::size_t n = x.size();
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d yi = _mm256_loadu_pd(y.data() + i);
+    _mm256_storeu_pd(y.data() + i,
+                     _mm256_fmadd_pd(va, _mm256_loadu_pd(x.data() + i), yi));
+  }
+  // Remainder lanes use scalar fma so an element's result does not depend
+  // on which side of the vector boundary it landed — accumulating a batch
+  // column is then bit-identical whatever the batch width.
+  for (; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
+}
+
+namespace {
+
+// Per-row squared distance with a fixed, position-independent reduction
+// shape: one fmadd chain over 4-wide steps, horizontal sum, then a scalar
+// fma tail. The quad path below interleaves four of exactly these chains
+// (lanewise-identical ops), so a row's bits never depend on which group of
+// a batch it landed in — the batch-vs-single bit-equality contract above
+// num:: relies on that.
+SY_AVX2 inline double rbf_sqdist_one(const double* row, const double* center,
+                                     std::size_t dim) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(row + i),
+                                    _mm256_loadu_pd(center + i));
+    acc = _mm256_fmadd_pd(d, d, acc);
+  }
+  double s = hsum(acc);
+  for (; i < dim; ++i) {
+    const double d = row[i] - center[i];
+    s = std::fma(d, d, s);
+  }
+  return s;
+}
+
+}  // namespace
+
+SY_AVX2 void rbf_row_kernel(const double* rows, std::size_t n_rows,
+                            std::size_t stride, const double* center,
+                            std::size_t dim, double gamma, double* out) {
+  double args[4];
+  double vals[4];
+  std::size_t r = 0;
+  // Quad path: four independent accumulator chains hide the fmadd latency,
+  // and the four exps run as one vector call.
+  for (; r + 4 <= n_rows; r += 4) {
+    const double* r0 = rows + r * stride;
+    const double* r1 = r0 + stride;
+    const double* r2 = r1 + stride;
+    const double* r3 = r2 + stride;
+    __m256d a0 = _mm256_setzero_pd();
+    __m256d a1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd();
+    __m256d a3 = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 4 <= dim; i += 4) {
+      const __m256d c = _mm256_loadu_pd(center + i);
+      const __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(r0 + i), c);
+      const __m256d d1 = _mm256_sub_pd(_mm256_loadu_pd(r1 + i), c);
+      const __m256d d2 = _mm256_sub_pd(_mm256_loadu_pd(r2 + i), c);
+      const __m256d d3 = _mm256_sub_pd(_mm256_loadu_pd(r3 + i), c);
+      a0 = _mm256_fmadd_pd(d0, d0, a0);
+      a1 = _mm256_fmadd_pd(d1, d1, a1);
+      a2 = _mm256_fmadd_pd(d2, d2, a2);
+      a3 = _mm256_fmadd_pd(d3, d3, a3);
+    }
+    args[0] = hsum(a0);
+    args[1] = hsum(a1);
+    args[2] = hsum(a2);
+    args[3] = hsum(a3);
+    for (; i < dim; ++i) {
+      const double c = center[i];
+      const double d0 = r0[i] - c;
+      const double d1 = r1[i] - c;
+      const double d2 = r2[i] - c;
+      const double d3 = r3[i] - c;
+      args[0] = std::fma(d0, d0, args[0]);
+      args[1] = std::fma(d1, d1, args[1]);
+      args[2] = std::fma(d2, d2, args[2]);
+      args[3] = std::fma(d3, d3, args[3]);
+    }
+    for (double& a : args) a *= -gamma;
+    exp4(args, out + r);
+  }
+  // Remainder rows: one lane each of the same chain shape, exp padded.
+  if (r < n_rows) {
+    const std::size_t group = n_rows - r;
+    for (std::size_t g = 0; g < group; ++g) {
+      args[g] = -gamma * rbf_sqdist_one(rows + (r + g) * stride, center, dim);
+    }
+    for (std::size_t g = group; g < 4; ++g) args[g] = 0.0;
+    exp4(args, vals);
+    for (std::size_t g = 0; g < group; ++g) out[r + g] = vals[g];
+  }
+}
+
+#undef SY_AVX2
+
+#else  // !SY_NUM_HAVE_AVX2: forward to scalar so callers can link anywhere.
+
+bool available() { return false; }
+
+void exp4(const double* x, double* out) {
+  for (int i = 0; i < 4; ++i) out[i] = std::exp(x[i]);
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  return scalar::dot(a, b);
+}
+
+double squared_distance(std::span<const double> a,
+                        std::span<const double> b) {
+  return scalar::squared_distance(a, b);
+}
+
+double dot_sub(double init, std::span<const double> a,
+               std::span<const double> b) {
+  return scalar::dot_sub(init, a, b);
+}
+
+void dot_sub4(double* dst, const double* a, const double* const b[4],
+              std::size_t n) {
+  for (int c = 0; c < 4; ++c) {
+    dst[c] = scalar::dot_sub(dst[c], {a, n}, {b[c], n});
+  }
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  scalar::axpy(alpha, x, y);
+}
+
+void rbf_row_kernel(const double* rows, std::size_t n_rows, std::size_t stride,
+                    const double* center, std::size_t dim, double gamma,
+                    double* out) {
+  scalar::rbf_row_kernel(rows, n_rows, stride, center, dim, gamma, out);
+}
+
+#endif  // SY_NUM_HAVE_AVX2
+
+}  // namespace sy::num::avx2

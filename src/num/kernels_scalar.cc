@@ -1,0 +1,60 @@
+// Scalar reference kernels — the bit-exactness anchor of the num:: layer.
+//
+// Each loop body reproduces, expression for expression, the historical
+// hand-written loop it replaced (ml/matrix.cc dot / squared_distance,
+// ml/kernel.cc's exp(-gamma * d2), ml/linalg.cc's "sum -= l(i,k) * l(j,k)"),
+// so kScalar results are bit-identical to the pre-num:: code. Do not
+// "optimize" these: any reassociation breaks the contract that
+// tests/num_kernels_test pins with exact comparisons.
+#include <cmath>
+
+#include "num/kernels.h"
+#include "util/assert.h"
+
+namespace sy::num::scalar {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  SY_ASSERT(a.size() == b.size(), "num::dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  SY_ASSERT(a.size() == b.size(), "num::squared_distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double dot_sub(double init, std::span<const double> a,
+               std::span<const double> b) {
+  SY_ASSERT(a.size() == b.size(), "num::dot_sub: size mismatch");
+  double acc = init;
+  for (std::size_t i = 0; i < a.size(); ++i) acc -= a[i] * b[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  SY_ASSERT(x.size() == y.size(), "num::axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void rbf_row_kernel(const double* rows, std::size_t n_rows, std::size_t stride,
+                    const double* center, std::size_t dim, double gamma,
+                    double* out) {
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const double* row = rows + r * stride;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double d = row[i] - center[i];
+      acc += d * d;
+    }
+    out[r] = std::exp(-gamma * acc);
+  }
+}
+
+}  // namespace sy::num::scalar

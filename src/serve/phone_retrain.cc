@@ -1,0 +1,25 @@
+#include "serve/phone_retrain.h"
+
+#include <utility>
+
+namespace sy::serve {
+
+void attach_async_retrains(core::SmarterYou& phone, core::AuthServer& server,
+                           RetrainQueue& queue) {
+  phone.set_async_retrainer(
+      [&server, &queue](int user_token, core::VectorsByContext positives,
+                        std::uint64_t rng_seed, int version) {
+        // Account the drift-window upload first: while the network is down
+        // this throws NetworkUnavailableError and SmarterYou defers the
+        // trigger (retrain_pending()), exactly like the synchronous path.
+        server.account_upload(positives);
+        RetrainQueue::Request request;
+        request.user_token = user_token;
+        request.positives = std::move(positives);
+        request.rng_seed = rng_seed;
+        request.version = version;
+        return queue.submit(std::move(request));
+      });
+}
+
+}  // namespace sy::serve

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "num/kernels.h"
+
 namespace sy::signal {
 
 void RunningStats::add(double x) {
@@ -76,14 +78,21 @@ double pearson(std::span<const double> xs, std::span<const double> ys) {
   if (xs.empty()) return 0.0;
   const double mx = mean(xs);
   const double my = mean(ys);
-  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  // Center once, then the three sums are dispatched dot products (the
+  // scalar backend accumulates each in the same ascending order as the
+  // historical fused loop — the accumulators were always independent).
+  // thread_local scratch keeps this allocation-free on the hot
+  // features/correlation path, which calls pearson per channel pair.
+  thread_local std::vector<double> dx, dy;
+  dx.resize(xs.size());
+  dy.resize(ys.size());
   for (std::size_t i = 0; i < xs.size(); ++i) {
-    const double dx = xs[i] - mx;
-    const double dy = ys[i] - my;
-    sxy += dx * dy;
-    sxx += dx * dx;
-    syy += dy * dy;
+    dx[i] = xs[i] - mx;
+    dy[i] = ys[i] - my;
   }
+  const double sxy = num::dot(dx, dy);
+  const double sxx = num::dot(dx, dx);
+  const double syy = num::dot(dy, dy);
   if (sxx <= 0.0 || syy <= 0.0) return 0.0;
   return sxy / std::sqrt(sxx * syy);
 }

@@ -1,0 +1,375 @@
+// The num:: kernel layer's two contracts (ISSUE 3):
+//
+//   1. Bit-exactness — the scalar backend reproduces, bit for bit, the
+//      pre-refactor loops it replaced. The reference implementations below
+//      are verbatim copies of the historical ml/matrix.cc, ml/kernel.cc and
+//      ml/linalg.cc code (the "pre-refactor goldens"); every scalar kernel
+//      is compared against them with exact equality, including the blocked
+//      Cholesky against the classic unblocked left-looking loop.
+//   2. Tolerance — the AVX2 backend agrees with scalar within 1e-12
+//      relative error on randomized sizes, remainder lanes included.
+#include "num/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "num/backend.h"
+#include "util/rng.h"
+
+namespace sy::num {
+namespace {
+
+// --- Pre-refactor reference implementations (golden bit patterns) ----------
+
+double ref_dot(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double ref_squared_distance(std::span<const double> a,
+                            std::span<const double> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double ref_rbf(std::span<const double> a, std::span<const double> b,
+               double gamma) {
+  return std::exp(-gamma * ref_squared_distance(a, b));
+}
+
+// The historical unblocked left-looking Cholesky from ml/linalg.cc, on a
+// dense row-major lower triangle. Returns false on a non-positive pivot.
+bool ref_cholesky(const std::vector<double>& a, std::size_t n,
+                  std::vector<double>& l) {
+  l.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) sum -= l[i * n + k] * l[j * n + k];
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        l[i * n + j] = std::sqrt(sum);
+      } else {
+        l[i * n + j] = sum / l[j * n + j];
+      }
+    }
+  }
+  return true;
+}
+
+// --- Helpers ---------------------------------------------------------------
+
+std::vector<double> random_vector(util::Rng& rng, std::size_t n,
+                                  double scale = 1.0) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.gaussian(0.0, scale);
+  return v;
+}
+
+// Random SPD matrix: B B^T + n * I, row-major.
+std::vector<double> random_spd(util::Rng& rng, std::size_t n) {
+  std::vector<double> b(n * n);
+  for (auto& x : b) x = rng.gaussian();
+  std::vector<double> a(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += b[i * n + k] * b[j * n + k];
+      a[i * n + j] = acc;
+    }
+    a[i * n + i] += static_cast<double>(n);
+  }
+  return a;
+}
+
+void expect_rel_close(double got, double want, double rel = 1e-12) {
+  // Relative tolerance with an absolute floor for results that underflow
+  // toward denormals (where a relative bound is not meaningful).
+  const double tol = rel * std::max(1.0, std::abs(want)) + 1e-300;
+  EXPECT_NEAR(got, want, tol) << "got " << got << " want " << want;
+}
+
+// Sizes that cover empty input, sub-vector-width, every remainder lane
+// (n mod 4 and n mod 8), the paper's 14/28 dims, and the Cholesky panel
+// boundary (64).
+constexpr std::size_t kSizes[] = {0,  1,  2,  3,  4,  5,  7,  8,  9,
+                                  13, 14, 27, 28, 31, 33, 63, 64, 65,
+                                  100, 127, 130, 200};
+
+// --- Scalar backend: bit-identical to the pre-refactor goldens -------------
+
+TEST(NumScalar, DotBitIdenticalToReference) {
+  util::Rng rng(1001);
+  for (const std::size_t n : kSizes) {
+    const auto a = random_vector(rng, n, 2.0);
+    const auto b = random_vector(rng, n, 2.0);
+    EXPECT_EQ(scalar::dot(a, b), ref_dot(a, b)) << "n=" << n;
+  }
+}
+
+TEST(NumScalar, SquaredDistanceBitIdenticalToReference) {
+  util::Rng rng(1002);
+  for (const std::size_t n : kSizes) {
+    const auto a = random_vector(rng, n, 2.0);
+    const auto b = random_vector(rng, n, 2.0);
+    EXPECT_EQ(scalar::squared_distance(a, b), ref_squared_distance(a, b))
+        << "n=" << n;
+  }
+}
+
+TEST(NumScalar, DotSubMatchesSequentialSubtraction) {
+  util::Rng rng(1003);
+  for (const std::size_t n : kSizes) {
+    const auto a = random_vector(rng, n);
+    const auto b = random_vector(rng, n);
+    const double init = rng.gaussian(0.0, 3.0);
+    double want = init;
+    for (std::size_t i = 0; i < n; ++i) want -= a[i] * b[i];
+    EXPECT_EQ(scalar::dot_sub(init, a, b), want) << "n=" << n;
+  }
+}
+
+TEST(NumScalar, AxpyBitIdenticalToReference) {
+  util::Rng rng(1004);
+  for (const std::size_t n : kSizes) {
+    const auto x = random_vector(rng, n);
+    const auto y0 = random_vector(rng, n);
+    const double alpha = rng.gaussian();
+    auto got = y0;
+    scalar::axpy(alpha, x, got);
+    auto want = y0;
+    for (std::size_t i = 0; i < n; ++i) want[i] += alpha * x[i];
+    EXPECT_EQ(got, want) << "n=" << n;
+  }
+}
+
+TEST(NumScalar, RbfRowKernelBitIdenticalToReference) {
+  util::Rng rng(1005);
+  for (const std::size_t dim : {1u, 3u, 14u, 28u, 29u}) {
+    const std::size_t rows = 37;  // not a multiple of the 4-row exp batch
+    const auto data = random_vector(rng, rows * dim);
+    const auto center = random_vector(rng, dim);
+    const double gamma = 1.0 / static_cast<double>(dim);
+    std::vector<double> out(rows);
+    scalar::rbf_row_kernel(data.data(), rows, dim, center.data(), dim, gamma,
+                           out.data());
+    for (std::size_t r = 0; r < rows; ++r) {
+      EXPECT_EQ(out[r], ref_rbf({data.data() + r * dim, dim}, center, gamma))
+          << "dim=" << dim << " r=" << r;
+    }
+  }
+}
+
+TEST(NumScalar, BlockedCholeskyBitIdenticalToUnblockedReference) {
+  util::Rng rng(1006);
+  // Sizes straddling the 64-column panel: 1 panel, exact boundary, several.
+  for (const std::size_t n : {1u, 2u, 5u, 17u, 40u, 63u, 64u, 65u, 130u, 200u}) {
+    const auto a = random_spd(rng, n);
+    std::vector<double> want;
+    ASSERT_TRUE(ref_cholesky(a, n, want));
+
+    const Backend saved = active_backend();
+    set_backend(Backend::kScalar);
+    auto got = a;
+    const std::size_t status = cholesky_inplace(got.data(), n, n);
+    set_backend(saved);
+
+    ASSERT_EQ(status, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        EXPECT_EQ(got[i * n + j], want[i * n + j])
+            << "n=" << n << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(NumScalar, CholeskyReportsFirstBadPivot) {
+  // Indefinite matrix: pivot 1 fails after the first column factors.
+  std::vector<double> a{4.0, 2.0, 2.0, -9.0};
+  const Backend saved = active_backend();
+  set_backend(Backend::kScalar);
+  const std::size_t status = cholesky_inplace(a.data(), 2, 2);
+  set_backend(saved);
+  EXPECT_EQ(status, 1u);
+}
+
+// --- AVX2 backend: 1e-12 relative agreement with scalar --------------------
+
+#define SY_REQUIRE_AVX2()                                    \
+  if (!avx2::available()) {                                  \
+    GTEST_SKIP() << "AVX2+FMA not available on this CPU";    \
+  }
+
+TEST(NumAvx2, DotMatchesScalarWithinTolerance) {
+  SY_REQUIRE_AVX2();
+  util::Rng rng(2001);
+  for (const std::size_t n : kSizes) {
+    const auto a = random_vector(rng, n, 2.0);
+    const auto b = random_vector(rng, n, 2.0);
+    expect_rel_close(avx2::dot(a, b), scalar::dot(a, b));
+  }
+}
+
+TEST(NumAvx2, SquaredDistanceMatchesScalarWithinTolerance) {
+  SY_REQUIRE_AVX2();
+  util::Rng rng(2002);
+  for (const std::size_t n : kSizes) {
+    const auto a = random_vector(rng, n, 2.0);
+    const auto b = random_vector(rng, n, 2.0);
+    expect_rel_close(avx2::squared_distance(a, b),
+                     scalar::squared_distance(a, b));
+  }
+}
+
+TEST(NumAvx2, DotSubAndAxpyMatchScalarWithinTolerance) {
+  SY_REQUIRE_AVX2();
+  util::Rng rng(2003);
+  for (const std::size_t n : kSizes) {
+    const auto a = random_vector(rng, n);
+    const auto b = random_vector(rng, n);
+    const double init = rng.gaussian(0.0, 3.0);
+    expect_rel_close(avx2::dot_sub(init, a, b), scalar::dot_sub(init, a, b));
+
+    const double alpha = rng.gaussian();
+    auto ya = random_vector(rng, n);
+    auto ys = ya;
+    avx2::axpy(alpha, a, ya);
+    scalar::axpy(alpha, a, ys);
+    for (std::size_t i = 0; i < n; ++i) expect_rel_close(ya[i], ys[i]);
+  }
+}
+
+TEST(NumAvx2, VectorExpMatchesStdExp) {
+  SY_REQUIRE_AVX2();
+  util::Rng rng(2004);
+  // Realistic RBF arguments plus the extremes: near zero, deep underflow,
+  // and the clamp region.
+  std::vector<double> args{0.0,    -1e-9, -0.5,   -5.0,   -50.0,
+                           -200.0, -700.0, -708.0, -745.0, -800.0};
+  for (int i = 0; i < 500; ++i) args.push_back(-std::abs(rng.gaussian(0.0, 60.0)));
+  for (std::size_t i = 0; i < args.size(); i += 4) {
+    double in[4] = {0.0, 0.0, 0.0, 0.0};
+    double out[4];
+    const std::size_t m = std::min<std::size_t>(4, args.size() - i);
+    for (std::size_t g = 0; g < m; ++g) in[g] = args[i + g];
+    avx2::exp4(in, out);
+    for (std::size_t g = 0; g < m; ++g) {
+      expect_rel_close(out[g], std::exp(in[g]));
+    }
+  }
+
+  // Non-finite lanes behave like std::exp instead of being swallowed by the
+  // clamp (NaN propagates, +inf overflows, -inf underflows to +0), and
+  // neighbours are unaffected.
+  const double quiet_nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  double in[4] = {-1.0, quiet_nan, 0.5, -745.0};
+  double out[4];
+  avx2::exp4(in, out);
+  EXPECT_FALSE(std::isnan(out[0]));
+  EXPECT_TRUE(std::isnan(out[1]));
+  expect_rel_close(out[0], std::exp(-1.0));
+  expect_rel_close(out[2], std::exp(0.5));
+  expect_rel_close(out[3], std::exp(-745.0));
+
+  double in2[4] = {inf, -inf, 710.0, -800.0};
+  double out2[4];
+  avx2::exp4(in2, out2);
+  EXPECT_EQ(out2[0], inf);
+  EXPECT_EQ(out2[1], 0.0);
+  EXPECT_EQ(out2[2], inf);  // finite overflow matches std::exp(710)
+  EXPECT_EQ(out2[3], 0.0);
+}
+
+TEST(NumAvx2, RbfRowKernelMatchesScalarWithinTolerance) {
+  SY_REQUIRE_AVX2();
+  util::Rng rng(2005);
+  for (const std::size_t dim : {1u, 3u, 14u, 28u, 29u}) {
+    for (const std::size_t rows : {1u, 2u, 3u, 4u, 5u, 37u, 64u}) {
+      const auto data = random_vector(rng, rows * dim, 2.0);
+      const auto center = random_vector(rng, dim, 2.0);
+      const double gamma = 1.0 / static_cast<double>(dim);
+      std::vector<double> got(rows), want(rows);
+      avx2::rbf_row_kernel(data.data(), rows, dim, center.data(), dim, gamma,
+                           got.data());
+      scalar::rbf_row_kernel(data.data(), rows, dim, center.data(), dim,
+                             gamma, want.data());
+      for (std::size_t r = 0; r < rows; ++r) {
+        expect_rel_close(got[r], want[r]);
+      }
+    }
+  }
+}
+
+TEST(NumAvx2, BlockedCholeskyMatchesScalarWithinTolerance) {
+  SY_REQUIRE_AVX2();
+  util::Rng rng(2006);
+  for (const std::size_t n : {5u, 40u, 64u, 65u, 130u, 200u}) {
+    const auto a = random_spd(rng, n);
+    const Backend saved = active_backend();
+
+    set_backend(Backend::kScalar);
+    auto ls = a;
+    ASSERT_EQ(cholesky_inplace(ls.data(), n, n), n);
+
+    set_backend(Backend::kAvx2);
+    auto lv = a;
+    ASSERT_EQ(cholesky_inplace(lv.data(), n, n), n);
+    set_backend(saved);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        expect_rel_close(lv[i * n + j], ls[i * n + j]);
+      }
+    }
+  }
+}
+
+// --- Dispatch plumbing -----------------------------------------------------
+
+TEST(NumBackend, ParseNamesRoundTrip) {
+  EXPECT_EQ(parse_backend("scalar"), Backend::kScalar);
+  EXPECT_EQ(parse_backend("avx2"), Backend::kAvx2);
+  EXPECT_EQ(parse_backend("auto"), detected_backend());
+  EXPECT_EQ(parse_backend("neon"), std::nullopt);
+  EXPECT_EQ(parse_backend(""), std::nullopt);
+  EXPECT_EQ(backend_name(Backend::kScalar), "scalar");
+  EXPECT_EQ(backend_name(Backend::kAvx2), "avx2");
+}
+
+TEST(NumBackend, SetBackendControlsDispatch) {
+  util::Rng rng(3001);
+  const auto a = random_vector(rng, 28);
+  const auto b = random_vector(rng, 28);
+  const Backend saved = active_backend();
+
+  set_backend(Backend::kScalar);
+  EXPECT_EQ(active_backend(), Backend::kScalar);
+  EXPECT_EQ(num::dot(a, b), scalar::dot(a, b));
+
+  if (avx2::available()) {
+    set_backend(Backend::kAvx2);
+    EXPECT_EQ(active_backend(), Backend::kAvx2);
+    EXPECT_EQ(num::dot(a, b), avx2::dot(a, b));
+  }
+  set_backend(saved);
+}
+
+TEST(NumBackend, SetBackendRejectsUnsupported) {
+  if (avx2::available()) {
+    GTEST_SKIP() << "cannot test rejection where avx2 is supported";
+  }
+  EXPECT_THROW(set_backend(Backend::kAvx2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sy::num

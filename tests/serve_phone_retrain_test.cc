@@ -1,0 +1,169 @@
+// core::SmarterYou wired onto serve::RetrainQueue (ISSUE 3 satellite): a
+// drift retrain deferred while offline (retrain_pending) flushes through the
+// async queue when connectivity returns, instead of retraining synchronously
+// inside AuthServer, and the finished model installs on a later poll.
+#include "serve/phone_retrain.h"
+
+#include <gtest/gtest.h>
+
+#include "context/context_detector.h"
+#include "features/feature_extractor.h"
+#include "sensors/population.h"
+
+namespace sy::serve {
+namespace {
+
+struct Fixture {
+  sensors::Population pop = sensors::Population::generate(6, 91);
+  context::ContextDetector detector;
+  core::AuthServer server;
+  features::FeatureExtractor extractor{features::FeatureConfig{}};
+  util::Rng rng{92};
+
+  sensors::CollectorOptions collect;
+
+  Fixture() {
+    collect.with_watch = true;
+    collect.bluetooth = false;
+    collect.synthesis.duration_seconds = 120.0;
+
+    std::vector<std::vector<double>> ctx_x;
+    std::vector<sensors::UsageContext> ctx_y;
+    for (std::size_t u = 1; u < pop.size(); ++u) {
+      for (const auto context : {sensors::UsageContext::kStationaryUse,
+                                 sensors::UsageContext::kMoving}) {
+        const auto session =
+            sensors::collect_session(pop.user(u), context, collect, rng);
+        for (auto& v : extractor.context_vectors(session.phone)) {
+          ctx_x.push_back(std::move(v));
+          ctx_y.push_back(context);
+        }
+        const auto vectors =
+            extractor.auth_vectors(session.phone, &*session.watch);
+        server.contribute(static_cast<int>(u),
+                          sensors::collapse_context(context), vectors);
+      }
+    }
+    detector.train(ctx_x, ctx_y);
+  }
+
+  sensors::CollectedSession session(std::size_t user,
+                                    sensors::UsageContext context) {
+    return sensors::collect_session(pop.user(user), context, collect, rng);
+  }
+
+  core::SmarterYouConfig drift_config() {
+    core::SmarterYouConfig config;
+    config.enrollment_target = 120;
+    config.min_context_windows = 20;
+    config.response.rejects_to_challenge = 2;
+    config.response.rejects_to_lock = 3;
+    config.confidence.epsilon = 0.65;
+    config.confidence.trigger_days = 0.001;
+    return config;
+  }
+
+  void enroll(core::SmarterYou& system) {
+    for (int i = 0; i < 10 && !system.enrolled(); ++i) {
+      const auto context = i % 2 == 0 ? sensors::UsageContext::kStationaryUse
+                                      : sensors::UsageContext::kMoving;
+      system.enroll_session(session(0, context), rng);
+    }
+    ASSERT_TRUE(system.enrolled());
+  }
+
+  // Drives drifted sessions until `done` reports true (or 25 days pass).
+  template <typename Pred>
+  int drive_drift(core::SmarterYou& system, int start_day, Pred done) {
+    const sensors::BehavioralDrift drift(93, 25.0, 2.5);
+    int day = start_day;
+    for (; day < start_day + 25 && !done(); ++day) {
+      const sensors::UserProfile drifted =
+          drift.apply(pop.user(0), static_cast<double>(day));
+      auto s = sensors::collect_session(
+          drifted,
+          day % 2 ? sensors::UsageContext::kMoving
+                  : sensors::UsageContext::kStationaryUse,
+          collect, rng);
+      s.day = static_cast<double>(day);
+      (void)system.process_session(s, rng);
+      if (system.response().locked()) system.explicit_reauth(true, rng);
+    }
+    return day;
+  }
+};
+
+TEST(PhoneRetrainBridge, DeferredRetrainFlushesThroughQueueWhenOnline) {
+  Fixture f;
+  core::SmarterYou system(f.drift_config(), &f.detector, &f.server, 0);
+  f.enroll(system);
+
+  RetrainQueue queue(f.server.store().get(), core::TrainingConfig{},
+                     /*swap=*/nullptr);
+  attach_async_retrains(system, f.server, queue);
+
+  // Network down: the drift trigger must defer (upload cannot leave the
+  // phone) and nothing may reach the queue.
+  core::NetworkConfig offline;
+  offline.available = false;
+  f.server.set_network(offline);
+  const int day = f.drive_drift(system, 0,
+                                [&] { return system.retrain_pending(); });
+  ASSERT_TRUE(system.retrain_pending());
+  EXPECT_FALSE(system.async_retrain_in_flight());
+  EXPECT_EQ(system.retrain_count(), 0);
+  EXPECT_EQ(system.model_version(), 1);
+  EXPECT_EQ(queue.stats().submitted, 0u);
+
+  // Connectivity returns: the pending work flushes through the async queue
+  // (scoring never blocks on AuthServer::train_user_model).
+  f.server.set_network(core::NetworkConfig{});
+  const auto uploads_before = f.server.transfers().uploads;
+  f.drive_drift(system, day, [&] { return system.async_retrain_in_flight(); });
+  ASSERT_TRUE(system.async_retrain_in_flight());
+  EXPECT_FALSE(system.retrain_pending());
+  EXPECT_GT(f.server.transfers().uploads, uploads_before);
+  EXPECT_EQ(queue.stats().submitted, 1u);
+
+  // Completion: the queue trains off-thread; the next poll installs.
+  queue.wait_idle();
+  EXPECT_EQ(queue.stats().completed, 1u);
+  const auto downloads_before = f.server.transfers().downloads;
+  EXPECT_TRUE(system.poll_async_retrain());
+  EXPECT_FALSE(system.async_retrain_in_flight());
+  EXPECT_EQ(system.retrain_count(), 1);
+  EXPECT_GE(system.model_version(), 2);
+  EXPECT_EQ(f.server.transfers().downloads, downloads_before + 1);
+}
+
+TEST(PhoneRetrainBridge, ReadyModelWaitsForConnectivityToInstall) {
+  Fixture f;
+  core::SmarterYou system(f.drift_config(), &f.detector, &f.server, 0);
+  f.enroll(system);
+
+  RetrainQueue queue(f.server.store().get(), core::TrainingConfig{},
+                     /*swap=*/nullptr);
+  attach_async_retrains(system, f.server, queue);
+
+  f.drive_drift(system, 0, [&] { return system.async_retrain_in_flight(); });
+  ASSERT_TRUE(system.async_retrain_in_flight());
+  queue.wait_idle();
+
+  // The model is trained, but the phone went offline before the download:
+  // the install must wait (the cloud-side result is not lost), then succeed
+  // once the link is back.
+  core::NetworkConfig offline;
+  offline.available = false;
+  f.server.set_network(offline);
+  EXPECT_FALSE(system.poll_async_retrain());
+  EXPECT_TRUE(system.async_retrain_in_flight());
+  EXPECT_EQ(system.model_version(), 1);
+
+  f.server.set_network(core::NetworkConfig{});
+  EXPECT_TRUE(system.poll_async_retrain());
+  EXPECT_GE(system.model_version(), 2);
+  EXPECT_EQ(system.retrain_count(), 1);
+}
+
+}  // namespace
+}  // namespace sy::serve
