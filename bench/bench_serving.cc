@@ -9,11 +9,18 @@
 //   --shards=N --threads=N --cache-mb=N --rate=HZ --drift-prob=P
 //   --hot-fraction=P --hot-mass=P --seed=N --model-dir=PATH --keep-models
 //   --backend=scalar|avx2|auto (num:: dispatch path; default process-wide)
+//   --persist-dir=PATH (population snapshot+log durability; after the run
+//     the gateway is destroyed and reconstructed so the JSON summary records
+//     restart-recovery timing) --persist-sync=N (fsync cadence, 0 = only at
+//     compaction) --recover-only (skip the load: just recover from
+//     --persist-dir/--model-dir and report — the CI crash/restart step runs
+//     this after SIGKILLing a mid-run instance)
 //   --smoke (tiny preset for CI) --json=PATH (machine-readable summary)
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -58,6 +65,10 @@ double percentile(std::vector<double>& sorted, double p) {
 int run(int argc, char** argv);
 
 int main(int argc, char** argv) {
+  // Line-buffer even when redirected: the CI crash/recovery step tails the
+  // log to decide when to SIGKILL a mid-run instance, so phase markers must
+  // appear as they happen, not at exit.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
   try {
     return run(argc, argv);
   } catch (const std::exception& e) {
@@ -88,6 +99,14 @@ int run(int argc, char** argv) {
   const double hot_mass = args.get_double("hot-mass", 0.8);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
   const std::string json_path = args.get("json", "");
+  const std::string persist_dir = args.get("persist-dir", "");
+  const auto persist_sync =
+      static_cast<std::size_t>(args.get_int("persist-sync", 0));
+  const bool recover_only = args.get_flag("recover-only");
+  if (recover_only && persist_dir.empty()) {
+    std::fprintf(stderr, "bench_serving: --recover-only needs --persist-dir\n");
+    return 1;
+  }
 
   const std::string backend_flag = args.get("backend", "");
   if (!backend_flag.empty()) {
@@ -129,7 +148,60 @@ int run(int argc, char** argv) {
   config.shards = shards;
   config.cache_bytes = cache_mb << 20;
   config.model_dir = model_dir;
-  serve::AuthGateway gateway(config, &pool);
+  config.persist_dir = persist_dir;
+  config.persist_sync_every = persist_sync;
+
+  // In an optional so the persistence path can destroy and reconstruct the
+  // gateway to measure restart recovery in-process.
+  util::Stopwatch construct_timer;
+  std::optional<serve::AuthGateway> gateway;
+  gateway.emplace(config, &pool);
+  const double startup_recover_s = construct_timer.elapsed_seconds();
+
+  if (recover_only) {
+    const auto stats = gateway->stats();
+    const auto& pop = gateway->population_recovery();
+    const auto recovered_vectors =
+        pop.snapshot_vectors + pop.replayed_vectors;
+    std::printf(
+        "recover-only: %zu users, %llu population vectors (%llu replayed "
+        "log records, %zu torn tails dropped) in %.3f s\n",
+        stats.recovered_users,
+        static_cast<unsigned long long>(recovered_vectors),
+        static_cast<unsigned long long>(pop.replayed_records),
+        pop.torn_tails_dropped, startup_recover_s);
+    // Self-check: a recovered user's bundle actually scores.
+    if (stats.recovered_users > 0) {
+      const auto own = gateway->score_batch(
+          0, sensors::DetectedContext::kStationary,
+          user_windows(0, 10, dim, seed + 99));
+      std::size_t accepted = 0;
+      for (const auto& d : own) accepted += d.accepted ? 1u : 0u;
+      std::printf("recover-only: user 0 accepts %zu/10 own windows\n",
+                  accepted);
+    }
+    if (!json_path.empty()) {
+      std::ofstream json(json_path);
+      if (!json) {
+        std::fprintf(stderr, "bench_serving: cannot write %s\n",
+                     json_path.c_str());
+        return 1;
+      }
+      json << "{\n"
+           << "  \"bench\": \"bench_serving\",\n"
+           << "  \"mode\": \"recover-only\",\n"
+           << "  \"backend\": \"" << backend << "\",\n"
+           << "  \"recovery\": {\"seconds\": " << startup_recover_s
+           << ", \"recovered_users\": " << stats.recovered_users
+           << ", \"recovered_vectors\": " << recovered_vectors
+           << ", \"replayed_records\": " << pop.replayed_records
+           << ", \"torn_tails_dropped\": " << pop.torn_tails_dropped
+           << "}\n"
+           << "}\n";
+      std::printf("json:       wrote %s\n", json_path.c_str());
+    }
+    return stats.recovered_users > 0 ? 0 : 1;
+  }
 
   std::printf(
       "bench_serving — %zu users (%zu contributors) x %zu windows x %zu dims, "
@@ -140,7 +212,7 @@ int run(int argc, char** argv) {
   // --- Phase 1: population contribution (concurrent, sharded) -------------
   util::Stopwatch timer;
   pool.parallel_for(n_contributors, [&](std::size_t u) {
-    gateway.contribute(static_cast<int>(u),
+    gateway->contribute(static_cast<int>(u),
                        sensors::DetectedContext::kStationary,
                        user_windows(static_cast<int>(u), windows, dim,
                                     seed + 13 * u));
@@ -154,7 +226,7 @@ int run(int argc, char** argv) {
     positives[sensors::DetectedContext::kStationary] =
         user_windows(static_cast<int>(u), windows, dim, seed + 13 * u);
     // Contributors already fed the anonymized store in phase 1.
-    (void)gateway.enroll(static_cast<int>(u), positives, seed + 17 * u + 1,
+    (void)gateway->enroll(static_cast<int>(u), positives, seed + 17 * u + 1,
                          /*contribute_positives=*/false);
   });
   const double enroll_s = timer.elapsed_seconds();
@@ -164,7 +236,7 @@ int run(int argc, char** argv) {
 
   // Self-check: an enrolled user's own windows are overwhelmingly accepted.
   {
-    const auto own = gateway.score_batch(
+    const auto own = gateway->score_batch(
         0, sensors::DetectedContext::kStationary,
         user_windows(0, 50, dim, seed + 99));
     std::size_t accepted = 0;
@@ -224,10 +296,10 @@ int run(int argc, char** argv) {
     if (event.drift) {
       // Fire-and-forget: the completion future is the RetrainQueue's
       // concern; scoring continues on the old model.
-      (void)gateway.report_drift(event.user, std::move(drift_upload),
+      (void)gateway->report_drift(event.user, std::move(drift_upload),
                                  seed + 37 * i);
     }
-    const auto decisions = gateway.score_batch(
+    const auto decisions = gateway->score_batch(
         event.user, sensors::DetectedContext::kStationary, score_windows);
     latencies_ms[i] = event_timer.elapsed_ms();
     std::size_t ok = 0;
@@ -235,11 +307,34 @@ int run(int argc, char** argv) {
     accepted_flags[i] = ok >= kEventWindows / 2 ? 1 : 0;
   });
   const double score_s = timer.elapsed_seconds();
-  gateway.wait_idle();  // drain in-flight drift retrains
+  gateway->wait_idle();  // drain in-flight drift retrains
   const double drain_s = timer.elapsed_seconds() - score_s;
 
-  // --- Report -------------------------------------------------------------
-  const auto stats = gateway.stats();
+  // --- Phase 4 (persistence only): restart recovery -----------------------
+  // Destroy the gateway and build a fresh one against the same directories:
+  // the reconstruction replays shard snapshots + logs and rescans the
+  // bundle headers — the cold-start cost a real crash would pay.
+  const auto stats = gateway->stats();
+  double recover_s = 0.0;
+  std::size_t recovered_users = 0;
+  std::uint64_t recovered_vectors = 0;
+  std::uint64_t replayed_records = 0;
+  if (!persist_dir.empty()) {
+    gateway.reset();
+    util::Stopwatch recover_timer;
+    gateway.emplace(config, &pool);
+    recover_s = recover_timer.elapsed_seconds();
+    const auto restarted = gateway->stats();
+    const auto& pop = gateway->population_recovery();
+    recovered_users = restarted.recovered_users;
+    recovered_vectors = pop.snapshot_vectors + pop.replayed_vectors;
+    replayed_records = pop.replayed_records;
+    std::printf(
+        "recovery:   restart recovered %zu users, %llu population vectors "
+        "(%llu replayed log records) in %.3f s\n",
+        recovered_users, static_cast<unsigned long long>(recovered_vectors),
+        static_cast<unsigned long long>(replayed_records), recover_s);
+  }
   std::vector<double> sorted = latencies_ms;
   std::sort(sorted.begin(), sorted.end());
   const double p50 = percentile(sorted, 0.50);
@@ -315,16 +410,30 @@ int run(int argc, char** argv) {
          << ", \"failed\": " << stats.queue.failed << "},\n"
          << "  \"store\": {\"contributions\": " << stats.store.contributions
          << ", \"snapshot_rebuilds\": " << stats.store.snapshot_rebuilds
-         << "}\n"
+         << ", \"log_records\": " << stats.store.log_records
+         << ", \"log_compactions\": " << stats.store.log_compactions
+         << "},\n"
+         << "  \"persist\": {\"enabled\": "
+         << (persist_dir.empty() ? "false" : "true")
+         << ", \"recovery_seconds\": " << recover_s
+         << ", \"recovered_users\": " << recovered_users
+         << ", \"recovered_vectors\": " << recovered_vectors
+         << ", \"replayed_records\": " << replayed_records << "}\n"
          << "}\n";
     std::printf("json:       wrote %s\n", json_path.c_str());
   }
 
-  // Regression gates for CI: every event must have been served, and drift
-  // retrains must all have completed (none stuck, none failed).
+  // Regression gates for CI: every event must have been served, drift
+  // retrains must all have completed (none stuck, none failed), and a
+  // persistent run must recover every enrolled user after the restart.
   if (stats.queue.failed != 0) {
     std::printf("FAIL: %llu retrain jobs failed\n",
                 static_cast<unsigned long long>(stats.queue.failed));
+    return 1;
+  }
+  if (!persist_dir.empty() && recovered_users != n_users) {
+    std::printf("FAIL: restart recovered %zu of %zu users\n", recovered_users,
+                n_users);
     return 1;
   }
   return 0;

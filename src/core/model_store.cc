@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "util/framing.h"
 #include "util/sha256.h"
 
 namespace sy::core {
@@ -13,80 +14,22 @@ namespace sy::core {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'Y', 'M', 'D'};
+constexpr std::uint32_t kMagicU32 = util::magic_u32('S', 'Y', 'M', 'D');
 constexpr std::uint32_t kFormatVersion = 1;
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-}
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-}
-
-void put_doubles(std::vector<std::uint8_t>& out,
-                 const std::vector<double>& values) {
-  put_u64(out, values.size());
-  const auto* bytes = reinterpret_cast<const std::uint8_t*>(values.data());
-  out.insert(out.end(), bytes, bytes + values.size() * sizeof(double));
-}
-
-class Reader {
- public:
-  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
-
-  std::uint32_t u32() {
-    require(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
-    }
-    return v;
-  }
-  std::uint64_t u64() {
-    require(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
-    }
-    return v;
-  }
-  std::vector<double> doubles() {
-    const std::uint64_t n = u64();
-    require(n * sizeof(double));
-    std::vector<double> out(n);
-    std::memcpy(out.data(), bytes_.data() + pos_, n * sizeof(double));
-    pos_ += n * sizeof(double);
-    return out;
-  }
-  std::size_t pos() const { return pos_; }
-
- private:
-  void require(std::size_t n) const {
-    if (pos_ + n > bytes_.size()) {
-      throw ModelCorruptError("ModelStore: truncated model file");
-    }
-  }
-  const std::vector<std::uint8_t>& bytes_;
-  std::size_t pos_{0};
-};
 
 }  // namespace
 
 std::vector<std::uint8_t> ModelStore::serialize(const AuthModel& model) {
   std::vector<std::uint8_t> out;
-  out.insert(out.end(), kMagic, kMagic + 4);
-  put_u32(out, kFormatVersion);
-  put_u32(out, static_cast<std::uint32_t>(model.user_id()));
-  put_u32(out, static_cast<std::uint32_t>(model.version()));
-  put_u32(out, static_cast<std::uint32_t>(model.context_count()));
+  util::put_u32(out, kMagicU32);  // same bytes as kMagic, little-endian
+  util::put_u32(out, kFormatVersion);
+  util::put_u32(out, static_cast<std::uint32_t>(model.user_id()));
+  util::put_u32(out, static_cast<std::uint32_t>(model.version()));
+  util::put_u32(out, static_cast<std::uint32_t>(model.context_count()));
   for (const auto& [context, cm] : model.models()) {
-    put_u32(out, static_cast<std::uint32_t>(context));
-    put_doubles(out, cm.scaler.pack());
-    put_doubles(out, cm.classifier.pack());
+    util::put_u32(out, static_cast<std::uint32_t>(context));
+    util::put_doubles(out, cm.scaler.pack());
+    util::put_doubles(out, cm.classifier.pack());
   }
   const auto digest = util::Sha256::hash(out.data(), out.size());
   out.insert(out.end(), digest.begin(), digest.end());
@@ -94,45 +37,35 @@ std::vector<std::uint8_t> ModelStore::serialize(const AuthModel& model) {
 }
 
 AuthModel ModelStore::deserialize(const std::vector<std::uint8_t>& bytes) {
-  if (bytes.size() < 4 + 16 + 32) {
-    throw ModelCorruptError("ModelStore: file too small");
-  }
-  // Verify digest first.
-  const std::size_t body = bytes.size() - 32;
-  const auto digest = util::Sha256::hash(bytes.data(), body);
-  if (!std::equal(digest.begin(), digest.end(), bytes.begin() + static_cast<std::ptrdiff_t>(body))) {
-    throw ModelCorruptError("ModelStore: integrity digest mismatch");
-  }
+  try {
+    util::ByteReader reader =
+        util::ByteReader::open_digest_framed(bytes, kMagicU32);
+    const std::uint32_t format = reader.u32();
+    if (format != kFormatVersion) {
+      throw ModelCorruptError("ModelStore: unsupported format version");
+    }
+    const auto user = static_cast<int>(reader.u32());
+    const auto version = static_cast<int>(reader.u32());
+    const std::uint32_t n_contexts = reader.u32();
 
-  Reader reader(bytes);
-  char magic[4];
-  std::memcpy(magic, bytes.data(), 4);
-  if (std::memcmp(magic, kMagic, 4) != 0) {
-    throw ModelCorruptError("ModelStore: bad magic");
+    AuthModel model(user, version);
+    for (std::uint32_t i = 0; i < n_contexts; ++i) {
+      const auto context = static_cast<sensors::DetectedContext>(reader.u32());
+      const auto scaler_pack = reader.doubles();
+      const auto krr_pack = reader.doubles();
+      ContextModel cm(ml::StandardScaler::unpack(scaler_pack),
+                      ml::KrrClassifier::unpack(krr_pack));
+      model.set_context_model(context, std::move(cm));
+    }
+    if (reader.remaining() != 0) {
+      throw ModelCorruptError("ModelStore: trailing bytes in model file");
+    }
+    return model;
+  } catch (const util::EnvelopeError& e) {
+    throw ModelCorruptError(std::string("ModelStore: ") + e.what());
+  } catch (const util::ShortReadError&) {
+    throw ModelCorruptError("ModelStore: truncated model file");
   }
-  // Skip magic (Reader starts at 0).
-  reader.u32();  // magic as u32 — consumed positionally
-  const std::uint32_t format = reader.u32();
-  if (format != kFormatVersion) {
-    throw ModelCorruptError("ModelStore: unsupported format version");
-  }
-  const auto user = static_cast<int>(reader.u32());
-  const auto version = static_cast<int>(reader.u32());
-  const std::uint32_t n_contexts = reader.u32();
-
-  AuthModel model(user, version);
-  for (std::uint32_t i = 0; i < n_contexts; ++i) {
-    const auto context = static_cast<sensors::DetectedContext>(reader.u32());
-    const auto scaler_pack = reader.doubles();
-    const auto krr_pack = reader.doubles();
-    ContextModel cm(ml::StandardScaler::unpack(scaler_pack),
-                    ml::KrrClassifier::unpack(krr_pack));
-    model.set_context_model(context, std::move(cm));
-  }
-  if (reader.pos() != body) {
-    throw ModelCorruptError("ModelStore: trailing bytes in model file");
-  }
-  return model;
 }
 
 void ModelStore::save(const AuthModel& model, const std::string& path) {
@@ -149,6 +82,24 @@ void ModelStore::save_bytes(const std::vector<std::uint8_t>& bytes,
 }
 
 AuthModel ModelStore::load(const std::string& path) {
+  std::vector<std::uint8_t> bytes;
+  if (!util::read_file_bytes(path, bytes)) {
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+      throw ModelMissingError("ModelStore: no such model file: " + path);
+    }
+    throw ModelStoreError("ModelStore: cannot read " + path);
+  }
+  try {
+    return deserialize(bytes);
+  } catch (const ModelCorruptError& e) {
+    // Re-throw with the offending path: a serving fleet sees thousands of
+    // bundles and a bare "digest mismatch" is undebuggable.
+    throw ModelCorruptError(std::string(e.what()) + " (" + path + ")");
+  }
+}
+
+ModelStore::Header ModelStore::peek_header(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::error_code ec;
@@ -157,15 +108,24 @@ AuthModel ModelStore::load(const std::string& path) {
     }
     throw ModelStoreError("ModelStore: cannot open " + path);
   }
-  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                                  std::istreambuf_iterator<char>());
-  try {
-    return deserialize(bytes);
-  } catch (const ModelCorruptError& e) {
-    // Re-throw with the offending path: a serving fleet sees thousands of
-    // bundles and a bare "digest mismatch" is undebuggable.
-    throw ModelCorruptError(std::string(e.what()) + " (" + path + ")");
+  std::uint8_t raw[16];
+  in.read(reinterpret_cast<char*>(raw), sizeof(raw));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(raw))) {
+    throw ModelCorruptError("ModelStore: file too small (" + path + ")");
   }
+  if (std::memcmp(raw, kMagic, 4) != 0) {
+    throw ModelCorruptError("ModelStore: bad magic (" + path + ")");
+  }
+  util::ByteReader reader(raw, sizeof(raw));
+  reader.u32();  // magic
+  if (reader.u32() != kFormatVersion) {
+    throw ModelCorruptError("ModelStore: unsupported format version (" + path +
+                            ")");
+  }
+  Header header;
+  header.user_id = static_cast<int>(reader.u32());
+  header.version = static_cast<int>(reader.u32());
+  return header;
 }
 
 std::string ModelStore::digest_hex(const std::vector<std::uint8_t>& bytes) {

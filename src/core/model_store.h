@@ -34,6 +34,13 @@ struct ModelCorruptError : ModelStoreError {
 
 class ModelStore {
  public:
+  // Magic + format + user + version, readable without parsing (or
+  // digest-verifying) the whole bundle.
+  struct Header {
+    int user_id{0};
+    int version{0};
+  };
+
   // Serializes the bundle (including digest).
   static std::vector<std::uint8_t> serialize(const AuthModel& model);
   // Parses and verifies; throws ModelCorruptError on corruption.
@@ -48,6 +55,13 @@ class ModelStore {
   static void save_bytes(const std::vector<std::uint8_t>& bytes,
                          const std::string& path);
   static AuthModel load(const std::string& path);
+
+  // Reads only the fixed 16-byte header of a persisted bundle: magic and
+  // format are validated, but the integrity digest is NOT — the result is a
+  // hint (e.g. for a gateway rebuilding its version table after a restart),
+  // and any actual model use still goes through the verified load() path.
+  // Throws ModelMissingError / ModelCorruptError like load().
+  static Header peek_header(const std::string& path);
 
   // Hex digest of a serialized bundle (for audit logs).
   static std::string digest_hex(const std::vector<std::uint8_t>& bytes);

@@ -1,0 +1,55 @@
+#include "core/population_codec.h"
+
+#include "core/model_store.h"
+
+namespace sy::core {
+
+void append_population_segment(std::vector<std::uint8_t>& out,
+                               const PopulationStore& segment) {
+  util::put_u32(out, static_cast<std::uint32_t>(segment.size()));
+  for (const auto& [context, bucket] : segment) {
+    util::put_u32(out, static_cast<std::uint32_t>(context));
+    util::put_u64(out, bucket.size());
+    for (const auto& stored : bucket) {
+      util::put_u32(out, static_cast<std::uint32_t>(stored.contributor));
+      util::put_doubles(out, stored.vector);
+    }
+  }
+}
+
+PopulationStore read_population_segment(util::ByteReader& reader) {
+  PopulationStore segment;
+  const std::uint32_t n_contexts = reader.u32();
+  for (std::uint32_t c = 0; c < n_contexts; ++c) {
+    const auto context = static_cast<sensors::DetectedContext>(reader.u32());
+    auto& bucket = segment[context];
+    if (!bucket.empty()) {
+      throw ModelCorruptError(
+          "population segment: duplicate context in encoding");
+    }
+    const std::uint64_t n_vectors = reader.u64();
+    // A vector is at least 12 bytes (contributor + dim); a count that cannot
+    // fit in the remaining bytes is corruption, and rejecting it here keeps
+    // a flipped length from provoking a giant allocation.
+    if (n_vectors > reader.remaining() / 12) {
+      throw ModelCorruptError(
+          "population segment: vector count exceeds buffer");
+    }
+    bucket.reserve(static_cast<std::size_t>(n_vectors));
+    for (std::uint64_t v = 0; v < n_vectors; ++v) {
+      StoredVector stored;
+      stored.contributor = static_cast<int>(reader.u32());
+      stored.vector = reader.doubles();
+      bucket.push_back(std::move(stored));
+    }
+  }
+  return segment;
+}
+
+std::vector<std::uint8_t> serialize_population(const PopulationStore& segment) {
+  std::vector<std::uint8_t> out;
+  append_population_segment(out, segment);
+  return out;
+}
+
+}  // namespace sy::core

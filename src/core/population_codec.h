@@ -1,0 +1,39 @@
+// Wire codec for the anonymized PopulationStore (paper §IV-A3): the
+// serving layer persists per-shard store segments (snapshots + append-log
+// records) so a gateway restart does not lose the impostor population the
+// whole retraining scheme depends on.
+//
+// Encoding (little-endian, util/framing primitives):
+//   [n_contexts u32]
+//   per context: [context u32] [n_vectors u64]
+//     per vector: [contributor u32 (two's-complement of the token)]
+//                 [dim u64] [dim raw doubles]
+//
+// The codec is envelope-free by design: callers (serve::ShardSnapshot,
+// serve::ShardLog) add their own magic/digest framing. Serialization is
+// deterministic — identical stores produce identical bytes — which is what
+// lets the crash-recovery tests assert bit-identical recovered snapshots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/auth_server.h"
+#include "util/framing.h"
+
+namespace sy::core {
+
+// Appends the encoding of `segment` to `out`.
+void append_population_segment(std::vector<std::uint8_t>& out,
+                               const PopulationStore& segment);
+
+// Parses one segment from `reader`, leaving the reader positioned after it.
+// Throws ModelCorruptError on malformed counts; util::ShortReadError
+// propagates for the caller's envelope to translate.
+PopulationStore read_population_segment(util::ByteReader& reader);
+
+// Convenience one-shot encoding (used by tests to compare two stores for
+// bit-identity and by snapshot writers).
+std::vector<std::uint8_t> serialize_population(const PopulationStore& segment);
+
+}  // namespace sy::core

@@ -8,6 +8,7 @@
 
 #include "core/model_store.h"
 #include "ml/matrix.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace sy::serve {
@@ -26,7 +27,48 @@ AuthGateway::AuthGateway(GatewayConfig config, util::ThreadPool* pool)
             (void)install_model(
                 user, std::make_shared<const core::AuthModel>(model));
           },
-          pool) {}
+          pool) {
+  recover_persisted_state();
+}
+
+void AuthGateway::recover_persisted_state() {
+  // Population durability: replay per-shard snapshot+log so retrains keep
+  // drawing impostors from the pre-restart anonymized population.
+  if (!config_.persist_dir.empty()) {
+    PersistenceOptions options;
+    options.dir = config_.persist_dir;
+    options.compact_threshold = config_.persist_compact_threshold;
+    options.sync_every = config_.persist_sync_every;
+    recovery_ = store_->attach_persistence(options);
+  }
+  // Version table: without this, a restarted gateway would reserve version
+  // 1 for a re-enrollment and lose the install race against the persisted
+  // higher-version bundle — the served model would silently diverge from
+  // the returned one. Headers only are read (16 bytes per bundle); the
+  // digest-verified load happens on first use, as always.
+  if (config_.model_dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(config_.model_dir, ec);
+  for (const auto& entry :
+       std::filesystem::directory_iterator(config_.model_dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("user_") || !name.ends_with(".symd")) continue;
+    try {
+      const auto header = core::ModelStore::peek_header(entry.path().string());
+      auto& slot = versions_[header.user_id];
+      slot.installed = std::max(slot.installed, header.version);
+      slot.reserved = std::max(slot.reserved, slot.installed);
+      ++recovered_users_;
+    } catch (const core::ModelStoreError& e) {
+      // A bundle whose header does not even parse is left unregistered: the
+      // user can re-enroll, and any scoring attempt surfaces the verified
+      // loader's ModelCorruptError (the actual security event).
+      util::log_warn("AuthGateway: skipping unreadable bundle during ",
+                     "recovery: ", e.what());
+    }
+  }
+}
 
 std::string AuthGateway::model_path(int user_token) const {
   return config_.model_dir + "/user_" + std::to_string(user_token) + ".symd";
@@ -228,6 +270,7 @@ AuthGateway::Stats AuthGateway::stats() const {
     std::lock_guard<std::mutex> lock(version_mutex_);
     out.enrolled_users = versions_.size();
   }
+  out.recovered_users = recovered_users_;
   return out;
 }
 

@@ -42,7 +42,17 @@ struct GatewayConfig {
   core::NetworkConfig network{};
   // Directory for persisted ModelStore bundles. Empty disables persistence:
   // evicted models are then gone until the user re-enrolls or drift-retrains.
+  // When non-empty, construction also scans the directory and rebuilds the
+  // per-user version table from the bundle headers, so a restarted gateway
+  // serves (and correctly versions) every previously enrolled user.
   std::string model_dir{};
+  // Directory for population durability (per-shard snapshot + append-log;
+  // see ShardedPopulationStore::attach_persistence). Empty disables it: a
+  // restart then silently drops the anonymized population every retrain
+  // draws its impostors from.
+  std::string persist_dir{};
+  std::size_t persist_compact_threshold{1024};
+  std::size_t persist_sync_every{1};
 };
 
 class AuthGateway {
@@ -101,13 +111,23 @@ class AuthGateway {
     ShardedPopulationStore::Stats store;
     core::TransferStats transfers;
     std::size_t enrolled_users{0};
+    // Users whose persisted bundles were re-registered at construction.
+    std::size_t recovered_users{0};
   };
   Stats stats() const;
+
+  // What attach_persistence replayed at construction (all zero when
+  // persist_dir is empty).
+  const RecoveryStats& population_recovery() const { return recovery_; }
 
   const ShardedPopulationStore& store() const { return *store_; }
   const ModelCache& cache() const { return cache_; }
 
  private:
+  // Startup recovery: attaches population persistence (replaying
+  // snapshot+log) and rebuilds the version table from persisted bundle
+  // headers. Runs in the constructor, before any request can arrive.
+  void recover_persisted_state();
   std::optional<ModelCache::LoadedModel> load_model(int user_token);
   // RetrainQueue swap callback and the tail of enroll(): persist + cache a
   // model iff its version is newer than the installed one (a slow, stale
@@ -135,6 +155,9 @@ class AuthGateway {
   std::unordered_map<int, VersionSlot> versions_;
   // Striped per-user install serialization; see install_model().
   std::array<std::mutex, 16> install_mutexes_;
+
+  RecoveryStats recovery_;
+  std::size_t recovered_users_{0};
 
   // Declared last: destroyed first, draining in-flight retrains while the
   // store/cache they reference are still alive.

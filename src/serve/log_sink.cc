@@ -1,0 +1,104 @@
+#include "serve/log_sink.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace sy::serve {
+
+namespace {
+
+[[noreturn]] void throw_io(const std::string& what, const std::string& path) {
+  throw std::runtime_error("FileLogSink: " + what + " failed for " + path +
+                           ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+FileLogSink::FileLogSink(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) throw_io("open", path_);
+}
+
+FileLogSink::~FileLogSink() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileLogSink::append(const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ::ssize_t n = ::write(fd_, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_io("write", path_);
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void FileLogSink::sync() {
+  if (::fsync(fd_) != 0) throw_io("fsync", path_);
+}
+
+void FileLogSink::reset() {
+  if (::ftruncate(fd_, 0) != 0) throw_io("ftruncate", path_);
+  if (::fsync(fd_) != 0) throw_io("fsync", path_);
+}
+
+FaultInjectingLogSink::FaultInjectingLogSink(std::string path, FaultPlan plan)
+    : path_(std::move(path)), plan_(plan) {}
+
+void FaultInjectingLogSink::append(const std::uint8_t* data, std::size_t len) {
+  buffer_.insert(buffer_.end(), data, data + len);
+  ++appends_;
+}
+
+void FaultInjectingLogSink::sync() {
+  if (plan_.kind == FaultPlan::Kind::kDropSyncsFrom && appends_ >= plan_.at) {
+    return;  // the fsync the OS never performed
+  }
+  durable_ = buffer_.size();
+}
+
+void FaultInjectingLogSink::reset() {
+  // ftruncate-to-zero is durable immediately for this model's purposes: a
+  // compaction only resets the log after its snapshot was fsynced and
+  // atomically renamed into place (see serve/shard_snapshot.cc), so losing
+  // or keeping the truncate cannot lose data either way.
+  buffer_.clear();
+  durable_ = 0;
+}
+
+void FaultInjectingLogSink::materialize_crash() const {
+  std::vector<std::uint8_t> image(buffer_.begin(),
+                                  buffer_.begin() +
+                                      static_cast<std::ptrdiff_t>(durable_));
+  switch (plan_.kind) {
+    case FaultPlan::Kind::kTruncateAt:
+      if (plan_.at < image.size()) {
+        image.resize(static_cast<std::size_t>(plan_.at));
+      }
+      break;
+    case FaultPlan::Kind::kBitFlipAt:
+      if (plan_.at < image.size()) {
+        image[static_cast<std::size_t>(plan_.at)] ^= 0x40;
+      }
+      break;
+    case FaultPlan::Kind::kNone:
+    case FaultPlan::Kind::kDropSyncsFrom:
+      break;
+  }
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("FaultInjectingLogSink: cannot write " + path_);
+  }
+  out.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+}
+
+}  // namespace sy::serve

@@ -20,6 +20,10 @@ void ModelCache::insert_locked(int user,
                                std::size_t bytes) {
   const auto it = entries_.find(user);
   if (it != entries_.end()) {
+    // Overwrite recharges the budget at the NEW serialized size: a retrain
+    // can change a bundle's size, and charging the stale size would skew
+    // both the byte accounting and the eviction pressure (pinned by
+    // ModelCache.ReinsertWithDifferentSizeRechargesBudgetAndEvicts).
     bytes_ -= it->second.bytes;
     it->second.model = std::move(model);
     it->second.bytes = bytes;

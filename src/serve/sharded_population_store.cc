@@ -1,7 +1,12 @@
 #include "serve/sharded_population_store.h"
 
+#include <algorithm>
+#include <filesystem>
+#include <iterator>
 #include <stdexcept>
+#include <utility>
 
+#include "serve/shard_snapshot.h"
 #include "util/rng.h"
 
 namespace sy::serve {
@@ -27,10 +32,25 @@ std::size_t ShardedPopulationStore::shard_of(int contributor_token) const {
   return static_cast<std::size_t>(h % shards_.size());
 }
 
+void ShardedPopulationStore::compact_shard_locked(std::size_t s) {
+  Shard& shard = *shards_[s];
+  if (!shard.log) return;
+  // Snapshot first, truncate second: a crash in between leaves the log's
+  // records with seq <= the snapshot's last_seq, which the next recovery
+  // skips — nothing is ever applied twice.
+  write_shard_snapshot(snapshot_path_for(persist_.dir, s), s, shards_.size(),
+                       shard.next_seq - 1, shard.data);
+  shard.log->reset();
+  shard.records_since_snapshot = 0;
+  shard.records_since_sync = 0;
+  log_compactions_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void ShardedPopulationStore::contribute(
     int contributor_token, sensors::DetectedContext context,
     const std::vector<std::vector<double>>& vectors) {
-  Shard& shard = *shards_[shard_of(contributor_token)];
+  const std::size_t s = shard_of(contributor_token);
+  Shard& shard = *shards_[s];
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto& bucket = shard.data[context];
   for (const auto& v : vectors) {
@@ -38,6 +58,180 @@ void ShardedPopulationStore::contribute(
   }
   ++shard.version;
   contributions_.fetch_add(1, std::memory_order_relaxed);
+
+  if (shard.log) {
+    // Durable before visible-to-the-next-snapshot is not required (the
+    // paper's population is advisory training data), but append-before-
+    // return means a crash loses at most the contribution that raced it.
+    shard.log->append(shard.next_seq++, contributor_token, context, vectors);
+    log_records_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.records_since_snapshot;
+    ++shard.records_since_sync;
+    if (persist_.sync_every != 0 &&
+        shard.records_since_sync >= persist_.sync_every) {
+      shard.log->sync();
+      shard.records_since_sync = 0;
+    }
+    if (persist_.compact_threshold != 0 &&
+        shard.records_since_snapshot >= persist_.compact_threshold) {
+      compact_shard_locked(s);
+    }
+  }
+}
+
+RecoveryStats ShardedPopulationStore::attach_persistence(
+    const PersistenceOptions& options) {
+  if (options.dir.empty()) {
+    throw std::invalid_argument(
+        "ShardedPopulationStore: persistence dir must be non-empty");
+  }
+  if (persistent_.exchange(true, std::memory_order_acq_rel)) {
+    throw std::logic_error(
+        "ShardedPopulationStore: persistence already attached");
+  }
+  std::filesystem::create_directories(options.dir);
+  // Options are published before any shard's log exists; contribute() only
+  // reads them after observing shard.log under that shard's mutex, which
+  // attach_persistence still holds when it installs the log.
+  persist_ = options;
+
+  // Phase A — stage: read every shard's snapshot+log from disk WITHOUT
+  // touching the in-memory shards. All corruption errors (the documented
+  // repair-and-retry flow) surface here, where rollback is trivial because
+  // nothing was mutated.
+  RecoveryStats recovered;
+  std::vector<StagedShard> staged(shards_.size());
+  try {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      StagedShard& stage = staged[s];
+
+      // 1. Snapshot (the shard state as of the last compaction), if any.
+      std::uint64_t last_seq = 0;
+      if (auto snap = load_shard_snapshot(snapshot_path_for(options.dir, s),
+                                          s, shards_.size())) {
+        stage.segment = std::move(snap->segment);
+        last_seq = snap->last_seq;
+        ++recovered.shards_with_snapshot;
+        for (const auto& [context, bucket] : stage.segment) {
+          recovered.snapshot_vectors += bucket.size();
+        }
+      }
+
+      // 2. Replay the delta log in append order, skipping records the
+      // snapshot already folded in.
+      auto replay = ShardLog::replay(ShardLog::path_for(options.dir, s), s);
+      if (replay.dropped_torn_tail) ++recovered.torn_tails_dropped;
+      stage.max_seq = last_seq;
+      for (auto& record : replay.records) {
+        if (record.seq <= last_seq) continue;
+        stage.max_seq = record.seq;  // replay() enforces monotonicity
+        auto& bucket = stage.segment[record.context];
+        ++recovered.replayed_records;
+        recovered.replayed_vectors += record.vectors.size();
+        for (auto& v : record.vectors) {
+          bucket.push_back({record.contributor, std::move(v)});
+        }
+      }
+    }
+  } catch (...) {
+    persistent_.store(false, std::memory_order_release);
+    throw;
+  }
+
+  // Phase B — install, shard by shard under that shard's mutex. An I/O
+  // failure here (log open, snapshot write) rolls every mutated shard back
+  // to its exact pre-attach in-memory state and detaches, so the store is
+  // never left half-persistent. The disk stays valid for a FRESH store to
+  // recover; see the header for why re-attaching this instance after an
+  // I/O failure is not supported (already-compacted shards may have folded
+  // raced-in live contributions into their snapshots).
+  std::size_t installed = 0;
+  try {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      install_staged_shard(s, staged[s], options);
+      // From here the shard counts as fully installed: a compaction
+      // failure below must roll it back too.
+      ++installed;
+      std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+      // Canonicalize: fold everything recovered (plus raced-in writes)
+      // into a fresh snapshot and truncate the log. This also discards any
+      // torn tail bytes the crash left, so new appends never follow
+      // garbage.
+      compact_shard_locked(s);
+    }
+  } catch (...) {
+    rollback_installed_shards(staged, installed);
+    persistent_.store(false, std::memory_order_release);
+    throw;
+  }
+  return recovered;
+}
+
+void ShardedPopulationStore::install_staged_shard(
+    std::size_t s, StagedShard& stage, const PersistenceOptions& options) {
+  Shard& shard = *shards_[s];
+  const std::string log_path = ShardLog::path_for(options.dir, s);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+
+  // Open the log FIRST: it is the only fallible step, and it must fail
+  // before the shard is touched so rollback never sees a half-mutated
+  // shard that was not counted as installed.
+  auto log = std::make_unique<ShardLog>(
+      log_path, s,
+      options.sink_factory ? options.sink_factory(log_path, s) : nullptr);
+
+  // Remember what this install prepends (and which contexts already
+  // existed live) so a later shard's failure can undo it exactly.
+  core::PopulationStore segment = std::move(stage.segment);
+  for (const auto& [context, bucket] : segment) {
+    stage.recovered_prefix[context] = bucket.size();
+  }
+  // Contributions that raced in before this shard was installed stay,
+  // ordered after the recovered vectors (they happened after the crash).
+  for (auto& [context, bucket] : shard.data) {
+    stage.live_contexts.insert(context);
+    auto& out = segment[context];
+    out.insert(out.end(), std::make_move_iterator(bucket.begin()),
+               std::make_move_iterator(bucket.end()));
+  }
+  shard.data = std::move(segment);
+  ++shard.version;
+  shard.next_seq = stage.max_seq + 1;
+  shard.log = std::move(log);
+}
+
+void ShardedPopulationStore::rollback_installed_shards(
+    const std::vector<StagedShard>& staged, std::size_t installed) {
+  for (std::size_t s = 0; s < installed; ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [context, prefix] : staged[s].recovered_prefix) {
+      const auto it = shard.data.find(context);
+      if (it == shard.data.end()) continue;
+      auto& bucket = it->second;
+      bucket.erase(bucket.begin(),
+                   bucket.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(prefix, bucket.size())));
+      // A context that only existed on disk vanishes again; one the live
+      // store already had (even as an empty bucket) keeps its key.
+      if (bucket.empty() && staged[s].live_contexts.count(context) == 0) {
+        shard.data.erase(it);
+      }
+    }
+    shard.log.reset();
+    shard.records_since_snapshot = 0;
+    shard.records_since_sync = 0;
+    ++shard.version;
+  }
+  // Shards never reached keep no log either; nothing to undo there.
+}
+
+void ShardedPopulationStore::checkpoint() {
+  if (!persistent()) return;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+    compact_shard_locked(s);
+  }
 }
 
 std::shared_ptr<const core::PopulationStore> ShardedPopulationStore::snapshot()
@@ -103,6 +297,8 @@ ShardedPopulationStore::Stats ShardedPopulationStore::stats() const {
   out.contributions = contributions_.load(std::memory_order_relaxed);
   out.snapshot_rebuilds = snapshot_rebuilds_.load(std::memory_order_relaxed);
   out.snapshot_reuses = snapshot_reuses_.load(std::memory_order_relaxed);
+  out.log_records = log_records_.load(std::memory_order_relaxed);
+  out.log_compactions = log_compactions_.load(std::memory_order_relaxed);
   return out;
 }
 

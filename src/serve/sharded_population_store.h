@@ -13,23 +13,68 @@
 // the merged snapshot is element-for-element identical to the single-map
 // CowPopulationStore path, so trained models are bit-identical (asserted in
 // tests/serve_sharded_store_test.cc).
+//
+// Durability (optional, attach_persistence): each shard persists as a
+// digest-protected snapshot file plus an append-only delta log of the
+// contributions since (serve/shard_snapshot.h, serve/shard_log.h). The log
+// compacts into a fresh snapshot once its record count crosses a threshold.
+// attach_persistence on a fresh store replays snapshot+log back into a store
+// whose merged snapshot is bit-identical to the pre-crash one (asserted
+// across random op interleavings in serve_shard_recovery_property_test).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "core/auth_server.h"
+#include "serve/log_sink.h"
+#include "serve/shard_log.h"
 
 namespace sy::serve {
+
+// Durability knobs for attach_persistence().
+struct PersistenceOptions {
+  // Directory holding shard_<i>.snap / shard_<i>.log; created if absent.
+  std::string dir;
+  // Fold the log into a fresh snapshot once it holds this many records
+  // (0 = only on explicit checkpoint()). Compaction runs under the shard's
+  // mutex, so the threshold trades per-contribution tail latency against
+  // replay length after a crash.
+  std::size_t compact_threshold{1024};
+  // fsync the log every N records (0 = only at compaction/checkpoint).
+  // 1 survives power loss per contribution; a process crash alone loses
+  // nothing either way, because appends reach the page cache immediately.
+  std::size_t sync_every{1};
+  // Test hook (fault-injection harness): builds the LogSink for a shard's
+  // log file. Default: FileLogSink appending to `path`.
+  std::function<std::unique_ptr<LogSink>(const std::string& path,
+                                         std::size_t shard)>
+      sink_factory{};
+};
+
+// What attach_persistence() recovered from disk.
+struct RecoveryStats {
+  std::size_t shards_with_snapshot{0};
+  std::uint64_t snapshot_vectors{0};  // vectors restored from snapshots
+  std::uint64_t replayed_records{0};  // log records applied (seq > last_seq)
+  std::uint64_t replayed_vectors{0};  // vectors restored from the logs
+  std::size_t torn_tails_dropped{0};  // logs whose final record was torn
+};
 
 class ShardedPopulationStore final : public core::PopulationStoreBackend {
  public:
   explicit ShardedPopulationStore(std::size_t shards = 16);
 
-  // Thread-safe: locks only the contributor's shard.
+  // Thread-safe: locks only the contributor's shard. With persistence
+  // attached, the contribution is appended to the shard's log (and the log
+  // compacted) before the call returns.
   void contribute(int contributor_token, sensors::DetectedContext context,
                   const std::vector<std::vector<double>>& vectors) override;
 
@@ -43,6 +88,34 @@ class ShardedPopulationStore final : public core::PopulationStoreBackend {
   // Thread-safe: sums the per-shard bucket sizes for `context`.
   std::size_t store_size(sensors::DetectedContext context) const override;
 
+  // Enables durability: recovers any existing snapshot+log state under
+  // options.dir into the shards (recovered vectors order BEFORE anything
+  // contributed to this instance so far), then checkpoints every shard so
+  // the on-disk state is canonical (fresh snapshots, empty logs — which
+  // also clears any torn log tail the crash left behind). Thread-safe
+  // against concurrent contribute(): each shard is recovered under its own
+  // mutex, and a contribution races either before its shard's recovery
+  // (folded into the checkpoint snapshot) or after (appended to the new
+  // log) — durable exactly once either way.
+  //
+  // Failure contract: throws std::logic_error if already attached.
+  // Corrupt files throw core::ModelCorruptError from the staging phase,
+  // before anything is mutated — repairing the file and retrying on the
+  // same instance is fully supported. An I/O failure while installing
+  // (log open / snapshot write) also rolls the store back to "not
+  // attached" with its pre-attach in-memory contents intact, but shards
+  // compacted before the failure may already have folded raced-in live
+  // contributions into their on-disk snapshots — so after an I/O failure,
+  // recover into a FRESH store rather than re-attaching this instance
+  // (re-attaching would re-merge those contributions a second time).
+  RecoveryStats attach_persistence(const PersistenceOptions& options);
+
+  // Folds every shard's log into a fresh snapshot now (e.g. before a
+  // planned shutdown). No-op when persistence is not attached.
+  void checkpoint();
+
+  bool persistent() const { return persistent_.load(std::memory_order_acquire); }
+
   std::size_t shard_count() const { return shards_.size(); }
   // Which shard a contributor's vectors land in (splitmix64 of the token).
   std::size_t shard_of(int contributor_token) const;
@@ -54,6 +127,8 @@ class ShardedPopulationStore final : public core::PopulationStoreBackend {
     std::uint64_t contributions{0};      // contribute() calls
     std::uint64_t snapshot_rebuilds{0};  // snapshots that had to merge
     std::uint64_t snapshot_reuses{0};    // snapshots served from cache
+    std::uint64_t log_records{0};        // delta records appended
+    std::uint64_t log_compactions{0};    // log-into-snapshot folds
   };
   Stats stats() const;
 
@@ -64,7 +139,32 @@ class ShardedPopulationStore final : public core::PopulationStoreBackend {
     // Bumped on every contribution; the snapshot cache keys off the vector
     // of shard versions it merged.
     std::uint64_t version{0};
+    // --- durability (null/zero until attach_persistence reaches the shard)
+    std::unique_ptr<ShardLog> log;
+    std::uint64_t next_seq{1};
+    std::uint64_t records_since_snapshot{0};
+    std::uint64_t records_since_sync{0};
   };
+
+  // Writes shard s's snapshot (last_seq = next_seq - 1) and resets its log.
+  // Caller holds the shard's mutex and persistence is attached.
+  void compact_shard_locked(std::size_t s);
+
+  // attach_persistence is two-phase so any failure rolls back to exactly
+  // "not attached": phase A stages disk state without mutating shards
+  // (where all corruption errors surface); phase B installs per shard,
+  // recording what it prepended so rollback_installed_shards can undo it.
+  struct StagedShard {
+    core::PopulationStore segment;  // recovered snapshot + replayed log
+    std::uint64_t max_seq{0};
+    // Filled during install, consumed by rollback:
+    std::map<sensors::DetectedContext, std::size_t> recovered_prefix;
+    std::set<sensors::DetectedContext> live_contexts;
+  };
+  void install_staged_shard(std::size_t s, StagedShard& stage,
+                            const PersistenceOptions& options);
+  void rollback_installed_shards(const std::vector<StagedShard>& staged,
+                                 std::size_t installed);
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
@@ -72,9 +172,16 @@ class ShardedPopulationStore final : public core::PopulationStoreBackend {
   mutable std::shared_ptr<const core::PopulationStore> cached_;
   mutable std::vector<std::uint64_t> cached_versions_;
 
+  // Written once by attach_persistence before any shard's log is installed;
+  // shard-mutex acquire/release orders the reads in contribute().
+  PersistenceOptions persist_;
+  std::atomic<bool> persistent_{false};
+
   mutable std::atomic<std::uint64_t> contributions_{0};
   mutable std::atomic<std::uint64_t> snapshot_rebuilds_{0};
   mutable std::atomic<std::uint64_t> snapshot_reuses_{0};
+  mutable std::atomic<std::uint64_t> log_records_{0};
+  mutable std::atomic<std::uint64_t> log_compactions_{0};
 };
 
 }  // namespace sy::serve

@@ -1,0 +1,90 @@
+#include "util/framing.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/sha256.h"
+
+namespace sy::util {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_doubles(std::vector<std::uint8_t>& out,
+                 const std::vector<double>& values) {
+  put_u64(out, values.size());
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(values.data());
+  out.insert(out.end(), bytes, bytes + values.size() * sizeof(double));
+}
+
+std::uint32_t ByteReader::u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+bool read_file_bytes(const std::string& path, std::vector<std::uint8_t>& out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return false;
+  const std::streamoff size = in.tellg();
+  out.resize(size > 0 ? static_cast<std::size_t>(size) : 0);
+  in.seekg(0);
+  if (!out.empty()) {
+    in.read(reinterpret_cast<char*>(out.data()),
+            static_cast<std::streamsize>(out.size()));
+    if (!in) return false;
+  }
+  return true;
+}
+
+ByteReader ByteReader::open_digest_framed(
+    const std::vector<std::uint8_t>& bytes, std::uint32_t magic) {
+  constexpr std::size_t kDigestBytes = 32;
+  if (bytes.size() < 4 + kDigestBytes) {
+    throw EnvelopeError("file too small");
+  }
+  const std::size_t body = bytes.size() - kDigestBytes;
+  const auto digest = Sha256::hash(bytes.data(), body);
+  if (std::memcmp(digest.data(), bytes.data() + body, kDigestBytes) != 0) {
+    throw EnvelopeError("integrity digest mismatch");
+  }
+  ByteReader reader(bytes.data(), body);
+  if (reader.u32() != magic) {
+    throw EnvelopeError("bad magic");
+  }
+  return reader;
+}
+
+std::vector<double> ByteReader::doubles() {
+  const std::uint64_t n = u64();
+  if (n > remaining() / sizeof(double)) {
+    throw ShortReadError("ByteReader: double count exceeds buffer");
+  }
+  std::vector<double> out(static_cast<std::size_t>(n));
+  std::memcpy(out.data(), data_ + pos_, out.size() * sizeof(double));
+  pos_ += out.size() * sizeof(double);
+  return out;
+}
+
+}  // namespace sy::util

@@ -1,0 +1,91 @@
+// Little-endian byte framing shared by every on-disk codec (model bundles,
+// population snapshots, shard append-logs). One implementation of the
+// u32/u64/doubles wire primitives keeps the formats mutually consistent and
+// keeps bounds checking in one audited place.
+//
+// Layering: util knows nothing about the stores above it, so short reads
+// surface as util::ShortReadError; core/serve codecs translate that into
+// their own corruption errors (e.g. core::ModelCorruptError).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sy::util {
+
+// Thrown by ByteReader when a read would run past the end of the buffer.
+struct ShortReadError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Thrown by open_digest_framed when the envelope (size / trailing digest /
+// magic) does not verify. Callers translate it — like ShortReadError — into
+// their own corruption error with file/shard context.
+struct EnvelopeError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
+// [count u64][count raw little-endian doubles]
+void put_doubles(std::vector<std::uint8_t>& out,
+                 const std::vector<double>& values);
+
+// Packs 4 ASCII magic bytes into the u32 that put_u32 lays down as those
+// same bytes (little-endian).
+constexpr std::uint32_t magic_u32(char a, char b, char c, char d) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+// Reads a whole binary file in one read (the recovery path loads shard
+// snapshots that scale with the population — per-character extraction is a
+// multi-x slowdown there). Returns false when the file cannot be opened;
+// the caller decides whether that means "missing" or an error.
+bool read_file_bytes(const std::string& path, std::vector<std::uint8_t>& out);
+
+// Sequential bounds-checked reader over a byte span. Does not own the bytes;
+// the span must outlive the reader.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  std::uint32_t u32();
+  std::uint64_t u64();
+  // Reads the put_doubles framing. The count is validated against the
+  // remaining bytes BEFORE any allocation, so a corrupt length cannot
+  // trigger a huge allocation or an overflowing size computation.
+  std::vector<double> doubles();
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  // The shared "digest-framed file" envelope (ModelStore bundles, shard
+  // snapshots): [magic u32][body...][SHA-256 over magic+body]. Verifies the
+  // size, trailing digest, and magic, and returns a reader over the body
+  // positioned AFTER the magic. Throws EnvelopeError on any failure; the
+  // returned reader throws ShortReadError past the body end, so a corrupt
+  // length inside the body can never read into the digest.
+  static ByteReader open_digest_framed(const std::vector<std::uint8_t>& bytes,
+                                       std::uint32_t magic);
+
+ private:
+  void require(std::size_t n) const {
+    if (n > size_ - pos_) {
+      throw ShortReadError("ByteReader: truncated buffer");
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_{0};
+};
+
+}  // namespace sy::util

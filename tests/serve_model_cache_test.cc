@@ -40,6 +40,22 @@ std::size_t model_bytes() {
   return bytes;
 }
 
+// A bundle with a different serialized size than trained_model() (a second
+// context doubles the packed payload) — for reinsert-resize accounting.
+core::AuthModel trained_model_large(int user, std::uint64_t seed = 23) {
+  core::AuthModel model = trained_model(user, seed);
+  const core::AuthModel extra = trained_model(user, seed + 1);
+  model.set_context_model(sensors::DetectedContext::kMoving,
+                          extra.models().begin()->second);
+  return model;
+}
+
+std::size_t large_model_bytes() {
+  static const std::size_t bytes =
+      core::ModelStore::serialize(trained_model_large(0)).size();
+  return bytes;
+}
+
 TEST(ModelCache, HitAndMissAccounting) {
   ModelCache cache(10 * model_bytes());
   cache.put(1, trained_model(1));
@@ -107,6 +123,40 @@ TEST(ModelCache, ReplaceRechargesBytes) {
   EXPECT_EQ(stats.entries, 1u);
   EXPECT_EQ(stats.bytes, model_bytes());
   EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ModelCache, ReinsertWithDifferentSizeRechargesBudgetAndEvicts) {
+  const std::size_t small = model_bytes();
+  const std::size_t big = large_model_bytes();
+  ASSERT_GT(big, small);
+  ASSERT_LT(big, 2 * small);  // so the growth below evicts exactly one entry
+
+  ModelCache cache(3 * small);
+  cache.put(1, trained_model(1));
+  cache.put(2, trained_model(2));
+  cache.put(3, trained_model(3));
+  ASSERT_EQ(cache.stats().bytes, 3 * small);
+  ASSERT_EQ(cache.stats().evictions, 0u);
+
+  // A retrain swap that grows user 2's serialized size: the byte budget
+  // must be recharged at the NEW size (old charge released, new charged),
+  // and the overflow must evict the LRU entry — user 1 — and count it.
+  cache.put(2, trained_model_large(2));
+  auto stats = cache.stats();
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes, small + big);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes, cache.capacity_bytes());
+
+  // Shrinking back must release the LARGE charge, not the original one.
+  cache.put(2, trained_model(2));
+  stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes, 2 * small);
+  EXPECT_EQ(stats.evictions, 1u);
 }
 
 TEST(ModelCache, OversizedEntryIsStillAdmitted) {

@@ -8,10 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
 #include "core/model_store.h"
+#include "core/population_codec.h"
 #include "ml/dataset.h"
 #include "serve/model_cache.h"
 #include "serve/retrain_queue.h"
@@ -153,6 +155,69 @@ TEST(ServeTsan, RetrainCoalescingAndSwapRaces) {
   for (int u = 0; u < 3; ++u) {
     EXPECT_NE(cache.get(u), nullptr);
   }
+}
+
+TEST(ServeTsan, WritersRacingLogReplayRecovery) {
+  // Writer-during-recovery: enrollment-driven contributions race
+  // attach_persistence's shard-by-shard log replay. (AuthGateway recovers
+  // inside its constructor, so the store is the raceable surface.) The
+  // contract: a racing contribution lands either before its shard's
+  // recovery (folded into the canonicalizing snapshot) or after (appended
+  // to the fresh log) — durable and present exactly once either way.
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "sy_tsan_recovery").string();
+  fs::remove_all(dir);
+  constexpr int kRecovered = 40;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 25;
+  PersistenceOptions options;
+  options.dir = dir;
+  options.compact_threshold = 0;
+  options.sync_every = 0;
+
+  {  // Generation 1: persist a population, then "crash".
+    ShardedPopulationStore store(8);
+    store.attach_persistence(options);
+    for (int u = 0; u < kRecovered; ++u) {
+      store.contribute(u, kStationary, user_vectors(u, 2, 9000 + u));
+    }
+  }
+
+  // Generation 2: contributions race the replay.
+  ShardedPopulationStore store(8);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&store, &go, w] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kPerWriter; ++i) {
+        const int user = 1000 + w * kPerWriter + i;
+        store.contribute(user, kStationary,
+                         user_vectors(user, 2, 9500 + user));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  const auto recovered = store.attach_persistence(options);
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(recovered.snapshot_vectors + recovered.replayed_vectors,
+            static_cast<std::uint64_t>(2 * kRecovered));
+  const auto total =
+      static_cast<std::size_t>(2 * (kRecovered + kWriters * kPerWriter));
+  EXPECT_EQ(store.store_size(kStationary), total);
+
+  // Every racing write was durable: a third generation recovers the
+  // second's merged snapshot bit-identically.
+  ShardedPopulationStore third(8);
+  third.attach_persistence(options);
+  EXPECT_EQ(third.store_size(kStationary), total);
+  EXPECT_EQ(core::serialize_population(*third.snapshot()),
+            core::serialize_population(*store.snapshot()));
+
+  fs::remove_all(dir);
 }
 
 TEST(ServeTsan, CacheEvictionUnderParallelLookups) {
