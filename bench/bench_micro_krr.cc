@@ -13,8 +13,11 @@
 // JSON output), so the perf trajectory records which path ran.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,10 +28,15 @@
 #include "ml/svm.h"
 #include "num/backend.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 using namespace sy;
 
 namespace {
+
+// Set by --threads=N before benchmark::Initialize; BM_BlockedCholesky runs
+// its trailing updates on this pool (null = serial schedule).
+util::ThreadPool* g_cholesky_pool = nullptr;
 
 ml::Dataset blobs(std::size_t n_per_class, std::size_t dim, std::uint64_t seed) {
   util::Rng rng(seed);
@@ -169,16 +177,18 @@ void BM_RbfGram(benchmark::State& state) {
 }
 BENCHMARK(BM_RbfGram)->Arg(200)->Arg(400)->Arg(800);
 
+// --threads=N tiles the rank-k trailing update over a pool (bitwise
+// identical to serial — the flag trades nothing but wall-clock).
 void BM_BlockedCholesky(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const ml::Dataset data = blobs(n / 2, 28, 23);
   ml::Matrix a = ml::gram_matrix(data.x, ml::Kernel::rbf());
   a.add_diagonal(0.3);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ml::cholesky(a));
+    benchmark::DoNotOptimize(ml::cholesky(a, g_cholesky_pool));
   }
 }
-BENCHMARK(BM_BlockedCholesky)->Arg(200)->Arg(400)->Arg(800)
+BENCHMARK(BM_BlockedCholesky)->Arg(200)->Arg(400)->Arg(800)->Arg(1600)
     ->Unit(benchmark::kMillisecond);
 
 // Batched dual scoring — the serving gateway's per-request hot path.
@@ -198,13 +208,20 @@ BENCHMARK(BM_KrrDecisionBatch);
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel off --backend=... before benchmark::Initialize (it rejects flags it
-  // does not own). SY_NUM_BACKEND has already been applied by num::backend.
+  // Peel off --backend=.../--threads=... before benchmark::Initialize (it
+  // rejects flags it does not own). SY_NUM_BACKEND has already been applied
+  // by num::backend.
   std::vector<char*> args;
   std::string backend;
+  unsigned threads = 0;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--backend=", 10) == 0) {
       backend = argv[i] + 10;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      // Negative values mean "no pool" (0), not a wrapped-around unsigned.
+      threads = static_cast<unsigned>(std::max(0, std::atoi(argv[i] + 10)));
       continue;
     }
     args.push_back(argv[i]);
@@ -225,6 +242,13 @@ int main(int argc, char** argv) {
   }
   benchmark::AddCustomContext(
       "sy_num_backend", std::string(num::backend_name(num::active_backend())));
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 0) {
+    pool = std::make_unique<util::ThreadPool>(threads);
+    g_cholesky_pool = pool.get();
+  }
+  benchmark::AddCustomContext("sy_cholesky_threads",
+                              std::to_string(threads));
 
   int bench_argc = static_cast<int>(args.size());
   benchmark::Initialize(&bench_argc, args.data());

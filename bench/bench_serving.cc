@@ -15,11 +15,17 @@
 //     compaction) --recover-only (skip the load: just recover from
 //     --persist-dir/--model-dir and report — the CI crash/restart step runs
 //     this after SIGKILLing a mid-run instance)
+//   --enroll-heavy (standalone preset: alternating contribute/snapshot on a
+//     ShardedPopulationStore — the per-enroll pattern that used to be
+//     O(users²). Measures the incremental rebuild against a sampled
+//     estimate of the pre-incremental full re-merge and gates on >= 10x
+//     plus buckets-copied-per-rebuild tracking the per-iteration delta)
 //   --smoke (tiny preset for CI) --json=PATH (machine-readable summary)
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -58,6 +64,130 @@ double percentile(std::vector<double>& sorted, double p) {
   const auto idx = static_cast<std::size_t>(
       p * static_cast<double>(sorted.size() - 1));
   return sorted[idx];
+}
+
+// --enroll-heavy: the pathological pre-incremental pattern — every user
+// contributes and the merged snapshot is taken right after (what per-enroll
+// contribution does at the gateway). Rebuild work must track the delta (one
+// contribution => one re-merged bucket) and beat a full deep re-merge by
+// >= 10x end to end. Returns the process exit code.
+int run_enroll_heavy(std::size_t n_users, std::size_t windows, std::size_t dim,
+                     std::size_t shards, std::uint64_t seed,
+                     const std::string& backend,
+                     const std::string& json_path) {
+  constexpr std::size_t kContexts = 2;  // kStationary / kMoving
+  serve::ShardedPopulationStore store(shards);
+
+  std::printf(
+      "enroll-heavy — %zu users x %zu vectors x %zu dims over %zu shards, "
+      "%zu contexts, alternating contribute/snapshot\n",
+      n_users, windows, dim, shards, kContexts);
+
+  // The pre-incremental rebuild deep-copied every stored vector into a
+  // fresh map. Re-timing that exact work on sampled iterations (cost grows
+  // linearly with the store, so evenly spaced samples scale to the total)
+  // gives the baseline without keeping the old code around.
+  const std::size_t sample_every = std::max<std::size_t>(1, n_users / 64);
+  double incremental_s = 0.0;
+  double full_estimate_s = 0.0;
+  std::size_t deep_sink = 0;
+  std::uint64_t max_copied_per_rebuild = 0;
+  auto prev = store.stats();
+  util::Stopwatch timer;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    const auto context = u % kContexts == 0
+                             ? sensors::DetectedContext::kStationary
+                             : sensors::DetectedContext::kMoving;
+    const auto vectors =
+        user_windows(static_cast<int>(u), windows, dim, seed + 13 * u);
+    timer.reset();
+    store.contribute(static_cast<int>(u), context, vectors);
+    const auto snapshot = store.snapshot();
+    incremental_s += timer.elapsed_seconds();
+
+    const auto now = store.stats();
+    max_copied_per_rebuild =
+        std::max(max_copied_per_rebuild,
+                 now.snapshot_buckets_copied - prev.snapshot_buckets_copied);
+    prev = now;
+
+    if (u % sample_every == 0) {
+      timer.reset();
+      std::map<sensors::DetectedContext, std::vector<core::StoredVector>>
+          deep;
+      for (const auto& [ctx, bucket] : *snapshot) {
+        auto& out = deep[ctx];
+        out.reserve(bucket.size());
+        for (const auto& sv : bucket) out.push_back(sv);
+        deep_sink += out.size();
+      }
+      full_estimate_s +=
+          timer.elapsed_seconds() * static_cast<double>(sample_every);
+    }
+  }
+
+  const auto stats = store.stats();
+  const double copied_avg =
+      static_cast<double>(stats.snapshot_buckets_copied) /
+      static_cast<double>(std::max<std::uint64_t>(1, stats.snapshot_rebuilds));
+  const double speedup =
+      incremental_s > 0.0 ? full_estimate_s / incremental_s : 0.0;
+  std::printf(
+      "rebuilds:   %llu (%llu buckets copied, %llu shared; avg %.2f, max "
+      "%llu copied per rebuild)\n",
+      static_cast<unsigned long long>(stats.snapshot_rebuilds),
+      static_cast<unsigned long long>(stats.snapshot_buckets_copied),
+      static_cast<unsigned long long>(stats.snapshot_buckets_shared),
+      copied_avg, static_cast<unsigned long long>(max_copied_per_rebuild));
+  std::printf(
+      "wall-clock: incremental %.3f s vs full re-merge %.3f s (estimated; "
+      "%zu elements deep-copied across samples) — %.1fx\n",
+      incremental_s, full_estimate_s, deep_sink, speedup);
+
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "bench_serving: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    json << "{\n"
+         << "  \"bench\": \"bench_serving\",\n"
+         << "  \"mode\": \"enroll-heavy\",\n"
+         << "  \"backend\": \"" << backend << "\",\n"
+         << "  \"enroll_heavy\": {\"users\": " << n_users
+         << ", \"contexts\": " << kContexts
+         << ", \"vectors_per_contribution\": " << windows
+         << ", \"shards\": " << shards
+         << ",\n    \"incremental_seconds\": " << incremental_s
+         << ", \"full_remerge_seconds_estimated\": " << full_estimate_s
+         << ", \"speedup_vs_full_remerge\": " << speedup
+         << ",\n    \"rebuilds\": " << stats.snapshot_rebuilds
+         << ", \"buckets_copied\": " << stats.snapshot_buckets_copied
+         << ", \"buckets_shared\": " << stats.snapshot_buckets_shared
+         << ", \"buckets_copied_per_rebuild_avg\": " << copied_avg
+         << ", \"buckets_copied_per_rebuild_max\": " << max_copied_per_rebuild
+         << "}\n"
+         << "}\n";
+    std::printf("json:       wrote %s\n", json_path.c_str());
+  }
+
+  // Gates. One contribution lands between consecutive snapshots, so every
+  // rebuild must re-merge exactly one bucket — a max above 1 means rebuild
+  // work scales with something other than the delta.
+  if (max_copied_per_rebuild > 1) {
+    std::printf(
+        "FAIL: a rebuild copied %llu buckets for a 1-contribution delta\n",
+        static_cast<unsigned long long>(max_copied_per_rebuild));
+    return 1;
+  }
+  if (speedup < 10.0) {
+    std::printf("FAIL: incremental rebuild only %.1fx over full re-merge "
+                "(gate: 10x)\n",
+                speedup);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -121,6 +251,14 @@ int run(int argc, char** argv) {
     num::set_backend(*parsed);
   }
   const std::string backend{num::backend_name(num::active_backend())};
+
+  if (args.get_flag("enroll-heavy")) {
+    // Standalone store-level preset; --users re-defaults to the gate's 10k.
+    const auto eh_users = static_cast<std::size_t>(
+        args.get_int("users", smoke ? 2000 : 10000));
+    return run_enroll_heavy(eh_users, windows, dim, shards, seed, backend,
+                            json_path);
+  }
 
   std::string model_dir = args.get("model-dir", "");
   const bool own_model_dir = model_dir.empty();

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Diff two bench JSON artifacts and fail on throughput regressions.
+
+Usage: bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.20]
+
+Understands the bench_serving summary shapes (load run, --enroll-heavy,
+--recover-only); every known metric present in BOTH files is compared.
+Throughput metrics (higher is better) fail the run when the candidate drops
+more than THRESHOLD (default 20%) below the baseline. Latency/recovery
+metrics (lower is better) only warn — they are far noisier on shared CI
+runners and are not the regression this gate exists for.
+
+Exit code: 0 = no throughput regression, 1 = regression or unusable input.
+"""
+
+import argparse
+import json
+import sys
+
+# (dotted path, label, higher_is_better)
+METRICS = [
+    ("events_per_second", "scoring throughput (events/s)", True),
+    ("enroll_users_per_second", "enrollment throughput (users/s)", True),
+    ("enroll_heavy.speedup_vs_full_remerge",
+     "incremental snapshot speedup vs full re-merge", True),
+    ("enroll_heavy.buckets_copied_per_rebuild_avg",
+     "buckets copied per rebuild (avg)", False),
+    ("latency_ms.p50", "scoring latency p50 (ms)", False),
+    ("latency_ms.p95", "scoring latency p95 (ms)", False),
+    ("latency_ms.p99", "scoring latency p99 (ms)", False),
+    ("persist.recovery_seconds", "restart recovery (s)", False),
+    ("recovery.seconds", "recover-only startup (s)", False),
+]
+
+
+def lookup(doc, dotted):
+    node = doc
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node if isinstance(node, (int, float)) else None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="fractional drop that fails (default 0.20)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.candidate) as f:
+            candidate = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read inputs: {e}", file=sys.stderr)
+        return 1
+
+    compared = 0
+    regressions = []
+    for path, label, higher_better in METRICS:
+        base = lookup(baseline, path)
+        cand = lookup(candidate, path)
+        if base is None or cand is None or base == 0:
+            continue
+        compared += 1
+        change = (cand - base) / base
+        arrow = "+" if change >= 0 else ""
+        line = (f"  {label:55s} {base:12.3f} -> {cand:12.3f} "
+                f"({arrow}{100 * change:.1f}%)")
+        if higher_better and change < -args.threshold:
+            regressions.append(label)
+            print(line + "  REGRESSION")
+        elif not higher_better and change > args.threshold:
+            print(line + "  warn (lower is better; not gated)")
+        else:
+            print(line)
+
+    if compared == 0:
+        print("bench_compare: no comparable metrics found in both files",
+              file=sys.stderr)
+        return 1
+    if regressions:
+        print(f"bench_compare: {len(regressions)} throughput regression(s) "
+              f"beyond {100 * args.threshold:.0f}%: " + ", ".join(regressions))
+        return 1
+    print(f"bench_compare: {compared} metrics compared, no throughput "
+          f"regression beyond {100 * args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

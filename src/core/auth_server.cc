@@ -10,14 +10,14 @@ void CowPopulationStore::contribute(
     int contributor_token, sensors::DetectedContext context,
     const std::vector<std::vector<double>>& vectors) {
   // Copy-on-write: clone only while an outstanding snapshot aliases the map,
-  // so training against a snapshot is never perturbed by later growth.
+  // so training against a snapshot is never perturbed by later growth. The
+  // clone shares bucket block lists; the bucket's own append then detaches
+  // just that bucket's pointer list.
   if (data_.use_count() > 1) {
     data_ = std::make_shared<PopulationStore>(*data_);
   }
   auto& bucket = (*data_)[context];
-  for (const auto& v : vectors) {
-    bucket.push_back({contributor_token, v});
-  }
+  bucket.append_block(make_vector_block(contributor_token, vectors));
 }
 
 std::size_t CowPopulationStore::store_size(

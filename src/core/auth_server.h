@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/auth_model.h"
+#include "core/population_store.h"
 #include "ml/krr.h"
 #include "sensors/types.h"
 #include "util/rng.h"
@@ -67,18 +68,10 @@ struct TrainingConfig {
   double negative_ratio{1.0};
 };
 
-// One anonymized population vector: the contributor token exists only to
-// avoid self-matching during training (paper's anonymization note).
-struct StoredVector {
-  int contributor;
-  std::vector<double> vector;
-};
-
-// The anonymized per-context population feature store. Treated as an
-// immutable snapshot during training so many users can train against it
-// concurrently without synchronization.
-using PopulationStore =
-    std::map<sensors::DetectedContext, std::vector<StoredVector>>;
+// StoredVector / PopulationBucket / PopulationStore live in
+// core/population_store.h: the store is a bucket-level copy-on-write
+// structure whose snapshots share immutable vector blocks instead of
+// deep-copying them.
 
 // Contribution/snapshot backend behind AuthServer and BatchAuthServer.
 // Implementations choose their own synchronization contract:
@@ -104,8 +97,10 @@ class PopulationStoreBackend {
 
 // The original single-map store with copy-on-write snapshots: contribution
 // clones the map only while a snapshot is outstanding, so training against a
-// snapshot is never perturbed. Public methods are externally synchronized
-// (one caller at a time), matching the historical server contract.
+// snapshot is never perturbed. The clone shares every bucket's immutable
+// block list (O(contexts) pointers, no vector payloads). Public methods are
+// externally synchronized (one caller at a time), matching the historical
+// server contract.
 class CowPopulationStore final : public PopulationStoreBackend {
  public:
   CowPopulationStore() : data_(std::make_shared<PopulationStore>()) {}

@@ -1,5 +1,8 @@
 #include "core/population_codec.h"
 
+#include <memory>
+#include <utility>
+
 #include "core/model_store.h"
 
 namespace sy::core {
@@ -35,13 +38,18 @@ PopulationStore read_population_segment(util::ByteReader& reader) {
       throw ModelCorruptError(
           "population segment: vector count exceeds buffer");
     }
-    bucket.reserve(static_cast<std::size_t>(n_vectors));
+    // One immutable block per encoded bucket: the recovered store shares it
+    // with every snapshot, and a persistence rollback can drop exactly the
+    // recovered prefix block-wise.
+    auto block = std::make_shared<std::vector<StoredVector>>();
+    block->reserve(static_cast<std::size_t>(n_vectors));
     for (std::uint64_t v = 0; v < n_vectors; ++v) {
       StoredVector stored;
       stored.contributor = static_cast<int>(reader.u32());
       stored.vector = reader.doubles();
-      bucket.push_back(std::move(stored));
+      block->push_back(std::move(stored));
     }
+    bucket.append_block(std::move(block));
   }
   return segment;
 }

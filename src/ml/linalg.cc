@@ -8,7 +8,7 @@
 
 namespace sy::ml {
 
-Matrix cholesky(const Matrix& a) {
+Matrix cholesky(const Matrix& a, util::ThreadPool* pool) {
   if (a.rows() != a.cols()) {
     throw std::invalid_argument("cholesky: matrix must be square");
   }
@@ -22,7 +22,7 @@ Matrix cholesky(const Matrix& a) {
     auto dst = l.row(i);
     for (std::size_t j = 0; j <= i; ++j) dst[j] = src[j];
   }
-  if (num::cholesky_inplace(l.data().data(), n, n) != n) {
+  if (num::cholesky_inplace(l.data().data(), n, n, pool) != n) {
     throw std::runtime_error("cholesky: matrix not positive definite");
   }
   return l;

@@ -8,6 +8,10 @@
 
 #include "ml/matrix.h"
 
+namespace sy::util {
+class ThreadPool;
+}  // namespace sy::util
+
 namespace sy::ml {
 
 // Cholesky factorization A = L L^T of an SPD matrix; returns lower-triangular
@@ -15,7 +19,9 @@ namespace sy::ml {
 // Blocked right-looking via num::cholesky_inplace (panel factor + fused
 // triangular solve + rank-k update on the dispatched backend); the scalar
 // backend is bit-identical to the classic unblocked left-looking loop.
-Matrix cholesky(const Matrix& a);
+// With a pool, trailing updates past num::kCholeskyParallelRows tile across
+// it — bitwise identical to the serial schedule on every backend.
+Matrix cholesky(const Matrix& a, util::ThreadPool* pool = nullptr);
 
 // Solves A x = b for SPD A via Cholesky.
 std::vector<double> solve_spd(const Matrix& a, std::span<const double> b);

@@ -21,6 +21,7 @@
 // only which entry is touched next, never an entry's own operation order.
 #include "num/backend.h"
 #include "num/kernels.h"
+#include "util/thread_pool.h"
 
 #include <cmath>
 
@@ -33,19 +34,55 @@ namespace {
 // trailing matrix while it is hot.
 constexpr std::size_t kPanel = 64;
 
+// Rows per trailing-update tile when the update runs on a pool. Small enough
+// that the triangular row costs (row i does i - p1 + 1 entries) spread over
+// many stealable tasks, large enough to amortize the handshake.
+constexpr std::size_t kTileRows = 32;
+
 using DotSubFn = double (*)(double, std::span<const double>,
                             std::span<const double>);
 
+// A22 -= L21 L21^T on rows [r0, r1) of the lower triangle, columns [p1, i].
+// Each row is written by exactly one call, and the only reads outside the
+// written rows are panel columns [p0, p1) — finalized by the panel factor
+// before any trailing tile starts — so concurrent tiles over disjoint row
+// ranges are race-free and every entry sees the serial operation order.
+void trailing_update_rows(double* a, std::size_t stride, std::size_t p0,
+                          std::size_t p1, std::size_t r0, std::size_t r1,
+                          bool use_avx2, DotSubFn dot_sub_fn) {
+  const std::size_t nb = p1 - p0;
+  for (std::size_t i = r0; i < r1; ++i) {
+    double* row_i = a + i * stride;
+    const std::span<const double> li{row_i + p0, nb};
+    std::size_t j = p1;
+    if (use_avx2) {
+      for (; j + 4 <= i + 1; j += 4) {
+        const double* bs[4] = {
+            a + j * stride + p0, a + (j + 1) * stride + p0,
+            a + (j + 2) * stride + p0, a + (j + 3) * stride + p0};
+        avx2::dot_sub4(row_i + j, li.data(), bs, nb);
+      }
+    }
+    for (; j <= i; ++j) {
+      row_i[j] = dot_sub_fn(row_i[j], li, {a + j * stride + p0, nb});
+    }
+  }
+}
+
 }  // namespace
 
-std::size_t cholesky_inplace(double* a, std::size_t n, std::size_t stride) {
+std::size_t cholesky_inplace(double* a, std::size_t n, std::size_t stride,
+                             util::ThreadPool* pool) {
   const bool use_avx2 = active_backend() == Backend::kAvx2;
   const DotSubFn dot_sub_fn = use_avx2 ? avx2::dot_sub : scalar::dot_sub;
 
   for (std::size_t p0 = 0; p0 < n; p0 += kPanel) {
     const std::size_t p1 = p0 + kPanel < n ? p0 + kPanel : n;
 
-    // Panel factor: columns [p0, p1), all rows below the diagonal.
+    // Panel factor: columns [p0, p1), all rows below the diagonal. This
+    // fuses the L11 factor and the L21 triangular solve; it stays serial
+    // (columns depend on each other), and it is the barrier that finalizes
+    // everything the trailing tiles read.
     for (std::size_t j = p0; j < p1; ++j) {
       double* row_j = a + j * stride;
       const std::span<const double> lj{row_j + p0, j - p0};
@@ -62,26 +99,26 @@ std::size_t cholesky_inplace(double* a, std::size_t n, std::size_t stride) {
     // Rank-k trailing update: lower triangle of rows/columns [p1, n). The
     // AVX2 path register-blocks four columns per call (dot_sub4), which
     // amortizes call overhead and replaces four horizontal reductions with
-    // one cross-lane shuffle + vector subtract.
-    const std::size_t nb = p1 - p0;
-    for (std::size_t i = p1; i < n; ++i) {
-      double* row_i = a + i * stride;
-      const std::span<const double> li{row_i + p0, nb};
-      std::size_t j = p1;
-      if (use_avx2) {
-        for (; j + 4 <= i + 1; j += 4) {
-          const double* bs[4] = {
-              a + j * stride + p0, a + (j + 1) * stride + p0,
-              a + (j + 2) * stride + p0, a + (j + 3) * stride + p0};
-          avx2::dot_sub4(row_i + j, li.data(), bs, nb);
-        }
-      }
-      for (; j <= i; ++j) {
-        row_i[j] = dot_sub_fn(row_i[j], li, {a + j * stride + p0, nb});
-      }
+    // one cross-lane shuffle + vector subtract. Past the row threshold the
+    // rows tile across the pool — disjoint writes, bitwise identical to
+    // the serial schedule (see trailing_update_rows).
+    const std::size_t rows = n - p1;
+    if (pool != nullptr && rows >= kCholeskyParallelRows) {
+      const std::size_t tiles = (rows + kTileRows - 1) / kTileRows;
+      pool->parallel_for(tiles, [&](std::size_t t) {
+        const std::size_t r0 = p1 + t * kTileRows;
+        const std::size_t r1 = r0 + kTileRows < n ? r0 + kTileRows : n;
+        trailing_update_rows(a, stride, p0, p1, r0, r1, use_avx2, dot_sub_fn);
+      });
+    } else {
+      trailing_update_rows(a, stride, p0, p1, p1, n, use_avx2, dot_sub_fn);
     }
   }
   return n;
+}
+
+std::size_t cholesky_inplace(double* a, std::size_t n, std::size_t stride) {
+  return cholesky_inplace(a, n, stride, nullptr);
 }
 
 }  // namespace sy::num

@@ -18,6 +18,10 @@
 #include <cstddef>
 #include <span>
 
+namespace sy::util {
+class ThreadPool;
+}  // namespace sy::util
+
 namespace sy::num {
 
 // Inner product <a, b> of equal-length spans.
@@ -58,6 +62,21 @@ void rbf_row_kernel(const double* rows, std::size_t n_rows, std::size_t stride,
 // loop, so the scalar factor is bit-identical to it; blocking only reorders
 // which entry is visited next, never the per-entry operation order.
 std::size_t cholesky_inplace(double* a, std::size_t n, std::size_t stride);
+
+// Same factorization with the rank-k trailing update tiled across `pool`
+// once the trailing block has at least kCholeskyParallelRows rows (smaller
+// problems, or pool == nullptr, run the serial schedule). Tiles own disjoint
+// row ranges and read only panel columns finalized before the update starts,
+// so the result is BITWISE identical to the serial path on every backend —
+// parallelism changes which thread visits an entry, never the entry's own
+// operation order (pinned in tests/num_kernels_test).
+std::size_t cholesky_inplace(double* a, std::size_t n, std::size_t stride,
+                             util::ThreadPool* pool);
+
+// Trailing-update rows below which the parallel overload stays serial: a
+// tile must amortize the submit/steal handshake, and the serving stack's
+// per-user systems (tens to a few hundred rows) never benefit.
+inline constexpr std::size_t kCholeskyParallelRows = 192;
 
 namespace scalar {
 double dot(std::span<const double> a, std::span<const double> b);

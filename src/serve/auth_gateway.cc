@@ -154,16 +154,18 @@ std::shared_ptr<const core::AuthModel> AuthGateway::enroll(
     int user_token, const core::VectorsByContext& positives,
     std::uint64_t rng_seed, bool contribute_positives) {
   account_transfer(core::upload_bytes(positives), /*upload=*/true);
-  // Snapshot BEFORE contributing: the enrollee's own vectors are excluded
-  // from their impostor draw anyway (token filter), so training against the
-  // pre-contribution snapshot is result-identical and spares one rebuild.
-  const std::shared_ptr<const core::PopulationStore> snapshot =
-      store_->snapshot();
+  // Contribute first, then snapshot: rebuilds are incremental (only the
+  // contributed contexts re-merge, as block-pointer concatenation), so the
+  // per-enroll rebuild is O(delta) and later enrollees immediately draw
+  // impostors from this user. Training stays result-identical either way —
+  // the enrollee's own vectors are excluded by the token filter.
   if (contribute_positives) {
     for (const auto& [context, vectors] : positives) {
       store_->contribute(user_token, context, vectors);
     }
   }
+  const std::shared_ptr<const core::PopulationStore> snapshot =
+      store_->snapshot();
   // Reserve the next version (first enrollment = 1): a re-enrollment must
   // install — training a fixed version 1 would lose against the stale-install
   // guard and silently diverge the served model from the returned one.

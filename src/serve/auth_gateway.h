@@ -73,11 +73,11 @@ class AuthGateway {
   // model at the next reserved version (1 on first enrollment); a
   // re-enrollment trains and installs a fresh higher version.
   //
-  // Mass onboarding: per-enroll contribution leaves the merged snapshot
-  // stale for every following enrollment, forcing an O(store) rebuild each
-  // time. Contribute the whole population first, then enroll with
-  // contribute_positives=false (what bench_serving does) — one rebuild
-  // total. Incremental snapshot maintenance is a ROADMAP follow-on.
+  // Per-enroll contribution is cheap: the store's snapshot rebuild is
+  // incremental (only the contributed contexts re-merge, sharing vector
+  // blocks), so mass onboarding no longer needs to batch contributions
+  // ahead of enrollment — Stats::store.snapshot_buckets_copied shows the
+  // per-rebuild work tracking contributions, not store size.
   std::shared_ptr<const core::AuthModel> enroll(
       int user_token, const core::VectorsByContext& positives,
       std::uint64_t rng_seed, bool contribute_positives = true);

@@ -52,10 +52,10 @@ void ShardedPopulationStore::contribute(
   const std::size_t s = shard_of(contributor_token);
   Shard& shard = *shards_[s];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  auto& bucket = shard.data[context];
-  for (const auto& v : vectors) {
-    bucket.push_back({contributor_token, v});
-  }
+  // One immutable block per contribution: every snapshot that includes it
+  // shares the block, so no rebuild ever copies these vectors again.
+  shard.data[context].append_block(
+      core::make_vector_block(contributor_token, vectors));
   ++shard.version;
   contributions_.fetch_add(1, std::memory_order_relaxed);
 
@@ -128,9 +128,14 @@ RecoveryStats ShardedPopulationStore::attach_persistence(
         auto& bucket = stage.segment[record.context];
         ++recovered.replayed_records;
         recovered.replayed_vectors += record.vectors.size();
+        // One block per replayed record — the same block granularity the
+        // original contribute() produced.
+        auto block = std::make_shared<std::vector<core::StoredVector>>();
+        block->reserve(record.vectors.size());
         for (auto& v : record.vectors) {
-          bucket.push_back({record.contributor, std::move(v)});
+          block->push_back({record.contributor, std::move(v)});
         }
+        bucket.append_block(std::move(block));
       }
     }
   } catch (...) {
@@ -181,18 +186,19 @@ void ShardedPopulationStore::install_staged_shard(
       options.sink_factory ? options.sink_factory(log_path, s) : nullptr);
 
   // Remember what this install prepends (and which contexts already
-  // existed live) so a later shard's failure can undo it exactly.
+  // existed live) so a later shard's failure can undo it exactly. The
+  // prefix is counted in BLOCKS: the recovered segment's buckets are block
+  // lists, and rollback drops exactly that many.
   core::PopulationStore segment = std::move(stage.segment);
   for (const auto& [context, bucket] : segment) {
-    stage.recovered_prefix[context] = bucket.size();
+    stage.recovered_prefix[context] = bucket.block_count();
   }
   // Contributions that raced in before this shard was installed stay,
   // ordered after the recovered vectors (they happened after the crash).
+  // append() shares their blocks — nothing is re-copied.
   for (auto& [context, bucket] : shard.data) {
     stage.live_contexts.insert(context);
-    auto& out = segment[context];
-    out.insert(out.end(), std::make_move_iterator(bucket.begin()),
-               std::make_move_iterator(bucket.end()));
+    segment[context].append(bucket);
   }
   shard.data = std::move(segment);
   ++shard.version;
@@ -209,9 +215,7 @@ void ShardedPopulationStore::rollback_installed_shards(
       const auto it = shard.data.find(context);
       if (it == shard.data.end()) continue;
       auto& bucket = it->second;
-      bucket.erase(bucket.begin(),
-                   bucket.begin() + static_cast<std::ptrdiff_t>(
-                                        std::min(prefix, bucket.size())));
+      bucket.erase_block_prefix(std::min(prefix, bucket.block_count()));
       // A context that only existed on disk vanishes again; one the live
       // store already had (even as an empty bucket) keeps its key.
       if (bucket.empty() && staged[s].live_contexts.count(context) == 0) {
@@ -224,6 +228,19 @@ void ShardedPopulationStore::rollback_installed_shards(
     ++shard.version;
   }
   // Shards never reached keep no log either; nothing to undo there.
+  //
+  // Rollback can ERASE a context key (one that only existed on disk), the
+  // single mutation the snapshot cache's handle-identity tracking cannot
+  // observe — the capture pass only visits keys still present. Dropping the
+  // whole cache forces the next snapshot to re-capture from scratch; this
+  // path only runs on an attach-time I/O failure, never in steady state.
+  invalidate_snapshot_cache();
+}
+
+void ShardedPopulationStore::invalidate_snapshot_cache() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  cached_.reset();
+  cached_segments_.clear();
 }
 
 void ShardedPopulationStore::checkpoint() {
@@ -238,38 +255,70 @@ std::shared_ptr<const core::PopulationStore> ShardedPopulationStore::snapshot()
     const {
   std::lock_guard<std::mutex> cache_lock(snapshot_mutex_);
 
-  // Cheap staleness probe: compare each shard's version to what the cached
-  // snapshot merged. Contributions racing past the probe are picked up by
-  // the next snapshot — exactly the semantics of the single-map store, where
-  // a snapshot reflects contributions that happened-before it.
-  bool stale = cached_ == nullptr;
-  if (!stale) {
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      std::lock_guard<std::mutex> lock(shards_[s]->mutex);
-      if (shards_[s]->version != cached_versions_[s]) {
-        stale = true;
-        break;
-      }
+  // Cheap staleness probe: one integer compare per shard, no allocation —
+  // the steady-state reuse hit costs what it did before rebuilds became
+  // incremental. Contributions racing past the probe are picked up by the
+  // next snapshot — exactly the semantics of the single-map store, where a
+  // snapshot reflects contributions that happened-before it.
+  std::vector<std::size_t> stale_shards;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+    if (cached_ == nullptr || shards_[s]->version != cached_versions_[s]) {
+      stale_shards.push_back(s);
     }
   }
-  if (!stale) {
+  if (cached_ != nullptr && stale_shards.empty()) {
     snapshot_reuses_.fetch_add(1, std::memory_order_relaxed);
     return cached_;
   }
 
-  // Rebuild: merge shards in index order. Each shard is locked only while
-  // its data is copied, so contributors to other shards are never stalled.
-  auto merged = std::make_shared<core::PopulationStore>();
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s]->mutex);
-    for (const auto& [context, bucket] : shards_[s]->data) {
-      auto& out = (*merged)[context];
-      out.insert(out.end(), bucket.begin(), bucket.end());
+  // Re-capture every stale shard under ONE mutex acquisition: each of its
+  // buckets is re-shared (a handle copy — block pointers, never payloads),
+  // so the captured view of a shard is a consistent point in time, the same
+  // intra-shard atomicity the full re-merge had. Copy-on-write makes handle
+  // identity a sound change detector: any mutation of a shard bucket whose
+  // list a capture still shares must clone the list first, so an unchanged
+  // handle proves unchanged content. Fresh shards are not even locked.
+  std::set<sensors::DetectedContext> changed;
+  for (const std::size_t s : stale_shards) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [context, bucket] : shard.data) {
+      auto [entry, inserted] = cached_segments_.try_emplace(context);
+      auto& segments = entry->second;
+      if (inserted) segments.resize(shards_.size());
+      core::PopulationBucket& slot = segments[s];
+      const bool unchanged =
+          !inserted && ((slot.empty() && bucket.empty()) ||
+                        slot.shares_storage_with(bucket));
+      if (unchanged) continue;
+      slot = bucket;
+      changed.insert(context);
     }
-    cached_versions_[s] = shards_[s]->version;
+    cached_versions_[s] = shard.version;
+  }
+
+  // Assemble: a context none of the re-captured shards touched reuses the
+  // previous merged bucket wholesale (one pointer copy); a changed context
+  // re-concatenates its captured per-shard handles in shard-index order —
+  // the deterministic merge layout — sharing every block.
+  auto merged = std::make_shared<core::PopulationStore>();
+  std::uint64_t copied = 0;
+  std::uint64_t reused = 0;
+  for (const auto& [context, segments] : cached_segments_) {
+    if (cached_ != nullptr && changed.count(context) == 0) {
+      (*merged)[context] = cached_->at(context);
+      ++reused;
+      continue;
+    }
+    auto& bucket = (*merged)[context];
+    for (const auto& segment : segments) bucket.append(segment);
+    ++copied;
   }
   cached_ = std::move(merged);
   snapshot_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  snapshot_buckets_copied_.fetch_add(copied, std::memory_order_relaxed);
+  snapshot_buckets_shared_.fetch_add(reused, std::memory_order_relaxed);
   return cached_;
 }
 
@@ -297,6 +346,10 @@ ShardedPopulationStore::Stats ShardedPopulationStore::stats() const {
   out.contributions = contributions_.load(std::memory_order_relaxed);
   out.snapshot_rebuilds = snapshot_rebuilds_.load(std::memory_order_relaxed);
   out.snapshot_reuses = snapshot_reuses_.load(std::memory_order_relaxed);
+  out.snapshot_buckets_copied =
+      snapshot_buckets_copied_.load(std::memory_order_relaxed);
+  out.snapshot_buckets_shared =
+      snapshot_buckets_shared_.load(std::memory_order_relaxed);
   out.log_records = log_records_.load(std::memory_order_relaxed);
   out.log_compactions = log_compactions_.load(std::memory_order_relaxed);
   return out;

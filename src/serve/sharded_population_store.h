@@ -9,6 +9,19 @@
 // deterministic layout) into a cached std::shared_ptr<const PopulationStore>
 // that is rebuilt lazily only after new contributions.
 //
+// Rebuilds are incremental: the snapshot cache keeps, per (context, shard),
+// the bucket handle it captured last time (a core::PopulationBucket copy
+// only shares the immutable block list). A rebuild re-captures only the
+// shards whose version moved — every bucket of a stale shard is re-shared
+// under ONE mutex acquisition, preserving the intra-shard point-in-time
+// consistency the full re-merge had — then re-concatenates block pointers
+// for exactly the contexts whose captured handles changed (copy-on-write
+// makes handle identity a sound change detector) and reuses every other
+// merged bucket wholesale. Work per rebuild is therefore proportional to
+// what changed since the last snapshot — observable as
+// Stats::snapshot_buckets_copied — not to the total store size, so
+// per-enroll contribute/snapshot patterns are O(delta), not O(users²).
+//
 // Determinism contract: with shards == 1 and the same contribution order,
 // the merged snapshot is element-for-element identical to the single-map
 // CowPopulationStore path, so trained models are bit-identical (asserted in
@@ -80,9 +93,10 @@ class ShardedPopulationStore final : public core::PopulationStoreBackend {
 
   // Thread-safe: returns the cached merged snapshot, rebuilding it first if
   // any shard grew since the last call. The returned map never changes.
-  // A rebuild copies the whole store (O(total vectors)), so alternating
-  // contribute/snapshot per user is quadratic in users — batch
-  // contributions, then snapshot (see AuthGateway::enroll's note).
+  // A rebuild is incremental: untouched context buckets are shared from the
+  // previous snapshot and only contexts contributed to since the last call
+  // are re-merged (block-pointer concatenation — vector payloads are never
+  // copied), so alternating contribute/snapshot is O(delta), not O(store).
   std::shared_ptr<const core::PopulationStore> snapshot() const override;
 
   // Thread-safe: sums the per-shard bucket sizes for `context`.
@@ -127,6 +141,14 @@ class ShardedPopulationStore final : public core::PopulationStoreBackend {
     std::uint64_t contributions{0};      // contribute() calls
     std::uint64_t snapshot_rebuilds{0};  // snapshots that had to merge
     std::uint64_t snapshot_reuses{0};    // snapshots served from cache
+    // Merged context buckets re-concatenated because a contribution touched
+    // their context since the last rebuild. This is the O(delta) evidence:
+    // it grows with contexts-touched-per-rebuild, never with store size
+    // (bench_serving --enroll-heavy gates on it).
+    std::uint64_t snapshot_buckets_copied{0};
+    // Merged context buckets reused wholesale from the previous snapshot
+    // (one pointer copy, no block-list traversal).
+    std::uint64_t snapshot_buckets_shared{0};
     std::uint64_t log_records{0};        // delta records appended
     std::uint64_t log_compactions{0};    // log-into-snapshot folds
   };
@@ -157,7 +179,9 @@ class ShardedPopulationStore final : public core::PopulationStoreBackend {
   struct StagedShard {
     core::PopulationStore segment;  // recovered snapshot + replayed log
     std::uint64_t max_seq{0};
-    // Filled during install, consumed by rollback:
+    // Filled during install, consumed by rollback: how many BLOCKS of each
+    // context's bucket came from disk (the recovered prefix the install
+    // prepended), and which contexts already existed live.
     std::map<sensors::DetectedContext, std::size_t> recovered_prefix;
     std::set<sensors::DetectedContext> live_contexts;
   };
@@ -168,9 +192,21 @@ class ShardedPopulationStore final : public core::PopulationStoreBackend {
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
+  // Invalidates the snapshot cache (rollback is the one path that can make
+  // a context key disappear, which handle-identity tracking cannot see).
+  // Must not be called while holding any shard mutex.
+  void invalidate_snapshot_cache() const;
+
   mutable std::mutex snapshot_mutex_;
   mutable std::shared_ptr<const core::PopulationStore> cached_;
   mutable std::vector<std::uint64_t> cached_versions_;
+  // Per context, the bucket handle captured from each shard (index = shard)
+  // at its last re-capture. Handles share the shards' immutable block
+  // lists; copy-on-write guarantees a shard mutation always produces a
+  // different handle, so comparing storage identity detects every change.
+  mutable std::map<sensors::DetectedContext,
+                   std::vector<core::PopulationBucket>>
+      cached_segments_;
 
   // Written once by attach_persistence before any shard's log is installed;
   // shard-mutex acquire/release orders the reads in contribute().
@@ -180,6 +216,8 @@ class ShardedPopulationStore final : public core::PopulationStoreBackend {
   mutable std::atomic<std::uint64_t> contributions_{0};
   mutable std::atomic<std::uint64_t> snapshot_rebuilds_{0};
   mutable std::atomic<std::uint64_t> snapshot_reuses_{0};
+  mutable std::atomic<std::uint64_t> snapshot_buckets_copied_{0};
+  mutable std::atomic<std::uint64_t> snapshot_buckets_shared_{0};
   mutable std::atomic<std::uint64_t> log_records_{0};
   mutable std::atomic<std::uint64_t> log_compactions_{0};
 };

@@ -13,11 +13,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <vector>
 
 #include "num/backend.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace sy::num {
 namespace {
@@ -190,6 +192,47 @@ TEST(NumScalar, BlockedCholeskyBitIdenticalToUnblockedReference) {
       }
     }
   }
+}
+
+TEST(NumParallel, PooledTrailingUpdateBitIdenticalToSerialPerBackend) {
+  // The pooled overload tiles the rank-k trailing update across worker
+  // threads; tiles own disjoint rows and read only panel columns finalized
+  // before the update starts, so the factor must be BITWISE identical to the
+  // serial schedule — on the scalar backend AND on AVX2 (each compared to
+  // its own serial run; cross-backend equality is a different, tolerance-
+  // based contract).
+  util::ThreadPool pool(4);
+  util::Rng rng(1008);
+  // Below the parallel row threshold (serial fallback), just past it, and
+  // sizes where several panels in a row still clear it.
+  for (const std::size_t n : {65u, 200u, 256u, 300u, 471u}) {
+    const auto a = random_spd(rng, n);
+    for (const Backend backend : {Backend::kScalar, Backend::kAvx2}) {
+      if (backend == Backend::kAvx2 && !avx2::available()) continue;
+      const Backend saved = active_backend();
+      set_backend(backend);
+      auto serial = a;
+      const std::size_t serial_status =
+          cholesky_inplace(serial.data(), n, n);
+      auto pooled = a;
+      const std::size_t pooled_status =
+          cholesky_inplace(pooled.data(), n, n, &pool);
+      set_backend(saved);
+      ASSERT_EQ(serial_status, n);
+      ASSERT_EQ(pooled_status, n);
+      EXPECT_EQ(0, std::memcmp(serial.data(), pooled.data(),
+                               n * n * sizeof(double)))
+          << "n=" << n << " backend=" << backend_name(backend);
+    }
+  }
+}
+
+TEST(NumParallel, PooledCholeskyReportsSameBadPivot) {
+  util::ThreadPool pool(2);
+  std::vector<double> a{4.0, 2.0, 2.0, -9.0};
+  auto b = a;
+  EXPECT_EQ(cholesky_inplace(a.data(), 2, 2), 1u);
+  EXPECT_EQ(cholesky_inplace(b.data(), 2, 2, &pool), 1u);
 }
 
 TEST(NumScalar, CholeskyReportsFirstBadPivot) {

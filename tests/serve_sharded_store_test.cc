@@ -165,6 +165,56 @@ TEST(ShardedPopulationStore, SnapshotImmutableAfterLaterContributions) {
   EXPECT_EQ(sharded.snapshot()->at(kStationary).size(), 20u);
 }
 
+TEST(ShardedPopulationStore, IncrementalRebuildSharesUntouchedBuckets) {
+  ShardedPopulationStore sharded(4);
+  util::Rng rng(37);
+  sharded.contribute(1, kStationary, user_vectors(1, 10, rng));
+  sharded.contribute(1, kMoving, user_vectors(1, 5, rng));
+  const auto first = sharded.snapshot();
+  // First rebuild merged both contexts from the shards.
+  EXPECT_EQ(sharded.stats().snapshot_buckets_copied, 2u);
+  EXPECT_EQ(sharded.stats().snapshot_buckets_shared, 0u);
+
+  // Same contributor (same shard), so the old block keeps its merged
+  // position and the address comparison below is order-stable.
+  sharded.contribute(1, kMoving, user_vectors(2, 5, rng));
+  const auto second = sharded.snapshot();
+  // Only the touched context re-merged; the other was reused wholesale.
+  EXPECT_EQ(sharded.stats().snapshot_buckets_copied, 3u);
+  EXPECT_EQ(sharded.stats().snapshot_buckets_shared, 1u);
+  EXPECT_TRUE(second->at(kStationary).shares_storage_with(
+      first->at(kStationary)));
+  // Even the re-merged bucket shares its vector payloads: the elements the
+  // two snapshots have in common live at the very same addresses.
+  ASSERT_EQ(second->at(kMoving).size(), 10u);
+  EXPECT_EQ(&second->at(kMoving)[0], &first->at(kMoving)[0]);
+  EXPECT_EQ(&second->at(kMoving)[4], &first->at(kMoving)[4]);
+}
+
+TEST(ShardedPopulationStore, BucketsCopiedTracksDeltaNotStoreSize) {
+  // The O(delta) contract: alternating contribute/snapshot re-merges exactly
+  // the contributed context each time, no matter how large the store grows.
+  ShardedPopulationStore sharded(8);
+  util::Rng rng(38);
+  constexpr std::size_t kUsers = 50;
+  for (std::size_t u = 0; u < kUsers; ++u) {
+    sharded.contribute(static_cast<int>(u), kStationary,
+                       user_vectors(static_cast<int>(u), 4, rng));
+    (void)sharded.snapshot();
+  }
+  const auto stats = sharded.stats();
+  EXPECT_EQ(stats.snapshot_rebuilds, kUsers);
+  EXPECT_EQ(stats.snapshot_buckets_copied, kUsers);  // 1 per rebuild, flat
+  EXPECT_EQ(stats.snapshot_buckets_shared, 0u);
+
+  // A second context joins: rebuilds now copy the touched bucket and share
+  // the untouched one.
+  sharded.contribute(7, kMoving, user_vectors(7, 4, rng));
+  (void)sharded.snapshot();
+  EXPECT_EQ(sharded.stats().snapshot_buckets_copied, kUsers + 1);
+  EXPECT_EQ(sharded.stats().snapshot_buckets_shared, 1u);
+}
+
 TEST(ShardedPopulationStore, WorksAsBatchAuthServerBackend) {
   auto backend = std::make_shared<ShardedPopulationStore>(4);
   core::BatchAuthServer server({}, {}, nullptr, backend);

@@ -1,0 +1,200 @@
+// Property test for incremental snapshot maintenance: for random
+// interleavings of contribute / snapshot / checkpoint / compaction /
+// attach_persistence across 1–8 shards, the incrementally maintained merged
+// snapshot must be element-for-element identical to a from-scratch full
+// re-merge — realized as a FRESH store that replays the same contribution
+// sequence and snapshots exactly once, so its merge builds every bucket from
+// the shards with nothing cached. A crash/recover generation then checks
+// that recovery replay ordering (recovered vectors before new live ones)
+// composes with the incremental cache the same way.
+//
+// Seeds are deterministic and shrinkable: a failure prints the offending
+// seed, and SY_PROP_SEED=<n> reruns exactly that case (SY_PROP_CASES=<n>
+// overrides the case count).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/population_codec.h"
+#include "serve/sharded_population_store.h"
+#include "util/rng.h"
+
+namespace sy::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Contribution {
+  int token;
+  sensors::DetectedContext context;
+  std::vector<std::vector<double>> vectors;
+};
+
+std::vector<std::uint8_t> merged_bytes(const ShardedPopulationStore& store) {
+  return core::serialize_population(*store.snapshot());
+}
+
+// From-scratch reference: a fresh store fed the same contributions whose
+// single snapshot() call merges every bucket with an empty cache.
+std::vector<std::uint8_t> full_remerge_bytes(
+    std::size_t shards, const std::vector<Contribution>& log) {
+  ShardedPopulationStore fresh(shards);
+  for (const auto& c : log) fresh.contribute(c.token, c.context, c.vectors);
+  return merged_bytes(fresh);
+}
+
+// Independent oracle that never touches snapshot(): assembles the merged
+// store straight from the documented layout contract — contexts in map
+// order, each bucket the concatenation of its shards' contributions in
+// shard-index order, contribution order within a shard.
+std::vector<std::uint8_t> oracle_bytes(const ShardedPopulationStore& store,
+                                       const std::vector<Contribution>& log) {
+  core::PopulationStore merged;
+  for (const auto& c : log) (void)merged[c.context];  // keys, even if empty
+  for (auto& [context, bucket] : merged) {
+    for (std::size_t s = 0; s < store.shard_count(); ++s) {
+      for (const auto& c : log) {
+        if (c.context != context || store.shard_of(c.token) != s) continue;
+        bucket.append_block(core::make_vector_block(c.token, c.vectors));
+      }
+    }
+  }
+  return core::serialize_population(merged);
+}
+
+// Element-for-element walk (exercises the bucket iterator and operator[]
+// rather than just the codec) of two snapshots of identical stores.
+void expect_snapshots_identical(const core::PopulationStore& a,
+                                const core::PopulationStore& b) {
+  ASSERT_EQ(a.size(), b.size());
+  auto ib = b.begin();
+  for (const auto& [context, bucket] : a) {
+    ASSERT_EQ(context, ib->first);
+    ASSERT_EQ(bucket.size(), ib->second.size());
+    std::size_t i = 0;
+    for (const auto& sv : bucket) {
+      EXPECT_EQ(sv.contributor, ib->second[i].contributor);
+      EXPECT_EQ(sv.vector, ib->second[i].vector);
+      ++i;
+    }
+    ++ib;
+  }
+}
+
+void run_case(std::uint64_t seed) {
+  SCOPED_TRACE("SY_PROP_SEED=" + std::to_string(seed) +
+               " reruns this case alone");
+  util::Rng rng(seed);
+  const auto shards = static_cast<std::size_t>(1 + rng.uniform_int(0, 7));
+
+  PersistenceOptions options;
+  // Pid-qualified so concurrent suite runs (e.g. a Release and a TSan ctest
+  // side by side) never share a case's on-disk state.
+  options.dir = (fs::temp_directory_path() /
+                 ("sy_incr_snap_prop_" + std::to_string(::getpid()) + "_" +
+                  std::to_string(seed)))
+                    .string();
+  // Small random threshold so many cases compact mid-run; a process crash
+  // loses nothing regardless of sync cadence, so 0 keeps the cases fast.
+  options.compact_threshold = static_cast<std::size_t>(rng.uniform_int(0, 4));
+  options.sync_every = 0;
+  fs::remove_all(options.dir);
+
+  const int ops = 30 + rng.uniform_int(0, 40);
+  const int attach_at = rng.uniform_int(0, ops - 1);
+
+  std::vector<Contribution> log;
+  auto random_contribution = [&rng] {
+    Contribution c;
+    c.token = rng.uniform_int(-30, 30);
+    c.context = rng.bernoulli(0.5) ? sensors::DetectedContext::kStationary
+                                   : sensors::DetectedContext::kMoving;
+    c.vectors.resize(static_cast<std::size_t>(rng.uniform_int(0, 3)));
+    for (auto& v : c.vectors) {
+      v.resize(3);
+      for (auto& x : v) x = rng.gaussian();
+    }
+    return c;
+  };
+
+  std::vector<std::uint8_t> live;
+  {
+    ShardedPopulationStore store(shards);
+    for (int op = 0; op < ops; ++op) {
+      if (op == attach_at) store.attach_persistence(options);
+      const double r = rng.uniform();
+      if (r < 0.55) {
+        log.push_back(random_contribution());
+        store.contribute(log.back().token, log.back().context,
+                         log.back().vectors);
+      } else if (r < 0.75) {
+        // Grow the incremental cache's history: every snapshot here makes
+        // the final merged view the product of more reuse/re-merge steps.
+        (void)store.snapshot();
+      } else if (r < 0.85 && store.persistent()) {
+        store.checkpoint();
+      } else {
+        // Interleaved equivalence check against the from-scratch merge.
+        ASSERT_EQ(merged_bytes(store), full_remerge_bytes(shards, log))
+            << "incremental snapshot diverged mid-run at op " << op;
+      }
+    }
+    if (!store.persistent()) store.attach_persistence(options);
+    ASSERT_EQ(merged_bytes(store), full_remerge_bytes(shards, log))
+        << "incremental snapshot diverged at end of generation 1";
+    ASSERT_EQ(merged_bytes(store), oracle_bytes(store, log))
+        << "incremental snapshot diverged from the layout-contract oracle";
+    {
+      ShardedPopulationStore fresh(shards);
+      for (const auto& c : log) fresh.contribute(c.token, c.context, c.vectors);
+      expect_snapshots_identical(*store.snapshot(), *fresh.snapshot());
+    }
+    live = merged_bytes(store);
+  }  // crash
+
+  // Generation 2: recovery must replay into the same merged view, and the
+  // incremental cache must compose with recovered state exactly like with
+  // contributed state (recovered vectors order before anything new).
+  ShardedPopulationStore recovered(shards);
+  recovered.attach_persistence(options);
+  ASSERT_EQ(merged_bytes(recovered), live) << "recovery diverged";
+  const int extra = rng.uniform_int(1, 10);
+  for (int op = 0; op < extra; ++op) {
+    log.push_back(random_contribution());
+    recovered.contribute(log.back().token, log.back().context,
+                         log.back().vectors);
+    if (rng.bernoulli(0.5)) (void)recovered.snapshot();
+  }
+  ASSERT_EQ(merged_bytes(recovered), full_remerge_bytes(shards, log))
+      << "post-recovery incremental snapshot diverged";
+  ASSERT_EQ(merged_bytes(recovered), oracle_bytes(recovered, log))
+      << "post-recovery snapshot diverged from the layout-contract oracle";
+
+  fs::remove_all(options.dir);
+}
+
+TEST(SnapshotIncrementalProperty, RandomInterleavingsMatchFullRemerge) {
+  if (const char* fixed = std::getenv("SY_PROP_SEED")) {
+    run_case(std::strtoull(fixed, nullptr, 10));
+    return;
+  }
+  std::uint64_t cases = 100;
+  if (const char* env = std::getenv("SY_PROP_CASES")) {
+    cases = std::strtoull(env, nullptr, 10);
+  }
+  for (std::uint64_t seed = 1; seed <= cases; ++seed) {
+    run_case(seed);
+    if (::testing::Test::HasFatalFailure()) {
+      ADD_FAILURE() << "shrink with SY_PROP_SEED=" << seed;
+      return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sy::serve
