@@ -21,9 +21,12 @@
 #include <string>
 #include <vector>
 
+#include "core/approx_training.h"
+#include "core/auth_server.h"
 #include "ml/dataset.h"
 #include "ml/kernel.h"
 #include "ml/krr.h"
+#include "ml/krr_approx.h"
 #include "ml/linalg.h"
 #include "ml/svm.h"
 #include "num/backend.h"
@@ -37,6 +40,17 @@ namespace {
 // Set by --threads=N before benchmark::Initialize; BM_BlockedCholesky runs
 // its trailing updates on this pool (null = serial schedule).
 util::ThreadPool* g_cholesky_pool = nullptr;
+
+// Set by --mode=nystrom|rff: the approximate path the BM_Approx* benchmarks
+// exercise. Recorded as "sy_training_mode" in the JSON context so
+// bench_compare.py refuses to diff artifacts from different modes.
+ml::TrainingMode g_mode = ml::TrainingMode::kRff;
+
+// Population sizes of the scaling curve (BM_ApproxTrainUser): per-user
+// training time should stay flat from min to max while exact training over
+// the same population (BM_ExactTrainFullPop) grows superlinearly.
+constexpr std::size_t kScalingPopMin = 2048;
+constexpr std::size_t kScalingPopMax = 1048576;
 
 ml::Dataset blobs(std::size_t n_per_class, std::size_t dim, std::uint64_t seed) {
   util::Rng rng(seed);
@@ -191,6 +205,116 @@ void BM_BlockedCholesky(benchmark::State& state) {
 BENCHMARK(BM_BlockedCholesky)->Arg(200)->Arg(400)->Arg(800)->Arg(1600)
     ->Unit(benchmark::kMillisecond);
 
+// --- Population-growth curve (ISSUE 6 tentpole gate) ----------------------
+// The point of the approximate path: per-user training cost is independent
+// of how many vectors the population store holds. BM_ApproxTrainUser times
+// exactly what a steady-state enrollment pays (shared statistics prewarmed,
+// as BatchAuthServer does before fanning out); BM_ApproxSharedStats times
+// the amortized per-context build; BM_ExactTrainFullPop is the contrast —
+// exact KRR forced to learn from the whole population.
+
+constexpr auto kBenchContext = sensors::DetectedContext::kStationary;
+constexpr std::size_t kPopDim = 14;
+
+// A population store holding `population` gaussian vectors in contribution
+// blocks of 256 (one contributor per block, like real contribute() traffic).
+core::CowPopulationStore population_store(std::size_t population,
+                                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  core::CowPopulationStore store;
+  std::vector<std::vector<double>> block;
+  int token = 100000;
+  for (std::size_t added = 0; added < population;) {
+    const std::size_t take = std::min<std::size_t>(256, population - added);
+    block.assign(take, std::vector<double>(kPopDim));
+    for (auto& v : block) {
+      for (auto& x : v) x = rng.gaussian();
+    }
+    store.contribute(token++, kBenchContext, block);
+    added += take;
+  }
+  return store;
+}
+
+core::VectorsByContext bench_positives(std::uint64_t seed) {
+  util::Rng rng(seed);
+  core::VectorsByContext positives;
+  auto& vecs = positives[kBenchContext];
+  vecs.assign(10, std::vector<double>(kPopDim));
+  for (auto& v : vecs) {
+    for (auto& x : v) x = rng.gaussian(0.5, 1.0);
+  }
+  return positives;
+}
+
+// Per-user approximate training at growing population sizes. The shared
+// statistics are prewarmed outside the timed region — the curve must be
+// flat (CI gates the largest smoke population at <= 2x the smallest).
+void BM_ApproxTrainUser(benchmark::State& state) {
+  const auto population = static_cast<std::size_t>(state.range(0));
+  const core::CowPopulationStore store = population_store(population, 29);
+  const auto snapshot = store.snapshot();
+  core::TrainingConfig config;
+  config.krr.mode = g_mode;
+  config.krr.approx_dim = 128;
+  const core::VectorsByContext positives = bench_positives(31);
+  core::ApproxStatsCache cache;
+  (void)cache.get(kBenchContext, snapshot->at(kBenchContext), kPopDim,
+                  config.krr);
+  for (auto _ : state) {
+    util::Rng rng(33);  // unused by the approximate path; kept for parity
+    benchmark::DoNotOptimize(core::train_user_from_store(
+        *snapshot, config, /*user_token=*/1, positives, rng, 1, &cache));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(population));
+}
+BENCHMARK(BM_ApproxTrainUser)
+    ->Arg(2048)->Arg(8192)->Arg(32768)->Arg(131072)->Arg(1048576)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+// The shared per-context statistics build (amortized across every user in a
+// batch, and across batches until the bucket crosses a size doubling).
+void BM_ApproxSharedStats(benchmark::State& state) {
+  const auto population = static_cast<std::size_t>(state.range(0));
+  const core::CowPopulationStore store = population_store(population, 35);
+  const auto snapshot = store.snapshot();
+  ml::KrrConfig config;
+  config.mode = g_mode;
+  config.approx_dim = 128;
+  const auto& bucket = snapshot->at(kBenchContext);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::build_approx_context_stats(bucket, kPopDim, config));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(population));
+}
+BENCHMARK(BM_ApproxSharedStats)
+    ->Arg(2048)->Arg(8192)->Arg(32768)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+// Exact KRR made to learn from the whole population (negative_ratio scaled
+// so the impostor draw covers it): the dual solve's superlinear growth is
+// what the approximate path removes.
+void BM_ExactTrainFullPop(benchmark::State& state) {
+  const auto population = static_cast<std::size_t>(state.range(0));
+  const core::CowPopulationStore store = population_store(population, 37);
+  const auto snapshot = store.snapshot();
+  core::TrainingConfig config;  // mode = kExact
+  const core::VectorsByContext positives = bench_positives(31);
+  config.negative_ratio =
+      static_cast<double>(population) /
+      static_cast<double>(positives.at(kBenchContext).size());
+  for (auto _ : state) {
+    util::Rng rng(39);
+    benchmark::DoNotOptimize(core::train_user_from_store(
+        *snapshot, config, /*user_token=*/1, positives, rng, 1));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(population));
+}
+BENCHMARK(BM_ExactTrainFullPop)
+    ->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
 // Batched dual scoring — the serving gateway's per-request hot path.
 void BM_KrrDecisionBatch(benchmark::State& state) {
   const ml::Dataset train = blobs(400, 28, 25);
@@ -213,10 +337,15 @@ int main(int argc, char** argv) {
   // by num::backend.
   std::vector<char*> args;
   std::string backend;
+  std::string mode;
   unsigned threads = 0;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--backend=", 10) == 0) {
       backend = argv[i] + 10;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--mode=", 7) == 0) {
+      mode = argv[i] + 7;
       continue;
     }
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -225,6 +354,16 @@ int main(int argc, char** argv) {
       continue;
     }
     args.push_back(argv[i]);
+  }
+  if (!mode.empty()) {
+    const auto parsed = ml::parse_training_mode(mode);
+    if (!parsed || *parsed == ml::TrainingMode::kExact) {
+      std::fprintf(stderr,
+                   "bench_micro_krr: --mode must be nystrom or rff, got %s\n",
+                   mode.c_str());
+      return 1;
+    }
+    g_mode = *parsed;
   }
   if (!backend.empty()) {
     const auto parsed = num::parse_backend(backend);
@@ -242,6 +381,11 @@ int main(int argc, char** argv) {
   }
   benchmark::AddCustomContext(
       "sy_num_backend", std::string(num::backend_name(num::active_backend())));
+  benchmark::AddCustomContext("sy_training_mode", ml::to_string(g_mode));
+  benchmark::AddCustomContext("sy_scaling_pop_min",
+                              std::to_string(kScalingPopMin));
+  benchmark::AddCustomContext("sy_scaling_pop_max",
+                              std::to_string(kScalingPopMax));
   std::unique_ptr<util::ThreadPool> pool;
   if (threads > 0) {
     pool = std::make_unique<util::ThreadPool>(threads);

@@ -9,6 +9,9 @@
 //   --shards=N --threads=N --cache-mb=N --rate=HZ --drift-prob=P
 //   --hot-fraction=P --hot-mass=P --seed=N --model-dir=PATH --keep-models
 //   --backend=scalar|avx2|auto (num:: dispatch path; default process-wide)
+//   --mode=exact|nystrom|rff (KRR training mode for enrollment and drift
+//     retrains; recorded as "training_mode" in the JSON summary so
+//     bench_compare.py refuses to diff runs of different modes)
 //   --persist-dir=PATH (population snapshot+log durability; after the run
 //     the gateway is destroyed and reconstructed so the JSON summary records
 //     restart-recovery timing) --persist-sync=N (fsync cadence, 0 = only at
@@ -252,6 +255,15 @@ int run(int argc, char** argv) {
   }
   const std::string backend{num::backend_name(num::active_backend())};
 
+  const std::string mode_flag = args.get("mode", "exact");
+  const auto training_mode = ml::parse_training_mode(mode_flag);
+  if (!training_mode) {
+    std::fprintf(stderr, "bench_serving: unknown --mode=%s\n",
+                 mode_flag.c_str());
+    return 1;
+  }
+  const std::string training_mode_name = ml::to_string(*training_mode);
+
   if (args.get_flag("enroll-heavy")) {
     // Standalone store-level preset; --users re-defaults to the gate's 10k.
     const auto eh_users = static_cast<std::size_t>(
@@ -288,6 +300,7 @@ int run(int argc, char** argv) {
   config.model_dir = model_dir;
   config.persist_dir = persist_dir;
   config.persist_sync_every = persist_sync;
+  config.training.krr.mode = *training_mode;
 
   // In an optional so the persistence path can destroy and reconstruct the
   // gateway to measure restart recovery in-process.
@@ -329,6 +342,7 @@ int run(int argc, char** argv) {
            << "  \"bench\": \"bench_serving\",\n"
            << "  \"mode\": \"recover-only\",\n"
            << "  \"backend\": \"" << backend << "\",\n"
+           << "  \"training_mode\": \"" << training_mode_name << "\",\n"
            << "  \"recovery\": {\"seconds\": " << startup_recover_s
            << ", \"recovered_users\": " << stats.recovered_users
            << ", \"recovered_vectors\": " << recovered_vectors
@@ -343,9 +357,9 @@ int run(int argc, char** argv) {
 
   std::printf(
       "bench_serving — %zu users (%zu contributors) x %zu windows x %zu dims, "
-      "%zu shards, %u pool workers, %zu MB cache, %s kernels\n",
+      "%zu shards, %u pool workers, %zu MB cache, %s kernels, %s training\n",
       n_users, n_contributors, windows, dim, shards, pool.size(), cache_mb,
-      backend.c_str());
+      backend.c_str(), training_mode_name.c_str());
 
   // --- Phase 1: population contribution (concurrent, sharded) -------------
   util::Stopwatch timer;
@@ -524,6 +538,7 @@ int run(int argc, char** argv) {
     json << "{\n"
          << "  \"bench\": \"bench_serving\",\n"
          << "  \"backend\": \"" << backend << "\",\n"
+         << "  \"training_mode\": \"" << training_mode_name << "\",\n"
          << "  \"users\": " << n_users << ",\n"
          << "  \"contributors\": " << n_contributors << ",\n"
          << "  \"events\": " << events << ",\n"

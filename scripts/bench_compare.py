@@ -5,6 +5,10 @@ Usage: bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.20]
 
 Understands the bench_serving summary shapes (load run, --enroll-heavy,
 --recover-only); every known metric present in BOTH files is compared.
+Refuses (exit 1) to diff artifacts whose configuration identity differs —
+numeric backend or KRR training mode ("backend"/"training_mode" in
+bench_serving summaries, "context.sy_num_backend"/"context.sy_training_mode"
+in Google Benchmark output) — a mode change is not a regression.
 Throughput metrics (higher is better) fail the run when the candidate drops
 more than THRESHOLD (default 20%) below the baseline. Latency/recovery
 metrics (lower is better) only warn — they are far noisier on shared CI
@@ -42,6 +46,39 @@ def lookup(doc, dotted):
     return node if isinstance(node, (int, float)) else None
 
 
+# Configuration identity keys: timings from different numeric backends or
+# KRR training modes measure different code paths, so diffing them would
+# "detect" a regression that is really a configuration change. Covers both
+# the bench_serving summary shape (top-level keys) and the Google Benchmark
+# --benchmark_out shape (under "context", where custom context entries land).
+IDENTITY_KEYS = [
+    "training_mode",
+    "backend",
+    "context.sy_training_mode",
+    "context.sy_num_backend",
+]
+
+
+def lookup_str(doc, dotted):
+    node = doc
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node if isinstance(node, str) else None
+
+
+def identity_mismatches(baseline, candidate):
+    """Identity keys present in BOTH files but with different values."""
+    out = []
+    for key in IDENTITY_KEYS:
+        base = lookup_str(baseline, key)
+        cand = lookup_str(candidate, key)
+        if base is not None and cand is not None and base != cand:
+            out.append((key, base, cand))
+    return out
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -57,6 +94,13 @@ def main():
             candidate = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot read inputs: {e}", file=sys.stderr)
+        return 1
+
+    mismatches = identity_mismatches(baseline, candidate)
+    if mismatches:
+        for key, base, cand in mismatches:
+            print(f"bench_compare: refusing to compare: {key} differs "
+                  f"({base!r} vs {cand!r})", file=sys.stderr)
         return 1
 
     compared = 0

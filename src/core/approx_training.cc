@@ -1,0 +1,269 @@
+#include "core/approx_training.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/linalg.h"
+#include "num/kernels.h"
+#include "signal/stats.h"
+
+namespace sy::core {
+
+namespace {
+
+// Rank-one accumulation of z into (gram lower triangle, sum) — the same
+// axpy shape as KrrClassifier's primal Gram build, and the single code path
+// both the population build and the exclusion pass run so their difference
+// is exact.
+void accumulate_z(std::span<const double> z, ml::Matrix& gram,
+                  std::vector<double>& sum) {
+  const std::size_t d = z.size();
+  for (std::size_t a = 0; a < d; ++a) {
+    const double za = z[a];
+    if (za == 0.0) continue;
+    num::axpy(za, z.first(a + 1), gram.row(a).first(a + 1));
+  }
+  num::axpy(1.0, z, sum);
+}
+
+void mirror_lower(ml::Matrix& m) {
+  for (std::size_t a = 0; a < m.rows(); ++a) {
+    for (std::size_t b = 0; b < a; ++b) m(b, a) = m(a, b);
+  }
+}
+
+// Block pointers covering the first `prefix` elements of the bucket.
+std::vector<const void*> prefix_block_pointers(const PopulationBucket& bucket,
+                                               std::size_t prefix) {
+  std::vector<const void*> out;
+  std::size_t covered = 0;
+  for (const auto& block : bucket.blocks()) {
+    if (covered >= prefix) break;
+    out.push_back(block.get());
+    covered += block->size();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t pow2_floor(std::size_t n) {
+  std::size_t p = 1;
+  while (p <= n / 2) p *= 2;
+  return p;
+}
+
+ApproxContextStats build_approx_context_stats(const PopulationBucket& bucket,
+                                              std::size_t dim,
+                                              const ml::KrrConfig& config) {
+  if (bucket.empty() || dim == 0) {
+    throw std::invalid_argument("build_approx_context_stats: empty input");
+  }
+  if (config.mode == ml::TrainingMode::kExact) {
+    throw std::invalid_argument(
+        "build_approx_context_stats: exact mode has no statistics");
+  }
+  ApproxContextStats stats;
+  stats.dim = dim;
+  stats.prefix_vectors = pow2_floor(bucket.size());
+  stats.prefix_blocks = prefix_block_pointers(bucket, stats.prefix_vectors);
+  stats.mode = config.mode;
+  stats.approx_dim = config.approx_dim;
+  stats.approx_seed = config.approx_seed;
+
+  // Population scaler: per-column streaming Welford over the prefix, in
+  // ascending element order — the identical add sequence per column as
+  // StandardScaler::fit on the materialized prefix matrix, without the
+  // O(P*M) copy. Assembled through the scaler's own pack format.
+  std::vector<signal::RunningStats> cols(dim);
+  {
+    auto it = bucket.begin();
+    for (std::size_t i = 0; i < stats.prefix_vectors; ++i, ++it) {
+      const std::vector<double>& v = it->vector;
+      if (v.size() != dim) {
+        throw std::invalid_argument(
+            "build_approx_context_stats: stored vector dimension mismatch");
+      }
+      for (std::size_t j = 0; j < dim; ++j) cols[j].add(v[j]);
+    }
+  }
+  std::vector<double> packed;
+  packed.reserve(1 + 2 * dim);
+  packed.push_back(static_cast<double>(dim));
+  for (std::size_t j = 0; j < dim; ++j) packed.push_back(cols[j].mean());
+  for (std::size_t j = 0; j < dim; ++j) {
+    const double sd = std::sqrt(cols[j].variance());
+    packed.push_back(sd > 1e-12 ? sd : 1.0);
+  }
+  stats.scaler = ml::StandardScaler::unpack(packed);
+
+  ml::Kernel resolved = config.kernel;
+  resolved.gamma = config.kernel.effective_gamma(dim);
+  if (config.mode == ml::TrainingMode::kRff) {
+    stats.map = ml::RffFeatureMap::build(dim, config.approx_dim,
+                                         resolved.gamma, config.approx_seed);
+  } else {
+    const auto idx = ml::sample_landmark_indices(
+        stats.prefix_vectors, std::min(config.approx_dim, stats.prefix_vectors),
+        config.approx_seed);
+    ml::Matrix landmarks(idx.size(), dim);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      const auto scaled = stats.scaler.transform(bucket[idx[i]].vector);
+      std::copy(scaled.begin(), scaled.end(), landmarks.row(i).begin());
+    }
+    stats.map = ml::NystromFeatureMap::build(std::move(landmarks), resolved);
+  }
+
+  const std::size_t d = stats.map->output_dim();
+  stats.gram = ml::Matrix(d, d);
+  stats.feature_sum.assign(d, 0.0);
+  std::vector<double> z(d);
+  auto it = bucket.begin();
+  for (std::size_t i = 0; i < stats.prefix_vectors; ++i, ++it) {
+    const auto scaled = stats.scaler.transform(it->vector);
+    stats.map->transform(scaled, z);
+    accumulate_z(z, stats.gram, stats.feature_sum);
+  }
+  mirror_lower(stats.gram);
+  return stats;
+}
+
+ExclusionStats user_exclusion_stats(const ApproxContextStats& stats,
+                                    const PopulationBucket& bucket,
+                                    int user_token) {
+  const std::size_t d = stats.map->output_dim();
+  ExclusionStats excl;
+  excl.gram = ml::Matrix(d, d);
+  excl.sum.assign(d, 0.0);
+
+  // A block is one contribute() call by one contributor, so the contributor
+  // of its first element identifies the whole block; scanning block HEADERS
+  // costs O(blocks), and only the user's own vectors are transformed.
+  std::vector<double> z(d);
+  std::size_t offset = 0;
+  for (const auto& block : bucket.blocks()) {
+    if (offset >= stats.prefix_vectors) break;
+    const std::size_t take =
+        std::min(block->size(), stats.prefix_vectors - offset);
+    if ((*block)[0].contributor == user_token) {
+      for (std::size_t e = 0; e < take; ++e) {
+        const auto scaled = stats.scaler.transform((*block)[e].vector);
+        stats.map->transform(scaled, z);
+        accumulate_z(z, excl.gram, excl.sum);
+      }
+      excl.count += take;
+    }
+    offset += block->size();
+  }
+  mirror_lower(excl.gram);
+  return excl;
+}
+
+ml::KrrClassifier train_classifier_from_stats(
+    const ApproxContextStats& stats, const ExclusionStats& excl,
+    const std::vector<std::vector<double>>& positives,
+    const TrainingConfig& config) {
+  if (positives.empty()) {
+    throw std::invalid_argument("train_classifier_from_stats: no positives");
+  }
+  const std::size_t n_eff = stats.prefix_vectors - excl.count;
+  if (excl.count >= stats.prefix_vectors) {
+    throw std::runtime_error(
+        "AuthServer: impostor store has only this user's data");
+  }
+  const std::size_t d = stats.map->output_dim();
+  const double beta = config.negative_ratio *
+                      static_cast<double>(positives.size()) /
+                      static_cast<double>(n_eff);
+
+  // A = beta (G - G_u) + Zp^T Zp + rho I,  b = Zp^T 1 - beta (s - s_u).
+  ml::Matrix a(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      a(i, j) = beta * (stats.gram(i, j) - excl.gram(i, j));
+    }
+  }
+  std::vector<double> b(d, 0.0);
+  std::vector<double> z(d);
+  for (const auto& p : positives) {
+    const auto scaled = stats.scaler.transform(p);
+    stats.map->transform(scaled, z);
+    accumulate_z(z, a, b);  // lower triangle + Zp^T 1
+  }
+  mirror_lower(a);
+  a.add_diagonal(config.krr.rho);
+  for (std::size_t j = 0; j < d; ++j) {
+    b[j] -= beta * (stats.feature_sum[j] - excl.sum[j]);
+  }
+
+  std::vector<double> w = ml::solve_spd(a, b);
+  ml::KrrConfig krr = config.krr;
+  return ml::KrrClassifier::from_feature_model(krr, stats.map, std::move(w));
+}
+
+std::shared_ptr<const ApproxContextStats> ApproxStatsCache::get(
+    sensors::DetectedContext context, const PopulationBucket& bucket,
+    std::size_t dim, const ml::KrrConfig& config) {
+  const std::size_t prefix = pow2_floor(bucket.size());
+  const auto current = prefix_block_pointers(bucket, prefix);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(context);
+  if (it != entries_.end()) {
+    const ApproxContextStats& e = *it->second;
+    if (e.dim == dim && e.mode == config.mode &&
+        e.approx_dim == config.approx_dim &&
+        e.approx_seed == config.approx_seed && e.prefix_blocks == current) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  auto built = std::make_shared<const ApproxContextStats>(
+      build_approx_context_stats(bucket, dim, config));
+  entries_[context] = built;
+  ++stats_.builds;
+  return built;
+}
+
+ApproxStatsCache::Stats ApproxStatsCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+AuthModel train_user_approx(const PopulationStore& store,
+                            const TrainingConfig& config, int user_token,
+                            const VectorsByContext& positives, int version,
+                            ApproxStatsCache* cache) {
+  if (positives.empty()) {
+    throw std::invalid_argument("AuthServer: no positive vectors uploaded");
+  }
+  AuthModel model(user_token, version);
+  for (const auto& [context, pos_vectors] : positives) {
+    if (pos_vectors.empty()) continue;
+    const auto it = store.find(context);
+    if (it == store.end()) {
+      throw std::runtime_error("AuthServer: no impostor data for context " +
+                               sensors::to_string(context));
+    }
+    const PopulationBucket& bucket = it->second;
+    if (bucket.empty()) {
+      throw std::runtime_error(
+          "AuthServer: impostor store has only this user's data");
+    }
+    const std::size_t dim = pos_vectors.front().size();
+    std::shared_ptr<const ApproxContextStats> stats =
+        cache ? cache->get(context, bucket, dim, config.krr)
+              : std::make_shared<const ApproxContextStats>(
+                    build_approx_context_stats(bucket, dim, config.krr));
+    const ExclusionStats excl =
+        user_exclusion_stats(*stats, bucket, user_token);
+    ml::KrrClassifier krr =
+        train_classifier_from_stats(*stats, excl, pos_vectors, config);
+    model.set_context_model(context,
+                            ContextModel(stats->scaler, std::move(krr)));
+  }
+  return model;
+}
+
+}  // namespace sy::core

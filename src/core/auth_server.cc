@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/approx_training.h"
 #include "ml/dataset.h"
 
 namespace sy::core {
@@ -31,7 +32,8 @@ AuthServer::AuthServer(TrainingConfig config, NetworkConfig net,
     : config_(config),
       net_(net),
       store_(store != nullptr ? std::move(store)
-                              : std::make_shared<CowPopulationStore>()) {}
+                              : std::make_shared<CowPopulationStore>()),
+      approx_cache_(std::make_shared<ApproxStatsCache>()) {}
 
 void AuthServer::contribute(int contributor_token,
                             sensors::DetectedContext context,
@@ -90,7 +92,13 @@ std::size_t model_download_bytes(const AuthModel& model) {
 AuthModel train_user_from_store(const PopulationStore& store,
                                 const TrainingConfig& config, int user_token,
                                 const VectorsByContext& positives,
-                                util::Rng& rng, int version) {
+                                util::Rng& rng, int version,
+                                ApproxStatsCache* stats_cache) {
+  if (config.krr.mode != ml::TrainingMode::kExact) {
+    // Approximate path: deterministic (approx_seed-driven), rng untouched.
+    return train_user_approx(store, config, user_token, positives, version,
+                             stats_cache);
+  }
   if (positives.empty()) {
     throw std::invalid_argument("AuthServer: no positive vectors uploaded");
   }
@@ -148,7 +156,8 @@ AuthModel AuthServer::train_user_model(int user_token,
 
   const std::shared_ptr<const PopulationStore> snapshot = store_->snapshot();
   AuthModel model = train_user_from_store(*snapshot, config_, user_token,
-                                          positives, rng, version);
+                                          positives, rng, version,
+                                          approx_cache_.get());
 
   simulate_transfer(model_download_bytes(model), /*upload=*/false);
   return model;

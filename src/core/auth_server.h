@@ -116,15 +116,27 @@ class CowPopulationStore final : public PopulationStoreBackend {
   std::shared_ptr<PopulationStore> data_;
 };
 
+// Shared per-context statistics cache for the approximate training modes
+// (core/approx_training.h).
+class ApproxStatsCache;
+
 // Trains one user's per-context model bundle against an immutable store
 // snapshot. This is the single training kernel shared by AuthServer
 // (sequential) and BatchAuthServer (threaded): given the same store, request,
 // and RNG state both produce bit-identical models. Throws std::runtime_error
 // when the store lacks impostor data for a requested context.
+//
+// When config.krr.mode is kNystrom or kRff this routes to the approximate
+// trainer (core/approx_training.h): `rng` goes unused (the approximate path
+// is seeded by config.krr.approx_seed and is a pure function of the
+// snapshot), and `stats_cache` — optional — shares the per-context
+// population statistics across calls the way the COW snapshot shares the
+// store itself.
 AuthModel train_user_from_store(const PopulationStore& store,
                                 const TrainingConfig& config, int user_token,
                                 const VectorsByContext& positives,
-                                util::Rng& rng, int version);
+                                util::Rng& rng, int version,
+                                ApproxStatsCache* stats_cache = nullptr);
 
 class AuthServer {
  public:
@@ -169,6 +181,9 @@ class AuthServer {
   NetworkConfig net_;
   TransferStats transfers_;
   std::shared_ptr<PopulationStoreBackend> store_;
+  // Shared approximate-training statistics, reused across train calls while
+  // the snapshot prefix is unchanged. Untouched in exact mode.
+  std::shared_ptr<ApproxStatsCache> approx_cache_;
 };
 
 }  // namespace sy::core

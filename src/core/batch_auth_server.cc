@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/approx_training.h"
+
 namespace sy::core {
 
 BatchAuthServer::BatchAuthServer(TrainingConfig config, NetworkConfig net,
@@ -11,7 +13,8 @@ BatchAuthServer::BatchAuthServer(TrainingConfig config, NetworkConfig net,
       net_(net),
       store_(store != nullptr ? std::move(store)
                               : std::make_shared<CowPopulationStore>()),
-      pool_(pool) {}
+      pool_(pool),
+      approx_cache_(std::make_shared<ApproxStatsCache>()) {}
 
 void BatchAuthServer::contribute(
     int contributor_token, sensors::DetectedContext context,
@@ -42,12 +45,27 @@ std::vector<AuthModel> BatchAuthServer::train_user_models(
   const std::shared_ptr<const PopulationStore> snapshot = store_->snapshot();
   std::vector<AuthModel> models(requests.size());
 
+  // Approximate modes: build the shared per-context statistics once, before
+  // the fan-out, so workers hit the cache instead of racing to build under
+  // its lock. One (context, dim) pair per batch is the common case.
+  if (config_.krr.mode != ml::TrainingMode::kExact) {
+    for (const auto& request : requests) {
+      for (const auto& [context, pos_vectors] : *request.positives) {
+        if (pos_vectors.empty()) continue;
+        const auto it = snapshot->find(context);
+        if (it == snapshot->end() || it->second.empty()) continue;
+        approx_cache_->get(context, it->second, pos_vectors.front().size(),
+                           config_.krr);
+      }
+    }
+  }
+
   auto train_one = [&](std::size_t i) {
     const EnrollmentRequest& request = requests[i];
     util::Rng rng(request.rng_seed);
-    models[i] =
-        train_user_from_store(*snapshot, config_, request.user_token,
-                              *request.positives, rng, request.version);
+    models[i] = train_user_from_store(*snapshot, config_, request.user_token,
+                                      *request.positives, rng, request.version,
+                                      approx_cache_.get());
   };
   if (pool_ != nullptr) {
     pool_->parallel_for(requests.size(), train_one);

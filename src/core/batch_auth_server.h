@@ -69,6 +69,10 @@ class BatchAuthServer {
   // Workers inside train_user_models share one immutable snapshot of this.
   std::shared_ptr<PopulationStoreBackend> store_;
   util::ThreadPool* pool_;  // not owned
+  // Approximate-mode population statistics, prewarmed per (context, dim)
+  // before the fan-out so every worker hits the cache. Untouched in exact
+  // mode.
+  std::shared_ptr<ApproxStatsCache> approx_cache_;
 };
 
 }  // namespace sy::core

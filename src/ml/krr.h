@@ -12,14 +12,23 @@
 // The primal path additionally supports incremental sample addition/removal
 // via rank-one Woodbury updates — the "machine unlearning" extension the
 // paper cites as future work ([46]).
+//
+// A third, approximate path (TrainingMode::kNystrom / kRff) replaces the
+// kernel with an explicit feature map (ml/krr_approx.h) and solves the small
+// D x D ridge system instead — population-size-independent training for the
+// server-side enrollment pipeline. kExact keeps the two historical paths
+// bit-identical.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "ml/classifier.h"
 #include "ml/kernel.h"
+#include "ml/krr_approx.h"
 #include "ml/matrix.h"
 
 namespace sy::ml {
@@ -35,6 +44,17 @@ struct KrrConfig {
   // Ridge regularizer; 0.3 won the grid search on the 35-user corpus.
   double rho{0.3};
   KrrSolvePath path{KrrSolvePath::kAuto};
+
+  // --- Approximate training (ml/krr_approx.h) -------------------------
+  // kExact trains the historical dual/primal solution; kRff / kNystrom
+  // train through an explicit feature map instead.
+  TrainingMode mode{TrainingMode::kExact};
+  // Feature dimension D of the approximate map: RFF feature count (must be
+  // even; D/2 frequency rows) or Nystrom landmark count.
+  std::size_t approx_dim{256};
+  // Seed for the RFF frequency draw / landmark selection. Fixed by default
+  // so two fits of the same data produce bitwise-identical models.
+  std::uint64_t approx_seed{0x5EEDBA5Eu};
 };
 
 class KrrClassifier final : public BinaryClassifier {
@@ -57,6 +77,23 @@ class KrrClassifier final : public BinaryClassifier {
   // Primal weights; throws if the dual path was used.
   std::span<const double> weights() const;
 
+  // --- Approximate path (mode kRff / kNystrom) ------------------------
+  // True if the model scores through a feature map.
+  bool is_approximate() const { return feature_map_ != nullptr; }
+  // The feature map backing an approximate model; null for exact models.
+  const std::shared_ptr<const KrrFeatureMap>& feature_map() const {
+    return feature_map_;
+  }
+  // Ridge weights in feature space; throws for exact models.
+  std::span<const double> feature_weights() const;
+  // Assembles a trained approximate model from a prebuilt (typically shared)
+  // feature map and externally solved feature-space weights — the entry
+  // point for the population-statistics trainer in core/approx_training.
+  // weights.size() must equal map->output_dim().
+  static KrrClassifier from_feature_model(
+      KrrConfig config, std::shared_ptr<const KrrFeatureMap> map,
+      std::vector<double> weights);
+
   // --- Incremental (primal/linear only) -------------------------------
   // Adds one training sample with label in {-1,+1} via a rank-one Woodbury
   // update of (X^T X + rho I)^-1: cost O(M^2) instead of O(M^3).
@@ -71,6 +108,7 @@ class KrrClassifier final : public BinaryClassifier {
  private:
   void fit_dual(const Matrix& x, std::span<const double> y);
   void fit_primal(const Matrix& x, std::span<const double> y);
+  void fit_approx(const Matrix& x, std::span<const double> y);
   void rank_one_update(std::span<const double> x, double label, double sign);
 
   KrrConfig config_;
@@ -84,6 +122,10 @@ class KrrClassifier final : public BinaryClassifier {
   std::optional<std::vector<double>> weights_;
   Matrix inv_gram_;            // (X^T X + rho I_M)^-1, kept for updates
   std::vector<double> xty_;    // X^T y, kept for updates
+
+  // Approximate state.
+  std::shared_ptr<const KrrFeatureMap> feature_map_;
+  std::vector<double> feature_weights_;  // D ridge weights, f(z) = w . z(x)
 };
 
 }  // namespace sy::ml

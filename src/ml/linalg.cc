@@ -49,6 +49,19 @@ std::vector<double> cholesky_solve(const Matrix& l, std::span<const double> b) {
   return x;
 }
 
+void forward_substitution(const Matrix& l, std::span<const double> b,
+                          std::span<double> out) {
+  const std::size_t n = l.rows();
+  if (b.size() != n || out.size() != n) {
+    throw std::invalid_argument("forward_substitution: size");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sum =
+        num::dot_sub(b[i], l.row(i).first(i), {out.data(), i});
+    out[i] = sum / l(i, i);
+  }
+}
+
 std::vector<double> solve_spd(const Matrix& a, std::span<const double> b) {
   return cholesky_solve(cholesky(a), b);
 }

@@ -38,6 +38,13 @@ Matrix invert_spd(const Matrix& a);
 // Forward/back substitution with a lower-triangular factor L (A = L L^T).
 std::vector<double> cholesky_solve(const Matrix& l, std::span<const double> b);
 
+// Forward substitution only: solves L z = b for lower-triangular L, writing
+// z into `out` (out.size() == b.size() == l.rows()). Identical reduction
+// order to the forward half of cholesky_solve (Nystrom maps apply L_mm^-1
+// without the back pass).
+void forward_substitution(const Matrix& l, std::span<const double> b,
+                          std::span<double> out);
+
 // Multi-RHS forward/back substitution, blocked over column panels of B so a
 // factor row is reused across the whole panel instead of being re-streamed
 // once per column. Per-column results are bit-identical to the single-RHS

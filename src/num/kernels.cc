@@ -41,4 +41,14 @@ void rbf_row_kernel(const double* rows, std::size_t n_rows, std::size_t stride,
   }
 }
 
+void rff_transform_row(const double* freqs, std::size_t n_freq,
+                       std::size_t stride, const double* x, std::size_t dim,
+                       double scale, double* out) {
+  if (active_backend() == Backend::kAvx2) {
+    avx2::rff_transform_row(freqs, n_freq, stride, x, dim, scale, out);
+  } else {
+    scalar::rff_transform_row(freqs, n_freq, stride, x, dim, scale, out);
+  }
+}
+
 }  // namespace sy::num

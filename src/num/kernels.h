@@ -1,18 +1,19 @@
-// The numeric hot kernels every score and retrain bottoms out in.
-//
-// Top-level functions dispatch on backend::active_backend(); the explicit
-// scalar:: / avx2:: namespaces exist for tests and for callers that resolve
-// the backend once per batch (ml::gram_matrix, num::cholesky_inplace).
-//
-// Contracts:
-//   scalar:: — bit-exact reference. Each kernel performs the same doubles
-//     operations in the same order as the historical loops in ml/matrix.cc,
-//     ml/kernel.cc and ml/linalg.cc, so the scalar backend reproduces
-//     pre-refactor results bit-for-bit.
-//   avx2::  — lane-parallel partial sums + FMA; agrees with scalar to within
-//     1e-12 relative tolerance (property-tested, including remainder lanes).
-//     On non-x86 builds the avx2:: symbols forward to scalar:: and
-//     avx2::available() is false.
+/// \file
+/// The numeric hot kernels every score and retrain bottoms out in.
+///
+/// Top-level functions dispatch on backend::active_backend(); the explicit
+/// scalar:: / avx2:: namespaces exist for tests and for callers that resolve
+/// the backend once per batch (ml::gram_matrix, num::cholesky_inplace).
+///
+/// Contracts:
+///   - scalar:: — bit-exact reference. Each kernel performs the same doubles
+///     operations in the same order as the historical loops in ml/matrix.cc,
+///     ml/kernel.cc and ml/linalg.cc, so the scalar backend reproduces
+///     pre-refactor results bit-for-bit.
+///   - avx2::  — lane-parallel partial sums + FMA; agrees with scalar to
+///     within 1e-12 relative tolerance (property-tested, including remainder
+///     lanes). On non-x86 builds the avx2:: symbols forward to scalar:: and
+///     avx2::available() is false.
 #pragma once
 
 #include <cstddef>
@@ -22,92 +23,138 @@ namespace sy::util {
 class ThreadPool;
 }  // namespace sy::util
 
+/// Numeric kernel layer: runtime-dispatched scalar/AVX2 hot loops.
 namespace sy::num {
 
-// Inner product <a, b> of equal-length spans.
+/// Inner product `<a, b>` of equal-length spans.
 double dot(std::span<const double> a, std::span<const double> b);
 
-// Squared Euclidean distance ||a - b||^2.
+/// Squared Euclidean distance `||a - b||^2`.
 double squared_distance(std::span<const double> a, std::span<const double> b);
 
-// init - <a, b>. The scalar path subtracts term-by-term in ascending index
-// order — exactly the reduction shape of triangular solves and the Cholesky
-// trailing update ("sum -= l(i,k) * l(j,k)").
+/// `init - <a, b>`. The scalar path subtracts term-by-term in ascending
+/// index order — exactly the reduction shape of triangular solves and the
+/// Cholesky trailing update ("sum -= l(i,k) * l(j,k)").
 double dot_sub(double init, std::span<const double> a,
                std::span<const double> b);
 
-// y += alpha * x (element-wise, ascending index order).
+/// `y += alpha * x` (element-wise, ascending index order).
 void axpy(double alpha, std::span<const double> x, std::span<double> y);
 
-// Fused RBF row kernel: out[i] = exp(-gamma * ||rows_i - center||^2) for
-// n_rows row-major rows of length dim, consecutive rows `stride` doubles
-// apart. gamma must already be resolved (Kernel::effective_gamma is hoisted
-// to the batch level by the callers — it is never re-derived per row).
+/// Fused RBF row kernel: `out[i] = exp(-gamma * ||rows_i - center||^2)` for
+/// `n_rows` row-major rows of length `dim`, consecutive rows `stride`
+/// doubles apart. `gamma` must already be resolved
+/// (ml::Kernel::effective_gamma is hoisted to the batch level by the callers
+/// — it is never re-derived per row).
 void rbf_row_kernel(const double* rows, std::size_t n_rows, std::size_t stride,
                     const double* center, std::size_t dim, double gamma,
                     double* out);
 
-// Blocked right-looking Cholesky factorization, in place on the lower
-// triangle of the row-major n x n matrix `a` (leading dimension `stride`,
-// stride >= n). Panel factor + fused triangular solve + rank-k trailing
-// update; the inner reductions dispatch on the active backend. The strictly
-// upper triangle is left untouched.
-//
-// Returns n on success. On a non-positive pivot, returns its index j (the
-// matrix is not positive definite); entries at and beyond column j are
-// partially updated garbage.
-//
-// Scalar bit-exactness: every entry undergoes the same subtraction sequence
-// (ascending k), sqrt, and division as the classic unblocked left-looking
-// loop, so the scalar factor is bit-identical to it; blocking only reorders
-// which entry is visited next, never the per-entry operation order.
+/// Fused random-Fourier-feature transform row (the approximate-KRR feature
+/// map, ml::RffFeatureMap). For each of `n_freq` frequency rows `w_k`
+/// (row-major, length `dim`, consecutive rows `stride` doubles apart):
+///
+///     phase   = <w_k, x>
+///     out[2k]   = scale * cos(phase)
+///     out[2k+1] = scale * sin(phase)
+///
+/// i.e. one matrix-vector product fused with the paired cos/sin feature
+/// write; `out` must hold `2 * n_freq` doubles. The scalar path accumulates
+/// each phase in ascending index order and calls std::cos/std::sin — that is
+/// the bit-exact reference. The avx2 path evaluates four phases per step and
+/// both trigs through one Cephes-style vectorized sincos (~1 ulp), inside
+/// the 1e-12 relative budget.
+void rff_transform_row(const double* freqs, std::size_t n_freq,
+                       std::size_t stride, const double* x, std::size_t dim,
+                       double scale, double* out);
+
+/// Blocked right-looking Cholesky factorization, in place on the lower
+/// triangle of the row-major `n` x `n` matrix `a` (leading dimension
+/// `stride`, stride >= n). Panel factor + fused triangular solve + rank-k
+/// trailing update; the inner reductions dispatch on the active backend. The
+/// strictly upper triangle is left untouched.
+///
+/// \return `n` on success. On a non-positive pivot, returns its index j (the
+/// matrix is not positive definite); entries at and beyond column j are
+/// partially updated garbage.
+///
+/// Scalar bit-exactness: every entry undergoes the same subtraction sequence
+/// (ascending k), sqrt, and division as the classic unblocked left-looking
+/// loop, so the scalar factor is bit-identical to it; blocking only reorders
+/// which entry is visited next, never the per-entry operation order.
 std::size_t cholesky_inplace(double* a, std::size_t n, std::size_t stride);
 
-// Same factorization with the rank-k trailing update tiled across `pool`
-// once the trailing block has at least kCholeskyParallelRows rows (smaller
-// problems, or pool == nullptr, run the serial schedule). Tiles own disjoint
-// row ranges and read only panel columns finalized before the update starts,
-// so the result is BITWISE identical to the serial path on every backend —
-// parallelism changes which thread visits an entry, never the entry's own
-// operation order (pinned in tests/num_kernels_test).
+/// Same factorization with the rank-k trailing update tiled across `pool`
+/// once the trailing block has at least kCholeskyParallelRows rows (smaller
+/// problems, or pool == nullptr, run the serial schedule). Tiles own
+/// disjoint row ranges and read only panel columns finalized before the
+/// update starts, so the result is BITWISE identical to the serial path on
+/// every backend — parallelism changes which thread visits an entry, never
+/// the entry's own operation order (pinned in tests/num_kernels_test).
 std::size_t cholesky_inplace(double* a, std::size_t n, std::size_t stride,
                              util::ThreadPool* pool);
 
-// Trailing-update rows below which the parallel overload stays serial: a
-// tile must amortize the submit/steal handshake, and the serving stack's
-// per-user systems (tens to a few hundred rows) never benefit.
+/// Trailing-update rows below which the parallel overload stays serial: a
+/// tile must amortize the submit/steal handshake, and the serving stack's
+/// per-user systems (tens to a few hundred rows) never benefit.
 inline constexpr std::size_t kCholeskyParallelRows = 192;
 
+/// Bit-exact reference implementations (see the file contract above).
 namespace scalar {
+/// Scalar `<a, b>` — ascending-index accumulation.
 double dot(std::span<const double> a, std::span<const double> b);
+/// Scalar `||a - b||^2` — ascending-index accumulation.
 double squared_distance(std::span<const double> a, std::span<const double> b);
+/// Scalar `init - <a, b>` — ascending-index term-by-term subtraction.
 double dot_sub(double init, std::span<const double> a,
                std::span<const double> b);
+/// Scalar `y += alpha * x` — ascending-index element loop.
 void axpy(double alpha, std::span<const double> x, std::span<double> y);
+/// Scalar fused RBF row kernel (reference for the dispatched entry point).
 void rbf_row_kernel(const double* rows, std::size_t n_rows, std::size_t stride,
                     const double* center, std::size_t dim, double gamma,
                     double* out);
+/// Scalar fused cos/sin RFF transform row (reference: ascending-index phase
+/// accumulation, std::cos / std::sin per frequency).
+void rff_transform_row(const double* freqs, std::size_t n_freq,
+                       std::size_t stride, const double* x, std::size_t dim,
+                       double scale, double* out);
 }  // namespace scalar
 
+/// AVX2+FMA implementations; forward to scalar:: on non-x86 builds.
 namespace avx2 {
-// True when the AVX2+FMA code path is compiled in and this CPU supports it.
+/// True when the AVX2+FMA code path is compiled in and this CPU supports it.
 bool available();
+/// Lane-parallel `<a, b>` with FMA partial sums.
 double dot(std::span<const double> a, std::span<const double> b);
+/// Lane-parallel `||a - b||^2` with FMA partial sums.
 double squared_distance(std::span<const double> a, std::span<const double> b);
+/// `init - <a, b>` via the lane-parallel dot.
 double dot_sub(double init, std::span<const double> a,
                std::span<const double> b);
-// dst[c] -= <a, b[c]> for four right-hand rows at once — the Cholesky
-// trailing update's register-blocked micro-kernel (one call, one vector
-// subtract, no per-entry horizontal reduction).
+/// `dst[c] -= <a, b[c]>` for four right-hand rows at once — the Cholesky
+/// trailing update's register-blocked micro-kernel (one call, one vector
+/// subtract, no per-entry horizontal reduction).
 void dot_sub4(double* dst, const double* a, const double* const b[4],
               std::size_t n);
+/// Vectorized `y += alpha * x`; remainder lanes use scalar std::fma.
 void axpy(double alpha, std::span<const double> x, std::span<double> y);
+/// Quad-row fused RBF kernel (four accumulator chains + one exp4 call).
 void rbf_row_kernel(const double* rows, std::size_t n_rows, std::size_t stride,
                     const double* center, std::size_t dim, double gamma,
                     double* out);
-// Vectorized double-precision exp on 4 lanes (Cephes-style range reduction +
-// rational polynomial, ~1 ulp for normal results). Exposed for tests.
+/// Quad-frequency fused cos/sin RFF transform (four phase chains + one
+/// sincos4 call per group).
+void rff_transform_row(const double* freqs, std::size_t n_freq,
+                       std::size_t stride, const double* x, std::size_t dim,
+                       double scale, double* out);
+/// Vectorized double-precision exp on 4 lanes (Cephes-style range reduction
+/// + rational polynomial, ~1 ulp for normal results). Exposed for tests.
 void exp4(const double* x, double* out);
+/// Vectorized double-precision sin and cos on 4 lanes (Cephes-style pi/4
+/// octant reduction + polynomial, ~1-2 ulp for |x| within the float64
+/// octant-index range). Exposed for tests.
+void sincos4(const double* x, double* sin_out, double* cos_out);
 }  // namespace avx2
 
 }  // namespace sy::num

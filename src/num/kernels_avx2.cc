@@ -319,6 +319,192 @@ SY_AVX2 void rbf_row_kernel(const double* rows, std::size_t n_rows,
   }
 }
 
+namespace {
+
+// Cephes sin/cos constants (double precision): pi/4 split into three parts
+// for extended-precision argument reduction, plus the sin/cos polynomial
+// coefficients over the reduced octant argument.
+constexpr double kDP1 = 7.85398125648498535156e-1;
+constexpr double kDP2 = 3.77489470793079817668e-8;
+constexpr double kDP3 = 2.69515142907905952645e-15;
+constexpr double kFourOverPi = 1.2732395447351626862;
+constexpr double kSin0 = 1.58962301576546568060e-10;
+constexpr double kSin1 = -2.50507477628578072866e-8;
+constexpr double kSin2 = 2.75573136213857245213e-6;
+constexpr double kSin3 = -1.98412698295895385996e-4;
+constexpr double kSin4 = 8.33333333332211858878e-3;
+constexpr double kSin5 = -1.66666666666666307295e-1;
+constexpr double kCos0 = -1.13585365213876817300e-11;
+constexpr double kCos1 = 2.08757008419747316778e-9;
+constexpr double kCos2 = -2.75573141792967388112e-7;
+constexpr double kCos3 = 2.48015872888517179954e-5;
+constexpr double kCos4 = -1.38888888888730564116e-3;
+constexpr double kCos5 = 4.16666666666665929218e-2;
+// Fast-path bound: the octant index must fit the epi32 conversion
+// (|x| * 4/pi < 2^31). Lanes beyond it (or NaN) take the libm fallback.
+constexpr double kMaxSincosArg = 1073741824.0;  // 2^30
+
+// Branch-free Cephes sincos on 4 lanes. Both polynomials are evaluated and
+// swapped per the pi/4 octant (sin and cos share the reduction), with the
+// classic sign rules: sin flips for x < 0 and octant > 3; cos flips for
+// octant > 3 and again for octant > 1.
+SY_AVX2 inline void sincos_pd(__m256d x, __m256d* s_out, __m256d* c_out) {
+  const __m256d sign_bit = _mm256_set1_pd(-0.0);
+  __m256d sin_sign = _mm256_and_pd(x, sign_bit);
+  x = _mm256_andnot_pd(sign_bit, x);  // |x|
+
+  // Octant: j = floor(x * 4/pi), forced even (y tracks j as a double).
+  __m256d y = _mm256_floor_pd(_mm256_mul_pd(x, _mm256_set1_pd(kFourOverPi)));
+  __m256i j = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(y));
+  const __m256i odd = _mm256_and_si256(j, _mm256_set1_epi64x(1));
+  j = _mm256_add_epi64(j, odd);
+  const __m256d odd_mask = _mm256_castsi256_pd(
+      _mm256_cmpeq_epi64(odd, _mm256_set1_epi64x(1)));
+  y = _mm256_add_pd(y, _mm256_and_pd(odd_mask, _mm256_set1_pd(1.0)));
+  j = _mm256_and_si256(j, _mm256_set1_epi64x(7));
+
+  // Map octants 4..7 onto 0..3 with a sign flip on both results.
+  const __m256i gt3 = _mm256_cmpgt_epi64(j, _mm256_set1_epi64x(3));
+  j = _mm256_sub_epi64(j, _mm256_and_si256(gt3, _mm256_set1_epi64x(4)));
+  const __m256d gt3_sign =
+      _mm256_and_pd(_mm256_castsi256_pd(gt3), sign_bit);
+  sin_sign = _mm256_xor_pd(sin_sign, gt3_sign);
+  __m256d cos_sign = gt3_sign;
+  const __m256i gt1 = _mm256_cmpgt_epi64(j, _mm256_set1_epi64x(1));
+  cos_sign = _mm256_xor_pd(
+      cos_sign, _mm256_and_pd(_mm256_castsi256_pd(gt1), sign_bit));
+
+  // Extended-precision reduction: z = ((x - y*DP1) - y*DP2) - y*DP3.
+  __m256d z = _mm256_fnmadd_pd(y, _mm256_set1_pd(kDP1), x);
+  z = _mm256_fnmadd_pd(y, _mm256_set1_pd(kDP2), z);
+  z = _mm256_fnmadd_pd(y, _mm256_set1_pd(kDP3), z);
+  const __m256d zz = _mm256_mul_pd(z, z);
+
+  // sin(z) = z + z * zz * P_sin(zz)
+  __m256d ps = _mm256_set1_pd(kSin0);
+  ps = _mm256_fmadd_pd(ps, zz, _mm256_set1_pd(kSin1));
+  ps = _mm256_fmadd_pd(ps, zz, _mm256_set1_pd(kSin2));
+  ps = _mm256_fmadd_pd(ps, zz, _mm256_set1_pd(kSin3));
+  ps = _mm256_fmadd_pd(ps, zz, _mm256_set1_pd(kSin4));
+  ps = _mm256_fmadd_pd(ps, zz, _mm256_set1_pd(kSin5));
+  ps = _mm256_fmadd_pd(_mm256_mul_pd(ps, zz), z, z);
+  // cos(z) = 1 - zz/2 + zz * zz * P_cos(zz)
+  __m256d pc = _mm256_set1_pd(kCos0);
+  pc = _mm256_fmadd_pd(pc, zz, _mm256_set1_pd(kCos1));
+  pc = _mm256_fmadd_pd(pc, zz, _mm256_set1_pd(kCos2));
+  pc = _mm256_fmadd_pd(pc, zz, _mm256_set1_pd(kCos3));
+  pc = _mm256_fmadd_pd(pc, zz, _mm256_set1_pd(kCos4));
+  pc = _mm256_fmadd_pd(pc, zz, _mm256_set1_pd(kCos5));
+  pc = _mm256_mul_pd(pc, _mm256_mul_pd(zz, zz));
+  pc = _mm256_add_pd(pc, _mm256_fnmadd_pd(zz, _mm256_set1_pd(0.5),
+                                          _mm256_set1_pd(1.0)));
+
+  // Octants 1 and 2 swap which polynomial feeds which result.
+  const __m256d swap = _mm256_castsi256_pd(_mm256_or_si256(
+      _mm256_cmpeq_epi64(j, _mm256_set1_epi64x(1)),
+      _mm256_cmpeq_epi64(j, _mm256_set1_epi64x(2))));
+  const __m256d sin_val = _mm256_blendv_pd(ps, pc, swap);
+  const __m256d cos_val = _mm256_blendv_pd(pc, ps, swap);
+  *s_out = _mm256_xor_pd(sin_val, sin_sign);
+  *c_out = _mm256_xor_pd(cos_val, cos_sign);
+}
+
+// Single-frequency phase with the same reduction shape as one lane of the
+// quad loop in rff_transform_row (4-wide fmadd chain, hsum, scalar-fma
+// tail), so a frequency's phase never depends on its group position.
+SY_AVX2 inline double rff_phase_one(const double* w, const double* x,
+                                    std::size_t dim) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(w + i), _mm256_loadu_pd(x + i), acc);
+  }
+  double s = hsum(acc);
+  for (; i < dim; ++i) s = std::fma(w[i], x[i], s);
+  return s;
+}
+
+}  // namespace
+
+SY_AVX2 void sincos4(const double* x, double* sin_out, double* cos_out) {
+  bool fast = true;
+  for (int i = 0; i < 4; ++i) {
+    if (!(std::abs(x[i]) < kMaxSincosArg)) fast = false;  // catches NaN too
+  }
+  if (fast) {
+    __m256d s;
+    __m256d c;
+    sincos_pd(_mm256_loadu_pd(x), &s, &c);
+    _mm256_storeu_pd(sin_out, s);
+    _mm256_storeu_pd(cos_out, c);
+    return;
+  }
+  // Out-of-range or NaN lanes: the octant index would not survive the epi32
+  // conversion, so fall back to libm for the whole group (cold path).
+  for (int i = 0; i < 4; ++i) {
+    sin_out[i] = std::sin(x[i]);
+    cos_out[i] = std::cos(x[i]);
+  }
+}
+
+SY_AVX2 void rff_transform_row(const double* freqs, std::size_t n_freq,
+                               std::size_t stride, const double* x,
+                               std::size_t dim, double scale, double* out) {
+  double phases[4];
+  double sins[4];
+  double coss[4];
+  std::size_t r = 0;
+  // Quad path: four independent phase chains hide the fmadd latency, and
+  // the four sincos evaluations run as one vector call.
+  for (; r + 4 <= n_freq; r += 4) {
+    const double* w0 = freqs + r * stride;
+    const double* w1 = w0 + stride;
+    const double* w2 = w1 + stride;
+    const double* w3 = w2 + stride;
+    __m256d a0 = _mm256_setzero_pd();
+    __m256d a1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd();
+    __m256d a3 = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 4 <= dim; i += 4) {
+      const __m256d xi = _mm256_loadu_pd(x + i);
+      a0 = _mm256_fmadd_pd(_mm256_loadu_pd(w0 + i), xi, a0);
+      a1 = _mm256_fmadd_pd(_mm256_loadu_pd(w1 + i), xi, a1);
+      a2 = _mm256_fmadd_pd(_mm256_loadu_pd(w2 + i), xi, a2);
+      a3 = _mm256_fmadd_pd(_mm256_loadu_pd(w3 + i), xi, a3);
+    }
+    phases[0] = hsum(a0);
+    phases[1] = hsum(a1);
+    phases[2] = hsum(a2);
+    phases[3] = hsum(a3);
+    for (; i < dim; ++i) {
+      const double xi = x[i];
+      phases[0] = std::fma(w0[i], xi, phases[0]);
+      phases[1] = std::fma(w1[i], xi, phases[1]);
+      phases[2] = std::fma(w2[i], xi, phases[2]);
+      phases[3] = std::fma(w3[i], xi, phases[3]);
+    }
+    sincos4(phases, sins, coss);
+    for (std::size_t g = 0; g < 4; ++g) {
+      out[2 * (r + g)] = scale * coss[g];
+      out[2 * (r + g) + 1] = scale * sins[g];
+    }
+  }
+  // Remainder frequencies: one lane each of the same chain shape.
+  if (r < n_freq) {
+    const std::size_t group = n_freq - r;
+    for (std::size_t g = 0; g < group; ++g) {
+      phases[g] = rff_phase_one(freqs + (r + g) * stride, x, dim);
+    }
+    for (std::size_t g = group; g < 4; ++g) phases[g] = 0.0;
+    sincos4(phases, sins, coss);
+    for (std::size_t g = 0; g < group; ++g) {
+      out[2 * (r + g)] = scale * coss[g];
+      out[2 * (r + g) + 1] = scale * sins[g];
+    }
+  }
+}
+
 #undef SY_AVX2
 
 #else  // !SY_NUM_HAVE_AVX2: forward to scalar so callers can link anywhere.
@@ -358,6 +544,19 @@ void rbf_row_kernel(const double* rows, std::size_t n_rows, std::size_t stride,
                     const double* center, std::size_t dim, double gamma,
                     double* out) {
   scalar::rbf_row_kernel(rows, n_rows, stride, center, dim, gamma, out);
+}
+
+void sincos4(const double* x, double* sin_out, double* cos_out) {
+  for (int i = 0; i < 4; ++i) {
+    sin_out[i] = std::sin(x[i]);
+    cos_out[i] = std::cos(x[i]);
+  }
+}
+
+void rff_transform_row(const double* freqs, std::size_t n_freq,
+                       std::size_t stride, const double* x, std::size_t dim,
+                       double scale, double* out) {
+  scalar::rff_transform_row(freqs, n_freq, stride, x, dim, scale, out);
 }
 
 #endif  // SY_NUM_HAVE_AVX2

@@ -57,4 +57,18 @@ void rbf_row_kernel(const double* rows, std::size_t n_rows, std::size_t stride,
   }
 }
 
+void rff_transform_row(const double* freqs, std::size_t n_freq,
+                       std::size_t stride, const double* x, std::size_t dim,
+                       double scale, double* out) {
+  // New in the approximate-KRR layer (no historical loop to mirror): this IS
+  // the reference. Ascending-index phase accumulation, libm cos/sin.
+  for (std::size_t k = 0; k < n_freq; ++k) {
+    const double* w = freqs + k * stride;
+    double phase = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) phase += w[i] * x[i];
+    out[2 * k] = scale * std::cos(phase);
+    out[2 * k + 1] = scale * std::sin(phase);
+  }
+}
+
 }  // namespace sy::num::scalar

@@ -6,6 +6,7 @@
 #include <system_error>
 #include <utility>
 
+#include "core/approx_training.h"
 #include "core/model_store.h"
 #include "ml/matrix.h"
 #include "util/logging.h"
@@ -19,6 +20,7 @@ AuthGateway::AuthGateway(GatewayConfig config, util::ThreadPool* pool)
       cache_(config.cache_bytes,
              [this](int user) { return load_model(user); }),
       net_(config.network),
+      approx_cache_(std::make_shared<core::ApproxStatsCache>()),
       queue_(
           store_.get(), config.training,
           [this](int user, const core::AuthModel& model) {
@@ -27,7 +29,7 @@ AuthGateway::AuthGateway(GatewayConfig config, util::ThreadPool* pool)
             (void)install_model(
                 user, std::make_shared<const core::AuthModel>(model));
           },
-          pool) {
+          pool, approx_cache_.get()) {
   recover_persisted_state();
 }
 
@@ -179,7 +181,8 @@ std::shared_ptr<const core::AuthModel> AuthGateway::enroll(
   util::Rng rng(rng_seed);
   auto model = std::make_shared<const core::AuthModel>(
       core::train_user_from_store(*snapshot, config_.training, user_token,
-                                  positives, rng, version));
+                                  positives, rng, version,
+                                  approx_cache_.get()));
   account_transfer(core::model_download_bytes(*model), /*upload=*/false);
   (void)install_model(user_token, model);
   return model;

@@ -1,19 +1,20 @@
-// Multi-tenant authentication gateway — the cloud side of Fig. 1 scaled up.
-//
-// Fronts the existing core with the three serve:: pieces:
-//   contribute()   -> ShardedPopulationStore (per-shard locking)
-//   enroll()       -> synchronous training against the current population
-//                     snapshot; bundle persisted (model_dir) and cached
-//   score_batch()  -> ModelCache lookup (LRU over ModelStore bytes; misses
-//                     reload persisted bundles) + blocked per-context scoring
-//   report_drift() -> RetrainQueue; the finished model is swapped into the
-//                     cache (and persisted) via the queue's callback before
-//                     the returned future resolves — scoring never blocks on
-//                     a retrain (§V-I made asynchronous)
-//
-// All entry points are thread-safe; simulated network transfers are
-// accounted exactly like AuthServer's (and throw NetworkUnavailableError
-// when the link is down).
+/// \file
+/// Multi-tenant authentication gateway — the cloud side of Fig. 1 scaled up.
+///
+/// Fronts the existing core with the three serve:: pieces:
+///   contribute()   -> ShardedPopulationStore (per-shard locking)
+///   enroll()       -> synchronous training against the current population
+///                     snapshot; bundle persisted (model_dir) and cached
+///   score_batch()  -> ModelCache lookup (LRU over ModelStore bytes; misses
+///                     reload persisted bundles) + blocked per-context scoring
+///   report_drift() -> RetrainQueue; the finished model is swapped into the
+///                     cache (and persisted) via the queue's callback before
+///                     the returned future resolves — scoring never blocks on
+///                     a retrain (§V-I made asynchronous)
+///
+/// All entry points are thread-safe; simulated network transfers are
+/// accounted exactly like AuthServer's (and throw NetworkUnavailableError
+/// when the link is down).
 #pragma once
 
 #include <array>
@@ -40,16 +41,16 @@ struct GatewayConfig {
   std::size_t cache_bytes{64ull << 20};
   core::TrainingConfig training{};
   core::NetworkConfig network{};
-  // Directory for persisted ModelStore bundles. Empty disables persistence:
-  // evicted models are then gone until the user re-enrolls or drift-retrains.
-  // When non-empty, construction also scans the directory and rebuilds the
-  // per-user version table from the bundle headers, so a restarted gateway
-  // serves (and correctly versions) every previously enrolled user.
+  /// Directory for persisted ModelStore bundles. Empty disables persistence:
+  /// evicted models are then gone until the user re-enrolls or drift-retrains.
+  /// When non-empty, construction also scans the directory and rebuilds the
+  /// per-user version table from the bundle headers, so a restarted gateway
+  /// serves (and correctly versions) every previously enrolled user.
   std::string model_dir{};
-  // Directory for population durability (per-shard snapshot + append-log;
-  // see ShardedPopulationStore::attach_persistence). Empty disables it: a
-  // restart then silently drops the anonymized population every retrain
-  // draws its impostors from.
+  /// Directory for population durability (per-shard snapshot + append-log;
+  /// see ShardedPopulationStore::attach_persistence). Empty disables it: a
+  /// restart then silently drops the anonymized population every retrain
+  /// draws its impostors from.
   std::string persist_dir{};
   std::size_t persist_compact_threshold{1024};
   std::size_t persist_sync_every{1};
@@ -59,47 +60,47 @@ class AuthGateway {
  public:
   explicit AuthGateway(GatewayConfig config = {},
                        util::ThreadPool* pool = nullptr);
-  // Drains the retrain queue before any member goes away.
+  /// Drains the retrain queue before any member goes away.
   ~AuthGateway() = default;
 
-  // Anonymized population contribution (paper §IV-A3).
+  /// Anonymized population contribution (paper §IV-A3).
   void contribute(int contributor_token, sensors::DetectedContext context,
                   const std::vector<std::vector<double>>& vectors);
 
-  // Synchronous enrollment: accounts the upload, trains per-context models
-  // against the population snapshot, persists + caches the bundle, accounts
-  // the model download. When `contribute_positives` is set the uploaded
-  // vectors also join the anonymized population store. Returns the trained
-  // model at the next reserved version (1 on first enrollment); a
-  // re-enrollment trains and installs a fresh higher version.
-  //
-  // Per-enroll contribution is cheap: the store's snapshot rebuild is
-  // incremental (only the contributed contexts re-merge, sharing vector
-  // blocks), so mass onboarding no longer needs to batch contributions
-  // ahead of enrollment — Stats::store.snapshot_buckets_copied shows the
-  // per-rebuild work tracking contributions, not store size.
+  /// Synchronous enrollment: accounts the upload, trains per-context models
+  /// against the population snapshot, persists + caches the bundle, accounts
+  /// the model download. When `contribute_positives` is set the uploaded
+  /// vectors also join the anonymized population store. Returns the trained
+  /// model at the next reserved version (1 on first enrollment); a
+  /// re-enrollment trains and installs a fresh higher version.
+  ///
+  /// Per-enroll contribution is cheap: the store's snapshot rebuild is
+  /// incremental (only the contributed contexts re-merge, sharing vector
+  /// blocks), so mass onboarding no longer needs to batch contributions
+  /// ahead of enrollment — Stats::store.snapshot_buckets_copied shows the
+  /// per-rebuild work tracking contributions, not store size.
   std::shared_ptr<const core::AuthModel> enroll(
       int user_token, const core::VectorsByContext& positives,
       std::uint64_t rng_seed, bool contribute_positives = true);
 
-  // Scores one user's windows under the phone-detected context, with the
-  // same missing-context fallback as the on-phone Authenticator. Throws
-  // std::out_of_range for a user the gateway has never enrolled.
+  /// Scores one user's windows under the phone-detected context, with the
+  /// same missing-context fallback as the on-phone Authenticator. Throws
+  /// std::out_of_range for a user the gateway has never enrolled.
   std::vector<core::AuthDecision> score_batch(
       int user_token, sensors::DetectedContext context,
       const std::vector<std::vector<double>>& windows);
 
-  // Drift trigger: enqueues an async retrain at a version reserved above
-  // every installed or in-flight one, so concurrent retrains never collide
-  // on a version number. The new model is swapped into the cache (and
-  // persisted) before the future resolves; concurrent reports for one user
-  // coalesce while queued (the coalesced job trains the highest reserved
-  // version).
+  /// Drift trigger: enqueues an async retrain at a version reserved above
+  /// every installed or in-flight one, so concurrent retrains never collide
+  /// on a version number. The new model is swapped into the cache (and
+  /// persisted) before the future resolves; concurrent reports for one user
+  /// coalesce while queued (the coalesced job trains the highest reserved
+  /// version).
   std::shared_future<core::AuthModel> report_drift(
       int user_token, core::VectorsByContext positives,
       std::uint64_t rng_seed);
 
-  // Latest installed model version for a user; 0 when never enrolled.
+  /// Latest installed model version for a user; 0 when never enrolled.
   int model_version(int user_token) const;
 
   void set_network(core::NetworkConfig net);
@@ -111,29 +112,29 @@ class AuthGateway {
     ShardedPopulationStore::Stats store;
     core::TransferStats transfers;
     std::size_t enrolled_users{0};
-    // Users whose persisted bundles were re-registered at construction.
+    /// Users whose persisted bundles were re-registered at construction.
     std::size_t recovered_users{0};
   };
   Stats stats() const;
 
-  // What attach_persistence replayed at construction (all zero when
-  // persist_dir is empty).
+  /// What attach_persistence replayed at construction (all zero when
+  /// persist_dir is empty).
   const RecoveryStats& population_recovery() const { return recovery_; }
 
   const ShardedPopulationStore& store() const { return *store_; }
   const ModelCache& cache() const { return cache_; }
 
  private:
-  // Startup recovery: attaches population persistence (replaying
-  // snapshot+log) and rebuilds the version table from persisted bundle
-  // headers. Runs in the constructor, before any request can arrive.
+  /// Startup recovery: attaches population persistence (replaying
+  /// snapshot+log) and rebuilds the version table from persisted bundle
+  /// headers. Runs in the constructor, before any request can arrive.
   void recover_persisted_state();
   std::optional<ModelCache::LoadedModel> load_model(int user_token);
-  // RetrainQueue swap callback and the tail of enroll(): persist + cache a
-  // model iff its version is newer than the installed one (a slow, stale
-  // retrain finishing after a newer one must not overwrite it). Same-user
-  // installs are serialized on a striped mutex so the version check and the
-  // cache/disk writes commit atomically. Returns false when skipped.
+  /// RetrainQueue swap callback and the tail of enroll(): persist + cache a
+  /// model iff its version is newer than the installed one (a slow, stale
+  /// retrain finishing after a newer one must not overwrite it). Same-user
+  /// installs are serialized on a striped mutex so the version check and the
+  /// cache/disk writes commit atomically. Returns false when skipped.
   bool install_model(int user_token,
                      std::shared_ptr<const core::AuthModel> model);
   std::string model_path(int user_token) const;
@@ -153,14 +154,19 @@ class AuthGateway {
   };
   mutable std::mutex version_mutex_;
   std::unordered_map<int, VersionSlot> versions_;
-  // Striped per-user install serialization; see install_model().
+  /// Striped per-user install serialization; see install_model().
   std::array<std::mutex, 16> install_mutexes_;
 
   RecoveryStats recovery_;
   std::size_t recovered_users_{0};
 
-  // Declared last: destroyed first, draining in-flight retrains while the
-  // store/cache they reference are still alive.
+  /// Shared approximate-mode population statistics: enroll() and the retrain
+  /// queue reuse one per-context build per snapshot prefix. Declared before
+  /// queue_ (the queue holds a raw pointer into it). Untouched in exact mode.
+  std::shared_ptr<core::ApproxStatsCache> approx_cache_;
+
+  /// Declared last: destroyed first, draining in-flight retrains while the
+  /// store/cache they reference are still alive.
   RetrainQueue queue_;
 };
 

@@ -1,14 +1,15 @@
-// Byte sinks behind the per-shard append-log (serve::ShardLog).
-//
-// The log's durability semantics live behind this interface so the
-// crash-recovery test harness can inject storage faults — torn (truncated)
-// writes, bit flips, dropped fsyncs — at a chosen point and prove that
-// recovery replays exactly the durable prefix instead of crashing or
-// silently resurrecting lost data.
-//
-// Model: append() buffers bytes with the OS (visible to a post-crash read
-// after a mere process kill); sync() makes everything appended so far
-// survive power loss; reset() truncates the log to empty (compaction).
+/// \file
+/// Byte sinks behind the per-shard append-log (serve::ShardLog).
+///
+/// The log's durability semantics live behind this interface so the
+/// crash-recovery test harness can inject storage faults — torn (truncated)
+/// writes, bit flips, dropped fsyncs — at a chosen point and prove that
+/// recovery replays exactly the durable prefix instead of crashing or
+/// silently resurrecting lost data.
+///
+/// Model: append() buffers bytes with the OS (visible to a post-crash read
+/// after a mere process kill); sync() makes everything appended so far
+/// survive power loss; reset() truncates the log to empty (compaction).
 #pragma once
 
 #include <cstdint>
@@ -27,9 +28,9 @@ class LogSink {
   virtual void reset() = 0;
 };
 
-// POSIX file appender: O_APPEND writes, fsync() on sync(), ftruncate() on
-// reset(). Throws core::ModelStoreError-compatible std::runtime_error on I/O
-// failure (a shard that cannot persist must fail loudly, not drop data).
+/// POSIX file appender: O_APPEND writes, fsync() on sync(), ftruncate() on
+/// reset(). Throws core::ModelStoreError-compatible std::runtime_error on I/O
+/// failure (a shard that cannot persist must fail loudly, not drop data).
 class FileLogSink final : public LogSink {
  public:
   explicit FileLogSink(std::string path);
@@ -47,7 +48,7 @@ class FileLogSink final : public LogSink {
   int fd_{-1};
 };
 
-// One storage fault, armed at a chosen position in the write stream.
+/// One storage fault, armed at a chosen position in the write stream.
 struct FaultPlan {
   enum class Kind {
     kNone,
@@ -59,11 +60,11 @@ struct FaultPlan {
   std::uint64_t at{0};
 };
 
-// In-memory sink for the fault-injection harness. Appended bytes become
-// "durable" only when an effective sync() runs (kDropSyncsFrom makes later
-// syncs no-ops). materialize_crash() then writes the durable image — after
-// applying the truncation/bit-flip mutation — to the real log path, which a
-// fresh store recovers from with ordinary FileLogSinks.
+/// In-memory sink for the fault-injection harness. Appended bytes become
+/// "durable" only when an effective sync() runs (kDropSyncsFrom makes later
+/// syncs no-ops). materialize_crash() then writes the durable image — after
+/// applying the truncation/bit-flip mutation — to the real log path, which a
+/// fresh store recovers from with ordinary FileLogSinks.
 class FaultInjectingLogSink final : public LogSink {
  public:
   FaultInjectingLogSink(std::string path, FaultPlan plan);
@@ -72,12 +73,12 @@ class FaultInjectingLogSink final : public LogSink {
   void sync() override;
   void reset() override;
 
-  // Simulates the crash: replaces the file at `path` with what storage
-  // actually held (durable bytes, mutated per the fault plan).
+  /// Simulates the crash: replaces the file at `path` with what storage
+  /// actually held (durable bytes, mutated per the fault plan).
   void materialize_crash() const;
 
-  // Re-arms the fault mid-run (e.g. after observing the byte offset of the
-  // record the test wants to tear).
+  /// Re-arms the fault mid-run (e.g. after observing the byte offset of the
+  /// record the test wants to tear).
   void set_plan(FaultPlan plan) { plan_ = plan; }
 
   std::size_t bytes_appended() const { return buffer_.size(); }

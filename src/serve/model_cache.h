@@ -1,15 +1,16 @@
-// Bounded LRU cache of deserialized AuthModels for the serving gateway.
-//
-// A gateway serves far more enrolled users than fit in memory; models are
-// persisted as ModelStore bundles and only the hot working set stays
-// deserialized. Entries are charged at their ModelStore-serialized size, so
-// the byte budget maps directly onto bundle storage. A miss invokes the
-// optional loader (disk load, remote fetch, deterministic retrain) outside
-// the cache lock; hit/miss/eviction/load counters feed the gateway's
-// telemetry.
-//
-// Thread-safe. Lookups return shared_ptrs, so a model stays valid for
-// in-flight scoring even if it is evicted or swapped concurrently.
+/// \file
+/// Bounded LRU cache of deserialized AuthModels for the serving gateway.
+///
+/// A gateway serves far more enrolled users than fit in memory; models are
+/// persisted as ModelStore bundles and only the hot working set stays
+/// deserialized. Entries are charged at their ModelStore-serialized size, so
+/// the byte budget maps directly onto bundle storage. A miss invokes the
+/// optional loader (disk load, remote fetch, deterministic retrain) outside
+/// the cache lock; hit/miss/eviction/load counters feed the gateway's
+/// telemetry.
+///
+/// Thread-safe. Lookups return shared_ptrs, so a model stays valid for
+/// in-flight scoring even if it is evicted or swapped concurrently.
 #pragma once
 
 #include <cstdint>
@@ -26,31 +27,31 @@ namespace sy::serve {
 
 class ModelCache {
  public:
-  // A loaded model plus its serialized size; bytes == 0 means unknown and
-  // the cache measures it via ModelStore::serialize.
+  /// A loaded model plus its serialized size; bytes == 0 means unknown and
+  /// the cache measures it via ModelStore::serialize.
   struct LoadedModel {
     core::AuthModel model;
     std::size_t bytes{0};
   };
-  // Returns the model for a user absent from the cache, or nullopt when the
-  // user is unknown. Called outside the cache lock; may run concurrently
-  // for different users.
+  /// Returns the model for a user absent from the cache, or nullopt when the
+  /// user is unknown. Called outside the cache lock; may run concurrently
+  /// for different users.
   using Loader = std::function<std::optional<LoadedModel>(int user)>;
 
-  // `capacity_bytes` bounds the sum of serialized entry sizes; a single
-  // entry larger than the budget is still admitted (the cache must serve).
+  /// `capacity_bytes` bounds the sum of serialized entry sizes; a single
+  /// entry larger than the budget is still admitted (the cache must serve).
   explicit ModelCache(std::size_t capacity_bytes, Loader loader = nullptr);
 
-  // Inserts or replaces a user's model (replace = model swap after a
-  // retrain), then evicts LRU entries until the budget holds.
+  /// Inserts or replaces a user's model (replace = model swap after a
+  /// retrain), then evicts LRU entries until the budget holds.
   void put(int user, core::AuthModel model);
-  // Same, for callers that already hold a shared model and know its
-  // serialized size (avoids a redundant serialize+digest pass).
+  /// Same, for callers that already hold a shared model and know its
+  /// serialized size (avoids a redundant serialize+digest pass).
   void put(int user, std::shared_ptr<const core::AuthModel> model,
            std::size_t bytes);
 
-  // Hit: bumps recency and returns the cached model. Miss: runs the loader,
-  // caches and returns its result, or nullptr when the user is unknown.
+  /// Hit: bumps recency and returns the cached model. Miss: runs the loader,
+  /// caches and returns its result, or nullptr when the user is unknown.
   std::shared_ptr<const core::AuthModel> get(int user);
 
   bool contains(int user) const;
@@ -74,7 +75,7 @@ class ModelCache {
     std::list<int>::iterator lru_it;  // position in lru_ (front = hottest)
   };
 
-  // All three called with mutex_ held.
+  /// All three called with mutex_ held.
   void insert_locked(int user, std::shared_ptr<const core::AuthModel> model,
                      std::size_t bytes);
   void evict_to_budget_locked(int keep_user);

@@ -1,12 +1,13 @@
-// Bridges the phone-side core::SmarterYou facade onto the shared
-// serve::RetrainQueue, completing the §V-I flow end to end: a drift trigger
-// (or a retrain_pending() deferral from an offline period) uploads the drift
-// windows through the AuthServer's simulated network — throwing
-// NetworkUnavailableError while offline, so deferral semantics are
-// unchanged — and then trains asynchronously on the queue's thread pool
-// instead of stalling the scoring loop inside AuthServer::train_user_model.
-// The finished model is installed by SmarterYou::poll_async_retrain() on the
-// next session or explicit re-auth.
+/// \file
+/// Bridges the phone-side core::SmarterYou facade onto the shared
+/// serve::RetrainQueue, completing the §V-I flow end to end: a drift trigger
+/// (or a retrain_pending() deferral from an offline period) uploads the drift
+/// windows through the AuthServer's simulated network — throwing
+/// NetworkUnavailableError while offline, so deferral semantics are
+/// unchanged — and then trains asynchronously on the queue's thread pool
+/// instead of stalling the scoring loop inside AuthServer::train_user_model.
+/// The finished model is installed by SmarterYou::poll_async_retrain() on the
+/// next session or explicit re-auth.
 #pragma once
 
 #include "core/auth_server.h"
@@ -15,11 +16,11 @@
 
 namespace sy::serve {
 
-// Installs an async retrainer backed by `queue` into `phone`. `server` is
-// used only for simulated transfer accounting (its network availability
-// gates the upload); `queue` must be built over the same population store
-// and training config as `server` for the async models to match the sync
-// ones. Both must outlive `phone`'s use of the hook.
+/// Installs an async retrainer backed by `queue` into `phone`. `server` is
+/// used only for simulated transfer accounting (its network availability
+/// gates the upload); `queue` must be built over the same population store
+/// and training config as `server` for the async models to match the sync
+/// ones. Both must outlive `phone`'s use of the hook.
 void attach_async_retrains(core::SmarterYou& phone, core::AuthServer& server,
                            RetrainQueue& queue);
 

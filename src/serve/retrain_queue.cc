@@ -9,8 +9,13 @@ namespace sy::serve {
 
 RetrainQueue::RetrainQueue(const core::PopulationStoreBackend* store,
                            core::TrainingConfig config, SwapFn swap,
-                           util::ThreadPool* pool)
-    : store_(store), config_(config), swap_(std::move(swap)), pool_(pool) {}
+                           util::ThreadPool* pool,
+                           core::ApproxStatsCache* stats_cache)
+    : store_(store),
+      config_(config),
+      swap_(std::move(swap)),
+      pool_(pool),
+      stats_cache_(stats_cache) {}
 
 RetrainQueue::~RetrainQueue() {
   // Pool tasks capture shared_ptr<Job> plus `this`; every accepted job must
@@ -72,9 +77,9 @@ void RetrainQueue::run(const std::shared_ptr<Job>& job) {
     const std::shared_ptr<const core::PopulationStore> snapshot =
         store_->snapshot();
     util::Rng rng(request.rng_seed);
-    core::AuthModel model =
-        core::train_user_from_store(*snapshot, config_, request.user_token,
-                                    request.positives, rng, request.version);
+    core::AuthModel model = core::train_user_from_store(
+        *snapshot, config_, request.user_token, request.positives, rng,
+        request.version, stats_cache_);
     // Swap before resolving: when the future is ready, the new model is
     // already live in the gateway.
     if (swap_) swap_(request.user_token, model);

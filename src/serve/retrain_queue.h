@@ -1,18 +1,19 @@
-// Asynchronous drift-retraining queue (paper §V-I, Fig. 7 — made non-blocking).
-//
-// The on-phone path (core::SmarterYou + ConfidenceMonitor) detects
-// behavioral drift and today retrains synchronously, stalling the scoring
-// loop for the round-trip + training time. RetrainQueue moves that work onto
-// util::ThreadPool: a drift trigger enqueues a training job against the
-// population store's current snapshot, and the finished AuthModel is swapped
-// in through a callback (installed by the gateway: cache put + persistence)
-// before the caller-visible future resolves — scoring never blocks.
-//
-// Duplicate triggers are coalesced per (user, context): while a user's job
-// is still queued, later requests fold their per-context vectors into it
-// (latest upload wins per context) and all callers share the same future.
-// Once the job has started, a new request queues a fresh job — it trains
-// with newer data against a newer snapshot.
+/// \file
+/// Asynchronous drift-retraining queue (paper §V-I, Fig. 7 — made non-blocking).
+///
+/// The on-phone path (core::SmarterYou + ConfidenceMonitor) detects
+/// behavioral drift and today retrains synchronously, stalling the scoring
+/// loop for the round-trip + training time. RetrainQueue moves that work onto
+/// util::ThreadPool: a drift trigger enqueues a training job against the
+/// population store's current snapshot, and the finished AuthModel is swapped
+/// in through a callback (installed by the gateway: cache put + persistence)
+/// before the caller-visible future resolves — scoring never blocks.
+///
+/// Duplicate triggers are coalesced per (user, context): while a user's job
+/// is still queued, later requests fold their per-context vectors into it
+/// (latest upload wins per context) and all callers share the same future.
+/// Once the job has started, a new request queues a fresh job — it trains
+/// with newer data against a newer snapshot.
 #pragma once
 
 #include <condition_variable>
@@ -30,8 +31,8 @@ namespace sy::serve {
 
 class RetrainQueue {
  public:
-  // Invoked on the worker thread with the finished model before the job's
-  // future resolves; this is where the gateway swaps the live model.
+  /// Invoked on the worker thread with the finished model before the job's
+  /// future resolves; this is where the gateway swaps the live model.
   using SwapFn = std::function<void(int user, const core::AuthModel& model)>;
 
   struct Request {
@@ -41,23 +42,27 @@ class RetrainQueue {
     int version{1};
   };
 
-  // `store` is not owned and must outlive the queue. `pool` may be null
-  // (ThreadPool::shared()); a non-null pool must outlive the queue.
+  /// `store` is not owned and must outlive the queue. `pool` may be null
+  /// (ThreadPool::shared()); a non-null pool must outlive the queue.
+  /// `stats_cache` — optional, not owned, must outlive the queue — shares
+  /// approximate-mode population statistics with the enrollment path (unused
+  /// in exact mode).
   RetrainQueue(const core::PopulationStoreBackend* store,
                core::TrainingConfig config, SwapFn swap,
-               util::ThreadPool* pool = nullptr);
-  // Drains: blocks until every accepted job has completed or failed.
+               util::ThreadPool* pool = nullptr,
+               core::ApproxStatsCache* stats_cache = nullptr);
+  /// Drains: blocks until every accepted job has completed or failed.
   ~RetrainQueue();
 
   RetrainQueue(const RetrainQueue&) = delete;
   RetrainQueue& operator=(const RetrainQueue&) = delete;
 
-  // Enqueues an async retrain and returns a future for the new model.
-  // Training failures (and swap-callback failures) surface through the
-  // future as exceptions; the scoring path keeps the old model either way.
+  /// Enqueues an async retrain and returns a future for the new model.
+  /// Training failures (and swap-callback failures) surface through the
+  /// future as exceptions; the scoring path keeps the old model either way.
   std::shared_future<core::AuthModel> submit(Request request);
 
-  // Blocks until no job is queued or running.
+  /// Blocks until no job is queued or running.
   void wait_idle();
 
   struct Stats {
@@ -81,11 +86,12 @@ class RetrainQueue {
   const core::PopulationStoreBackend* store_;  // not owned
   core::TrainingConfig config_;
   SwapFn swap_;
-  util::ThreadPool* pool_;  // not owned
+  util::ThreadPool* pool_;                 // not owned
+  core::ApproxStatsCache* stats_cache_;    // not owned, may be null
 
   mutable std::mutex mutex_;
   std::condition_variable idle_;
-  // Queued-but-not-started jobs, keyed by user token (the coalescing window).
+  /// Queued-but-not-started jobs, keyed by user token (the coalescing window).
   std::map<int, std::shared_ptr<Job>> queued_;
   std::size_t in_flight_{0};
   std::uint64_t submitted_{0};

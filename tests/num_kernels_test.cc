@@ -170,6 +170,31 @@ TEST(NumScalar, RbfRowKernelBitIdenticalToReference) {
   }
 }
 
+TEST(NumScalar, RffTransformRowBitIdenticalToReference) {
+  // rff_transform_row is new with the approximate-KRR layer, so the scalar
+  // kernel IS the reference; this pins the definition (ascending-index phase
+  // accumulation, libm cos/sin) against accidental reassociation.
+  util::Rng rng(1007);
+  for (const std::size_t dim : {1u, 3u, 14u, 28u, 29u}) {
+    for (const std::size_t n_freq : {1u, 2u, 3u, 4u, 5u, 7u, 32u, 37u}) {
+      const auto freqs = random_vector(rng, n_freq * dim, 2.0);
+      const auto x = random_vector(rng, dim, 2.0);
+      const double scale = 1.0 / std::sqrt(static_cast<double>(n_freq));
+      std::vector<double> out(2 * n_freq);
+      scalar::rff_transform_row(freqs.data(), n_freq, dim, x.data(), dim,
+                                scale, out.data());
+      for (std::size_t k = 0; k < n_freq; ++k) {
+        double phase = 0.0;
+        for (std::size_t i = 0; i < dim; ++i) phase += freqs[k * dim + i] * x[i];
+        EXPECT_EQ(out[2 * k], scale * std::cos(phase))
+            << "dim=" << dim << " k=" << k;
+        EXPECT_EQ(out[2 * k + 1], scale * std::sin(phase))
+            << "dim=" << dim << " k=" << k;
+      }
+    }
+  }
+}
+
 TEST(NumScalar, BlockedCholeskyBitIdenticalToUnblockedReference) {
   util::Rng rng(1006);
   // Sizes straddling the 64-column panel: 1 panel, exact boundary, several.
@@ -348,6 +373,69 @@ TEST(NumAvx2, RbfRowKernelMatchesScalarWithinTolerance) {
                              gamma, want.data());
       for (std::size_t r = 0; r < rows; ++r) {
         expect_rel_close(got[r], want[r]);
+      }
+    }
+  }
+}
+
+TEST(NumAvx2, Sincos4MatchesLibmWithinTolerance) {
+  SY_REQUIRE_AVX2();
+  util::Rng rng(2007);
+  // RFF phases are dots of N(0, 2*gamma) frequencies with standardized
+  // features — overwhelmingly within a few tens of radians — but cover the
+  // octant boundaries and moderately large arguments too.
+  std::vector<double> args{0.0,           1e-12,         -1e-12,
+                           0.785398163,   -0.785398163,  1.5707963267948966,
+                           3.14159265358, -3.14159265358, 6.283185307,
+                           100.0,         -1000.0,        12345.678};
+  for (int i = 0; i < 500; ++i) args.push_back(rng.gaussian(0.0, 20.0));
+  for (std::size_t i = 0; i < args.size(); i += 4) {
+    double in[4] = {0.0, 0.0, 0.0, 0.0};
+    const std::size_t m = std::min<std::size_t>(4, args.size() - i);
+    for (std::size_t g = 0; g < m; ++g) in[g] = args[i + g];
+    double s[4], c[4];
+    avx2::sincos4(in, s, c);
+    for (std::size_t g = 0; g < m; ++g) {
+      // sin/cos land in [-1, 1]; absolute tolerance is the meaningful bound.
+      EXPECT_NEAR(s[g], std::sin(in[g]), 1e-12) << "x=" << in[g];
+      EXPECT_NEAR(c[g], std::cos(in[g]), 1e-12) << "x=" << in[g];
+    }
+  }
+
+  // Out-of-range and non-finite lanes take the libm fallback path.
+  const double quiet_nan = std::numeric_limits<double>::quiet_NaN();
+  double in[4] = {1.0, quiet_nan, 1.1e9, -0.25};
+  double s[4], c[4];
+  avx2::sincos4(in, s, c);
+  EXPECT_EQ(s[0], std::sin(1.0));
+  EXPECT_EQ(c[0], std::cos(1.0));
+  EXPECT_TRUE(std::isnan(s[1]));
+  EXPECT_TRUE(std::isnan(c[1]));
+  EXPECT_EQ(s[2], std::sin(1.1e9));
+  EXPECT_EQ(c[2], std::cos(1.1e9));
+  EXPECT_EQ(s[3], std::sin(-0.25));
+  EXPECT_EQ(c[3], std::cos(-0.25));
+}
+
+TEST(NumAvx2, RffTransformRowMatchesScalarWithinTolerance) {
+  SY_REQUIRE_AVX2();
+  util::Rng rng(2008);
+  // Frequency counts covering every quad-remainder lane and dims covering
+  // every dot-remainder lane.
+  for (const std::size_t dim : {1u, 3u, 14u, 28u, 29u}) {
+    for (const std::size_t n_freq : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 37u, 128u}) {
+      const auto freqs = random_vector(rng, n_freq * dim, 1.5);
+      const auto x = random_vector(rng, dim, 1.5);
+      const double scale = 1.0 / std::sqrt(static_cast<double>(n_freq));
+      std::vector<double> got(2 * n_freq), want(2 * n_freq);
+      avx2::rff_transform_row(freqs.data(), n_freq, dim, x.data(), dim, scale,
+                              got.data());
+      scalar::rff_transform_row(freqs.data(), n_freq, dim, x.data(), dim,
+                                scale, want.data());
+      for (std::size_t j = 0; j < 2 * n_freq; ++j) {
+        // Outputs are in [-scale, scale]; bound absolutely at 1e-12.
+        EXPECT_NEAR(got[j], want[j], 1e-12)
+            << "dim=" << dim << " n_freq=" << n_freq << " j=" << j;
       }
     }
   }
