@@ -33,14 +33,17 @@ void mirror_lower(ml::Matrix& m) {
   }
 }
 
-// Block pointers covering the first `prefix` elements of the bucket.
-std::vector<const void*> prefix_block_pointers(const PopulationBucket& bucket,
-                                               std::size_t prefix) {
-  std::vector<const void*> out;
+// Block handles covering the first `prefix` elements of the bucket. Shared
+// (not raw) pointers: the cache stores these as its identity, and holding
+// the payloads alive is what makes pointer equality mean content equality
+// (a freed block's address could otherwise be recycled for new content).
+std::vector<VectorBlock> prefix_block_handles(const PopulationBucket& bucket,
+                                              std::size_t prefix) {
+  std::vector<VectorBlock> out;
   std::size_t covered = 0;
   for (const auto& block : bucket.blocks()) {
     if (covered >= prefix) break;
-    out.push_back(block.get());
+    out.push_back(block);
     covered += block->size();
   }
   return out;
@@ -67,10 +70,12 @@ ApproxContextStats build_approx_context_stats(const PopulationBucket& bucket,
   ApproxContextStats stats;
   stats.dim = dim;
   stats.prefix_vectors = pow2_floor(bucket.size());
-  stats.prefix_blocks = prefix_block_pointers(bucket, stats.prefix_vectors);
+  stats.prefix_blocks = prefix_block_handles(bucket, stats.prefix_vectors);
   stats.mode = config.mode;
   stats.approx_dim = config.approx_dim;
   stats.approx_seed = config.approx_seed;
+  stats.kernel_type = config.kernel.type;
+  stats.kernel_gamma = config.kernel.effective_gamma(dim);
 
   // Population scaler: per-column streaming Welford over the prefix, in
   // ascending element order — the identical add sequence per column as
@@ -99,7 +104,7 @@ ApproxContextStats build_approx_context_stats(const PopulationBucket& bucket,
   stats.scaler = ml::StandardScaler::unpack(packed);
 
   ml::Kernel resolved = config.kernel;
-  resolved.gamma = config.kernel.effective_gamma(dim);
+  resolved.gamma = stats.kernel_gamma;
   if (config.mode == ml::TrainingMode::kRff) {
     stats.map = ml::RffFeatureMap::build(dim, config.approx_dim,
                                          resolved.gamma, config.approx_seed);
@@ -137,22 +142,27 @@ ExclusionStats user_exclusion_stats(const ApproxContextStats& stats,
   excl.gram = ml::Matrix(d, d);
   excl.sum.assign(d, 0.0);
 
-  // A block is one contribute() call by one contributor, so the contributor
-  // of its first element identifies the whole block; scanning block HEADERS
-  // costs O(blocks), and only the user's own vectors are transformed.
+  // Contributor is checked PER VECTOR: a live bucket holds one contributor
+  // per block (one contribute() call), but a snapshot-recovered bucket is
+  // rebuilt as one merged block mixing every contributor of its shard
+  // (population_codec read_population_segment), so a block header identifies
+  // nothing. The scan costs O(prefix) integer compares — noise next to the
+  // stats build — while transforms still run only on the user's own vectors,
+  // and accumulation stays in bucket element order, so live and recovered
+  // stores yield bit-identical exclusion statistics.
   std::vector<double> z(d);
   std::size_t offset = 0;
   for (const auto& block : bucket.blocks()) {
     if (offset >= stats.prefix_vectors) break;
     const std::size_t take =
         std::min(block->size(), stats.prefix_vectors - offset);
-    if ((*block)[0].contributor == user_token) {
-      for (std::size_t e = 0; e < take; ++e) {
-        const auto scaled = stats.scaler.transform((*block)[e].vector);
-        stats.map->transform(scaled, z);
-        accumulate_z(z, excl.gram, excl.sum);
-      }
-      excl.count += take;
+    for (std::size_t e = 0; e < take; ++e) {
+      const StoredVector& stored = (*block)[e];
+      if (stored.contributor != user_token) continue;
+      const auto scaled = stats.scaler.transform(stored.vector);
+      stats.map->transform(scaled, z);
+      accumulate_z(z, excl.gram, excl.sum);
+      ++excl.count;
     }
     offset += block->size();
   }
@@ -206,24 +216,38 @@ std::shared_ptr<const ApproxContextStats> ApproxStatsCache::get(
     sensors::DetectedContext context, const PopulationBucket& bucket,
     std::size_t dim, const ml::KrrConfig& config) {
   const std::size_t prefix = pow2_floor(bucket.size());
-  const auto current = prefix_block_pointers(bucket, prefix);
+  const auto current = prefix_block_handles(bucket, prefix);
+  const double gamma = config.kernel.effective_gamma(dim);
+  const auto matches = [&](const ApproxContextStats& e) {
+    return e.dim == dim && e.mode == config.mode &&
+           e.approx_dim == config.approx_dim &&
+           e.approx_seed == config.approx_seed &&
+           e.kernel_type == config.kernel.type && e.kernel_gamma == gamma &&
+           e.prefix_blocks == current;
+  };
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = entries_.find(context);
-  if (it != entries_.end()) {
-    const ApproxContextStats& e = *it->second;
-    if (e.dim == dim && e.mode == config.mode &&
-        e.approx_dim == config.approx_dim &&
-        e.approx_seed == config.approx_seed && e.prefix_blocks == current) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(context);
+    if (it != entries_.end() && matches(*it->second)) {
       ++stats_.hits;
       return it->second;
     }
   }
+
+  // Build OUTSIDE the lock: the build is O(prefix * D) transforms plus a
+  // D x D Cholesky, and a miss on one context must not stall lookups for
+  // every other. Concurrent misses on the same identity build redundantly
+  // but deterministically (bit-identical results); the first to re-lock
+  // installs, later ones adopt the installed entry so all callers share.
   auto built = std::make_shared<const ApproxContextStats>(
       build_approx_context_stats(bucket, dim, config));
-  entries_[context] = built;
+  std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.builds;
-  return built;
+  auto& slot = entries_[context];
+  if (slot != nullptr && matches(*slot)) return slot;
+  slot = std::move(built);
+  return slot;
 }
 
 ApproxStatsCache::Stats ApproxStatsCache::stats() const {

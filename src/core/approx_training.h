@@ -34,10 +34,14 @@
 //   * The pow2-floor prefix means stats rebuild only at size doublings
 //     (amortized O(1) rebuilds per contribution) and a cache entry stays
 //     valid across appends that do not cross a doubling.
-//   * Self-exclusion is block-exact: a VectorBlock is one contribute() call
-//     by one contributor, so subtracting the z-statistics of the user's own
-//     blocks inside the prefix removes their vectors exactly, at cost
-//     proportional to their own data only.
+//   * Self-exclusion is vector-exact: every StoredVector inside the prefix
+//     carries its contributor token, and subtracting the z-statistics of the
+//     vectors bearing the user's token removes their data exactly. The check
+//     is per vector, never per block header: a live bucket holds one
+//     contributor per block, but snapshot recovery rebuilds a whole shard's
+//     context as one merged block mixing contributors, and exclusion must be
+//     identical across both layouts. Transforms still run only on the user's
+//     own vectors.
 #pragma once
 
 #include <cstdint>
@@ -67,15 +71,20 @@ struct ApproxContextStats {
   std::shared_ptr<const ml::KrrFeatureMap> map;
   ml::Matrix gram;                  // G: D x D, over the standardized prefix
   std::vector<double> feature_sum;  // s: D
-  // Cache identity: the block pointers covering the prefix at build time,
+  // Cache identity: the block handles covering the prefix at build time,
   // plus the config fields the map/scaler depend on. A bucket whose covering
   // prefix still aliases these exact blocks has identical content, so the
   // entry is reusable; a recovered store rebuilds blocks (different
   // pointers, same content) and deterministically rebuilds to the same bits.
-  std::vector<const void*> prefix_blocks;
+  // Shared handles, not raw pointers: the entry keeps its blocks alive, so a
+  // pointer match can never be an ABA false hit against a freed-and-reused
+  // address.
+  std::vector<VectorBlock> prefix_blocks;
   ml::TrainingMode mode{ml::TrainingMode::kExact};
   std::size_t approx_dim{0};
   std::uint64_t approx_seed{0};
+  ml::KernelType kernel_type{ml::KernelType::kRbf};
+  double kernel_gamma{0.0};  // effective (dim-resolved) gamma
 };
 
 // Builds the shared statistics for one context bucket. Pure function of
@@ -85,8 +94,10 @@ ApproxContextStats build_approx_context_stats(const PopulationBucket& bucket,
                                               std::size_t dim,
                                               const ml::KrrConfig& config);
 
-// The z-statistics of one user's own blocks inside the stats prefix — the
-// exact quantity to subtract from (G, s) for self-exclusion.
+// The z-statistics of one user's own vectors inside the stats prefix — the
+// exact quantity to subtract from (G, s) for self-exclusion. Contributor is
+// matched per vector, so the result is independent of block layout (live
+// per-contribution blocks vs a recovered merged block).
 struct ExclusionStats {
   ml::Matrix gram;
   std::vector<double> sum;

@@ -256,6 +256,101 @@ TEST(ApproxTraining, ErrorSemanticsMatchExactPath) {
                std::invalid_argument);
 }
 
+TEST(ApproxStats, ExclusionIdenticalAcrossBlockLayouts) {
+  // A live bucket holds one contributor per block (one contribute() call);
+  // a snapshot-recovered bucket is rebuilt as ONE merged block mixing every
+  // contributor (population_codec read_population_segment). Exclusion must
+  // be a function of content only: same counts, same statistics, same model
+  // bits on both layouts. A block-header contributor shortcut fails here —
+  // for the block's first contributor it subtracts the whole prefix, for
+  // everyone else nothing.
+  PopulationBucket per_block;
+  for (int u = 0; u < 5; ++u) {
+    per_block.append_block(
+        make_vector_block(u, vectors_for(u, 16, 4000u + static_cast<unsigned>(u))));
+  }
+  auto merged_payload = std::make_shared<std::vector<StoredVector>>();
+  for (const auto& stored : per_block) merged_payload->push_back(stored);
+  PopulationBucket merged;
+  merged.append_block(std::move(merged_payload));
+
+  for (const auto mode :
+       {ml::TrainingMode::kRff, ml::TrainingMode::kNystrom}) {
+    const auto config = approx_config(mode);
+    const auto stats_a = build_approx_context_stats(per_block, kDim, config.krr);
+    const auto stats_b = build_approx_context_stats(merged, kDim, config.krr);
+    ASSERT_EQ(stats_a.prefix_vectors, 64u);  // pow2_floor(80): user 4 is out
+    // User 0 heads the merged block; user 3 sits mid-block. Both must
+    // exclude exactly their own 16 vectors on either layout.
+    for (const int user : {0, 3}) {
+      const ExclusionStats ea = user_exclusion_stats(stats_a, per_block, user);
+      const ExclusionStats eb = user_exclusion_stats(stats_b, merged, user);
+      EXPECT_EQ(ea.count, 16u) << ml::to_string(mode) << " user " << user;
+      EXPECT_EQ(eb.count, 16u) << ml::to_string(mode) << " user " << user;
+      EXPECT_EQ(ea.sum, eb.sum);
+      EXPECT_EQ(0,
+                std::memcmp(ea.gram.data().data(), eb.gram.data().data(),
+                            ea.gram.rows() * ea.gram.cols() * sizeof(double)));
+      const auto positives =
+          vectors_for(user, 8, 70u + static_cast<unsigned>(user));
+      const auto ma = train_classifier_from_stats(stats_a, ea, positives, config);
+      const auto mb = train_classifier_from_stats(stats_b, eb, positives, config);
+      EXPECT_EQ(ma.pack(), mb.pack()) << ml::to_string(mode) << " user " << user;
+    }
+  }
+}
+
+TEST(ApproxTraining, GatewayEnrollAfterCompactedSnapshotRecovery) {
+  // The first restart replays per-record log blocks (one contributor each);
+  // constructing the store then compacts, so the SECOND restart recovers
+  // each shard's bucket purely from the snapshot — one merged block mixing
+  // all contributors. Self-exclusion must keep working on that layout: an
+  // enrolling contributor trains against everyone else's data and
+  // reproduces the live run's model bits.
+  ScratchDir scratch("snapshot_mixed_block");
+  serve::GatewayConfig gc;
+  gc.shards = 1;  // every contributor merges into a single snapshot block
+  gc.training = approx_config(ml::TrainingMode::kNystrom);
+  gc.model_dir = scratch.str() + "/models";
+  gc.persist_dir = scratch.str() + "/population";
+
+  const VectorsByContext first_vecs{{kStationary, vectors_for(0, 10, 800)}};
+  const VectorsByContext mid_vecs{{kStationary, vectors_for(3, 10, 801)}};
+
+  std::vector<double> live_first, live_mid;
+  {
+    serve::AuthGateway gateway(gc);
+    for (int u = 0; u < 6; ++u) {
+      gateway.contribute(u, kStationary,
+                         vectors_for(u, 12, 900u + static_cast<unsigned>(u)));
+    }
+    live_first = model_bits(*gateway.enroll(0, first_vecs, 50,
+                                            /*contribute_positives=*/false),
+                            kStationary);
+    live_mid = model_bits(*gateway.enroll(3, mid_vecs, 51,
+                                          /*contribute_positives=*/false),
+                          kStationary);
+  }
+
+  // First restart: replays the log, then compacts into a merged snapshot.
+  { serve::AuthGateway intermediate(gc); }
+
+  // Second restart: recovery reads only the compacted snapshot.
+  serve::AuthGateway recovered(gc);
+  EXPECT_GT(recovered.population_recovery().snapshot_vectors, 0u);
+  EXPECT_EQ(recovered.population_recovery().replayed_records, 0u);
+  // User 0's vectors head the merged block, user 3's sit mid-block; both
+  // enrollments must be bit-identical to the live run.
+  EXPECT_EQ(model_bits(*recovered.enroll(0, first_vecs, 50,
+                                         /*contribute_positives=*/false),
+                       kStationary),
+            live_first);
+  EXPECT_EQ(model_bits(*recovered.enroll(3, mid_vecs, 51,
+                                         /*contribute_positives=*/false),
+                       kStationary),
+            live_mid);
+}
+
 TEST(ApproxTraining, GatewayNystromRetrainAfterRecoveryBitIdentical) {
   // PR 4 guarantees the recovered population is bit-identical to the live
   // one; this extends the guarantee through approximate training: the same
