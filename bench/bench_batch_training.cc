@@ -3,12 +3,21 @@
 // populations. Also proves the determinism contract: a batch of one must be
 // bit-identical to AuthServer::train_user_model given the same store,
 // config, and RNG seed.
+//
+// Per-user enrollment latency is recorded through obs::Span into a local
+// metrics registry (bench.enroll_sequential_ns / bench.enroll_batch_ns), and
+// --json=PATH writes an artifact with p50/p95/p99/max from those histograms
+// plus the full registry snapshot (pool.* gauges included) under "metrics".
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "core/auth_server.h"
 #include "core/batch_auth_server.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "util/args.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -118,28 +127,79 @@ int run(int argc, char** argv) {
   }
 
   // --- Throughput ---------------------------------------------------------
+  // Per-user sequential latency and whole-batch latency land in histograms
+  // (the percentile source for the JSON artifact); pool stats ride along as
+  // callback gauges.
+  obs::Registry registry;
+  obs::Histogram* seq_ns = &registry.histogram("bench.enroll_sequential_ns");
+  obs::Histogram* batch_ns = &registry.histogram("bench.enroll_batch_ns");
+  obs::bind_thread_pool(registry, pool);
+
   double seq_best = 1e300;
   double batch_best = 1e300;
   for (std::size_t rep = 0; rep < reps; ++rep) {
     util::Stopwatch timer;
     for (std::size_t u = 0; u < n_users; ++u) {
       util::Rng rng(requests[u].rng_seed);
+      obs::Span span(seq_ns);
       (void)sequential.train_user_model(requests[u].user_token, positives[u],
                                         rng, requests[u].version);
     }
     seq_best = std::min(seq_best, timer.elapsed_seconds());
 
     timer.reset();
-    (void)batched.train_user_models(requests);
+    {
+      obs::Span span(batch_ns);
+      (void)batched.train_user_models(requests);
+    }
     batch_best = std::min(batch_best, timer.elapsed_seconds());
   }
 
   const double seq_rate = static_cast<double>(n_users) / seq_best;
   const double batch_rate = static_cast<double>(n_users) / batch_best;
   const double speedup = batch_rate / seq_rate;
+  const obs::Snapshot metrics = registry.snapshot();
+  const auto& seq_hist = metrics.histograms.at("bench.enroll_sequential_ns");
   std::printf("sequential: %.3f s (%.2f users/s)\n", seq_best, seq_rate);
+  std::printf(
+      "            per-user p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  "
+      "max %.3f ms\n",
+      static_cast<double>(seq_hist.percentile(0.50)) / 1e6,
+      static_cast<double>(seq_hist.percentile(0.95)) / 1e6,
+      static_cast<double>(seq_hist.percentile(0.99)) / 1e6,
+      static_cast<double>(seq_hist.max) / 1e6);
   std::printf("batched:    %.3f s (%.2f users/s)\n", batch_best, batch_rate);
   std::printf("speedup:    %.2fx\n", speedup);
+
+  const std::string json_path = args.get("json", "");
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "bench_batch_training: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    json << "{\n"
+         << "  \"bench\": \"bench_batch_training\",\n"
+         << "  \"users\": " << n_users << ",\n"
+         << "  \"windows\": " << windows << ",\n"
+         << "  \"threads\": " << pool.size() << ",\n"
+         << "  \"sequential_seconds\": " << seq_best << ",\n"
+         << "  \"batched_seconds\": " << batch_best << ",\n"
+         << "  \"speedup\": " << speedup << ",\n"
+         << "  \"enroll_latency_ms\": {\"p50\": "
+         << static_cast<double>(seq_hist.percentile(0.50)) / 1e6
+         << ", \"p95\": "
+         << static_cast<double>(seq_hist.percentile(0.95)) / 1e6
+         << ", \"p99\": "
+         << static_cast<double>(seq_hist.percentile(0.99)) / 1e6
+         << ", \"max\": " << static_cast<double>(seq_hist.max) / 1e6
+         << "},\n"
+         << "  \"metrics\":\n"
+         << obs::to_json(metrics, 2) << "\n"
+         << "}\n";
+    std::printf("json:       wrote %s\n", json_path.c_str());
+  }
 
   // Optional regression gate, e.g. --min-speedup=3 on a 4-core CI runner.
   const double min_speedup = args.get_double("min-speedup", 0.0);

@@ -1,39 +1,57 @@
 #!/usr/bin/env python3
-"""Diff two bench JSON artifacts and fail on throughput regressions.
+"""Diff two bench JSON artifacts and fail on regressions.
 
-Usage: bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.20]
+Usage: bench_compare.py BASELINE.json CANDIDATE.json
+           [--threshold 0.20] [--latency-threshold 0.50]
 
 Understands the bench_serving summary shapes (load run, --enroll-heavy,
---recover-only); every known metric present in BOTH files is compared.
-Refuses (exit 1) to diff artifacts whose configuration identity differs —
-numeric backend or KRR training mode ("backend"/"training_mode" in
-bench_serving summaries, "context.sy_num_backend"/"context.sy_training_mode"
-in Google Benchmark output) — a mode change is not a regression.
-Throughput metrics (higher is better) fail the run when the candidate drops
-more than THRESHOLD (default 20%) below the baseline. Latency/recovery
-metrics (lower is better) only warn — they are far noisier on shared CI
-runners and are not the regression this gate exists for.
+--recover-only) and the bench_batch_training summary; every known metric
+present in BOTH files is compared. Refuses (exit 1) to diff artifacts whose
+configuration identity differs — numeric backend or KRR training mode
+("backend"/"training_mode" in bench_serving summaries,
+"context.sy_num_backend"/"context.sy_training_mode" in Google Benchmark
+output) — a mode change is not a regression.
 
-Exit code: 0 = no throughput regression, 1 = regression or unusable input.
+Metric categories:
+  throughput  higher is better; a drop beyond --threshold (default 20%)
+              fails the run.
+  latency     lower is better; sourced from the serving stack's obs
+              histograms (latency_ms / enroll_latency_ms percentiles). By
+              default these only warn — they are noisier on shared CI
+              runners — but passing --latency-threshold gates them: a rise
+              beyond that fraction fails the run.
+  info        lower is better, never gated (recovery timings and other
+              once-per-run wall-clock measurements).
+
+Exit code: 0 = no gated regression, 1 = regression or unusable input.
 """
 
 import argparse
 import json
 import sys
 
-# (dotted path, label, higher_is_better)
+# (dotted path, label, category) where category is one of
+# "throughput" (gated by --threshold), "latency" (gated by
+# --latency-threshold when given, warn-only otherwise), "info" (never gated).
 METRICS = [
-    ("events_per_second", "scoring throughput (events/s)", True),
-    ("enroll_users_per_second", "enrollment throughput (users/s)", True),
+    ("events_per_second", "scoring throughput (events/s)", "throughput"),
+    ("enroll_users_per_second", "enrollment throughput (users/s)",
+     "throughput"),
+    ("speedup", "batched training speedup", "throughput"),
     ("enroll_heavy.speedup_vs_full_remerge",
-     "incremental snapshot speedup vs full re-merge", True),
+     "incremental snapshot speedup vs full re-merge", "throughput"),
     ("enroll_heavy.buckets_copied_per_rebuild_avg",
-     "buckets copied per rebuild (avg)", False),
-    ("latency_ms.p50", "scoring latency p50 (ms)", False),
-    ("latency_ms.p95", "scoring latency p95 (ms)", False),
-    ("latency_ms.p99", "scoring latency p99 (ms)", False),
-    ("persist.recovery_seconds", "restart recovery (s)", False),
-    ("recovery.seconds", "recover-only startup (s)", False),
+     "buckets copied per rebuild (avg)", "latency"),
+    ("latency_ms.p50", "scoring latency p50 (ms)", "latency"),
+    ("latency_ms.p95", "scoring latency p95 (ms)", "latency"),
+    ("latency_ms.p99", "scoring latency p99 (ms)", "latency"),
+    ("latency_ms.max", "scoring latency max (ms)", "info"),
+    ("enroll_latency_ms.p50", "enroll latency p50 (ms)", "latency"),
+    ("enroll_latency_ms.p95", "enroll latency p95 (ms)", "latency"),
+    ("enroll_latency_ms.p99", "enroll latency p99 (ms)", "latency"),
+    ("enroll_latency_ms.max", "enroll latency max (ms)", "info"),
+    ("persist.recovery_seconds", "restart recovery (s)", "info"),
+    ("recovery.seconds", "recover-only startup (s)", "info"),
 ]
 
 
@@ -84,7 +102,11 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("candidate")
     parser.add_argument("--threshold", type=float, default=0.20,
-                        help="fractional drop that fails (default 0.20)")
+                        help="fractional throughput drop that fails "
+                             "(default 0.20)")
+    parser.add_argument("--latency-threshold", type=float, default=None,
+                        help="fractional latency rise that fails; omit to "
+                             "keep latency metrics warn-only")
     args = parser.parse_args()
 
     try:
@@ -105,7 +127,7 @@ def main():
 
     compared = 0
     regressions = []
-    for path, label, higher_better in METRICS:
+    for path, label, category in METRICS:
         base = lookup(baseline, path)
         cand = lookup(candidate, path)
         if base is None or cand is None or base == 0:
@@ -115,10 +137,19 @@ def main():
         arrow = "+" if change >= 0 else ""
         line = (f"  {label:55s} {base:12.3f} -> {cand:12.3f} "
                 f"({arrow}{100 * change:.1f}%)")
-        if higher_better and change < -args.threshold:
+        if category == "throughput" and change < -args.threshold:
             regressions.append(label)
             print(line + "  REGRESSION")
-        elif not higher_better and change > args.threshold:
+        elif category == "latency":
+            if (args.latency_threshold is not None
+                    and change > args.latency_threshold):
+                regressions.append(label)
+                print(line + "  REGRESSION")
+            elif change > args.threshold:
+                print(line + "  warn (lower is better; not gated)")
+            else:
+                print(line)
+        elif category == "info" and change > args.threshold:
             print(line + "  warn (lower is better; not gated)")
         else:
             print(line)
@@ -128,11 +159,10 @@ def main():
               file=sys.stderr)
         return 1
     if regressions:
-        print(f"bench_compare: {len(regressions)} throughput regression(s) "
-              f"beyond {100 * args.threshold:.0f}%: " + ", ".join(regressions))
+        print(f"bench_compare: {len(regressions)} regression(s) beyond the "
+              f"gate: " + ", ".join(regressions))
         return 1
-    print(f"bench_compare: {compared} metrics compared, no throughput "
-          f"regression beyond {100 * args.threshold:.0f}%")
+    print(f"bench_compare: {compared} metrics compared, no gated regression")
     return 0
 
 

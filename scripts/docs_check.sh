@@ -26,7 +26,7 @@ doxygen -g "${workdir}/Doxyfile" >/dev/null
 cat >> "${workdir}/Doxyfile" <<EOF
 # --- overrides (appended last wins) ---
 PROJECT_NAME           = smarter-you
-INPUT                  = src/serve src/num/kernels.h docs
+INPUT                  = src/serve src/obs src/num/kernels.h docs
 FILE_PATTERNS          = *.h *.md
 RECURSIVE              = NO
 EXTRACT_ALL            = YES

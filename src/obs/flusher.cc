@@ -1,0 +1,48 @@
+#include "obs/flusher.h"
+
+namespace sy::obs {
+
+PeriodicFlusher::PeriodicFlusher(const Registry& registry,
+                                 std::chrono::milliseconds period, Sink sink)
+    : registry_(registry),
+      period_(period),
+      sink_(std::move(sink)),
+      thread_([this] { run(); }) {}
+
+PeriodicFlusher::~PeriodicFlusher() { stop(); }
+
+void PeriodicFlusher::flush() {
+  if (!sink_) return;
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    sink_(registry_.snapshot());
+  } catch (...) {
+    // A broken sink (full disk, dead socket) must not take the serving
+    // process down with it; the next period retries.
+  }
+}
+
+void PeriodicFlusher::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    wake_.wait_for(lock, period_, [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    flush();
+    lock.lock();
+  }
+  lock.unlock();
+  flush();  // the bounded-shutdown final flush: the run's tail is exported
+}
+
+void PeriodicFlusher::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ && !thread_.joinable()) return;
+    stop_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace sy::obs

@@ -1,0 +1,64 @@
+/// \file
+/// Periodic metrics flusher: a background thread that snapshots a Registry
+/// on a fixed period and hands the snapshot to a sink callback (log line,
+/// JSON file, network push — the sink decides).
+///
+/// Shutdown is bounded: stop() wakes the thread immediately (no sleep-out),
+/// performs one final flush so the tail of a run is never lost, and joins
+/// before returning. The destructor calls stop(), so a flusher member above
+/// the registry it samples is destruction-safe.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "obs/registry.h"
+
+namespace sy::obs {
+
+class PeriodicFlusher {
+ public:
+  /// Called on the flusher thread with each fresh snapshot; exceptions are
+  /// swallowed (a failing sink must not kill the serving process).
+  using Sink = std::function<void(const Snapshot&)>;
+
+  /// Starts the thread. `registry` and everything its callback gauges
+  /// reference must outlive this object (or its stop()).
+  PeriodicFlusher(const Registry& registry, std::chrono::milliseconds period,
+                  Sink sink);
+  /// stop()s if still running.
+  ~PeriodicFlusher();
+
+  PeriodicFlusher(const PeriodicFlusher&) = delete;
+  PeriodicFlusher& operator=(const PeriodicFlusher&) = delete;
+
+  /// Wakes the thread, flushes once more, joins. Idempotent; returns only
+  /// after the thread has exited — never waits out a sleeping period.
+  void stop();
+
+  /// Number of flush attempts so far (throwing sinks included, plus the
+  /// final stop() flush).
+  std::uint64_t flushes() const {
+    return flushes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  void flush();
+
+  const Registry& registry_;
+  const std::chrono::milliseconds period_;
+  const Sink sink_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_{false};
+  std::atomic<std::uint64_t> flushes_{0};
+  std::thread thread_;
+};
+
+}  // namespace sy::obs

@@ -1,0 +1,68 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace sy::obs {
+
+namespace detail {
+
+namespace {
+bool env_enabled() {
+  const char* v = std::getenv("SY_OBS_OFF");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+           std::strcmp(v, "on") == 0);
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{env_enabled()};
+
+std::size_t next_thread_index() {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  const double clamped = std::min(1.0, std::max(0.0, p));
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(clamped * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (const auto& [index, n] : buckets) {
+    cumulative += n;
+    if (cumulative >= rank) {
+      return std::min(Histogram::bucket_upper_bound(index), max);
+    }
+  }
+  return max;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  std::array<std::uint64_t, kBuckets> merged{};
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      merged[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    out.sum += shard.sum.load(std::memory_order_relaxed);
+    out.max = std::max(out.max, shard.max.load(std::memory_order_relaxed));
+  }
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (merged[b] == 0) continue;
+    out.count += merged[b];
+    out.buckets.emplace_back(b, merged[b]);
+  }
+  return out;
+}
+
+}  // namespace sy::obs

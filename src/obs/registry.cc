@@ -1,0 +1,154 @@
+#include "obs/registry.h"
+
+#include <sstream>
+
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace sy::obs {
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::register_callback_gauge(const std::string& name,
+                                       std::function<std::int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  callbacks_[name] = std::move(fn);
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot out;
+  for (const auto& [name, counter] : counters_) {
+    out.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, fn] : callbacks_) {
+    out.gauges[name] = fn();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms[name] = histogram->snapshot();
+  }
+  return out;
+}
+
+std::string to_json(const Snapshot& snapshot, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream os;
+  os << pad << "{\n";
+
+  os << pad << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    os << (first ? "\n" : ",\n") << pad << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad + "  ") << "},\n";
+
+  os << pad << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << (first ? "\n" : ",\n") << pad << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad + "  ") << "},\n";
+
+  os << pad << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    os << (first ? "\n" : ",\n") << pad << "    \"" << name << "\": {"
+       << "\"count\": " << hist.count << ", \"sum\": " << hist.sum
+       << ", \"max\": " << hist.max << ", \"p50\": " << hist.percentile(0.50)
+       << ", \"p95\": " << hist.percentile(0.95)
+       << ", \"p99\": " << hist.percentile(0.99) << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [index, count] : hist.buckets) {
+      if (!first_bucket) os << ", ";
+      os << "[" << Histogram::bucket_upper_bound(index) << ", " << count
+         << "]";
+      first_bucket = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad + "  ") << "}\n";
+
+  os << pad << "}";
+  return os.str();
+}
+
+std::string render_table(const Snapshot& snapshot) {
+  std::ostringstream os;
+  if (!snapshot.counters.empty() || !snapshot.gauges.empty()) {
+    util::Table table("metrics: counters + gauges");
+    table.set_header({"name", "value"});
+    for (const auto& [name, value] : snapshot.counters) {
+      table.add_row({name, std::to_string(value)});
+    }
+    if (!snapshot.counters.empty() && !snapshot.gauges.empty()) {
+      table.add_separator();
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+      table.add_row({name, std::to_string(value)});
+    }
+    os << table.render();
+  }
+  if (!snapshot.histograms.empty()) {
+    util::Table table("metrics: latency histograms (ms)");
+    table.set_header({"name", "count", "p50", "p95", "p99", "max", "mean"});
+    for (const auto& [name, hist] : snapshot.histograms) {
+      const double mean =
+          hist.count == 0
+              ? 0.0
+              : static_cast<double>(hist.sum) /
+                    static_cast<double>(hist.count) / 1e6;
+      table.add_row(
+          {name, std::to_string(hist.count),
+           util::Table::fmt(static_cast<double>(hist.percentile(0.50)) / 1e6),
+           util::Table::fmt(static_cast<double>(hist.percentile(0.95)) / 1e6),
+           util::Table::fmt(static_cast<double>(hist.percentile(0.99)) / 1e6),
+           util::Table::fmt(static_cast<double>(hist.max) / 1e6),
+           util::Table::fmt(mean)});
+    }
+    os << table.render();
+  }
+  return os.str();
+}
+
+void bind_thread_pool(Registry& registry, const util::ThreadPool& pool,
+                      const std::string& prefix) {
+  registry.register_callback_gauge(prefix + ".tasks_submitted", [&pool] {
+    return static_cast<std::int64_t>(pool.stats().submitted);
+  });
+  registry.register_callback_gauge(prefix + ".tasks_executed", [&pool] {
+    return static_cast<std::int64_t>(pool.stats().executed);
+  });
+  registry.register_callback_gauge(prefix + ".steals", [&pool] {
+    return static_cast<std::int64_t>(pool.stats().stolen);
+  });
+  registry.register_callback_gauge(prefix + ".queue_wait_ns", [&pool] {
+    return static_cast<std::int64_t>(pool.stats().queue_wait_ns);
+  });
+}
+
+}  // namespace sy::obs

@@ -1,0 +1,94 @@
+/// \file
+/// Named metric registry plus exporters (JSON snapshot, util::Table text).
+///
+/// A Registry owns its metrics: counter()/gauge()/histogram() create on
+/// first use and return a stable reference, so components resolve their
+/// handles once at attach time and record through raw pointers with no name
+/// lookup on any hot path. One registry spans one serving stack (an
+/// AuthGateway owns one and threads it through its cache/store/queue), so
+/// every component reports into a single namespace — see
+/// docs/OBSERVABILITY.md for the metric catalog and naming conventions.
+///
+/// Callback gauges sample foreign state (thread-pool stats, approx-cache
+/// hit counts) at snapshot time; the callback must outlive the registry's
+/// last snapshot() call and must not touch the registry itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace sy::util {
+class ThreadPool;
+}
+
+namespace sy::obs {
+
+/// Point-in-time merged view of every metric in a registry. Maps are keyed
+/// by metric name, so iteration (and the JSON/table renderings) is
+/// deterministic.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the named counter, creating it on first use. The reference is
+  /// stable for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  /// Returns the named gauge, creating it on first use.
+  Gauge& gauge(const std::string& name);
+  /// Returns the named histogram (values in ns by convention), creating it
+  /// on first use.
+  Histogram& histogram(const std::string& name);
+
+  /// Registers a gauge whose value is computed by `fn` at snapshot time.
+  /// `fn` runs under the registry mutex: it must be cheap, must not call
+  /// back into this registry, and must stay valid until the registry is
+  /// destroyed or the last snapshot() has returned.
+  void register_callback_gauge(const std::string& name,
+                               std::function<std::int64_t()> fn);
+
+  /// Merges every metric into a Snapshot. Thread-safe against concurrent
+  /// recording; writes racing the merge land in the next snapshot.
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::function<std::int64_t()>> callbacks_;
+};
+
+/// Renders a snapshot as a JSON object (schema in docs/OBSERVABILITY.md):
+///   {"counters": {name: value, ...},
+///    "gauges": {name: value, ...},
+///    "histograms": {name: {"count", "sum", "max", "p50", "p95", "p99",
+///                          "buckets": [[upper_bound, count], ...]}, ...}}
+/// `indent` spaces prefix every line (for embedding in a larger document);
+/// the output is deterministic for a given snapshot.
+std::string to_json(const Snapshot& snapshot, int indent = 0);
+
+/// Renders a snapshot as human-readable fixed-width tables (util::Table):
+/// one table for counters+gauges, one for histogram percentiles in ms.
+std::string render_table(const Snapshot& snapshot);
+
+/// Registers callback gauges exposing `pool`'s cumulative stats under
+/// `prefix` (default "pool"): tasks_submitted, tasks_executed, steals, and
+/// queue_wait_ns. The pool must outlive the registry's last snapshot().
+void bind_thread_pool(Registry& registry, const util::ThreadPool& pool,
+                      const std::string& prefix = "pool");
+
+}  // namespace sy::obs

@@ -1,0 +1,122 @@
+/// \file
+/// RAII scoped-timing span recording into a Histogram.
+///
+/// A Span stamps steady_clock at construction and records the elapsed
+/// nanoseconds into its histogram at destruction (or an early finish()).
+/// Construction against a null histogram — or with instrumentation disabled
+/// via either SY_OBS_OFF kill switch — costs one branch and touches no
+/// clock, so uninstrumented call sites stay effectively free.
+///
+/// Spans nest lexically: each nested span times its own scope independently
+/// (an outer span's duration includes its children), and depth() exposes the
+/// current thread's open-span count for tests and debug assertions. Naming
+/// convention for the backing histograms: `<component>.<operation>_ns`, with
+/// stage spans nested under their operation as `<component>.<op>.<stage>_ns`
+/// (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace sy::obs {
+
+class Span {
+ public:
+  /// Starts timing into `histogram`; a null histogram (or disabled
+  /// instrumentation) makes the span a no-op.
+  explicit Span(Histogram* histogram)
+      : histogram_(enabled() ? histogram : nullptr) {
+    if (histogram_ == nullptr) return;
+    ++thread_depth();
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~Span() { finish(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept
+      : histogram_(other.histogram_), start_(other.start_) {
+    other.histogram_ = nullptr;
+  }
+  Span& operator=(Span&&) = delete;
+
+  /// Records now and detaches; later finish()/destruction is a no-op.
+  void finish() {
+    if (histogram_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+    --thread_depth();
+    histogram_ = nullptr;
+  }
+
+  /// Number of live (started, unfinished) spans on the calling thread.
+  static std::size_t depth() { return thread_depth(); }
+
+ private:
+  static std::size_t& thread_depth() {
+    thread_local std::size_t depth = 0;
+    return depth;
+  }
+
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Shared-boundary stage timer for an operation decomposed into consecutive
+/// stages (the gateway's score path). A Span per stage costs two clock
+/// reads each; a StageTimer reads the clock once per boundary: stage(h)
+/// closes the current stage into `h` and opens the next, and finish(h) —
+/// or destruction — closes the last stage and records the whole operation
+/// into the total histogram with a single final read. Disabled
+/// instrumentation (either kill switch) makes every call a no-op.
+class StageTimer {
+ public:
+  /// Starts the operation; `total` receives start-to-finish at destruction
+  /// or finish() (null: stages only).
+  explicit StageTimer(Histogram* total) : total_(total), live_(enabled()) {
+    if (!live_) return;
+    start_ = last_ = std::chrono::steady_clock::now();
+  }
+  ~StageTimer() { finish(); }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  /// Ends the current stage, recording its duration into `histogram`, and
+  /// starts the next one — one clock read.
+  void stage(Histogram* histogram) {
+    if (!live_) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (histogram != nullptr) histogram->record(delta(last_, now));
+    last_ = now;
+  }
+
+  /// Records the operation total (and the last stage, when given) off one
+  /// final clock read; later finish()/destruction is a no-op.
+  void finish(Histogram* last_stage = nullptr) {
+    if (!live_) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (last_stage != nullptr) last_stage->record(delta(last_, now));
+    if (total_ != nullptr) total_->record(delta(start_, now));
+    live_ = false;
+  }
+
+ private:
+  static std::uint64_t delta(std::chrono::steady_clock::time_point from,
+                             std::chrono::steady_clock::time_point to) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+            .count());
+  }
+
+  Histogram* total_;
+  bool live_;
+  std::chrono::steady_clock::time_point start_{};
+  std::chrono::steady_clock::time_point last_{};
+};
+
+}  // namespace sy::obs

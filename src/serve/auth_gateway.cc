@@ -9,6 +9,7 @@
 #include "core/approx_training.h"
 #include "core/model_store.h"
 #include "ml/matrix.h"
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -16,9 +17,23 @@ namespace sy::serve {
 
 AuthGateway::AuthGateway(GatewayConfig config, util::ThreadPool* pool)
     : config_(config),
-      store_(std::make_shared<ShardedPopulationStore>(config.shards)),
-      cache_(config.cache_bytes,
-             [this](int user) { return load_model(user); }),
+      store_(std::make_shared<ShardedPopulationStore>(config.shards,
+                                                      &registry_)),
+      cache_(config.cache_bytes, [this](int user) { return load_model(user); },
+             &registry_),
+      score_ns_(&registry_.histogram("gateway.score_ns")),
+      score_cache_fetch_ns_(
+          &registry_.histogram("gateway.score.cache_fetch_ns")),
+      score_feature_lookup_ns_(
+          &registry_.histogram("gateway.score.feature_lookup_ns")),
+      score_kernel_ns_(&registry_.histogram("gateway.score.kernel_ns")),
+      score_decision_ns_(&registry_.histogram("gateway.score.decision_ns")),
+      enroll_ns_(&registry_.histogram("gateway.enroll_ns")),
+      drift_submit_ns_(&registry_.histogram("gateway.drift_submit_ns")),
+      score_requests_(&registry_.counter("gateway.score_requests")),
+      score_windows_(&registry_.counter("gateway.score_windows")),
+      enrolls_(&registry_.counter("gateway.enrolls")),
+      drift_reports_(&registry_.counter("gateway.drift_reports")),
       net_(config.network),
       approx_cache_(std::make_shared<core::ApproxStatsCache>()),
       queue_(
@@ -29,7 +44,21 @@ AuthGateway::AuthGateway(GatewayConfig config, util::ThreadPool* pool)
             (void)install_model(
                 user, std::make_shared<const core::AuthModel>(model));
           },
-          pool, approx_cache_.get()) {
+          pool, approx_cache_.get(), &registry_) {
+  // Foreign state sampled at snapshot time. The approx-cache callbacks keep
+  // the shared_ptr alive; the pool (caller-owned or the process-wide shared
+  // one) outlives this gateway by contract.
+  {
+    auto cache = approx_cache_;
+    registry_.register_callback_gauge("approx.stats_hits", [cache] {
+      return static_cast<std::int64_t>(cache->stats().hits);
+    });
+    registry_.register_callback_gauge("approx.stats_builds", [cache] {
+      return static_cast<std::int64_t>(cache->stats().builds);
+    });
+  }
+  obs::bind_thread_pool(registry_,
+                        pool != nullptr ? *pool : util::ThreadPool::shared());
   recover_persisted_state();
 }
 
@@ -66,8 +95,9 @@ void AuthGateway::recover_persisted_state() {
       // A bundle whose header does not even parse is left unregistered: the
       // user can re-enroll, and any scoring attempt surfaces the verified
       // loader's ModelCorruptError (the actual security event).
-      util::log_warn("AuthGateway: skipping unreadable bundle during ",
-                     "recovery: ", e.what());
+      util::log_warn_kv(
+          "AuthGateway: skipping unreadable bundle during recovery",
+          {{"path", entry.path().string()}, {"error", e.what()}});
     }
   }
 }
@@ -155,6 +185,8 @@ bool AuthGateway::install_model(int user_token,
 std::shared_ptr<const core::AuthModel> AuthGateway::enroll(
     int user_token, const core::VectorsByContext& positives,
     std::uint64_t rng_seed, bool contribute_positives) {
+  obs::Span enroll_span(enroll_ns_);
+  enrolls_->inc();
   account_transfer(core::upload_bytes(positives), /*upload=*/true);
   // Contribute first, then snapshot: rebuilds are incremental (only the
   // contributed contexts re-merge, as block-pointer concatenation), so the
@@ -191,6 +223,13 @@ std::shared_ptr<const core::AuthModel> AuthGateway::enroll(
 std::vector<core::AuthDecision> AuthGateway::score_batch(
     int user_token, sensors::DetectedContext context,
     const std::vector<std::vector<double>>& windows) {
+  // Shared-boundary stage timing: each stage() below closes one stage of
+  // the pipeline with a single clock read (a Span per stage would double
+  // the per-event clock cost — the ≤3% overhead gate notices).
+  obs::StageTimer score_timer(score_ns_);
+  score_requests_->inc();
+  score_windows_->inc(windows.size());
+
   std::shared_ptr<const core::AuthModel> model = cache_.get(user_token);
   // Self-heal a rare staleness window: a cache-miss load racing a retrain
   // install can re-insert the older bundle after the newer entry was
@@ -200,6 +239,7 @@ std::vector<core::AuthDecision> AuthGateway::score_batch(
     cache_.erase(user_token);
     model = cache_.get(user_token);
   }
+  score_timer.stage(score_cache_fetch_ns_);
   if (model == nullptr) {
     throw std::out_of_range("AuthGateway: no model for user " +
                             std::to_string(user_token));
@@ -207,6 +247,9 @@ std::vector<core::AuthDecision> AuthGateway::score_batch(
   if (model->models().empty()) {
     throw std::logic_error("AuthGateway: model bundle is empty");
   }
+
+  // Feature lookup: context-model resolution plus assembling the request's
+  // windows into one scoring block.
   // Same fallback as the on-phone Authenticator: a context the user never
   // produced during enrollment scores under whichever model exists.
   sensors::DetectedContext effective = context;
@@ -227,18 +270,27 @@ std::vector<core::AuthDecision> AuthGateway::score_batch(
     }
     std::copy(windows[r].begin(), windows[r].end(), block.row(r).begin());
   }
+  score_timer.stage(score_feature_lookup_ns_);
+
   const std::vector<double> scores =
       model->context_model(effective).score_batch(block);
+  score_timer.stage(score_kernel_ns_);
+
   for (std::size_t r = 0; r < windows.size(); ++r) {
     out[r].context = context;
     out[r].confidence = scores[r];
     out[r].accepted = scores[r] >= 0.0;
   }
+  score_timer.finish(score_decision_ns_);
   return out;
 }
 
 std::shared_future<core::AuthModel> AuthGateway::report_drift(
     int user_token, core::VectorsByContext positives, std::uint64_t rng_seed) {
+  // Times only the submit path (accounting + version reservation + enqueue);
+  // the training itself lands in retrain.train_ns on the worker.
+  obs::Span submit_span(drift_submit_ns_);
+  drift_reports_->inc();
   account_transfer(core::upload_bytes(positives), /*upload=*/true);
   RetrainQueue::Request request;
   request.user_token = user_token;

@@ -15,6 +15,13 @@
 /// All entry points are thread-safe; simulated network transfers are
 /// accounted exactly like AuthServer's (and throw NetworkUnavailableError
 /// when the link is down).
+///
+/// Observability: each gateway owns one obs::Registry shared by its store,
+/// cache, and retrain queue, so every serving metric lives in a single
+/// namespace (metrics() exposes it; docs/OBSERVABILITY.md has the catalog).
+/// The gateway itself records gateway.score_ns / enroll_ns / drift_submit_ns
+/// latency histograms, with score_batch broken into cache_fetch /
+/// feature_lookup / kernel / decision stage spans.
 #pragma once
 
 #include <array>
@@ -29,6 +36,7 @@
 
 #include "core/auth_server.h"
 #include "core/authenticator.h"
+#include "obs/registry.h"
 #include "serve/model_cache.h"
 #include "serve/retrain_queue.h"
 #include "serve/sharded_population_store.h"
@@ -124,6 +132,12 @@ class AuthGateway {
   const ShardedPopulationStore& store() const { return *store_; }
   const ModelCache& cache() const { return cache_; }
 
+  /// The gateway-wide metric registry (gateway.*, cache.*, retrain.*,
+  /// store.*, approx.*, pool.* — see docs/OBSERVABILITY.md). snapshot() it
+  /// for a point-in-time view; obs::to_json / obs::render_table export it.
+  obs::Registry& metrics() { return registry_; }
+  const obs::Registry& metrics() const { return registry_; }
+
  private:
   /// Startup recovery: attaches population persistence (replaying
   /// snapshot+log) and rebuilds the version table from persisted bundle
@@ -141,8 +155,25 @@ class AuthGateway {
   void account_transfer(std::size_t bytes, bool upload);
 
   GatewayConfig config_;
+  /// Declared before every component that reports into it (and therefore
+  /// destroyed after all of them): store/cache/queue hold raw handles into
+  /// this registry for their whole lifetime.
+  obs::Registry registry_;
   std::shared_ptr<ShardedPopulationStore> store_;
   ModelCache cache_;
+
+  /// Resolved-once handles for the gateway's own request metrics.
+  obs::Histogram* score_ns_;
+  obs::Histogram* score_cache_fetch_ns_;
+  obs::Histogram* score_feature_lookup_ns_;
+  obs::Histogram* score_kernel_ns_;
+  obs::Histogram* score_decision_ns_;
+  obs::Histogram* enroll_ns_;
+  obs::Histogram* drift_submit_ns_;
+  obs::Counter* score_requests_;
+  obs::Counter* score_windows_;
+  obs::Counter* enrolls_;
+  obs::Counter* drift_reports_;
 
   mutable std::mutex transfer_mutex_;
   core::NetworkConfig net_;

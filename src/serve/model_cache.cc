@@ -6,8 +6,24 @@
 
 namespace sy::serve {
 
-ModelCache::ModelCache(std::size_t capacity_bytes, Loader loader)
-    : capacity_(capacity_bytes), loader_(std::move(loader)) {}
+ModelCache::ModelCache(std::size_t capacity_bytes, Loader loader,
+                       obs::Registry* registry)
+    : capacity_(capacity_bytes),
+      loader_(std::move(loader)),
+      own_registry_(registry == nullptr ? std::make_unique<obs::Registry>()
+                                        : nullptr),
+      registry_(registry != nullptr ? registry : own_registry_.get()),
+      hits_(&registry_->counter("cache.hits")),
+      misses_(&registry_->counter("cache.misses")),
+      evictions_(&registry_->counter("cache.evictions")),
+      loads_(&registry_->counter("cache.loads")),
+      entries_gauge_(&registry_->gauge("cache.entries")),
+      bytes_gauge_(&registry_->gauge("cache.bytes")) {}
+
+void ModelCache::sync_gauges_locked() {
+  entries_gauge_->set(static_cast<std::int64_t>(entries_.size()));
+  bytes_gauge_->set(static_cast<std::int64_t>(bytes_));
+}
 
 void ModelCache::touch_locked(Entry& entry, int user) {
   lru_.erase(entry.lru_it);
@@ -34,6 +50,7 @@ void ModelCache::insert_locked(int user,
   }
   bytes_ += bytes;
   evict_to_budget_locked(user);
+  sync_gauges_locked();
 }
 
 void ModelCache::evict_to_budget_locked(int keep_user) {
@@ -45,7 +62,7 @@ void ModelCache::evict_to_budget_locked(int keep_user) {
     const auto it = entries_.find(victim);
     bytes_ -= it->second.bytes;
     entries_.erase(it);
-    ++evictions_;
+    evictions_->inc();
   }
 }
 
@@ -65,11 +82,11 @@ std::shared_ptr<const core::AuthModel> ModelCache::get(int user) {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(user);
     if (it != entries_.end()) {
-      ++hits_;
+      hits_->inc();
       touch_locked(it->second, user);
       return it->second.model;
     }
-    ++misses_;
+    misses_->inc();
   }
   if (!loader_) return nullptr;
 
@@ -83,7 +100,7 @@ std::shared_ptr<const core::AuthModel> ModelCache::get(int user) {
   auto shared =
       std::make_shared<const core::AuthModel>(std::move(loaded->model));
   std::lock_guard<std::mutex> lock(mutex_);
-  ++loads_;
+  loads_->inc();
   // Insert-if-absent: an entry that appeared while we were loading is at
   // least as fresh as what we read (a retrain swap may have installed a
   // newer model mid-load; overwriting it would serve stale scores).
@@ -108,17 +125,23 @@ void ModelCache::erase(int user) {
   bytes_ -= it->second.bytes;
   lru_.erase(it->second.lru_it);
   entries_.erase(it);
+  sync_gauges_locked();
 }
 
 ModelCache::Stats ModelCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   Stats out;
-  out.hits = hits_;
-  out.misses = misses_;
-  out.evictions = evictions_;
-  out.loads = loads_;
-  out.entries = entries_.size();
-  out.bytes = bytes_;
+  {
+    // entries/bytes must be a consistent pair, so take them from the
+    // authoritative state in one critical section rather than from the two
+    // independently-updated gauges.
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.entries = entries_.size();
+    out.bytes = bytes_;
+  }
+  out.hits = hits_->value();
+  out.misses = misses_->value();
+  out.evictions = evictions_->value();
+  out.loads = loads_->value();
   return out;
 }
 

@@ -6,8 +6,14 @@
 /// deserialized. Entries are charged at their ModelStore-serialized size, so
 /// the byte budget maps directly onto bundle storage. A miss invokes the
 /// optional loader (disk load, remote fetch, deterministic retrain) outside
-/// the cache lock; hit/miss/eviction/load counters feed the gateway's
-/// telemetry.
+/// the cache lock.
+///
+/// Telemetry lives on an obs::Registry (`cache.*` metrics: hits, misses,
+/// evictions, loads counters plus entries/bytes gauges). Pass the gateway's
+/// registry to share its namespace; without one the cache keeps a private
+/// registry so standalone construction still works. The byte budget itself
+/// stays in plain members — eviction correctness never depends on metrics,
+/// which can be compiled or switched off (SY_OBS_OFF).
 ///
 /// Thread-safe. Lookups return shared_ptrs, so a model stays valid for
 /// in-flight scoring even if it is evicted or swapped concurrently.
@@ -22,6 +28,7 @@
 #include <unordered_map>
 
 #include "core/auth_model.h"
+#include "obs/registry.h"
 
 namespace sy::serve {
 
@@ -40,7 +47,9 @@ class ModelCache {
 
   /// `capacity_bytes` bounds the sum of serialized entry sizes; a single
   /// entry larger than the budget is still admitted (the cache must serve).
-  explicit ModelCache(std::size_t capacity_bytes, Loader loader = nullptr);
+  /// `registry` hosts the cache.* metrics; nullptr = private registry.
+  explicit ModelCache(std::size_t capacity_bytes, Loader loader = nullptr,
+                      obs::Registry* registry = nullptr);
 
   /// Inserts or replaces a user's model (replace = model swap after a
   /// retrain), then evicts LRU entries until the budget holds.
@@ -57,6 +66,10 @@ class ModelCache {
   bool contains(int user) const;
   void erase(int user);
 
+  /// Back-compat stats view, now read from the cache.* registry metrics
+  /// (entries/bytes come from the authoritative internal state, taken in one
+  /// critical section so the pair is mutually consistent). Counter fields
+  /// read zero when instrumentation is disabled.
   struct Stats {
     std::uint64_t hits{0};
     std::uint64_t misses{0};
@@ -67,6 +80,10 @@ class ModelCache {
   };
   Stats stats() const;
   std::size_t capacity_bytes() const { return capacity_; }
+
+  /// Registry hosting this cache's metrics (the one passed in, or the
+  /// private fallback).
+  obs::Registry& metrics() { return *registry_; }
 
  private:
   struct Entry {
@@ -80,18 +97,24 @@ class ModelCache {
                      std::size_t bytes);
   void evict_to_budget_locked(int keep_user);
   void touch_locked(Entry& entry, int user);
+  void sync_gauges_locked();
 
   const std::size_t capacity_;
   const Loader loader_;
 
+  std::unique_ptr<obs::Registry> own_registry_;  // fallback when none passed
+  obs::Registry* registry_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+  obs::Counter* loads_;
+  obs::Gauge* entries_gauge_;
+  obs::Gauge* bytes_gauge_;
+
   mutable std::mutex mutex_;
   std::list<int> lru_;
   std::unordered_map<int, Entry> entries_;
-  std::size_t bytes_{0};
-  std::uint64_t hits_{0};
-  std::uint64_t misses_{0};
-  std::uint64_t evictions_{0};
-  std::uint64_t loads_{0};
+  std::size_t bytes_{0};  // authoritative budget charge; gauge mirrors it
 };
 
 }  // namespace sy::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/span.h"
 #include "util/rng.h"
 
 namespace sy::serve {
@@ -10,12 +11,22 @@ namespace sy::serve {
 RetrainQueue::RetrainQueue(const core::PopulationStoreBackend* store,
                            core::TrainingConfig config, SwapFn swap,
                            util::ThreadPool* pool,
-                           core::ApproxStatsCache* stats_cache)
+                           core::ApproxStatsCache* stats_cache,
+                           obs::Registry* registry)
     : store_(store),
       config_(config),
       swap_(std::move(swap)),
       pool_(pool),
-      stats_cache_(stats_cache) {}
+      stats_cache_(stats_cache),
+      own_registry_(registry == nullptr ? std::make_unique<obs::Registry>()
+                                        : nullptr),
+      registry_(registry != nullptr ? registry : own_registry_.get()),
+      submitted_(&registry_->counter("retrain.submitted")),
+      coalesced_(&registry_->counter("retrain.coalesced")),
+      completed_(&registry_->counter("retrain.completed")),
+      failed_(&registry_->counter("retrain.failed")),
+      queue_depth_(&registry_->gauge("retrain.queue_depth")),
+      train_ns_(&registry_->histogram("retrain.train_ns")) {}
 
 RetrainQueue::~RetrainQueue() {
   // Pool tasks capture shared_ptr<Job> plus `this`; every accepted job must
@@ -27,7 +38,7 @@ std::shared_future<core::AuthModel> RetrainQueue::submit(Request request) {
   std::shared_ptr<Job> job;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++submitted_;
+    submitted_->inc();
     const auto it = queued_.find(request.user_token);
     if (it != queued_.end()) {
       // Coalesce per (user, context): the job hasn't started, so replace its
@@ -40,7 +51,7 @@ std::shared_future<core::AuthModel> RetrainQueue::submit(Request request) {
       pending.request.rng_seed = request.rng_seed;
       pending.request.version =
           std::max(pending.request.version, request.version);
-      ++coalesced_;
+      coalesced_->inc();
       return pending.future;
     }
     job = std::make_shared<Job>();
@@ -48,6 +59,7 @@ std::shared_future<core::AuthModel> RetrainQueue::submit(Request request) {
     job->future = job->promise.get_future().share();
     queued_[job->request.user_token] = job;
     ++in_flight_;
+    queue_depth_->set(static_cast<std::int64_t>(in_flight_));
   }
 
   auto task = [this, job] { run(job); };
@@ -73,20 +85,25 @@ void RetrainQueue::run(const std::shared_ptr<Job>& job) {
   }
 
   bool ok = false;
-  try {
-    const std::shared_ptr<const core::PopulationStore> snapshot =
-        store_->snapshot();
-    util::Rng rng(request.rng_seed);
-    core::AuthModel model = core::train_user_from_store(
-        *snapshot, config_, request.user_token, request.positives, rng,
-        request.version, stats_cache_);
-    // Swap before resolving: when the future is ready, the new model is
-    // already live in the gateway.
-    if (swap_) swap_(request.user_token, model);
-    job->promise.set_value(std::move(model));
-    ok = true;
-  } catch (...) {
-    job->promise.set_exception(std::current_exception());
+  {
+    // One span covers snapshot + train + swap: the latency a drift trigger
+    // actually waits out before the new model is live.
+    obs::Span span(train_ns_);
+    try {
+      const std::shared_ptr<const core::PopulationStore> snapshot =
+          store_->snapshot();
+      util::Rng rng(request.rng_seed);
+      core::AuthModel model = core::train_user_from_store(
+          *snapshot, config_, request.user_token, request.positives, rng,
+          request.version, stats_cache_);
+      // Swap before resolving: when the future is ready, the new model is
+      // already live in the gateway.
+      if (swap_) swap_(request.user_token, model);
+      job->promise.set_value(std::move(model));
+      ok = true;
+    } catch (...) {
+      job->promise.set_exception(std::current_exception());
+    }
   }
 
   {
@@ -94,8 +111,9 @@ void RetrainQueue::run(const std::shared_ptr<Job>& job) {
     // the queue down the instant in_flight_ hits zero, so the condvar must
     // not be touched after the lock is released.
     std::lock_guard<std::mutex> lock(mutex_);
-    ok ? ++completed_ : ++failed_;
+    (ok ? completed_ : failed_)->inc();
     --in_flight_;
+    queue_depth_->set(static_cast<std::int64_t>(in_flight_));
     idle_.notify_all();
   }
 }
@@ -106,13 +124,15 @@ void RetrainQueue::wait_idle() {
 }
 
 RetrainQueue::Stats RetrainQueue::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   Stats out;
-  out.submitted = submitted_;
-  out.coalesced = coalesced_;
-  out.completed = completed_;
-  out.failed = failed_;
-  out.in_flight = in_flight_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.in_flight = in_flight_;
+  }
+  out.submitted = submitted_->value();
+  out.coalesced = coalesced_->value();
+  out.completed = completed_->value();
+  out.failed = failed_->value();
   return out;
 }
 

@@ -25,6 +25,7 @@
 #include <mutex>
 
 #include "core/auth_server.h"
+#include "obs/registry.h"
 #include "util/thread_pool.h"
 
 namespace sy::serve {
@@ -46,11 +47,14 @@ class RetrainQueue {
   /// (ThreadPool::shared()); a non-null pool must outlive the queue.
   /// `stats_cache` — optional, not owned, must outlive the queue — shares
   /// approximate-mode population statistics with the enrollment path (unused
-  /// in exact mode).
+  /// in exact mode). `registry` hosts the retrain.* metrics (submitted /
+  /// coalesced / completed / failed counters, queue_depth gauge, train_ns
+  /// latency histogram); nullptr = private registry.
   RetrainQueue(const core::PopulationStoreBackend* store,
                core::TrainingConfig config, SwapFn swap,
                util::ThreadPool* pool = nullptr,
-               core::ApproxStatsCache* stats_cache = nullptr);
+               core::ApproxStatsCache* stats_cache = nullptr,
+               obs::Registry* registry = nullptr);
   /// Drains: blocks until every accepted job has completed or failed.
   ~RetrainQueue();
 
@@ -65,6 +69,9 @@ class RetrainQueue {
   /// Blocks until no job is queued or running.
   void wait_idle();
 
+  /// Back-compat stats view; counter fields mirror the retrain.* registry
+  /// metrics (zero when instrumentation is disabled), in_flight reads the
+  /// authoritative queue state used by wait_idle().
   struct Stats {
     std::uint64_t submitted{0};  // submit() calls
     std::uint64_t coalesced{0};  // submits folded into a queued job
@@ -73,6 +80,10 @@ class RetrainQueue {
     std::size_t in_flight{0};  // queued or running right now
   };
   Stats stats() const;
+
+  /// Registry hosting this queue's metrics (the one passed in, or the
+  /// private fallback).
+  obs::Registry& metrics() { return *registry_; }
 
  private:
   struct Job {
@@ -89,15 +100,21 @@ class RetrainQueue {
   util::ThreadPool* pool_;                 // not owned
   core::ApproxStatsCache* stats_cache_;    // not owned, may be null
 
+  std::unique_ptr<obs::Registry> own_registry_;  // fallback when none passed
+  obs::Registry* registry_;
+  obs::Counter* submitted_;
+  obs::Counter* coalesced_;
+  obs::Counter* completed_;
+  obs::Counter* failed_;
+  obs::Gauge* queue_depth_;   // queued or running (mirrors in_flight_)
+  obs::Histogram* train_ns_;  // snapshot + train + swap wall time
+
   mutable std::mutex mutex_;
   std::condition_variable idle_;
   /// Queued-but-not-started jobs, keyed by user token (the coalescing window).
   std::map<int, std::shared_ptr<Job>> queued_;
+  /// Authoritative liveness count for wait_idle(); queue_depth_ mirrors it.
   std::size_t in_flight_{0};
-  std::uint64_t submitted_{0};
-  std::uint64_t coalesced_{0};
-  std::uint64_t completed_{0};
-  std::uint64_t failed_{0};
 };
 
 }  // namespace sy::serve

@@ -186,9 +186,12 @@ ShardLog::ReplayResult ShardLog::replay(const std::string& path,
     pos += record_len;
   }
   if (result.dropped_torn_tail) {
-    util::log_warn("ShardLog: dropped torn tail record (",
-                   result.torn_tail_bytes, " bytes) from ", path, ", shard ",
-                   shard, "; recovering the durable prefix");
+    util::log_warn_kv(
+        "ShardLog: dropped torn tail record; recovering the durable prefix",
+        {{"path", path},
+         {"shard", shard},
+         {"torn_bytes", result.torn_tail_bytes},
+         {"recovered_records", result.records.size()}});
   }
   return result;
 }

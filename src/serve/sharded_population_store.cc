@@ -1,17 +1,37 @@
 #include "serve/sharded_population_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <iterator>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/span.h"
 #include "serve/shard_snapshot.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace sy::serve {
 
-ShardedPopulationStore::ShardedPopulationStore(std::size_t shards) {
+ShardedPopulationStore::ShardedPopulationStore(std::size_t shards,
+                                               obs::Registry* registry)
+    : own_registry_(registry == nullptr ? std::make_unique<obs::Registry>()
+                                        : nullptr),
+      registry_(registry != nullptr ? registry : own_registry_.get()),
+      contributions_(&registry_->counter("store.contributions")),
+      snapshot_rebuilds_(&registry_->counter("store.snapshot_rebuilds")),
+      snapshot_reuses_(&registry_->counter("store.snapshot_reuses")),
+      snapshot_buckets_copied_(
+          &registry_->counter("store.snapshot_buckets_copied")),
+      snapshot_buckets_shared_(
+          &registry_->counter("store.snapshot_buckets_shared")),
+      log_records_(&registry_->counter("store.log_records")),
+      log_compactions_(&registry_->counter("store.log_compactions")),
+      snapshot_rebuild_ns_(&registry_->histogram("store.snapshot_rebuild_ns")),
+      log_append_ns_(&registry_->histogram("store.log_append_ns")),
+      log_fsync_ns_(&registry_->histogram("store.log_fsync_ns")),
+      recovery_replay_ns_(&registry_->histogram("store.recovery_replay_ns")) {
   if (shards == 0) {
     throw std::invalid_argument(
         "ShardedPopulationStore: shard count must be positive");
@@ -35,6 +55,7 @@ std::size_t ShardedPopulationStore::shard_of(int contributor_token) const {
 void ShardedPopulationStore::compact_shard_locked(std::size_t s) {
   Shard& shard = *shards_[s];
   if (!shard.log) return;
+  const std::uint64_t folded = shard.records_since_snapshot;
   // Snapshot first, truncate second: a crash in between leaves the log's
   // records with seq <= the snapshot's last_seq, which the next recovery
   // skips — nothing is ever applied twice.
@@ -43,7 +64,12 @@ void ShardedPopulationStore::compact_shard_locked(std::size_t s) {
   shard.log->reset();
   shard.records_since_snapshot = 0;
   shard.records_since_sync = 0;
-  log_compactions_.fetch_add(1, std::memory_order_relaxed);
+  log_compactions_->inc();
+  util::log_debug_kv("shard log compacted into snapshot",
+                     {{"shard", s},
+                      {"records", folded},
+                      {"last_seq", shard.next_seq - 1},
+                      {"dir", persist_.dir}});
 }
 
 void ShardedPopulationStore::contribute(
@@ -57,18 +83,23 @@ void ShardedPopulationStore::contribute(
   shard.data[context].append_block(
       core::make_vector_block(contributor_token, vectors));
   ++shard.version;
-  contributions_.fetch_add(1, std::memory_order_relaxed);
+  contributions_->inc();
 
   if (shard.log) {
     // Durable before visible-to-the-next-snapshot is not required (the
     // paper's population is advisory training data), but append-before-
     // return means a crash loses at most the contribution that raced it.
-    shard.log->append(shard.next_seq++, contributor_token, context, vectors);
-    log_records_.fetch_add(1, std::memory_order_relaxed);
+    {
+      obs::Span append_span(log_append_ns_);
+      shard.log->append(shard.next_seq++, contributor_token, context,
+                        vectors);
+    }
+    log_records_->inc();
     ++shard.records_since_snapshot;
     ++shard.records_since_sync;
     if (persist_.sync_every != 0 &&
         shard.records_since_sync >= persist_.sync_every) {
+      obs::Span fsync_span(log_fsync_ns_);
       shard.log->sync();
       shard.records_since_sync = 0;
     }
@@ -89,6 +120,9 @@ RecoveryStats ShardedPopulationStore::attach_persistence(
     throw std::logic_error(
         "ShardedPopulationStore: persistence already attached");
   }
+  // Timed by hand rather than with an obs::Span so a failed attach (which
+  // rolls back and rethrows) records nothing.
+  const auto replay_start = std::chrono::steady_clock::now();
   std::filesystem::create_directories(options.dir);
   // Options are published before any shard's log exists; contribute() only
   // reads them after observing shard.log under that shard's mutex, which
@@ -168,6 +202,18 @@ RecoveryStats ShardedPopulationStore::attach_persistence(
     rollback_installed_shards(staged, installed);
     persistent_.store(false, std::memory_order_release);
     throw;
+  }
+  recovery_replay_ns_->record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - replay_start)
+          .count()));
+  if (recovered.replayed_records > 0 || recovered.shards_with_snapshot > 0) {
+    util::log_info_kv("population store recovered from disk",
+                      {{"dir", options.dir},
+                       {"shards_with_snapshot", recovered.shards_with_snapshot},
+                       {"snapshot_vectors", recovered.snapshot_vectors},
+                       {"replayed_records", recovered.replayed_records},
+                       {"torn_tails", recovered.torn_tails_dropped}});
   }
   return recovered;
 }
@@ -268,9 +314,13 @@ std::shared_ptr<const core::PopulationStore> ShardedPopulationStore::snapshot()
     }
   }
   if (cached_ != nullptr && stale_shards.empty()) {
-    snapshot_reuses_.fetch_add(1, std::memory_order_relaxed);
+    snapshot_reuses_->inc();
     return cached_;
   }
+
+  // Only real merge passes are timed — a reuse hit above costs a probe loop
+  // and would drown the rebuild distribution in near-zero samples.
+  obs::Span rebuild_span(snapshot_rebuild_ns_);
 
   // Re-capture every stale shard under ONE mutex acquisition: each of its
   // buckets is re-shared (a handle copy — block pointers, never payloads),
@@ -316,9 +366,9 @@ std::shared_ptr<const core::PopulationStore> ShardedPopulationStore::snapshot()
     ++copied;
   }
   cached_ = std::move(merged);
-  snapshot_rebuilds_.fetch_add(1, std::memory_order_relaxed);
-  snapshot_buckets_copied_.fetch_add(copied, std::memory_order_relaxed);
-  snapshot_buckets_shared_.fetch_add(reused, std::memory_order_relaxed);
+  snapshot_rebuilds_->inc();
+  snapshot_buckets_copied_->inc(copied);
+  snapshot_buckets_shared_->inc(reused);
   return cached_;
 }
 
@@ -343,15 +393,22 @@ std::size_t ShardedPopulationStore::shard_size(
 
 ShardedPopulationStore::Stats ShardedPopulationStore::stats() const {
   Stats out;
-  out.contributions = contributions_.load(std::memory_order_relaxed);
-  out.snapshot_rebuilds = snapshot_rebuilds_.load(std::memory_order_relaxed);
-  out.snapshot_reuses = snapshot_reuses_.load(std::memory_order_relaxed);
-  out.snapshot_buckets_copied =
-      snapshot_buckets_copied_.load(std::memory_order_relaxed);
-  out.snapshot_buckets_shared =
-      snapshot_buckets_shared_.load(std::memory_order_relaxed);
-  out.log_records = log_records_.load(std::memory_order_relaxed);
-  out.log_compactions = log_compactions_.load(std::memory_order_relaxed);
+  {
+    // The snapshot-cache counters are only ever written under
+    // snapshot_mutex_; reading them under it too means the group is a
+    // consistent point-in-time view — a counted rebuild always comes with
+    // its bucket tallies (previously each field was read independently, so
+    // a stats() racing a rebuild could see the increment but not the
+    // tallies, or vice versa).
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    out.snapshot_rebuilds = snapshot_rebuilds_->value();
+    out.snapshot_reuses = snapshot_reuses_->value();
+    out.snapshot_buckets_copied = snapshot_buckets_copied_->value();
+    out.snapshot_buckets_shared = snapshot_buckets_shared_->value();
+  }
+  out.contributions = contributions_->value();
+  out.log_records = log_records_->value();
+  out.log_compactions = log_compactions_->value();
   return out;
 }
 

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "core/auth_server.h"
+#include "obs/registry.h"
 #include "serve/log_sink.h"
 #include "serve/shard_log.h"
 
@@ -84,7 +85,11 @@ struct RecoveryStats {
 
 class ShardedPopulationStore final : public core::PopulationStoreBackend {
  public:
-  explicit ShardedPopulationStore(std::size_t shards = 16);
+  /// `registry` hosts the store.* metrics (contribution/snapshot/log
+  /// counters plus snapshot_rebuild_ns / log_append_ns / log_fsync_ns /
+  /// recovery_replay_ns latency histograms); nullptr = private registry.
+  explicit ShardedPopulationStore(std::size_t shards = 16,
+                                  obs::Registry* registry = nullptr);
 
   /// Thread-safe: locks only the contributor's shard. With persistence
   /// attached, the contribution is appended to the shard's log (and the log
@@ -138,6 +143,12 @@ class ShardedPopulationStore final : public core::PopulationStoreBackend {
   std::size_t shard_size(std::size_t shard,
                          sensors::DetectedContext context) const;
 
+  /// Back-compat stats view over the store.* registry counters. The four
+  /// snapshot-cache counters (rebuilds / reuses / buckets_copied /
+  /// buckets_shared) are read under snapshot_mutex_, so a stats() call never
+  /// observes a half-applied rebuild — e.g. a rebuild counted whose bucket
+  /// tallies are still missing. Fields read zero when instrumentation is
+  /// disabled (SY_OBS_OFF).
   struct Stats {
     std::uint64_t contributions{0};      // contribute() calls
     std::uint64_t snapshot_rebuilds{0};  // snapshots that had to merge
@@ -154,6 +165,10 @@ class ShardedPopulationStore final : public core::PopulationStoreBackend {
     std::uint64_t log_compactions{0};    // log-into-snapshot folds
   };
   Stats stats() const;
+
+  /// Registry hosting this store's metrics (the one passed in, or the
+  /// private fallback).
+  obs::Registry& metrics() { return *registry_; }
 
  private:
   struct Shard {
@@ -214,13 +229,22 @@ class ShardedPopulationStore final : public core::PopulationStoreBackend {
   PersistenceOptions persist_;
   std::atomic<bool> persistent_{false};
 
-  mutable std::atomic<std::uint64_t> contributions_{0};
-  mutable std::atomic<std::uint64_t> snapshot_rebuilds_{0};
-  mutable std::atomic<std::uint64_t> snapshot_reuses_{0};
-  mutable std::atomic<std::uint64_t> snapshot_buckets_copied_{0};
-  mutable std::atomic<std::uint64_t> snapshot_buckets_shared_{0};
-  mutable std::atomic<std::uint64_t> log_records_{0};
-  mutable std::atomic<std::uint64_t> log_compactions_{0};
+  std::unique_ptr<obs::Registry> own_registry_;  // fallback when none passed
+  obs::Registry* registry_;
+  obs::Counter* contributions_;
+  /// The four snapshot-cache counters are only written under
+  /// snapshot_mutex_; stats() reads them under it too, so the group is
+  /// always mutually consistent.
+  obs::Counter* snapshot_rebuilds_;
+  obs::Counter* snapshot_reuses_;
+  obs::Counter* snapshot_buckets_copied_;
+  obs::Counter* snapshot_buckets_shared_;
+  obs::Counter* log_records_;
+  obs::Counter* log_compactions_;
+  obs::Histogram* snapshot_rebuild_ns_;  // merge passes only, not reuse hits
+  obs::Histogram* log_append_ns_;
+  obs::Histogram* log_fsync_ns_;
+  obs::Histogram* recovery_replay_ns_;  // successful attach_persistence calls
 };
 
 }  // namespace sy::serve

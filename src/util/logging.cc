@@ -2,12 +2,35 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 namespace sy::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("SY_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "0") == 0)
+    return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0 || std::strcmp(env, "1") == 0)
+    return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "2") == 0)
+    return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0 || std::strcmp(env, "3") == 0)
+    return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& level_ref() {
+  // First use reads SY_LOG_LEVEL; function-local so any static-init logging
+  // still sees an initialized threshold.
+  static std::atomic<LogLevel> level{level_from_env()};
+  return level;
+}
+
 std::mutex g_mutex;
 
 const char* level_tag(LogLevel level) {
@@ -23,16 +46,46 @@ const char* level_tag(LogLevel level) {
   }
   return "?????";
 }
+
+// key=value, quoting values that would split under a whitespace tokenizer.
+void append_field(std::string& line, const LogField& field) {
+  line += ' ';
+  line += field.key;
+  line += '=';
+  const bool quote =
+      field.value.find_first_of(" \t\"=") != std::string::npos ||
+      field.value.empty();
+  if (!quote) {
+    line += field.value;
+    return;
+  }
+  line += '"';
+  for (const char c : field.value) {
+    if (c == '"' || c == '\\') line += '\\';
+    line += c;
+  }
+  line += '"';
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) { level_ref().store(level); }
+LogLevel log_level() { return level_ref().load(); }
 
 void log(LogLevel level, std::string_view message) {
-  if (level < g_level.load()) return;
+  if (level < log_level()) return;
   const std::scoped_lock lock(g_mutex);
   std::fprintf(stderr, "[%s] %.*s\n", level_tag(level),
                static_cast<int>(message.size()), message.data());
+}
+
+void log(LogLevel level, std::string_view message,
+         std::initializer_list<LogField> fields) {
+  if (level < log_level()) return;
+  std::string line(message);
+  for (const LogField& field : fields) append_field(line, field);
+  const std::scoped_lock lock(g_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_tag(level), line.c_str());
 }
 
 }  // namespace sy::util

@@ -1,16 +1,28 @@
 // Minimal leveled logger. Experiments and the SmarterYou runtime emit
 // progress through this interface so benches can silence or redirect it.
+//
+// Structured context: the *_kv variants append key=value fields to the line
+// (values are quoted when they contain spaces), so operational events —
+// recovery, compaction, corruption — carry machine-greppable shard/path
+// fields instead of prose-embedded values.
+//
+// The threshold defaults to kInfo and can be overridden per process with the
+// SY_LOG_LEVEL environment variable (debug|info|warn|error, or 0-3), read
+// once on first use; set_log_level() still wins afterwards.
 #pragma once
 
+#include <initializer_list>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace sy::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-// Global log threshold; messages below it are dropped. Default kInfo.
+// Global log threshold; messages below it are dropped. Default kInfo, or
+// SY_LOG_LEVEL from the environment when set.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
@@ -25,6 +37,19 @@ std::string concat(Args&&... args) {
   return os.str();
 }
 }  // namespace detail
+
+// One structured context field; any streamable value converts.
+struct LogField {
+  std::string key;
+  std::string value;
+  template <typename T>
+  LogField(std::string_view k, T&& v)
+      : key(k), value(detail::concat(std::forward<T>(v))) {}
+};
+
+// Structured sink: "[LEVEL] message key=value key=value".
+void log(LogLevel level, std::string_view message,
+         std::initializer_list<LogField> fields);
 
 template <typename... Args>
 void log_debug(Args&&... args) {
@@ -44,6 +69,23 @@ void log_warn(Args&&... args) {
 template <typename... Args>
 void log_error(Args&&... args) {
   log(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+inline void log_debug_kv(std::string_view message,
+                         std::initializer_list<LogField> fields) {
+  if (log_level() <= LogLevel::kDebug) log(LogLevel::kDebug, message, fields);
+}
+inline void log_info_kv(std::string_view message,
+                        std::initializer_list<LogField> fields) {
+  if (log_level() <= LogLevel::kInfo) log(LogLevel::kInfo, message, fields);
+}
+inline void log_warn_kv(std::string_view message,
+                        std::initializer_list<LogField> fields) {
+  if (log_level() <= LogLevel::kWarn) log(LogLevel::kWarn, message, fields);
+}
+inline void log_error_kv(std::string_view message,
+                         std::initializer_list<LogField> fields) {
+  log(LogLevel::kError, message, fields);
 }
 
 }  // namespace sy::util

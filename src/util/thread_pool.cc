@@ -6,8 +6,10 @@ ThreadPool::ThreadPool(unsigned threads) {
   unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
   if (n < 1) n = 1;
   queues_.reserve(n);
+  worker_stats_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
     queues_.push_back(std::make_unique<WorkQueue>());
+    worker_stats_.push_back(std::make_unique<WorkerStats>());
   }
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
@@ -28,9 +30,11 @@ void ThreadPool::submit(std::function<void()> task) {
   // Round-robin placement; idle workers steal, so placement only matters for
   // the common case where every queue is busy.
   const std::size_t home = next_queue_.fetch_add(1) % queues_.size();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   {
     const std::scoped_lock lock(queues_[home]->mutex);
-    queues_[home]->tasks.push_back(std::move(task));
+    queues_[home]->tasks.push_back(
+        {std::move(task), std::chrono::steady_clock::now()});
   }
   // Passing through sleep_mutex_ orders this push against the idle re-scan in
   // worker_loop: a worker that missed the task is provably not yet waiting,
@@ -39,7 +43,7 @@ void ThreadPool::submit(std::function<void()> task) {
   wake_.notify_one();
 }
 
-bool ThreadPool::try_acquire(std::size_t self, std::function<void()>& task) {
+bool ThreadPool::try_acquire(std::size_t self, Task& task, bool& stolen) {
   // Own queue first (LIFO: newest task is cache-warm), then steal the oldest
   // task from siblings.
   {
@@ -48,6 +52,7 @@ bool ThreadPool::try_acquire(std::size_t self, std::function<void()>& task) {
     if (!q.tasks.empty()) {
       task = std::move(q.tasks.back());
       q.tasks.pop_back();
+      stolen = false;
       return true;
     }
   }
@@ -57,32 +62,59 @@ bool ThreadPool::try_acquire(std::size_t self, std::function<void()>& task) {
     if (!q.tasks.empty()) {
       task = std::move(q.tasks.front());
       q.tasks.pop_front();
+      stolen = true;
       return true;
     }
   }
   return false;
 }
 
+void ThreadPool::account(std::size_t self, const Task& task, bool stolen) {
+  WorkerStats& ws = *worker_stats_[self];
+  ws.executed.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) ws.stolen.fetch_add(1, std::memory_order_relaxed);
+  const auto waited = std::chrono::steady_clock::now() - task.enqueued;
+  ws.queue_wait_ns.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+              .count()),
+      std::memory_order_relaxed);
+}
+
 void ThreadPool::worker_loop(std::size_t self) {
-  std::function<void()> task;
+  Task task;
+  bool stolen = false;
   while (true) {
-    if (try_acquire(self, task)) {
-      task();
-      task = nullptr;
+    if (try_acquire(self, task, stolen)) {
+      account(self, task, stolen);
+      task.fn();
+      task.fn = nullptr;
       continue;
     }
     std::unique_lock lock(sleep_mutex_);
     if (stop_.load()) return;
     // Re-scan under sleep_mutex_: submit() pushes before touching
     // sleep_mutex_, so anything this scan misses will notify us in wait().
-    if (try_acquire(self, task)) {
+    if (try_acquire(self, task, stolen)) {
       lock.unlock();
-      task();
-      task = nullptr;
+      account(self, task, stolen);
+      task.fn();
+      task.fn = nullptr;
       continue;
     }
     wake_.wait(lock);
   }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  for (const auto& ws : worker_stats_) {
+    out.executed += ws->executed.load(std::memory_order_relaxed);
+    out.stolen += ws->stolen.load(std::memory_order_relaxed);
+    out.queue_wait_ns += ws->queue_wait_ns.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 namespace {

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -32,6 +34,19 @@ class ThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
+  // Cumulative execution telemetry, merged across workers on read. Counts
+  // cover submit()ted tasks only (parallel_for iterations drain inside one
+  // such task). queue_wait_ns is time spent enqueued before a worker picked
+  // the task up — the saturation signal. obs::bind_thread_pool() exports
+  // these as callback gauges on a metrics registry.
+  struct Stats {
+    std::uint64_t submitted{0};
+    std::uint64_t executed{0};
+    std::uint64_t stolen{0};  // tasks acquired from a sibling's queue
+    std::uint64_t queue_wait_ns{0};
+  };
+  Stats stats() const;
+
   // Enqueues a task for asynchronous execution. Tasks still queued (not yet
   // started) when the pool is destroyed are dropped; started tasks always
   // finish before the destructor returns.
@@ -47,19 +62,33 @@ class ThreadPool {
   static ThreadPool& shared();
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
   struct WorkQueue {
     std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    std::deque<Task> tasks;
+  };
+  // Written by the owning worker only, read by stats(); relaxed atomics keep
+  // the cross-thread reads race-free without contending (cells are padded).
+  struct alignas(64) WorkerStats {
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
+    std::atomic<std::uint64_t> queue_wait_ns{0};
   };
 
   void worker_loop(std::size_t self);
-  bool try_acquire(std::size_t self, std::function<void()>& task);
+  bool try_acquire(std::size_t self, Task& task, bool& stolen);
+  void account(std::size_t self, const Task& task, bool stolen);
 
   std::vector<std::unique_ptr<WorkQueue>> queues_;
+  std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
   std::vector<std::thread> workers_;
   std::mutex sleep_mutex_;
   std::condition_variable wake_;
   std::atomic<std::size_t> next_queue_{0};
+  std::atomic<std::uint64_t> submitted_{0};
   std::atomic<bool> stop_{false};
 };
 
