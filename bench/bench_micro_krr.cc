@@ -7,10 +7,10 @@
 // (Woodbury) update, and the SVM baseline's training cost for comparison
 // (the paper picks KRR over SVM partly on cost).
 //
-// --backend=scalar|avx2|auto selects the num:: dispatch path (default: the
-// process default, i.e. SY_NUM_BACKEND or the detected best). The active
-// backend is recorded in the benchmark context ("sy_num_backend" in the
-// JSON output), so the perf trajectory records which path ran.
+// --backend=scalar|avx2|avx512|auto selects the num:: dispatch path
+// (default: the process default, i.e. SY_NUM_BACKEND or the detected best).
+// The active backend is recorded in the benchmark context ("sy_num_backend"
+// in the JSON output), so the perf trajectory records which path ran.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -192,17 +192,38 @@ void BM_RbfGram(benchmark::State& state) {
 BENCHMARK(BM_RbfGram)->Arg(200)->Arg(400)->Arg(800);
 
 // --threads=N tiles the rank-k trailing update over a pool (bitwise
-// identical to serial — the flag trades nothing but wall-clock).
+// identical to serial — the flag trades nothing but wall-clock). Pinned to
+// the barrier-per-panel kParallelTiles schedule so BM_CholeskyLookahead
+// below measures the panel-overlap win against a stable baseline.
 void BM_BlockedCholesky(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const ml::Dataset data = blobs(n / 2, 28, 23);
   ml::Matrix a = ml::gram_matrix(data.x, ml::Kernel::rbf());
   a.add_diagonal(0.3);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ml::cholesky(a, g_cholesky_pool));
+    benchmark::DoNotOptimize(ml::cholesky(
+        a, g_cholesky_pool, num::CholeskySchedule::kParallelTiles));
   }
 }
 BENCHMARK(BM_BlockedCholesky)->Arg(200)->Arg(400)->Arg(800)->Arg(1600)
+    ->Arg(3200)->Unit(benchmark::kMillisecond);
+
+// The look-ahead schedule: panel p+1's serial factor overlaps panel p's
+// remaining trailing tiles instead of gating them. Same matrix sizes as
+// BM_BlockedCholesky at and above the parallel threshold, so the JSON
+// artifacts diff pairwise (CI gates >= 1.2x at n=1600 with >= 4 threads);
+// the factor is bitwise identical to both other schedules.
+void BM_CholeskyLookahead(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ml::Dataset data = blobs(n / 2, 28, 23);
+  ml::Matrix a = ml::gram_matrix(data.x, ml::Kernel::rbf());
+  a.add_diagonal(0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::cholesky(
+        a, g_cholesky_pool, num::CholeskySchedule::kLookahead));
+  }
+}
+BENCHMARK(BM_CholeskyLookahead)->Arg(800)->Arg(1600)->Arg(3200)
     ->Unit(benchmark::kMillisecond);
 
 // --- Population-growth curve (ISSUE 6 tentpole gate) ----------------------

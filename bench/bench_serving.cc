@@ -8,7 +8,7 @@
 //   --users=N --contributors=N --windows=N --dim=N --events=N
 //   --shards=N --threads=N --cache-mb=N --rate=HZ --drift-prob=P
 //   --hot-fraction=P --hot-mass=P --seed=N --model-dir=PATH --keep-models
-//   --backend=scalar|avx2|auto (num:: dispatch path; default process-wide)
+//   --backend=scalar|avx2|avx512|auto (num:: dispatch path; default process-wide)
 //   --mode=exact|nystrom|rff (KRR training mode for enrollment and drift
 //     retrains; recorded as "training_mode" in the JSON summary so
 //     bench_compare.py refuses to diff runs of different modes)

@@ -5,9 +5,13 @@ Usage: bench_compare.py BASELINE.json CANDIDATE.json
            [--threshold 0.20] [--latency-threshold 0.50]
 
 Understands the bench_serving summary shapes (load run, --enroll-heavy,
---recover-only) and the bench_batch_training summary; every known metric
-present in BOTH files is compared. Refuses (exit 1) to diff artifacts whose
-configuration identity differs — numeric backend or KRR training mode
+--recover-only), the bench_batch_training summary, and Google Benchmark
+--benchmark_out documents (a "benchmarks" array: per-benchmark real_time of
+same-named iteration entries diff as latency metrics, so same-backend pairs
+of bench_micro_krr artifacts — e.g. yesterday's BENCH_micro_krr_avx512.json
+against today's — gate directly). Every known metric present in BOTH files
+is compared. Refuses (exit 1) to diff artifacts whose configuration
+identity differs — numeric backend or KRR training mode
 ("backend"/"training_mode" in bench_serving summaries,
 "context.sy_num_backend"/"context.sy_training_mode" in Google Benchmark
 output) — a mode change is not a regression.
@@ -97,6 +101,27 @@ def identity_mismatches(baseline, candidate):
     return out
 
 
+def gbench_runs(doc):
+    """name -> real_time for a Google Benchmark --benchmark_out document.
+
+    Only plain iteration entries are taken (aggregates and BigO/RMS
+    complexity fits have run_type/name forms of their own and are skipped);
+    the time_unit is whatever the benchmark declared, which is fine for a
+    relative diff because same-named entries share it.
+    """
+    runs = {}
+    for entry in doc.get("benchmarks", []):
+        if not isinstance(entry, dict):
+            continue
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        name = entry.get("name")
+        real_time = entry.get("real_time")
+        if isinstance(name, str) and isinstance(real_time, (int, float)):
+            runs[name] = real_time
+    return runs
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -125,11 +150,20 @@ def main():
                   f"({base!r} vs {cand!r})", file=sys.stderr)
         return 1
 
+    pairs = []
+    for path, label, category in METRICS:
+        pairs.append((label, lookup(baseline, path),
+                      lookup(candidate, path), category))
+    # Google Benchmark artifacts: same-named iteration entries diff as
+    # latency metrics (real_time, lower is better).
+    cand_runs = gbench_runs(candidate)
+    for name, base_time in sorted(gbench_runs(baseline).items()):
+        pairs.append((f"{name} real_time", base_time, cand_runs.get(name),
+                      "latency"))
+
     compared = 0
     regressions = []
-    for path, label, category in METRICS:
-        base = lookup(baseline, path)
-        cand = lookup(candidate, path)
+    for label, base, cand, category in pairs:
         if base is None or cand is None or base == 0:
             continue
         compared += 1

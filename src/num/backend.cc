@@ -1,6 +1,7 @@
 #include "num/backend.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
 #include <mutex>
 #include <stdexcept>
@@ -13,24 +14,30 @@ namespace sy::num {
 
 namespace {
 
+constexpr Backend kAllBackends[] = {Backend::kScalar, Backend::kAvx2,
+                                    Backend::kAvx512};
+
+// The user-facing list for parse errors ("auto" included: it is a valid
+// SY_NUM_BACKEND value even though it is not a backend).
+constexpr std::string_view kBackendList = "scalar|avx2|avx512|auto";
+
 std::atomic<Backend> g_active{Backend::kScalar};
 std::once_flag g_init;
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
 
 Backend startup_backend() {
   const char* env = std::getenv("SY_NUM_BACKEND");
   if (env != nullptr && *env != '\0') {
-    const auto parsed = parse_backend(env);
-    if (!parsed) {
-      util::log_warn("SY_NUM_BACKEND=", env,
-                     " is not a backend (scalar|avx2|auto); using detected");
-    } else if (*parsed == Backend::kAvx2 && !avx2::available()) {
-      // Dispatching into AVX2 code on a CPU without it is an illegal
-      // instruction, not a slow path — never honor that request.
-      util::log_warn("SY_NUM_BACKEND=avx2 unsupported on this CPU; "
-                     "using detected backend");
-    } else {
-      return *parsed;
-    }
+    // Throws on an unknown value: a typo'd SY_NUM_BACKEND must surface at
+    // the first kernel call, not silently measure the wrong backend.
+    return backend_from_env_value(env);
   }
   return detected_backend();
 }
@@ -49,18 +56,54 @@ std::string_view backend_name(Backend backend) {
       return "scalar";
     case Backend::kAvx2:
       return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
 
+std::span<const Backend> all_backends() { return kAllBackends; }
+
+bool backend_available(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+      return avx2::available();
+    case Backend::kAvx512:
+      return avx512::available();
+  }
+  return false;
+}
+
 std::optional<Backend> parse_backend(std::string_view name) {
-  if (name == "scalar") return Backend::kScalar;
-  if (name == "avx2") return Backend::kAvx2;
-  if (name == "auto") return detected_backend();
+  const std::string n = lower(name);
+  if (n == "auto") return detected_backend();
+  for (const Backend backend : kAllBackends) {
+    if (n == backend_name(backend)) return backend;
+  }
   return std::nullopt;
 }
 
+Backend backend_from_env_value(std::string_view value) {
+  const auto parsed = parse_backend(value);
+  if (!parsed) {
+    throw std::invalid_argument(
+        "SY_NUM_BACKEND=" + std::string(value) +
+        " is not a compiled backend (" + std::string(kBackendList) + ")");
+  }
+  if (!backend_available(*parsed)) {
+    // Dispatching into SIMD code on a CPU without it is an illegal
+    // instruction, not a slow path — never honor that request.
+    util::log_warn("SY_NUM_BACKEND=", value,
+                   " unsupported on this CPU; using detected backend");
+    return detected_backend();
+  }
+  return *parsed;
+}
+
 Backend detected_backend() {
+  if (avx512::available()) return Backend::kAvx512;
   return avx2::available() ? Backend::kAvx2 : Backend::kScalar;
 }
 
@@ -71,9 +114,10 @@ Backend active_backend() {
 
 void set_backend(Backend backend) {
   ensure_initialized();
-  if (backend == Backend::kAvx2 && !avx2::available()) {
-    throw std::invalid_argument(
-        "num::set_backend: avx2 backend unsupported on this CPU");
+  if (!backend_available(backend)) {
+    throw std::invalid_argument("num::set_backend: " +
+                                std::string(backend_name(backend)) +
+                                " backend unsupported on this CPU");
   }
   g_active.store(backend, std::memory_order_relaxed);
 }

@@ -19,10 +19,40 @@
 // partially-updated entry back to memory between panels is exact, so the
 // factor is bit-identical to the unblocked reference — blocking reorders
 // only which entry is touched next, never an entry's own operation order.
+//
+// Schedules (all bitwise identical per backend, pinned in num_kernels_test):
+//   kSerial        — everything on the calling thread.
+//   kParallelTiles — serial panel factor, trailing update tiled across the
+//                    pool with a full barrier per panel. The panel factor
+//                    gates every tile: the pool idles while one thread
+//                    walks 64 columns.
+//   kLookahead     — the trailing update for panel p is split at the next
+//                    panel boundary p2 = p1 + 64:
+//
+//                        columns   [p1,p2)  [p2,n)
+//                      phase A:    ██████            strip: tiled, barrier
+//                      phase B:    factor │ ██████   panel p+1 factor runs
+//                                  p+1    │ tiles    CONCURRENTLY with the
+//                                         │          rest of the update
+//
+//                    Phase B's panel factor reads and writes only the strip
+//                    columns [p1,p2) (fully updated by phase A's barrier),
+//                    while the remaining tiles write columns >= p2 and read
+//                    only panel-p columns [p0,p1) — disjoint, race-free.
+//                    The serial 64-column walk thus overlaps tile work
+//                    instead of gating it.
+//
+// Why the column split keeps bitwise identity: each entry's panel-p update
+// is ONE dot_sub/dot_subN call over the same slices whatever the schedule,
+// and the SIMD column-group loops (4-wide avx2, 8-wide avx512) start either
+// at p1 (serial/strip) or at p2 = p1 + kPanel. kPanel is a multiple of the
+// widest group, so a group never straddles the split — every column lands
+// in a group with the exact alignment the serial schedule gives it.
 #include "num/backend.h"
 #include "num/kernels.h"
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace sy::num {
@@ -34,6 +64,11 @@ namespace {
 // trailing matrix while it is hot.
 constexpr std::size_t kPanel = 64;
 
+// The look-ahead bitwise-identity argument needs SIMD column groups to never
+// straddle the split at p1 + kPanel (see the file comment).
+static_assert(kPanel % 8 == 0,
+              "kPanel must be a multiple of the widest dot_subN column block");
+
 // Rows per trailing-update tile when the update runs on a pool. Small enough
 // that the triangular row costs (row i does i - p1 + 1 entries) spread over
 // many stealable tasks, large enough to amortize the handshake.
@@ -42,83 +77,194 @@ constexpr std::size_t kTileRows = 32;
 using DotSubFn = double (*)(double, std::span<const double>,
                             std::span<const double>);
 
-// A22 -= L21 L21^T on rows [r0, r1) of the lower triangle, columns [p1, i].
-// Each row is written by exactly one call, and the only reads outside the
-// written rows are panel columns [p0, p1) — finalized by the panel factor
-// before any trailing tile starts — so concurrent tiles over disjoint row
-// ranges are race-free and every entry sees the serial operation order.
+// A22 -= L21 L21^T on rows [r0, r1) of the lower triangle, columns
+// [c0, min(c1, i+1)). Each entry is written by exactly one call, and the
+// only reads outside the written range are panel columns [p0, p1) —
+// finalized by the panel factor before any trailing tile starts — so
+// concurrent tiles over disjoint row/column ranges are race-free and every
+// entry sees the serial operation order.
 void trailing_update_rows(double* a, std::size_t stride, std::size_t p0,
-                          std::size_t p1, std::size_t r0, std::size_t r1,
-                          bool use_avx2, DotSubFn dot_sub_fn) {
+                          std::size_t p1, std::size_t c0, std::size_t c1,
+                          std::size_t r0, std::size_t r1, Backend backend,
+                          DotSubFn dot_sub_fn) {
   const std::size_t nb = p1 - p0;
   for (std::size_t i = r0; i < r1; ++i) {
     double* row_i = a + i * stride;
     const std::span<const double> li{row_i + p0, nb};
-    std::size_t j = p1;
-    if (use_avx2) {
-      for (; j + 4 <= i + 1; j += 4) {
+    const std::size_t jend = std::min(c1, i + 1);
+    std::size_t j = c0;
+    if (backend == Backend::kAvx512) {
+      for (; j + 8 <= jend; j += 8) {
+        const double* bs[8] = {
+            a + j * stride + p0,       a + (j + 1) * stride + p0,
+            a + (j + 2) * stride + p0, a + (j + 3) * stride + p0,
+            a + (j + 4) * stride + p0, a + (j + 5) * stride + p0,
+            a + (j + 6) * stride + p0, a + (j + 7) * stride + p0};
+        avx512::dot_sub8(row_i + j, li.data(), bs, nb);
+      }
+    } else if (backend == Backend::kAvx2) {
+      for (; j + 4 <= jend; j += 4) {
         const double* bs[4] = {
             a + j * stride + p0, a + (j + 1) * stride + p0,
             a + (j + 2) * stride + p0, a + (j + 3) * stride + p0};
         avx2::dot_sub4(row_i + j, li.data(), bs, nb);
       }
     }
-    for (; j <= i; ++j) {
+    for (; j < jend; ++j) {
       row_i[j] = dot_sub_fn(row_i[j], li, {a + j * stride + p0, nb});
     }
+  }
+}
+
+// Panel factor: columns [p0, p1), all rows below the diagonal. This fuses
+// the L11 factor and the L21 triangular solve; it is inherently serial
+// (columns depend on each other) and reads/writes ONLY columns [p0, p1) —
+// which is what lets the look-ahead schedule run it concurrently with
+// trailing tiles that stay at or beyond column p1.
+// Returns p1 on success, or the offending column index on a non-positive
+// pivot.
+std::size_t factor_panel(double* a, std::size_t n, std::size_t stride,
+                         std::size_t p0, std::size_t p1, DotSubFn dot_sub_fn) {
+  for (std::size_t j = p0; j < p1; ++j) {
+    double* row_j = a + j * stride;
+    const std::span<const double> lj{row_j + p0, j - p0};
+    double diag = dot_sub_fn(row_j[j], lj, lj);
+    if (diag <= 0.0) return j;  // not (numerically) positive definite
+    diag = std::sqrt(diag);
+    row_j[j] = diag;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double* row_i = a + i * stride;
+      row_i[j] = dot_sub_fn(row_i[j], {row_i + p0, j - p0}, lj) / diag;
+    }
+  }
+  return p1;
+}
+
+// kSerial / kParallelTiles: factor panel p, then its full trailing update
+// (tiled across the pool past the row threshold when one is supplied).
+std::size_t cholesky_panels(double* a, std::size_t n, std::size_t stride,
+                            util::ThreadPool* pool, Backend backend,
+                            DotSubFn dot_sub_fn) {
+  for (std::size_t p0 = 0; p0 < n; p0 += kPanel) {
+    const std::size_t p1 = std::min(p0 + kPanel, n);
+    const std::size_t r = factor_panel(a, n, stride, p0, p1, dot_sub_fn);
+    if (r != p1) return r;
+
+    // Rank-k trailing update: lower triangle of rows/columns [p1, n). The
+    // SIMD paths register-block four (avx2) or eight (avx512) columns per
+    // call, which amortizes call overhead and replaces the per-entry
+    // horizontal reductions with one cross-lane shuffle + vector subtract.
+    // Past the row threshold the rows tile across the pool — disjoint
+    // writes, bitwise identical to the serial schedule.
+    const std::size_t rows = n - p1;
+    if (pool != nullptr && rows >= kCholeskyParallelRows) {
+      const std::size_t tiles = (rows + kTileRows - 1) / kTileRows;
+      pool->parallel_for(tiles, [&](std::size_t t) {
+        const std::size_t r0 = p1 + t * kTileRows;
+        const std::size_t r1 = std::min(r0 + kTileRows, n);
+        trailing_update_rows(a, stride, p0, p1, p1, n, r0, r1, backend,
+                             dot_sub_fn);
+      });
+    } else {
+      trailing_update_rows(a, stride, p0, p1, p1, n, p1, n, backend,
+                           dot_sub_fn);
+    }
+  }
+  return n;
+}
+
+// kLookahead: loop invariant — panel [p0, p1) is already factored at the top
+// of each iteration (panel 0 is factored before the loop). Each iteration
+// then overlaps panel p+1's factor with the tail of panel p's trailing
+// update, per the phase A / phase B split in the file comment.
+std::size_t cholesky_lookahead(double* a, std::size_t n, std::size_t stride,
+                               util::ThreadPool* pool, Backend backend,
+                               DotSubFn dot_sub_fn) {
+  if (n == 0) return 0;
+  {
+    const std::size_t p1 = std::min(kPanel, n);
+    const std::size_t r = factor_panel(a, n, stride, 0, p1, dot_sub_fn);
+    if (r != p1) return r;
+  }
+  for (std::size_t p0 = 0;; p0 += kPanel) {
+    const std::size_t p1 = std::min(p0 + kPanel, n);
+    if (p1 == n) return n;  // the last panel is already factored
+    const std::size_t p2 = std::min(p1 + kPanel, n);
+
+    const std::size_t rows = n - p1;
+    if (rows < kCholeskyParallelRows) {
+      // Too small to amortize tiling: finish panel p's trailing update and
+      // factor panel p+1 on the calling thread. Same per-entry order as the
+      // serial schedule, so the invariant (and bit-identity) holds across
+      // the parallel-to-serial transition.
+      trailing_update_rows(a, stride, p0, p1, p1, n, p1, n, backend,
+                           dot_sub_fn);
+      const std::size_t r = factor_panel(a, n, stride, p1, p2, dot_sub_fn);
+      if (r != p2) return r;
+      continue;
+    }
+
+    // Phase A — strip update: apply panel p to columns [p1, p2) of every
+    // trailing row. After the barrier, panel p+1's columns carry every
+    // panel's contribution and are ready to factor.
+    const std::size_t strip_tiles = (rows + kTileRows - 1) / kTileRows;
+    pool->parallel_for(strip_tiles, [&](std::size_t t) {
+      const std::size_t r0 = p1 + t * kTileRows;
+      const std::size_t r1 = std::min(r0 + kTileRows, n);
+      trailing_update_rows(a, stride, p0, p1, p1, p2, r0, r1, backend,
+                           dot_sub_fn);
+    });
+
+    // Phase B — task 0 factors panel p+1 (touching only columns [p1, p2))
+    // while the remaining tasks apply panel p to columns >= p2. The caller
+    // drains the pool queue first inside parallel_for, so the owning thread
+    // typically takes the panel factor itself. `panel_result` is written by
+    // task 0 only; parallel_for's join supplies the happens-before for the
+    // read below.
+    const std::size_t rest_rows = n - p2;
+    const std::size_t rest_tiles =
+        rest_rows == 0 ? 0 : (rest_rows + kTileRows - 1) / kTileRows;
+    std::size_t panel_result = p2;
+    pool->parallel_for(1 + rest_tiles, [&](std::size_t t) {
+      if (t == 0) {
+        panel_result = factor_panel(a, n, stride, p1, p2, dot_sub_fn);
+        return;
+      }
+      const std::size_t r0 = p2 + (t - 1) * kTileRows;
+      const std::size_t r1 = std::min(r0 + kTileRows, n);
+      trailing_update_rows(a, stride, p0, p1, p2, n, r0, r1, backend,
+                           dot_sub_fn);
+    });
+    // A non-positive pivot is computed from bits identical to the serial
+    // schedule's, so the reported column matches kSerial exactly.
+    if (panel_result != p2) return panel_result;
   }
 }
 
 }  // namespace
 
 std::size_t cholesky_inplace(double* a, std::size_t n, std::size_t stride,
-                             util::ThreadPool* pool) {
-  const bool use_avx2 = active_backend() == Backend::kAvx2;
-  const DotSubFn dot_sub_fn = use_avx2 ? avx2::dot_sub : scalar::dot_sub;
-
-  for (std::size_t p0 = 0; p0 < n; p0 += kPanel) {
-    const std::size_t p1 = p0 + kPanel < n ? p0 + kPanel : n;
-
-    // Panel factor: columns [p0, p1), all rows below the diagonal. This
-    // fuses the L11 factor and the L21 triangular solve; it stays serial
-    // (columns depend on each other), and it is the barrier that finalizes
-    // everything the trailing tiles read.
-    for (std::size_t j = p0; j < p1; ++j) {
-      double* row_j = a + j * stride;
-      const std::span<const double> lj{row_j + p0, j - p0};
-      double diag = dot_sub_fn(row_j[j], lj, lj);
-      if (diag <= 0.0) return j;  // not (numerically) positive definite
-      diag = std::sqrt(diag);
-      row_j[j] = diag;
-      for (std::size_t i = j + 1; i < n; ++i) {
-        double* row_i = a + i * stride;
-        row_i[j] = dot_sub_fn(row_i[j], {row_i + p0, j - p0}, lj) / diag;
-      }
-    }
-
-    // Rank-k trailing update: lower triangle of rows/columns [p1, n). The
-    // AVX2 path register-blocks four columns per call (dot_sub4), which
-    // amortizes call overhead and replaces four horizontal reductions with
-    // one cross-lane shuffle + vector subtract. Past the row threshold the
-    // rows tile across the pool — disjoint writes, bitwise identical to
-    // the serial schedule (see trailing_update_rows).
-    const std::size_t rows = n - p1;
-    if (pool != nullptr && rows >= kCholeskyParallelRows) {
-      const std::size_t tiles = (rows + kTileRows - 1) / kTileRows;
-      pool->parallel_for(tiles, [&](std::size_t t) {
-        const std::size_t r0 = p1 + t * kTileRows;
-        const std::size_t r1 = r0 + kTileRows < n ? r0 + kTileRows : n;
-        trailing_update_rows(a, stride, p0, p1, r0, r1, use_avx2, dot_sub_fn);
-      });
-    } else {
-      trailing_update_rows(a, stride, p0, p1, p1, n, use_avx2, dot_sub_fn);
-    }
+                             util::ThreadPool* pool,
+                             CholeskySchedule schedule) {
+  const Backend backend = active_backend();
+  DotSubFn dot_sub_fn = scalar::dot_sub;
+  if (backend == Backend::kAvx512) {
+    dot_sub_fn = avx512::dot_sub;
+  } else if (backend == Backend::kAvx2) {
+    dot_sub_fn = avx2::dot_sub;
   }
-  return n;
+
+  if (pool == nullptr || schedule == CholeskySchedule::kSerial) {
+    return cholesky_panels(a, n, stride, nullptr, backend, dot_sub_fn);
+  }
+  if (schedule == CholeskySchedule::kParallelTiles) {
+    return cholesky_panels(a, n, stride, pool, backend, dot_sub_fn);
+  }
+  return cholesky_lookahead(a, n, stride, pool, backend, dot_sub_fn);
 }
 
 std::size_t cholesky_inplace(double* a, std::size_t n, std::size_t stride) {
-  return cholesky_inplace(a, n, stride, nullptr);
+  return cholesky_inplace(a, n, stride, nullptr, CholeskySchedule::kSerial);
 }
 
 }  // namespace sy::num

@@ -14,6 +14,12 @@
 ///     within 1e-12 relative tolerance (property-tested, including remainder
 ///     lanes). On non-x86 builds the avx2:: symbols forward to scalar:: and
 ///     avx2::available() is false.
+///   - avx512:: — 8-wide double lanes (AVX-512F) with MASKED remainder
+///     lanes: a length-n reduction is bit-identical to the same kernel on
+///     the zero-padded length-8⌈n/8⌉ input, so an element's contribution
+///     never depends on which side of a vector boundary it lands
+///     (position independence). Same 1e-12 agreement contract as avx2;
+///     forwards to scalar:: where not compiled in.
 #pragma once
 
 #include <cstddef>
@@ -23,7 +29,7 @@ namespace sy::util {
 class ThreadPool;
 }  // namespace sy::util
 
-/// Numeric kernel layer: runtime-dispatched scalar/AVX2 hot loops.
+/// Numeric kernel layer: runtime-dispatched scalar/AVX2/AVX-512 hot loops.
 namespace sy::num {
 
 /// Inner product `<a, b>` of equal-length spans.
@@ -84,15 +90,36 @@ void rff_transform_row(const double* freqs, std::size_t n_freq,
 /// which entry is visited next, never the per-entry operation order.
 std::size_t cholesky_inplace(double* a, std::size_t n, std::size_t stride);
 
-/// Same factorization with the rank-k trailing update tiled across `pool`
-/// once the trailing block has at least kCholeskyParallelRows rows (smaller
+/// How the pooled Cholesky overload schedules the per-panel work. Every
+/// schedule produces a BITWISE identical factor per backend: each entry's
+/// own ascending-k subtraction order never changes, only which thread
+/// visits it when (pinned in tests/num_kernels_test).
+enum class CholeskySchedule {
+  /// Panel factor and trailing update both on the calling thread.
+  kSerial,
+  /// The PR-5 schedule: serial panel factor, then the rank-k trailing
+  /// update tiled across the pool with a full barrier per panel.
+  kParallelTiles,
+  /// Look-ahead: after the tiles covering only panel p+1's columns finish,
+  /// the owning thread factors panel p+1 WHILE the pool works the rest of
+  /// panel p's trailing update — the serial panel factor overlaps tile
+  /// work instead of gating it (default for the pooled overload).
+  kLookahead,
+};
+
+/// Same factorization with the per-panel work scheduled across `pool` once
+/// the trailing block has at least kCholeskyParallelRows rows (smaller
 /// problems, or pool == nullptr, run the serial schedule). Tiles own
 /// disjoint row ranges and read only panel columns finalized before the
-/// update starts, so the result is BITWISE identical to the serial path on
-/// every backend — parallelism changes which thread visits an entry, never
-/// the entry's own operation order (pinned in tests/num_kernels_test).
+/// update starts; the look-ahead panel factor writes only the next panel's
+/// column strip, which no concurrent tile touches. The result is BITWISE
+/// identical to the serial path on every backend — parallelism changes
+/// which thread visits an entry, never the entry's own operation order
+/// (pinned in tests/num_kernels_test).
 std::size_t cholesky_inplace(double* a, std::size_t n, std::size_t stride,
-                             util::ThreadPool* pool);
+                             util::ThreadPool* pool,
+                             CholeskySchedule schedule =
+                                 CholeskySchedule::kLookahead);
 
 /// Trailing-update rows below which the parallel overload stays serial: a
 /// tile must amortize the submit/steal handshake, and the serving stack's
@@ -156,5 +183,46 @@ void exp4(const double* x, double* out);
 /// octant-index range). Exposed for tests.
 void sincos4(const double* x, double* sin_out, double* cos_out);
 }  // namespace avx2
+
+/// AVX-512F implementations: 8-wide double lanes with masked remainder
+/// lanes, so every reduction is bit-identical to the zero-padded full-lane
+/// run (position independence; see the file contract). Forward to scalar::
+/// on non-x86 builds.
+namespace avx512 {
+/// True when the AVX-512F code path is compiled in and this CPU supports it.
+bool available();
+/// 8-lane `<a, b>` with FMA partial sums and a masked tail lane group.
+double dot(std::span<const double> a, std::span<const double> b);
+/// 8-lane `||a - b||^2` with FMA partial sums and a masked tail.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+/// `init - <a, b>` via the 8-lane dot.
+double dot_sub(double init, std::span<const double> a,
+               std::span<const double> b);
+/// `dst[c] -= <a, b[c]>` for eight right-hand rows at once — the Cholesky
+/// trailing update's register-blocked micro-kernel (the row slice of `a`
+/// is loaded once per eight columns).
+void dot_sub8(double* dst, const double* a, const double* const b[8],
+              std::size_t n);
+/// 8-lane `y += alpha * x`; the tail is a masked fused multiply-add, so
+/// every element sees the identical fma regardless of lane position.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+/// Octo-row fused RBF kernel (eight accumulator chains + one exp8 call).
+void rbf_row_kernel(const double* rows, std::size_t n_rows, std::size_t stride,
+                    const double* center, std::size_t dim, double gamma,
+                    double* out);
+/// Octo-frequency fused cos/sin RFF transform (eight phase chains + one
+/// sincos8 call per group).
+void rff_transform_row(const double* freqs, std::size_t n_freq,
+                       std::size_t stride, const double* x, std::size_t dim,
+                       double scale, double* out);
+/// Vectorized double-precision exp on 8 lanes (same Cephes-style range
+/// reduction + rational polynomial as avx2::exp4, ~1 ulp for normal
+/// results). Exposed for tests.
+void exp8(const double* x, double* out);
+/// Vectorized double-precision sin and cos on 8 lanes (Cephes-style pi/4
+/// octant reduction + polynomial, ~1-2 ulp for |x| within the float64
+/// octant-index range). Exposed for tests.
+void sincos8(const double* x, double* sin_out, double* cos_out);
+}  // namespace avx512
 
 }  // namespace sy::num

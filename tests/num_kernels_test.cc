@@ -6,15 +6,25 @@
 //      ml/linalg.cc code (the "pre-refactor goldens"); every scalar kernel
 //      is compared against them with exact equality, including the blocked
 //      Cholesky against the classic unblocked left-looking loop.
-//   2. Tolerance — the AVX2 backend agrees with scalar within 1e-12
-//      relative error on randomized sizes, remainder lanes included.
+//   2. Tolerance — the SIMD backends (AVX2, AVX-512) agree with scalar
+//      within 1e-12 relative error on randomized sizes, remainder lanes
+//      included. The any-backend sweeps iterate num::all_backends(), so a
+//      future backend (NEON) is covered by adding it to the enum.
+//   3. Masked remainders (AVX-512) — a length-n kernel is BITWISE identical
+//      to the zero-padded full-lane run, for every remainder width 1..7
+//      (position independence).
+//   4. Schedules — the pooled Cholesky schedules (parallel tiles,
+//      look-ahead) are BITWISE identical to the serial factorization on
+//      every backend, straddling the kCholeskyParallelRows threshold.
 #include "num/kernels.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "num/backend.h"
@@ -221,19 +231,20 @@ TEST(NumScalar, BlockedCholeskyBitIdenticalToUnblockedReference) {
 
 TEST(NumParallel, PooledTrailingUpdateBitIdenticalToSerialPerBackend) {
   // The pooled overload tiles the rank-k trailing update across worker
-  // threads; tiles own disjoint rows and read only panel columns finalized
-  // before the update starts, so the factor must be BITWISE identical to the
-  // serial schedule — on the scalar backend AND on AVX2 (each compared to
-  // its own serial run; cross-backend equality is a different, tolerance-
-  // based contract).
+  // threads; tiles own disjoint rows/columns and read only panel columns
+  // finalized before the update starts, so the factor must be BITWISE
+  // identical to the serial schedule — on every compiled backend (each
+  // compared to its own serial run; cross-backend equality is a different,
+  // tolerance-based contract). The default pooled schedule is kLookahead,
+  // so this also pins the default path.
   util::ThreadPool pool(4);
   util::Rng rng(1008);
   // Below the parallel row threshold (serial fallback), just past it, and
   // sizes where several panels in a row still clear it.
   for (const std::size_t n : {65u, 200u, 256u, 300u, 471u}) {
     const auto a = random_spd(rng, n);
-    for (const Backend backend : {Backend::kScalar, Backend::kAvx2}) {
-      if (backend == Backend::kAvx2 && !avx2::available()) continue;
+    for (const Backend backend : all_backends()) {
+      if (!backend_available(backend)) continue;
       const Backend saved = active_backend();
       set_backend(backend);
       auto serial = a;
@@ -250,6 +261,60 @@ TEST(NumParallel, PooledTrailingUpdateBitIdenticalToSerialPerBackend) {
           << "n=" << n << " backend=" << backend_name(backend);
     }
   }
+}
+
+TEST(NumParallel, EverySchedulesBitIdenticalToSerialPerBackend) {
+  // The look-ahead schedule overlaps panel p+1's factor with panel p's
+  // remaining trailing tiles; the explicit-schedule sweep pins both pooled
+  // schedules bitwise against the serial factor, at n just below and just
+  // above kCholeskyParallelRows (192) and at multi-panel sizes where the
+  // look-ahead loop transitions back to its serial tail as the trailing
+  // block shrinks.
+  util::ThreadPool pool(4);
+  util::Rng rng(1009);
+  for (const std::size_t n : {190u, 193u, 256u, 320u, 471u}) {
+    const auto a = random_spd(rng, n);
+    for (const Backend backend : all_backends()) {
+      if (!backend_available(backend)) continue;
+      const Backend saved = active_backend();
+      set_backend(backend);
+      auto serial = a;
+      const std::size_t serial_status = cholesky_inplace(serial.data(), n, n);
+      for (const CholeskySchedule schedule :
+           {CholeskySchedule::kSerial, CholeskySchedule::kParallelTiles,
+            CholeskySchedule::kLookahead}) {
+        auto pooled = a;
+        const std::size_t pooled_status =
+            cholesky_inplace(pooled.data(), n, n, &pool, schedule);
+        ASSERT_EQ(pooled_status, serial_status);
+        EXPECT_EQ(0, std::memcmp(serial.data(), pooled.data(),
+                                 n * n * sizeof(double)))
+            << "n=" << n << " backend=" << backend_name(backend)
+            << " schedule=" << static_cast<int>(schedule);
+      }
+      set_backend(saved);
+      ASSERT_EQ(serial_status, n);
+    }
+  }
+}
+
+TEST(NumParallel, LookaheadReportsSameBadPivotAsSerial) {
+  // Corrupt a diagonal entry inside the SECOND panel of a matrix large
+  // enough to engage the parallel path, so the failing pivot is discovered
+  // by the look-ahead panel factor running concurrently with trailing
+  // tiles. The reported column must match the serial schedule exactly.
+  util::ThreadPool pool(4);
+  util::Rng rng(1010);
+  const std::size_t n = 256;
+  auto a = random_spd(rng, n);
+  a[100 * n + 100] = -1.0;  // column 100 lives in panel [64, 128)
+  auto serial = a;
+  const std::size_t serial_status = cholesky_inplace(serial.data(), n, n);
+  auto lookahead = a;
+  const std::size_t lookahead_status = cholesky_inplace(
+      lookahead.data(), n, n, &pool, CholeskySchedule::kLookahead);
+  EXPECT_EQ(serial_status, 100u);
+  EXPECT_EQ(lookahead_status, 100u);
 }
 
 TEST(NumParallel, PooledCholeskyReportsSameBadPivot) {
@@ -465,16 +530,325 @@ TEST(NumAvx2, BlockedCholeskyMatchesScalarWithinTolerance) {
   }
 }
 
+// --- AVX-512 backend: 1e-12 agreement + bitwise masked-remainder contract --
+
+#define SY_REQUIRE_AVX512()                                  \
+  if (!avx512::available()) {                                \
+    GTEST_SKIP() << "AVX-512F not available on this CPU";    \
+  }
+
+TEST(NumAvx512, MaskedRemainderBitIdenticalToZeroPadded) {
+  SY_REQUIRE_AVX512();
+  // The masked-lane contract, tested literally: for every remainder width
+  // n mod 8 = 1..7 (both below one vector and above it), the length-n
+  // reduction must be BITWISE identical to the same kernel over the input
+  // zero-padded to the next multiple of 8 — a masked-off lane contributes
+  // fma(0, 0, acc) == acc, so element results are position independent.
+  util::Rng rng(5001);
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 17u, 18u, 19u,
+                              20u, 21u, 22u, 23u}) {
+    const std::size_t padded = (n + 7) / 8 * 8;
+    auto a = random_vector(rng, n, 2.0);
+    auto b = random_vector(rng, n, 2.0);
+    auto ap = a;
+    auto bp = b;
+    ap.resize(padded, 0.0);
+    bp.resize(padded, 0.0);
+    EXPECT_EQ(avx512::dot(a, b), avx512::dot(ap, bp)) << "n=" << n;
+    EXPECT_EQ(avx512::squared_distance(a, b),
+              avx512::squared_distance(ap, bp))
+        << "n=" << n;
+    const double init = rng.gaussian(0.0, 3.0);
+    EXPECT_EQ(avx512::dot_sub(init, a, b), avx512::dot_sub(init, ap, bp))
+        << "n=" << n;
+
+    const double alpha = rng.gaussian();
+    auto y = random_vector(rng, n);
+    auto yp = y;
+    yp.resize(padded, 0.0);
+    avx512::axpy(alpha, a, y);
+    avx512::axpy(alpha, ap, yp);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(y[i], yp[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(NumAvx512, DotSub8MatchesScalarColumns) {
+  SY_REQUIRE_AVX512();
+  util::Rng rng(5002);
+  for (const std::size_t n : kSizes) {
+    const auto a = random_vector(rng, n, 1.5);
+    std::vector<std::vector<double>> cols;
+    const double* bs[8];
+    for (int c = 0; c < 8; ++c) {
+      cols.push_back(random_vector(rng, n, 1.5));
+      bs[c] = cols.back().data();
+    }
+    const auto init = random_vector(rng, 8, 3.0);
+    auto got = init;
+    avx512::dot_sub8(got.data(), a.data(), bs, n);
+    for (int c = 0; c < 8; ++c) {
+      expect_rel_close(got[c], scalar::dot_sub(init[c], a, cols[c]));
+    }
+  }
+}
+
+TEST(NumAvx512, VectorExpMatchesStdExp) {
+  SY_REQUIRE_AVX512();
+  util::Rng rng(5003);
+  // Realistic RBF arguments plus the extremes: near zero, deep underflow,
+  // and the clamp region — the same corpus the avx2 exp4 test uses.
+  std::vector<double> args{0.0,    -1e-9,  -0.5,   -5.0,   -50.0,
+                           -200.0, -700.0, -708.0, -745.0, -800.0};
+  for (int i = 0; i < 500; ++i) {
+    args.push_back(-std::abs(rng.gaussian(0.0, 60.0)));
+  }
+  for (std::size_t i = 0; i < args.size(); i += 8) {
+    double in[8] = {0.0};
+    double out[8];
+    const std::size_t m = std::min<std::size_t>(8, args.size() - i);
+    for (std::size_t g = 0; g < m; ++g) in[g] = args[i + g];
+    avx512::exp8(in, out);
+    for (std::size_t g = 0; g < m; ++g) {
+      expect_rel_close(out[g], std::exp(in[g]));
+    }
+  }
+
+  // Non-finite lanes behave like std::exp instead of being swallowed by the
+  // clamp (NaN propagates, +inf overflows, -inf underflows to +0), and
+  // neighbours are unaffected.
+  const double quiet_nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  double in[8] = {-1.0, quiet_nan, 0.5, -745.0, inf, -inf, 710.0, -800.0};
+  double out[8];
+  avx512::exp8(in, out);
+  expect_rel_close(out[0], std::exp(-1.0));
+  EXPECT_TRUE(std::isnan(out[1]));
+  expect_rel_close(out[2], std::exp(0.5));
+  expect_rel_close(out[3], std::exp(-745.0));
+  EXPECT_EQ(out[4], inf);
+  EXPECT_EQ(out[5], 0.0);
+  EXPECT_EQ(out[6], inf);  // finite overflow matches std::exp(710)
+  EXPECT_EQ(out[7], 0.0);
+}
+
+TEST(NumAvx512, Sincos8MatchesLibmWithinTolerance) {
+  SY_REQUIRE_AVX512();
+  util::Rng rng(5004);
+  std::vector<double> args{0.0,           1e-12,          -1e-12,
+                           0.785398163,   -0.785398163,   1.5707963267948966,
+                           3.14159265358, -3.14159265358, 6.283185307,
+                           100.0,         -1000.0,        12345.678};
+  for (int i = 0; i < 500; ++i) args.push_back(rng.gaussian(0.0, 20.0));
+  for (std::size_t i = 0; i < args.size(); i += 8) {
+    double in[8] = {0.0};
+    const std::size_t m = std::min<std::size_t>(8, args.size() - i);
+    for (std::size_t g = 0; g < m; ++g) in[g] = args[i + g];
+    double s[8], c[8];
+    avx512::sincos8(in, s, c);
+    for (std::size_t g = 0; g < m; ++g) {
+      // sin/cos land in [-1, 1]; absolute tolerance is the meaningful bound.
+      EXPECT_NEAR(s[g], std::sin(in[g]), 1e-12) << "x=" << in[g];
+      EXPECT_NEAR(c[g], std::cos(in[g]), 1e-12) << "x=" << in[g];
+    }
+  }
+
+  // Out-of-range and non-finite lanes take the libm fallback path.
+  const double quiet_nan = std::numeric_limits<double>::quiet_NaN();
+  double in[8] = {1.0, quiet_nan, 1.1e9, -0.25, 2.0, -3.0, 0.5, 42.0};
+  double s[8], c[8];
+  avx512::sincos8(in, s, c);
+  EXPECT_EQ(s[0], std::sin(1.0));
+  EXPECT_EQ(c[0], std::cos(1.0));
+  EXPECT_TRUE(std::isnan(s[1]));
+  EXPECT_TRUE(std::isnan(c[1]));
+  EXPECT_EQ(s[2], std::sin(1.1e9));
+  EXPECT_EQ(c[2], std::cos(1.1e9));
+  EXPECT_EQ(s[3], std::sin(-0.25));
+  EXPECT_EQ(c[3], std::cos(-0.25));
+}
+
+// --- Any-backend sweeps (driven by the enum: a new backend is additive) ----
+
+TEST(NumAnyBackend, DispatchedKernelsMatchScalarWithinTolerance) {
+  // Every available backend, every kernel, every size in kSizes (which
+  // covers each remainder width n mod 4 and n mod 8). Comparisons run
+  // through the dispatched entry points so this also exercises the
+  // dispatch tables.
+  util::Rng rng(4001);
+  const Backend saved = active_backend();
+  for (const Backend backend : all_backends()) {
+    if (!backend_available(backend)) continue;
+    set_backend(backend);
+    for (const std::size_t n : kSizes) {
+      const auto a = random_vector(rng, n, 2.0);
+      const auto b = random_vector(rng, n, 2.0);
+      expect_rel_close(num::dot(a, b), scalar::dot(a, b));
+      expect_rel_close(num::squared_distance(a, b),
+                       scalar::squared_distance(a, b));
+      const double init = rng.gaussian(0.0, 3.0);
+      expect_rel_close(num::dot_sub(init, a, b),
+                       scalar::dot_sub(init, a, b));
+      const double alpha = rng.gaussian();
+      auto yd = random_vector(rng, n);
+      auto ys = yd;
+      num::axpy(alpha, a, yd);
+      scalar::axpy(alpha, a, ys);
+      for (std::size_t i = 0; i < n; ++i) expect_rel_close(yd[i], ys[i]);
+    }
+    // Row-batched kernels: row/frequency counts covering every remainder
+    // width of both the 4-row (avx2) and 8-row (avx512) group loops.
+    for (const std::size_t dim : {1u, 3u, 14u, 28u, 29u}) {
+      for (const std::size_t rows :
+           {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 37u, 64u}) {
+        const auto data = random_vector(rng, rows * dim, 2.0);
+        const auto center = random_vector(rng, dim, 2.0);
+        const double gamma = 1.0 / static_cast<double>(dim);
+        std::vector<double> got(rows), want(rows);
+        num::rbf_row_kernel(data.data(), rows, dim, center.data(), dim, gamma,
+                            got.data());
+        scalar::rbf_row_kernel(data.data(), rows, dim, center.data(), dim,
+                               gamma, want.data());
+        for (std::size_t r = 0; r < rows; ++r) {
+          expect_rel_close(got[r], want[r]);
+        }
+
+        const double scale = 1.0 / std::sqrt(static_cast<double>(rows));
+        std::vector<double> rff_got(2 * rows), rff_want(2 * rows);
+        num::rff_transform_row(data.data(), rows, dim, center.data(), dim,
+                               scale, rff_got.data());
+        scalar::rff_transform_row(data.data(), rows, dim, center.data(), dim,
+                                  scale, rff_want.data());
+        for (std::size_t j = 0; j < 2 * rows; ++j) {
+          EXPECT_NEAR(rff_got[j], rff_want[j], 1e-12)
+              << backend_name(backend) << " dim=" << dim << " rows=" << rows
+              << " j=" << j;
+        }
+      }
+    }
+  }
+  set_backend(saved);
+}
+
+TEST(NumAnyBackend, RowKernelsAreBatchPositionIndependent) {
+  // Batch-of-1 ≡ batch contract, per backend and bitwise: a row's RBF value
+  // and a frequency's RFF pair must not depend on where in the batch the
+  // row landed (SIMD group vs remainder position). The serving stack's
+  // "score one window now == score it in tonight's batch" guarantee
+  // bottoms out here.
+  util::Rng rng(4002);
+  const Backend saved = active_backend();
+  for (const Backend backend : all_backends()) {
+    if (!backend_available(backend)) continue;
+    set_backend(backend);
+    for (const std::size_t dim : {3u, 14u, 28u}) {
+      const std::size_t rows = 13;  // 8-group + 5-row remainder
+      const auto data = random_vector(rng, rows * dim, 2.0);
+      const auto center = random_vector(rng, dim, 2.0);
+      const double gamma = 1.0 / static_cast<double>(dim);
+      std::vector<double> batch(rows);
+      num::rbf_row_kernel(data.data(), rows, dim, center.data(), dim, gamma,
+                          batch.data());
+      std::vector<double> rff_batch(2 * rows);
+      const double scale = 0.25;
+      num::rff_transform_row(data.data(), rows, dim, center.data(), dim,
+                             scale, rff_batch.data());
+      for (std::size_t r = 0; r < rows; ++r) {
+        double one = 0.0;
+        num::rbf_row_kernel(data.data() + r * dim, 1, dim, center.data(), dim,
+                            gamma, &one);
+        EXPECT_EQ(one, batch[r])
+            << backend_name(backend) << " dim=" << dim << " r=" << r;
+        double pair[2];
+        num::rff_transform_row(data.data() + r * dim, 1, dim, center.data(),
+                               dim, scale, pair);
+        EXPECT_EQ(pair[0], rff_batch[2 * r])
+            << backend_name(backend) << " dim=" << dim << " r=" << r;
+        EXPECT_EQ(pair[1], rff_batch[2 * r + 1])
+            << backend_name(backend) << " dim=" << dim << " r=" << r;
+      }
+    }
+  }
+  set_backend(saved);
+}
+
+TEST(NumAnyBackend, BlockedCholeskyMatchesScalarWithinTolerance) {
+  util::Rng rng(4003);
+  for (const std::size_t n : {5u, 40u, 64u, 65u, 130u, 200u}) {
+    const auto a = random_spd(rng, n);
+    const Backend saved = active_backend();
+    set_backend(Backend::kScalar);
+    auto ls = a;
+    ASSERT_EQ(cholesky_inplace(ls.data(), n, n), n);
+    for (const Backend backend : all_backends()) {
+      if (backend == Backend::kScalar || !backend_available(backend)) {
+        continue;
+      }
+      set_backend(backend);
+      auto lv = a;
+      ASSERT_EQ(cholesky_inplace(lv.data(), n, n), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+          expect_rel_close(lv[i * n + j], ls[i * n + j]);
+        }
+      }
+    }
+    set_backend(saved);
+  }
+}
+
 // --- Dispatch plumbing -----------------------------------------------------
 
 TEST(NumBackend, ParseNamesRoundTrip) {
   EXPECT_EQ(parse_backend("scalar"), Backend::kScalar);
   EXPECT_EQ(parse_backend("avx2"), Backend::kAvx2);
+  EXPECT_EQ(parse_backend("avx512"), Backend::kAvx512);
   EXPECT_EQ(parse_backend("auto"), detected_backend());
   EXPECT_EQ(parse_backend("neon"), std::nullopt);
   EXPECT_EQ(parse_backend(""), std::nullopt);
   EXPECT_EQ(backend_name(Backend::kScalar), "scalar");
   EXPECT_EQ(backend_name(Backend::kAvx2), "avx2");
+  EXPECT_EQ(backend_name(Backend::kAvx512), "avx512");
+}
+
+TEST(NumBackend, ParseIsCaseInsensitive) {
+  EXPECT_EQ(parse_backend("Scalar"), Backend::kScalar);
+  EXPECT_EQ(parse_backend("AVX2"), Backend::kAvx2);
+  EXPECT_EQ(parse_backend("Avx512"), Backend::kAvx512);
+  EXPECT_EQ(parse_backend("AVX512"), Backend::kAvx512);
+  EXPECT_EQ(parse_backend("AUTO"), detected_backend());
+}
+
+TEST(NumBackend, EnvValueFailsFastOnUnknown) {
+  // A typo'd SY_NUM_BACKEND must throw, naming every compiled backend —
+  // never silently fall back to auto-detection.
+  try {
+    backend_from_env_value("avx1024");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("scalar|avx2|avx512|auto"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(backend_from_env_value(" avx2"), std::invalid_argument);
+  EXPECT_EQ(backend_from_env_value("SCALAR"), Backend::kScalar);
+  EXPECT_EQ(backend_from_env_value("auto"), detected_backend());
+  // A known-but-unsupported SIMD backend downgrades (running it would be an
+  // illegal instruction), it does not throw.
+  if (!backend_available(Backend::kAvx512)) {
+    EXPECT_EQ(backend_from_env_value("avx512"), detected_backend());
+  }
+}
+
+TEST(NumBackend, AllBackendsEnumeration) {
+  const auto backends = all_backends();
+  ASSERT_EQ(backends.size(), 3u);
+  EXPECT_EQ(backends[0], Backend::kScalar);  // reference backend leads
+  EXPECT_TRUE(backend_available(Backend::kScalar));
+  for (const Backend backend : backends) {
+    EXPECT_FALSE(backend_name(backend).empty());
+  }
 }
 
 TEST(NumBackend, SetBackendControlsDispatch) {
@@ -491,6 +865,11 @@ TEST(NumBackend, SetBackendControlsDispatch) {
     set_backend(Backend::kAvx2);
     EXPECT_EQ(active_backend(), Backend::kAvx2);
     EXPECT_EQ(num::dot(a, b), avx2::dot(a, b));
+  }
+  if (avx512::available()) {
+    set_backend(Backend::kAvx512);
+    EXPECT_EQ(active_backend(), Backend::kAvx512);
+    EXPECT_EQ(num::dot(a, b), avx512::dot(a, b));
   }
   set_backend(saved);
 }
