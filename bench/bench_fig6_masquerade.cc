@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   std::printf("[corpus built in %.1f s]\n", sw.elapsed_seconds());
 
   attack::AttackSimOptions options;
+  options.n_users = n_users;  // cap attackers/victims to the --users flag
   options.trials_per_pair = trials;
   options.train_per_class = windows;
   options.max_victims = victims;

@@ -3,6 +3,8 @@
 
 Usage: bench_compare.py BASELINE.json CANDIDATE.json
            [--threshold 0.20] [--latency-threshold 0.50]
+       bench_compare.py --matrix BASELINE_DIR CANDIDATE_DIR
+           [--threshold 0.20] [--latency-threshold 0.50]
 
 Understands the bench_serving summary shapes (load run, --enroll-heavy,
 --recover-only), the bench_batch_training summary, and Google Benchmark
@@ -27,11 +29,19 @@ Metric categories:
   info        lower is better, never gated (recovery timings and other
               once-per-run wall-clock measurements).
 
+Matrix mode (--matrix) diffs two DIRECTORIES of bench_scenarios artifacts
+(BENCH_scenarios_*.json): files pair up by their "scenario" value, every
+pair diffs with the scenario summary metrics below, a scenario present in
+the baseline but missing from the candidate fails the run (coverage
+regression), and a candidate artifact with "passed": false fails it too.
+
 Exit code: 0 = no gated regression, 1 = regression or unusable input.
 """
 
 import argparse
+import glob
 import json
+import os
 import sys
 
 # (dotted path, label, category) where category is one of
@@ -56,6 +66,28 @@ METRICS = [
     ("enroll_latency_ms.max", "enroll latency max (ms)", "info"),
     ("persist.recovery_seconds", "restart recovery (s)", "info"),
     ("recovery.seconds", "recover-only startup (s)", "info"),
+    # bench_scenarios artifacts (summary object, one file per scenario).
+    # Security-quality metrics where lower is better ride the latency
+    # category; accept rates and throughputs gate like throughput.
+    ("summary.far_under_attack", "FAR under attack", "latency"),
+    ("summary.detection_latency_s_p50", "detection latency p50 (s)",
+     "latency"),
+    ("summary.detection_latency_s_p90", "detection latency p90 (s)",
+     "latency"),
+    ("summary.lockout_rate", "attack lockout rate", "throughput"),
+    ("summary.genuine_accept_rate", "genuine accept rate under attack",
+     "throughput"),
+    ("summary.pickup_frr_matched", "pickup FRR (matched context)", "latency"),
+    ("summary.pickup_frr_mismatched", "pickup FRR (stale context)", "info"),
+    ("summary.steady_frr", "steady-state FRR", "latency"),
+    ("summary.accept_rate_final", "post-retrain accept rate", "throughput"),
+    ("summary.retrain_triggers", "confidence retrain triggers", "info"),
+    ("summary.steady_windows_per_s", "steady scoring throughput (windows/s)",
+     "throughput"),
+    ("summary.burst_windows_per_s", "burst scoring throughput (windows/s)",
+     "throughput"),
+    ("summary.score_us_p50", "score latency p50 (us)", "latency"),
+    ("summary.score_us_p99", "score latency p99 (us)", "latency"),
 ]
 
 
@@ -78,6 +110,8 @@ IDENTITY_KEYS = [
     "backend",
     "context.sy_training_mode",
     "context.sy_num_backend",
+    # bench_scenarios: two different scenarios measure different campaigns.
+    "scenario",
 ]
 
 
@@ -122,34 +156,8 @@ def gbench_runs(doc):
     return runs
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline")
-    parser.add_argument("candidate")
-    parser.add_argument("--threshold", type=float, default=0.20,
-                        help="fractional throughput drop that fails "
-                             "(default 0.20)")
-    parser.add_argument("--latency-threshold", type=float, default=None,
-                        help="fractional latency rise that fails; omit to "
-                             "keep latency metrics warn-only")
-    args = parser.parse_args()
-
-    try:
-        with open(args.baseline) as f:
-            baseline = json.load(f)
-        with open(args.candidate) as f:
-            candidate = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"bench_compare: cannot read inputs: {e}", file=sys.stderr)
-        return 1
-
-    mismatches = identity_mismatches(baseline, candidate)
-    if mismatches:
-        for key, base, cand in mismatches:
-            print(f"bench_compare: refusing to compare: {key} differs "
-                  f"({base!r} vs {cand!r})", file=sys.stderr)
-        return 1
-
+def compare_docs(baseline, candidate, args):
+    """Diffs two parsed artifacts; returns (compared_count, regressions)."""
     pairs = []
     for path, label, category in METRICS:
         pairs.append((label, lookup(baseline, path),
@@ -187,7 +195,104 @@ def main():
             print(line + "  warn (lower is better; not gated)")
         else:
             print(line)
+    return compared, regressions
 
+
+def load_json(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def scenario_artifacts(directory):
+    """scenario name -> parsed artifact for every *.json with a "scenario"."""
+    out = {}
+    for path in sorted(glob.glob(os.path.join(directory, "*.json"))):
+        try:
+            doc = load_json(path)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_compare: skipping {path}: {e}", file=sys.stderr)
+            continue
+        name = doc.get("scenario")
+        if isinstance(name, str):
+            out[name] = doc
+    return out
+
+
+def run_matrix(args):
+    """Pair scenario artifacts across two directories and diff each pair."""
+    base_docs = scenario_artifacts(args.baseline)
+    cand_docs = scenario_artifacts(args.candidate)
+    if not base_docs:
+        print(f"bench_compare: no scenario artifacts in {args.baseline}",
+              file=sys.stderr)
+        return 1
+
+    failed = []
+    compared_total = 0
+    for name, base in sorted(base_docs.items()):
+        cand = cand_docs.get(name)
+        if cand is None:
+            # A scenario the baseline measured but the candidate didn't is a
+            # coverage regression, not a harmless diff.
+            print(f"\n[{name}] MISSING from candidate")
+            failed.append(f"{name}: missing artifact")
+            continue
+        print(f"\n[{name}]")
+        if cand.get("passed") is False:
+            for reason in cand.get("failures", []):
+                print(f"  candidate invariant violated: {reason}")
+            failed.append(f"{name}: candidate run failed its invariants")
+        compared, regressions = compare_docs(base, cand, args)
+        compared_total += compared
+        failed.extend(f"{name}: {label}" for label in regressions)
+    for name in sorted(set(cand_docs) - set(base_docs)):
+        print(f"\n[{name}] new in candidate (no baseline; skipped)")
+
+    if compared_total == 0:
+        print("bench_compare: no comparable scenario metrics found",
+              file=sys.stderr)
+        return 1
+    if failed:
+        print(f"\nbench_compare: matrix failed: " + ", ".join(failed))
+        return 1
+    print(f"\nbench_compare: {len(base_docs)} scenario(s), "
+          f"{compared_total} metrics compared, no gated regression")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="fractional throughput drop that fails "
+                             "(default 0.20)")
+    parser.add_argument("--latency-threshold", type=float, default=None,
+                        help="fractional latency rise that fails; omit to "
+                             "keep latency metrics warn-only")
+    parser.add_argument("--matrix", action="store_true",
+                        help="treat BASELINE/CANDIDATE as directories of "
+                             "bench_scenarios artifacts paired by scenario")
+    args = parser.parse_args()
+
+    if args.matrix:
+        return run_matrix(args)
+
+    try:
+        baseline = load_json(args.baseline)
+        candidate = load_json(args.candidate)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read inputs: {e}", file=sys.stderr)
+        return 1
+
+    mismatches = identity_mismatches(baseline, candidate)
+    if mismatches:
+        for key, base, cand in mismatches:
+            print(f"bench_compare: refusing to compare: {key} differs "
+                  f"({base!r} vs {cand!r})", file=sys.stderr)
+        return 1
+
+    compared, regressions = compare_docs(baseline, candidate, args)
     if compared == 0:
         print("bench_compare: no comparable metrics found in both files",
               file=sys.stderr)

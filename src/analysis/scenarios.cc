@@ -1,0 +1,564 @@
+#include "analysis/scenarios.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/corpus.h"
+#include "attack/campaign.h"
+#include "features/feature_extractor.h"
+#include "sensors/device.h"
+#include "sensors/drift.h"
+#include "sensors/tuning.h"
+#include "serve/auth_gateway.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace sy::analysis {
+
+namespace {
+
+constexpr auto kStationary = sensors::DetectedContext::kStationary;
+constexpr auto kMoving = sensors::DetectedContext::kMoving;
+
+// Every scenario speaks phone-only (14-dim) vectors: the campaign driver and
+// the live collectors below run without the watch stream, so the enrolled
+// models must match that dimensionality.
+core::VectorsByContext phone_vectors(const Corpus& corpus, std::size_t user) {
+  core::VectorsByContext out;
+  for (const auto& [context, windows] : corpus.user(user).windows) {
+    auto& rows = out[context];
+    rows.reserve(windows.rows());
+    for (std::size_t i = 0; i < windows.rows(); ++i) {
+      rows.push_back(Corpus::project(windows.row(i), DeviceConfig::kPhoneOnly));
+    }
+  }
+  return out;
+}
+
+struct Fixture {
+  Corpus corpus;
+  std::unique_ptr<serve::AuthGateway> gateway;
+};
+
+// Stands up the live stack every scenario runs against: build a corpus, feed
+// the anonymized population with every user's windows FIRST, then enroll each
+// user against that complete snapshot (contribute_positives=false) so every
+// model has every other user represented in its negatives — sequential
+// enroll-with-contribution would train the early users against an empty
+// population.
+Fixture make_fixture(const ScenarioOptions& options,
+                     serve::GatewayConfig gateway_config) {
+  CorpusOptions co;
+  co.n_users = options.n_users;
+  co.windows_per_context = options.windows_per_context;
+  co.window_seconds = options.window_seconds;
+  co.bluetooth = false;
+  co.seed = options.seed;
+  Fixture fixture{Corpus::build(co), nullptr};
+
+  gateway_config.window_seconds = options.window_seconds;
+  fixture.gateway =
+      std::make_unique<serve::AuthGateway>(std::move(gateway_config));
+
+  std::vector<core::VectorsByContext> uploads;
+  uploads.reserve(options.n_users);
+  for (std::size_t u = 0; u < fixture.corpus.n_users(); ++u) {
+    uploads.push_back(phone_vectors(fixture.corpus, u));
+    for (const auto& [context, vectors] : uploads.back()) {
+      fixture.gateway->contribute(static_cast<int>(u), context, vectors);
+    }
+  }
+  for (std::size_t u = 0; u < fixture.corpus.n_users(); ++u) {
+    (void)fixture.gateway->enroll(static_cast<int>(u), uploads[u],
+                                  options.seed + 1000 + u,
+                                  /*contribute_positives=*/false);
+  }
+  return fixture;
+}
+
+features::FeatureExtractor make_extractor(const ScenarioOptions& options) {
+  features::FeatureConfig fc;
+  fc.window.window_seconds = options.window_seconds;
+  fc.window.hop_seconds = options.window_seconds;
+  fc.window.sample_rate_hz = sensors::tuning::kSampleRateHz;
+  return features::FeatureExtractor(fc);
+}
+
+// Phone-only vectors of one freshly synthesized session.
+std::vector<std::vector<double>> collect_vectors(
+    const sensors::UserProfile& profile, sensors::UsageContext context,
+    double duration_seconds, const features::FeatureExtractor& extractor,
+    util::Rng& rng) {
+  sensors::CollectorOptions collect;
+  collect.with_watch = false;
+  collect.bluetooth = false;
+  collect.synthesis.duration_seconds = duration_seconds;
+  const auto session = sensors::collect_session(profile, context, collect, rng);
+  return extractor.auth_vectors(session.phone, nullptr);
+}
+
+void require(ScenarioResult& result, bool ok, const std::string& what) {
+  if (ok) return;
+  result.passed = false;
+  result.failures.push_back(what);
+}
+
+std::uint64_t counter_or(const obs::Snapshot& snapshot,
+                         const std::string& name) {
+  const auto it = snapshot.counters.find(name);
+  return it == snapshot.counters.end() ? 0 : it->second;
+}
+
+// --- masquerade_campaign ---------------------------------------------------
+
+ScenarioResult run_masquerade_campaign(const ScenarioOptions& options) {
+  ScenarioResult result;
+  result.name = "masquerade_campaign";
+
+  serve::GatewayConfig gc;
+  gc.track_sessions = true;
+  Fixture fixture = make_fixture(options, gc);
+
+  attack::CampaignOptions campaign;
+  campaign.attackers_per_victim = options.attackers_per_victim;
+  campaign.trials_per_attacker = options.trials_per_attacker;
+  campaign.attack_seconds = options.attack_seconds;
+  campaign.window_seconds = options.window_seconds;
+  campaign.with_watch = false;
+  campaign.skill = options.skill;
+  campaign.seed = options.seed + 101;
+  campaign.interleave_genuine = true;
+
+  std::vector<std::size_t> victims(fixture.corpus.n_users());
+  for (std::size_t v = 0; v < victims.size(); ++v) victims[v] = v;
+
+  const attack::CampaignResult outcome = attack::run_gateway_campaign(
+      *fixture.gateway, fixture.corpus.population(), victims, campaign);
+
+  result.metrics = fixture.gateway->metrics().snapshot();
+  result.survival_time_s = outcome.time_seconds;
+  result.survival_fraction = outcome.fraction_alive;
+
+  // Serving-side numbers come from the registry snapshot alone — the point
+  // of the live harness is that an operator could compute the same values
+  // from exported metrics.
+  const auto attack_windows = counter_or(result.metrics, "attack.windows");
+  const auto attack_accepts = counter_or(result.metrics, "attack.accepts");
+  const double far_under_attack =
+      attack_windows > 0 ? static_cast<double>(attack_accepts) /
+                               static_cast<double>(attack_windows)
+                         : 0.0;
+  const auto detect_it =
+      result.metrics.histograms.find("gateway.session.detection_latency_ns");
+  const bool have_latency = detect_it != result.metrics.histograms.end() &&
+                            detect_it->second.count > 0;
+  const double p50_s =
+      have_latency
+          ? static_cast<double>(detect_it->second.percentile(0.50)) / 1e9
+          : 0.0;
+  const double p90_s =
+      have_latency
+          ? static_cast<double>(detect_it->second.percentile(0.90)) / 1e9
+          : 0.0;
+  const double p99_s =
+      have_latency
+          ? static_cast<double>(detect_it->second.percentile(0.99)) / 1e9
+          : 0.0;
+
+  result.summary = {
+      {"trials", static_cast<double>(outcome.trials)},
+      {"attack_windows", static_cast<double>(attack_windows)},
+      {"far_under_attack", far_under_attack},
+      {"lockouts", static_cast<double>(outcome.lockouts)},
+      {"lockout_rate",
+       outcome.trials > 0 ? static_cast<double>(outcome.lockouts) /
+                                static_cast<double>(outcome.trials)
+                          : 0.0},
+      {"detection_latency_s_p50", p50_s},
+      {"detection_latency_s_p90", p90_s},
+      {"detection_latency_s_p99", p99_s},
+      {"genuine_accept_rate", outcome.genuine_accept_rate()},
+      {"fraction_alive_final", outcome.fraction_alive.empty()
+                                   ? 0.0
+                                   : outcome.fraction_alive.back()},
+  };
+
+  require(result, outcome.trials > 0, "campaign produced no trials");
+  require(result, attack_windows > 0, "campaign scored no attack windows");
+  require(result,
+          !outcome.fraction_alive.empty() && outcome.fraction_alive[0] == 1.0,
+          "survival curve must start at 1.0");
+  require(result,
+          std::is_sorted(outcome.fraction_alive.rbegin(),
+                         outcome.fraction_alive.rend()),
+          "survival curve must be monotone non-increasing");
+  require(result, far_under_attack > 0.0,
+          "FAR-under-attack is zero: the mimic never beat the model, so the "
+          "accept-then-lock path went unexercised");
+  require(result, outcome.lockouts > 0,
+          "no attack trial was ever locked out");
+  require(result, have_latency && p50_s > 0.0,
+          "detection-latency histogram is empty or p50 is zero");
+  require(result, outcome.genuine_accept_rate() > 0.5,
+          "interleaved genuine traffic mostly rejected");
+  return result;
+}
+
+// --- pickup_moment ---------------------------------------------------------
+
+ScenarioResult run_pickup_moment(const ScenarioOptions& options) {
+  ScenarioResult result;
+  result.name = "pickup_moment";
+
+  Fixture fixture = make_fixture(options, serve::GatewayConfig{});
+  const auto extractor = make_extractor(options);
+  util::Rng rng = util::Rng(options.seed).fork(31);
+
+  // A pick-up is the start of a moving bout; the lagging context detector
+  // still reports the pre-pickup stationary context for the first windows,
+  // so the transient is scored both ways: under the matched moving model and
+  // under the stale stationary one the lag would actually serve.
+  const double session_seconds =
+      static_cast<double>(options.pickup_windows + 4) * options.window_seconds;
+  std::size_t transient_windows = 0, transient_matched_rejects = 0;
+  std::size_t transient_mismatched_rejects = 0;
+  std::size_t steady_windows = 0, steady_rejects = 0;
+
+  for (std::size_t u = 0; u < fixture.corpus.n_users(); ++u) {
+    const int token = static_cast<int>(u);
+    const auto& profile = fixture.corpus.population().user(u);
+    for (std::size_t s = 0; s < options.pickup_sessions; ++s) {
+      const auto vectors =
+          collect_vectors(profile, sensors::UsageContext::kMoving,
+                          session_seconds, extractor, rng);
+      const std::size_t split =
+          std::min<std::size_t>(options.pickup_windows, vectors.size());
+      const std::vector<std::vector<double>> transient(
+          vectors.begin(), vectors.begin() + static_cast<long>(split));
+      const std::vector<std::vector<double>> steady(
+          vectors.begin() + static_cast<long>(split), vectors.end());
+
+      for (const auto& decision :
+           fixture.gateway->score_batch(token, kMoving, transient)) {
+        ++transient_windows;
+        if (!decision.accepted) ++transient_matched_rejects;
+      }
+      for (const auto& decision :
+           fixture.gateway->score_batch(token, kStationary, transient)) {
+        if (!decision.accepted) ++transient_mismatched_rejects;
+      }
+      for (const auto& decision :
+           fixture.gateway->score_batch(token, kMoving, steady)) {
+        ++steady_windows;
+        if (!decision.accepted) ++steady_rejects;
+      }
+    }
+  }
+
+  const auto rate = [](std::size_t num, std::size_t den) {
+    return den > 0 ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+  };
+  const double frr_matched = rate(transient_matched_rejects, transient_windows);
+  const double frr_mismatched =
+      rate(transient_mismatched_rejects, transient_windows);
+  const double frr_steady = rate(steady_rejects, steady_windows);
+
+  result.metrics = fixture.gateway->metrics().snapshot();
+  result.summary = {
+      {"transient_windows", static_cast<double>(transient_windows)},
+      {"steady_windows", static_cast<double>(steady_windows)},
+      {"pickup_frr_matched", frr_matched},
+      {"pickup_frr_mismatched", frr_mismatched},
+      {"steady_frr", frr_steady},
+      {"context_mismatch_penalty", frr_mismatched - frr_matched},
+  };
+
+  require(result, transient_windows > 0 && steady_windows > 0,
+          "no pickup windows were scored");
+  require(result, frr_matched <= 1.0 && frr_mismatched <= 1.0,
+          "FRR out of range");
+  // Directional with slack: per-window FRR estimates are noisy at smoke
+  // sizes, but the stale model decisively out-scoring the matched one means
+  // the context routing itself is broken.
+  require(result, frr_mismatched + 0.25 >= frr_matched,
+          "stale-context scoring decisively beat the matched model");
+  return result;
+}
+
+// --- behavioral_drift ------------------------------------------------------
+
+ScenarioResult run_behavioral_drift(const ScenarioOptions& options) {
+  ScenarioResult result;
+  result.name = "behavioral_drift";
+
+  serve::GatewayConfig gc;
+  gc.track_sessions = true;
+  // Genuine confidences sit near +1 against a fresh model and decay toward 0
+  // as behaviour drifts; epsilon below that healthy level (but generous
+  // enough that drifted traffic lands in [0, eps) before going negative)
+  // makes the §V-I trigger observable within the simulated horizon.
+  gc.confidence.epsilon = 0.6;
+  gc.confidence.trigger_days = 1.5;
+  gc.confidence.window_days = 3.0;
+  gc.confidence.min_observations = 6;
+  Fixture fixture = make_fixture(options, gc);
+  const auto extractor = make_extractor(options);
+  util::Rng rng = util::Rng(options.seed).fork(47);
+
+  const sensors::BehavioralDrift drift(options.seed + 7,
+                                       options.drift_days + 1.0,
+                                       options.drift_rate_scale);
+  const double bout_seconds = 6.0 * options.window_seconds;
+
+  std::size_t total_windows = 0, total_accepts = 0;
+  double accept_day0 = 0.0, accept_min = 1.0, accept_final = 0.0;
+  std::size_t retrains_run = 0;
+
+  for (double day = 0.0; day <= options.drift_days; day += 1.0) {
+    std::size_t day_windows = 0, day_accepts = 0;
+    for (std::size_t u = 0; u < fixture.corpus.n_users(); ++u) {
+      const int token = static_cast<int>(u);
+      // Each simulated day starts from an explicit re-auth: a lockout caused
+      // by drifted-but-genuine traffic must not freeze the confidence feed
+      // for the rest of the horizon.
+      fixture.gateway->reset_session(token);
+      const auto profile =
+          drift.apply(fixture.corpus.population().user(u), day);
+      for (const auto raw : {sensors::UsageContext::kStationaryUse,
+                             sensors::UsageContext::kMoving}) {
+        const auto vectors =
+            collect_vectors(profile, raw, bout_seconds, extractor, rng);
+        const auto decisions = fixture.gateway->score_batch(
+            token, sensors::collapse_context(raw), vectors, day);
+        for (const auto& decision : decisions) {
+          ++day_windows;
+          if (decision.accepted) ++day_accepts;
+        }
+      }
+      if (fixture.gateway->confidence_retrain_needed(token)) {
+        // §V-I response: retrain from freshly collected (drifted) behaviour
+        // through the gateway's own async queue; install resets the monitor.
+        core::VectorsByContext positives;
+        for (const auto raw : {sensors::UsageContext::kStationaryUse,
+                               sensors::UsageContext::kMoving}) {
+          auto& rows = positives[sensors::collapse_context(raw)];
+          for (int bout = 0; bout < 4; ++bout) {
+            auto fresh =
+                collect_vectors(profile, raw, bout_seconds, extractor, rng);
+            rows.insert(rows.end(), std::make_move_iterator(fresh.begin()),
+                        std::make_move_iterator(fresh.end()));
+          }
+        }
+        fixture.gateway
+            ->report_drift(token, std::move(positives),
+                           options.seed + 2000 + retrains_run)
+            .get();
+        ++retrains_run;
+      }
+    }
+    const double day_rate =
+        day_windows > 0
+            ? static_cast<double>(day_accepts) / static_cast<double>(day_windows)
+            : 0.0;
+    if (day == 0.0) accept_day0 = day_rate;
+    accept_min = std::min(accept_min, day_rate);
+    accept_final = day_rate;
+    total_windows += day_windows;
+    total_accepts += day_accepts;
+  }
+
+  result.metrics = fixture.gateway->metrics().snapshot();
+  const auto trigger_count =
+      counter_or(result.metrics, "gateway.confidence.retrain_triggers");
+  result.summary = {
+      {"days", options.drift_days},
+      {"windows", static_cast<double>(total_windows)},
+      {"retrain_triggers", static_cast<double>(trigger_count)},
+      {"retrains_run", static_cast<double>(retrains_run)},
+      {"accept_rate_day0", accept_day0},
+      {"accept_rate_min", accept_min},
+      {"accept_rate_final", accept_final},
+      {"accept_rate_overall",
+       total_windows > 0 ? static_cast<double>(total_accepts) /
+                               static_cast<double>(total_windows)
+                         : 0.0},
+  };
+
+  require(result, total_windows > 0, "no drift windows were scored");
+  require(result, trigger_count >= 1,
+          "confidence monitor never demanded a retrain over the horizon");
+  require(result, retrains_run >= 1, "no retrain ran through report_drift");
+  require(result, accept_min < accept_day0,
+          "drift never depressed the accept rate");
+  // Whether the final day sits above the minimum depends on where in the
+  // drift walk the horizon ends, so the recovery check is a floor on the
+  // whole run: with retrains active, overall acceptance must stay usable.
+  require(result,
+          total_accepts * 2 > total_windows,
+          "retraining failed to keep the overall accept rate above 50%");
+  return result;
+}
+
+// --- flash_crowd -----------------------------------------------------------
+
+ScenarioResult run_flash_crowd(const ScenarioOptions& options) {
+  ScenarioResult result;
+  result.name = "flash_crowd";
+
+  Fixture fixture = make_fixture(options, serve::GatewayConfig{});
+
+  // Held-out batches straight from the corpus (no live synthesis in the
+  // timed region): one stationary batch per user, reused every round.
+  std::vector<std::vector<std::vector<double>>> batches;
+  batches.reserve(fixture.corpus.n_users());
+  const std::size_t batch_windows = 10;
+  for (std::size_t u = 0; u < fixture.corpus.n_users(); ++u) {
+    const auto& windows = fixture.corpus.user(u).windows.at(kStationary);
+    std::vector<std::vector<double>> batch;
+    for (std::size_t i = 0; i < std::min(batch_windows, windows.rows()); ++i) {
+      batch.push_back(
+          Corpus::project(windows.row(i), DeviceConfig::kPhoneOnly));
+    }
+    batches.push_back(std::move(batch));
+  }
+
+  const std::size_t requests = fixture.corpus.n_users() * options.burst_rounds;
+  util::Stopwatch timer;
+  for (std::size_t r = 0; r < requests; ++r) {
+    const std::size_t u = r % fixture.corpus.n_users();
+    (void)fixture.gateway->score_batch(static_cast<int>(u), kStationary,
+                                       batches[u]);
+  }
+  const double steady_s = timer.elapsed_seconds();
+
+  // The flash crowd: the same request volume arrives at once and is scored
+  // concurrently — contention on the model cache and the scoring path is
+  // what this phase measures.
+  timer.reset();
+  util::parallel_for(requests, [&](std::size_t r) {
+    const std::size_t u = r % fixture.corpus.n_users();
+    (void)fixture.gateway->score_batch(static_cast<int>(u), kStationary,
+                                       batches[u]);
+  });
+  const double burst_s = timer.elapsed_seconds();
+
+  result.metrics = fixture.gateway->metrics().snapshot();
+  const auto score_it = result.metrics.histograms.find("gateway.score_ns");
+  const double score_p50_us =
+      score_it != result.metrics.histograms.end()
+          ? static_cast<double>(score_it->second.percentile(0.50)) / 1e3
+          : 0.0;
+  const double score_p99_us =
+      score_it != result.metrics.histograms.end()
+          ? static_cast<double>(score_it->second.percentile(0.99)) / 1e3
+          : 0.0;
+  const double windows_total =
+      static_cast<double>(requests * batch_windows);
+  result.summary = {
+      {"requests_per_phase", static_cast<double>(requests)},
+      {"steady_windows_per_s", steady_s > 0.0 ? windows_total / steady_s : 0.0},
+      {"burst_windows_per_s", burst_s > 0.0 ? windows_total / burst_s : 0.0},
+      {"burst_speedup", burst_s > 0.0 ? steady_s / burst_s : 0.0},
+      {"score_us_p50", score_p50_us},
+      {"score_us_p99", score_p99_us},
+  };
+
+  require(result, requests > 0, "no flash-crowd requests issued");
+  require(result, steady_s > 0.0 && burst_s > 0.0,
+          "phase timers recorded no elapsed time");
+  require(result, score_p50_us > 0.0, "gateway.score_ns histogram is empty");
+  return result;
+}
+
+}  // namespace
+
+const std::vector<std::string>& scenario_names() {
+  static const std::vector<std::string> names = {
+      "masquerade_campaign",
+      "pickup_moment",
+      "behavioral_drift",
+      "flash_crowd",
+  };
+  return names;
+}
+
+ScenarioResult run_scenario(const std::string& name,
+                            const ScenarioOptions& options) {
+  if (name == "masquerade_campaign") return run_masquerade_campaign(options);
+  if (name == "pickup_moment") return run_pickup_moment(options);
+  if (name == "behavioral_drift") return run_behavioral_drift(options);
+  if (name == "flash_crowd") return run_flash_crowd(options);
+  throw std::invalid_argument("unknown scenario: " + name);
+}
+
+double ScenarioResult::summary_value(const std::string& key,
+                                     double fallback) const {
+  for (const auto& [k, v] : summary) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+namespace {
+
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void json_array(std::ostringstream& out, const std::vector<double>& values) {
+  out << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << json_number(values[i]);
+  }
+  out << ']';
+}
+
+}  // namespace
+
+std::string scenario_json(const ScenarioResult& result) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"bench\": \"bench_scenarios\",\n"
+      << "  \"scenario\": " << json_string(result.name) << ",\n"
+      << "  \"passed\": " << (result.passed ? "true" : "false") << ",\n";
+  out << "  \"failures\": [";
+  for (std::size_t i = 0; i < result.failures.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << json_string(result.failures[i]);
+  }
+  out << "],\n";
+  out << "  \"summary\": {";
+  for (std::size_t i = 0; i < result.summary.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n    " << json_string(result.summary[i].first) << ": "
+        << json_number(result.summary[i].second);
+  }
+  out << "\n  },\n";
+  out << "  \"survival\": {\"time_s\": ";
+  json_array(out, result.survival_time_s);
+  out << ", \"fraction_alive\": ";
+  json_array(out, result.survival_fraction);
+  out << "},\n";
+  out << "  \"metrics\":\n" << obs::to_json(result.metrics, 2) << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace sy::analysis

@@ -21,11 +21,12 @@ core::AuthModel train_victim_model(const analysis::Corpus& corpus,
                                    const AttackSimOptions& options,
                                    util::Rng& rng) {
   core::AuthModel model(static_cast<int>(victim), 1);
+  const auto device = options.use_watch ? analysis::DeviceConfig::kCombined
+                                        : analysis::DeviceConfig::kPhoneOnly;
   for (const auto& [context, windows] : corpus.user(victim).windows) {
     if (windows.rows() == 0) continue;
     const ml::Dataset data = corpus.make_auth_dataset(
-        victim, context, analysis::DeviceConfig::kCombined,
-        options.train_per_class, rng);
+        victim, context, device, options.train_per_class, rng);
     ml::StandardScaler scaler;
     scaler.fit(data.x);
     const ml::Dataset scaled = scaler.transform(data);
@@ -50,10 +51,15 @@ SurvivalCurve run_masquerade_attack(const analysis::Corpus& corpus,
   fc.window.sample_rate_hz = sensors::tuning::kSampleRateHz;
   const features::FeatureExtractor extractor(fc);
 
+  // n_users caps BOTH sides of the attack matrix: victims and attackers are
+  // the first `participants` corpus users, so the flag actually bounds the
+  // trial count instead of being silently ignored.
+  const std::size_t participants =
+      options.n_users > 0 ? std::min(options.n_users, corpus.n_users())
+                          : corpus.n_users();
   const std::size_t n_victims =
-      options.max_victims > 0
-          ? std::min(options.max_victims, corpus.n_users())
-          : corpus.n_users();
+      options.max_victims > 0 ? std::min(options.max_victims, participants)
+                              : participants;
 
   // survived_until[v][k] = trials of victim v still authenticated after k
   // windows.
@@ -69,11 +75,13 @@ SurvivalCurve run_masquerade_attack(const analysis::Corpus& corpus,
     const sensors::UserProfile& victim = corpus.population().user(v);
 
     sensors::CollectorOptions collect;
-    collect.with_watch = true;
+    collect.with_watch = options.use_watch;
     collect.bluetooth = corpus.options().bluetooth;
-    collect.synthesis.duration_seconds = options.attack_seconds;
+    collect.synthesis.duration_seconds = options.session_seconds > 0.0
+                                             ? options.session_seconds
+                                             : options.attack_seconds;
 
-    for (std::size_t a = 0; a < corpus.n_users(); ++a) {
+    for (std::size_t a = 0; a < participants; ++a) {
       if (a == v) continue;
       const sensors::UserProfile& attacker = corpus.population().user(a);
       for (std::size_t trial = 0; trial < options.trials_per_pair; ++trial) {
@@ -89,8 +97,11 @@ SurvivalCurve run_masquerade_attack(const analysis::Corpus& corpus,
             make_mimic_profile(attacker, victim, options.skill, rng);
         const sensors::CollectedSession session =
             sensors::collect_session(mimic, raw_context, collect, rng);
-        const auto vectors =
-            extractor.auth_vectors(session.phone, &*session.watch);
+        // The watch stream is optional (Bluetooth disabled or dropped):
+        // dereferencing an absent optional is UB, not a missing device.
+        const sensors::Recording* watch =
+            session.watch.has_value() ? &*session.watch : nullptr;
+        const auto vectors = extractor.auth_vectors(session.phone, watch);
 
         std::size_t alive_for = 0;
         for (std::size_t k = 0; k < std::min(vectors.size(), windows_per_trial);

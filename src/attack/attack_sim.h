@@ -18,15 +18,25 @@
 namespace sy::attack {
 
 struct AttackSimOptions {
-  std::size_t n_users{35};
+  // Cap on the corpus users that participate at all (victims and attackers
+  // both draw from the first `n_users`); 0 = everyone in the corpus.
+  std::size_t n_users{0};
   std::size_t trials_per_pair{20};
   double attack_seconds{60.0};
   double window_seconds{6.0};
+  // Length of each collected attack bout. 0 = attack_seconds; shorter values
+  // model interrupted sessions that yield fewer vectors than
+  // windows_per_trial (the survival tail must not count those as alive).
+  double session_seconds{0.0};
   std::size_t train_per_class{400};
+  // Train and attack with the watch stream fused in (28-dim). When false the
+  // victim models are phone-only (14-dim) and attack sessions carry no watch
+  // recording at all — the Bluetooth-disabled deployment.
+  bool use_watch{true};
   MimicSkill skill{};
   ml::KrrConfig krr{};
   std::uint64_t seed{29};
-  // Restrict to a subset of victims to bound runtime (0 = all users).
+  // Restrict to a subset of victims to bound runtime (0 = all participants).
   std::size_t max_victims{0};
 };
 

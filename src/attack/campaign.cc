@@ -1,0 +1,135 @@
+#include "attack/campaign.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "features/feature_extractor.h"
+#include "sensors/device.h"
+#include "sensors/tuning.h"
+#include "util/rng.h"
+
+namespace sy::attack {
+
+CampaignResult run_gateway_campaign(serve::AuthGateway& gateway,
+                                    const sensors::Population& population,
+                                    const std::vector<std::size_t>& victims,
+                                    const CampaignOptions& options) {
+  const auto windows_per_trial = static_cast<std::size_t>(
+      options.attack_seconds / options.window_seconds);
+
+  sensors::CollectorOptions collect;
+  collect.with_watch = options.with_watch;
+  collect.bluetooth = options.with_watch;
+  collect.synthesis.duration_seconds = options.attack_seconds;
+
+  features::FeatureConfig fc;
+  fc.window.window_seconds = options.window_seconds;
+  fc.window.hop_seconds = options.window_seconds;
+  fc.window.sample_rate_hz = sensors::tuning::kSampleRateHz;
+  const features::FeatureExtractor extractor(fc);
+
+  CampaignResult result;
+  // survived[k] = attack trials not yet locked out after k windows.
+  std::vector<std::size_t> survived(windows_per_trial + 1, 0);
+
+  // Campaigns run against one shared gateway (lockout state is per-user
+  // inside it), so trials are sequential — the serving stack, not this
+  // driver, is what the bench parallelizes over.
+  for (std::size_t vi = 0; vi < victims.size(); ++vi) {
+    const std::size_t v = victims[vi];
+    const int token = static_cast<int>(v);
+    const sensors::UserProfile& victim = population.user(v);
+    util::Rng rng = util::Rng(options.seed).fork(vi);
+
+    for (std::size_t a = 0; a < options.attackers_per_victim; ++a) {
+      // Attackers cycle through the population, never the victim.
+      std::size_t attacker_id = (v + 1 + a) % population.size();
+      if (attacker_id == v) attacker_id = (attacker_id + 1) % population.size();
+      const sensors::UserProfile& attacker = population.user(attacker_id);
+
+      for (std::size_t trial = 0; trial < options.trials_per_attacker;
+           ++trial) {
+        // Each trial starts from a fresh (explicitly re-authenticated)
+        // session, exactly as a real lockout would be cleared.
+        gateway.reset_session(token);
+
+        const auto raw_context = trial % 2 == 0
+                                     ? sensors::UsageContext::kMoving
+                                     : sensors::UsageContext::kStationaryUse;
+        const auto context = sensors::collapse_context(raw_context);
+
+        const sensors::UserProfile mimic =
+            make_mimic_profile(attacker, victim, options.skill, rng);
+        const sensors::CollectedSession session =
+            sensors::collect_session(mimic, raw_context, collect, rng);
+        const sensors::Recording* watch =
+            session.watch.has_value() ? &*session.watch : nullptr;
+        auto vectors = extractor.auth_vectors(session.phone, watch);
+        if (vectors.size() > windows_per_trial) {
+          vectors.resize(windows_per_trial);
+        }
+
+        const auto decisions = gateway.score_batch(token, context, vectors);
+        for (const auto& decision : decisions) {
+          ++result.attack_windows;
+          if (decision.accepted) ++result.attack_accepts;
+        }
+
+        // Survival comes from the gateway's own response module: a trial is
+        // alive at k windows until the window that locked it.
+        const std::uint64_t lock = gateway.session_lockout_window(token);
+        const std::size_t alive_for =
+            lock > 0 ? static_cast<std::size_t>(lock - 1) : decisions.size();
+        if (lock > 0) ++result.lockouts;
+        ++result.trials;
+        for (std::size_t k = 0; k <= alive_for && k <= windows_per_trial;
+             ++k) {
+          ++survived[k];
+        }
+
+        if (options.interleave_genuine && options.genuine_seconds > 0.0) {
+          // The victim re-authenticates and resumes: genuine traffic scored
+          // mid-campaign measures what the attack costs the real owner.
+          gateway.reset_session(token);
+          sensors::CollectorOptions own = collect;
+          own.synthesis.duration_seconds = options.genuine_seconds;
+          const sensors::CollectedSession genuine =
+              sensors::collect_session(victim, raw_context, own, rng);
+          const sensors::Recording* own_watch =
+              genuine.watch.has_value() ? &*genuine.watch : nullptr;
+          const auto own_vectors =
+              extractor.auth_vectors(genuine.phone, own_watch);
+          const auto own_decisions =
+              gateway.score_batch(token, context, own_vectors);
+          for (const auto& decision : own_decisions) {
+            ++result.genuine_windows;
+            if (decision.accepted) ++result.genuine_accepts;
+          }
+          gateway.reset_session(token);
+        }
+      }
+    }
+  }
+
+  for (std::size_t k = 0; k <= windows_per_trial; ++k) {
+    result.time_seconds.push_back(static_cast<double>(k) *
+                                  options.window_seconds);
+    result.fraction_alive.push_back(
+        result.trials > 0 ? static_cast<double>(survived[k]) /
+                                static_cast<double>(result.trials)
+                          : 0.0);
+  }
+
+  // Mirror the tallies into the gateway registry so FAR-under-attack and
+  // detection latency read off one obs snapshot.
+  auto& registry = gateway.metrics();
+  registry.counter("attack.trials").inc(result.trials);
+  registry.counter("attack.windows").inc(result.attack_windows);
+  registry.counter("attack.accepts").inc(result.attack_accepts);
+  registry.counter("attack.lockouts").inc(result.lockouts);
+  registry.counter("attack.genuine_windows").inc(result.genuine_windows);
+  registry.counter("attack.genuine_accepts").inc(result.genuine_accepts);
+  return result;
+}
+
+}  // namespace sy::attack

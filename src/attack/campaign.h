@@ -1,0 +1,82 @@
+// Gateway-facing masquerade campaign driver (§V-G at serving scale).
+//
+// Where attack_sim trains throwaway victim models offline, a campaign runs
+// against a LIVE serve::AuthGateway: every trial collects a mimic bout
+// (make_mimic_profile + the same synthesis path real traffic uses), scores
+// it under the victim's token, and reads the gateway's own response-module
+// lockout decisions back for the survival curve — detection latency and
+// FAR-under-attack come from the serving stack, not from a side model.
+// Attack trials interleave with genuine victim traffic, so the campaign
+// also measures what the sustained attack costs the real owner.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/mimic.h"
+#include "sensors/population.h"
+#include "serve/auth_gateway.h"
+
+namespace sy::attack {
+
+struct CampaignOptions {
+  /// Distinct attackers trying each victim (drawn cyclically from the
+  /// population, never the victim).
+  std::size_t attackers_per_victim{2};
+  std::size_t trials_per_attacker{2};
+  /// Attack horizon per trial; the survival curve has
+  /// attack_seconds / window_seconds + 1 points.
+  double attack_seconds{36.0};
+  double window_seconds{6.0};
+  /// Fuse the watch stream into the attack vectors (must match how the
+  /// victims enrolled: 14-dim phone-only vs 28-dim combined).
+  bool with_watch{false};
+  MimicSkill skill{};
+  std::uint64_t seed{71};
+  /// After every attack trial the victim re-authenticates and one genuine
+  /// bout scores under their own token — the sustained campaign runs
+  /// interleaved with real traffic, as it would in production.
+  bool interleave_genuine{true};
+  double genuine_seconds{18.0};
+};
+
+struct CampaignResult {
+  std::size_t trials{0};
+  std::size_t attack_windows{0};
+  std::size_t attack_accepts{0};
+  /// Attack trials the gateway's response module locked out.
+  std::size_t lockouts{0};
+  std::size_t genuine_windows{0};
+  std::size_t genuine_accepts{0};
+  /// Survival from the gateway's accept/lockout decisions: fraction of
+  /// attack trials not yet locked out after k windows.
+  std::vector<double> time_seconds;
+  std::vector<double> fraction_alive;
+
+  double far_under_attack() const {
+    return attack_windows > 0 ? static_cast<double>(attack_accepts) /
+                                    static_cast<double>(attack_windows)
+                              : 0.0;
+  }
+  double genuine_accept_rate() const {
+    return genuine_windows > 0 ? static_cast<double>(genuine_accepts) /
+                                     static_cast<double>(genuine_windows)
+                               : 0.0;
+  }
+};
+
+/// Runs the campaign against `gateway`. Every victim index must already be
+/// enrolled under token == static_cast<int>(index), and the gateway must
+/// have GatewayConfig::track_sessions on — the survival curve is read from
+/// its response-module state (session_lockout_window), and lockout latency
+/// lands in its gateway.session.detection_latency_ns histogram. The driver
+/// additionally records attack.trials / attack.windows / attack.accepts /
+/// attack.lockouts and attack.genuine_windows / attack.genuine_accepts
+/// counters into gateway.metrics(), so FAR-under-attack is computable from
+/// the registry snapshot alone.
+CampaignResult run_gateway_campaign(serve::AuthGateway& gateway,
+                                    const sensors::Population& population,
+                                    const std::vector<std::size_t>& victims,
+                                    const CampaignOptions& options);
+
+}  // namespace sy::attack

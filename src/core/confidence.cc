@@ -1,5 +1,6 @@
 #include "core/confidence.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace sy::core {
@@ -16,11 +17,20 @@ ConfidenceMonitor::ConfidenceMonitor(ConfidenceConfig config)
 }
 
 void ConfidenceMonitor::record(double day, double confidence) {
-  if (first_day_ < 0.0) first_day_ = day;
-  last_day_ = day;
+  // Timestamps may arrive out of order (windows scored by parallel shards,
+  // delayed uploads): the observation window is anchored to the *newest* day
+  // ever seen, never to the latest arrival — a stale sample must not rewind
+  // the trigger period, and eviction must not key off a stale `day` either.
+  if (history_.empty()) {
+    first_day_ = day;
+    last_day_ = day;
+  } else {
+    first_day_ = std::min(first_day_, day);
+    last_day_ = std::max(last_day_, day);
+  }
   history_.push_back({day, confidence});
   while (!history_.empty() &&
-         history_.front().day < day - config_.window_days) {
+         history_.front().day < last_day_ - config_.window_days) {
     history_.pop_front();
   }
 }
@@ -68,7 +78,11 @@ double ConfidenceMonitor::mean_confidence() const {
 
 void ConfidenceMonitor::reset() {
   history_.clear();
+  // Both day anchors return to their constructed state: a stale last_day_
+  // would poison the first post-reset trigger window (recent_mean and the
+  // retrain cutoff are computed against it).
   first_day_ = -1.0;
+  last_day_ = 0.0;
 }
 
 }  // namespace sy::core

@@ -26,6 +26,9 @@ class ConfidenceMonitor {
 
   // Records the confidence of one window of a still-authenticated session
   // at time `day` (the response module stops the feed once it locks).
+  // Timestamps may arrive out of order; the observation window stays
+  // anchored to the newest day ever seen — a late sample never rewinds the
+  // trigger period or the eviction horizon.
   void record(double day, double confidence);
 
   // True when the mean confidence inside the last `trigger_days` lies in

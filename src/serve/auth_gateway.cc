@@ -34,6 +34,14 @@ AuthGateway::AuthGateway(GatewayConfig config, util::ThreadPool* pool)
       score_windows_(&registry_.counter("gateway.score_windows")),
       enrolls_(&registry_.counter("gateway.enrolls")),
       drift_reports_(&registry_.counter("gateway.drift_reports")),
+      session_accepts_(&registry_.counter("gateway.session.accepts")),
+      session_rejects_(&registry_.counter("gateway.session.rejects")),
+      session_challenges_(&registry_.counter("gateway.session.challenges")),
+      session_lockouts_(&registry_.counter("gateway.session.lockouts")),
+      confidence_triggers_(
+          &registry_.counter("gateway.confidence.retrain_triggers")),
+      session_detect_ns_(
+          &registry_.histogram("gateway.session.detection_latency_ns")),
       net_(config.network),
       approx_cache_(std::make_shared<core::ApproxStatsCache>()),
       queue_(
@@ -179,6 +187,17 @@ bool AuthGateway::install_model(int user_token,
     slot.installed = std::max(slot.installed, version);
     slot.reserved = std::max(slot.reserved, slot.installed);
   }
+  // A freshly installed model invalidates the drift evidence: §V-I resets
+  // the confidence history after retraining, or the same low-confidence
+  // window would immediately re-trigger against the new model.
+  if (config_.track_sessions) {
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    const auto it = sessions_.find(user_token);
+    if (it != sessions_.end()) {
+      it->second.monitor.reset();
+      it->second.trigger_latched = false;
+    }
+  }
   return true;
 }
 
@@ -223,6 +242,18 @@ std::shared_ptr<const core::AuthModel> AuthGateway::enroll(
 std::vector<core::AuthDecision> AuthGateway::score_batch(
     int user_token, sensors::DetectedContext context,
     const std::vector<std::vector<double>>& windows) {
+  return score_batch_impl(user_token, context, windows, nullptr);
+}
+
+std::vector<core::AuthDecision> AuthGateway::score_batch(
+    int user_token, sensors::DetectedContext context,
+    const std::vector<std::vector<double>>& windows, double day) {
+  return score_batch_impl(user_token, context, windows, &day);
+}
+
+std::vector<core::AuthDecision> AuthGateway::score_batch_impl(
+    int user_token, sensors::DetectedContext context,
+    const std::vector<std::vector<double>>& windows, const double* day) {
   // Shared-boundary stage timing: each stage() below closes one stage of
   // the pipeline with a single clock read (a Span per stage would double
   // the per-event clock cost — the ≤3% overhead gate notices).
@@ -281,8 +312,85 @@ std::vector<core::AuthDecision> AuthGateway::score_batch(
     out[r].confidence = scores[r];
     out[r].accepted = scores[r] >= 0.0;
   }
+  track_decisions(user_token, out, day);
   score_timer.finish(score_decision_ns_);
   return out;
+}
+
+void AuthGateway::track_decisions(
+    int user_token, const std::vector<core::AuthDecision>& decisions,
+    const double* day) {
+  if (!config_.track_sessions) return;
+  std::lock_guard<std::mutex> lock(session_mutex_);
+  auto [it, inserted] = sessions_.try_emplace(user_token, config_);
+  SessionTrack& session = it->second;
+  (void)inserted;
+  for (const core::AuthDecision& decision : decisions) {
+    ++session.windows_seen;
+    const bool was_locked = session.response.locked();
+    const core::Action action = session.response.on_decision(decision);
+    if (decision.accepted) {
+      session_accepts_->inc();
+    } else {
+      session_rejects_->inc();
+    }
+    if (action == core::Action::kChallenge) session_challenges_->inc();
+    if (!was_locked && session.response.locked()) {
+      session_lockouts_->inc();
+      session.lockout_window = session.windows_seen;
+      // Detection latency: wall-clock from session start (or explicit
+      // re-auth) to the locking window, in the registry's ns convention.
+      session_detect_ns_->record(static_cast<std::uint64_t>(
+          static_cast<double>(session.windows_seen) *
+          config_.window_seconds * 1e9));
+    }
+    // §V-I: the monitor watches the *authenticated* session only — once the
+    // response module locks, the feed stops (an attacker's windows must not
+    // sit in the drift history a genuine retrain would learn from).
+    if (!was_locked) {
+      session.monitor.record(day != nullptr ? *day : session.clock_days,
+                             decision.confidence);
+    }
+    session.clock_days += config_.window_seconds / 86400.0;
+  }
+  // Count rising edges only: one trigger per sustained-low episode, however
+  // many batches observe it (the scenario reads this as "retrains demanded").
+  if (session.monitor.retrain_needed()) {
+    if (!session.trigger_latched) {
+      confidence_triggers_->inc();
+      session.trigger_latched = true;
+    }
+  } else {
+    session.trigger_latched = false;
+  }
+}
+
+core::SessionState AuthGateway::session_state(int user_token) const {
+  std::lock_guard<std::mutex> lock(session_mutex_);
+  const auto it = sessions_.find(user_token);
+  return it == sessions_.end() ? core::SessionState::kActive
+                               : it->second.response.state();
+}
+
+std::uint64_t AuthGateway::session_lockout_window(int user_token) const {
+  std::lock_guard<std::mutex> lock(session_mutex_);
+  const auto it = sessions_.find(user_token);
+  return it == sessions_.end() ? 0 : it->second.lockout_window;
+}
+
+bool AuthGateway::confidence_retrain_needed(int user_token) const {
+  std::lock_guard<std::mutex> lock(session_mutex_);
+  const auto it = sessions_.find(user_token);
+  return it != sessions_.end() && it->second.monitor.retrain_needed();
+}
+
+void AuthGateway::reset_session(int user_token) {
+  std::lock_guard<std::mutex> lock(session_mutex_);
+  const auto it = sessions_.find(user_token);
+  if (it == sessions_.end()) return;
+  it->second.response.explicit_auth(true);
+  it->second.windows_seen = 0;
+  it->second.lockout_window = 0;
 }
 
 std::shared_future<core::AuthModel> AuthGateway::report_drift(

@@ -22,6 +22,12 @@
 /// The gateway itself records gateway.score_ns / enroll_ns / drift_submit_ns
 /// latency histograms, with score_batch broken into cache_fetch /
 /// feature_lookup / kernel / decision stage spans.
+///
+/// With GatewayConfig::track_sessions the score path additionally drives a
+/// per-user response module (lockout) and confidence monitor (drift-retrain
+/// trigger), surfacing gateway.session.* / gateway.confidence.* metrics —
+/// the substrate the scenario harness (analysis/scenarios) measures
+/// FAR-under-attack and detection latency against.
 #pragma once
 
 #include <array>
@@ -36,6 +42,8 @@
 
 #include "core/auth_server.h"
 #include "core/authenticator.h"
+#include "core/confidence.h"
+#include "core/response.h"
 #include "obs/registry.h"
 #include "serve/model_cache.h"
 #include "serve/retrain_queue.h"
@@ -62,6 +70,21 @@ struct GatewayConfig {
   std::string persist_dir{};
   std::size_t persist_compact_threshold{1024};
   std::size_t persist_sync_every{1};
+  /// Per-user session response tracking on the score path (paper §IV-A2 +
+  /// §V-I moved server-side): every decision feeds a per-user
+  /// core::ResponseModule (consecutive rejections challenge, then lock) and
+  /// a core::ConfidenceMonitor (sustained low-but-positive confidence
+  /// raises the drift-retrain trigger). Off by default — deployments that
+  /// run the response module on-phone pay nothing; the scenario harness
+  /// turns it on to read lockout/detection-latency/retrain-trigger metrics
+  /// straight off the gateway registry.
+  bool track_sessions{false};
+  core::ResponsePolicy response{};
+  core::ConfidenceConfig confidence{};
+  /// Wall-clock seconds one scored window represents; advances the internal
+  /// per-user session clock when score_batch is called without an explicit
+  /// day stamp.
+  double window_seconds{6.0};
 };
 
 class AuthGateway {
@@ -97,6 +120,29 @@ class AuthGateway {
   std::vector<core::AuthDecision> score_batch(
       int user_token, sensors::DetectedContext context,
       const std::vector<std::vector<double>>& windows);
+
+  /// Same, with an explicit observation day for the confidence monitor
+  /// (drift scenarios score traffic spread over simulated days). Without it
+  /// the per-user session clock advances window_seconds per window.
+  std::vector<core::AuthDecision> score_batch(
+      int user_token, sensors::DetectedContext context,
+      const std::vector<std::vector<double>>& windows, double day);
+
+  /// --- Session tracking surface (meaningful when track_sessions) --------
+  /// Response state of the user's current session (kActive when untracked
+  /// or never scored).
+  core::SessionState session_state(int user_token) const;
+  /// 1-based index (since the last reset_session) of the window whose
+  /// rejection locked the session; 0 while unlocked. Detection latency in
+  /// seconds is this times window_seconds.
+  std::uint64_t session_lockout_window(int user_token) const;
+  /// True when the user's confidence monitor currently demands a retrain
+  /// (§V-I trigger); installing a fresh model resets the monitor.
+  bool confidence_retrain_needed(int user_token) const;
+  /// Explicit (multi-factor) re-authentication: unlocks the response module
+  /// and starts a new session window count. Confidence history survives —
+  /// drift evidence spans sessions; only a fresh model clears it.
+  void reset_session(int user_token);
 
   /// Drift trigger: enqueues an async retrain at a version reserved above
   /// every installed or in-flight one, so concurrent retrains never collide
@@ -174,6 +220,14 @@ class AuthGateway {
   obs::Counter* score_windows_;
   obs::Counter* enrolls_;
   obs::Counter* drift_reports_;
+  /// Session-tracking metrics (gateway.session.*, gateway.confidence.*);
+  /// recorded only when config_.track_sessions.
+  obs::Counter* session_accepts_;
+  obs::Counter* session_rejects_;
+  obs::Counter* session_challenges_;
+  obs::Counter* session_lockouts_;
+  obs::Counter* confidence_triggers_;
+  obs::Histogram* session_detect_ns_;
 
   mutable std::mutex transfer_mutex_;
   core::NetworkConfig net_;
@@ -190,6 +244,28 @@ class AuthGateway {
 
   RecoveryStats recovery_;
   std::size_t recovered_users_{0};
+
+  /// Per-user session state behind track_sessions. One mutex for the whole
+  /// map: the tracked path is the scenario harness, not the 100k-user load
+  /// bench, and the per-batch critical section is a few branches per window.
+  struct SessionTrack {
+    core::ResponseModule response;
+    core::ConfidenceMonitor monitor;
+    double clock_days{0.0};         ///< internal day clock (no explicit day)
+    std::uint64_t windows_seen{0};  ///< windows since the last reset_session
+    std::uint64_t lockout_window{0};  ///< 1-based lock index; 0 = unlocked
+    bool trigger_latched{false};  ///< retrain trigger edge already counted
+    explicit SessionTrack(const GatewayConfig& config)
+        : response(config.response), monitor(config.confidence) {}
+  };
+  std::vector<core::AuthDecision> score_batch_impl(
+      int user_token, sensors::DetectedContext context,
+      const std::vector<std::vector<double>>& windows, const double* day);
+  void track_decisions(int user_token,
+                       const std::vector<core::AuthDecision>& decisions,
+                       const double* day);
+  mutable std::mutex session_mutex_;
+  std::unordered_map<int, SessionTrack> sessions_;
 
   /// Shared approximate-mode population statistics: enroll() and the retrain
   /// queue reuse one per-context build per snapshot prefix. Declared before

@@ -90,6 +90,87 @@ TEST(AttackSim, SurvivalCurveShape) {
   EXPECT_LT(curve.per_window_far, 0.45);
 }
 
+// Shared scaled-down corpus for the invariant tests below (built once; the
+// signal synthesis is the expensive part).
+const analysis::Corpus& small_corpus() {
+  static const analysis::Corpus corpus = [] {
+    analysis::CorpusOptions co;
+    co.n_users = 5;
+    co.windows_per_context = 60;
+    co.seed = 111;
+    return analysis::Corpus::build(co);
+  }();
+  return corpus;
+}
+
+TEST(AttackSim, NoWatchSessionsScoreWithoutWatchStream) {
+  // Bluetooth-disabled deployment: collected attack sessions carry no watch
+  // recording. The extractor must be handed nullptr (14-dim vectors against
+  // phone-only victim models), not a dereferenced empty optional.
+  AttackSimOptions options;
+  options.use_watch = false;
+  options.trials_per_pair = 2;
+  options.attack_seconds = 24.0;
+  options.train_per_class = 60;
+  options.max_victims = 2;
+  options.seed = 112;
+  const SurvivalCurve curve = run_masquerade_attack(small_corpus(), options);
+
+  EXPECT_GT(curve.trials, 0u);
+  ASSERT_FALSE(curve.fraction_alive.empty());
+  EXPECT_DOUBLE_EQ(curve.fraction_alive.front(), 1.0);
+  for (std::size_t i = 1; i < curve.fraction_alive.size(); ++i) {
+    EXPECT_LE(curve.fraction_alive[i], curve.fraction_alive[i - 1] + 1e-12);
+  }
+  // Phone-only models still reject the bulk of the mimic windows.
+  EXPECT_LT(curve.per_window_far, 0.6);
+}
+
+TEST(AttackSim, NUsersCapsVictimsAndAttackers) {
+  AttackSimOptions options;
+  options.n_users = 3;  // of the 5 corpus users
+  options.trials_per_pair = 2;
+  options.attack_seconds = 12.0;
+  options.train_per_class = 60;
+  options.seed = 113;
+  const SurvivalCurve curve = run_masquerade_attack(small_corpus(), options);
+  // 3 victims x 2 attackers each x 2 trials — the cap binds both sides.
+  EXPECT_EQ(curve.trials, 12u);
+
+  AttackSimOptions uncapped = options;
+  uncapped.n_users = 0;
+  const SurvivalCurve full = run_masquerade_attack(small_corpus(), uncapped);
+  EXPECT_EQ(full.trials, 40u);  // 5 x 4 x 2
+}
+
+TEST(AttackSim, ShortSessionsDoNotInflateTheSurvivalTail) {
+  // Sessions half as long as the attack horizon yield 3 vectors against a
+  // 6-window trial. An attacker whose session simply ended is NOT alive at
+  // windows it never produced: the tail beyond the observed windows must be
+  // exactly zero even for a perfect mimic that every window accepts.
+  AttackSimOptions options;
+  options.trials_per_pair = 2;
+  options.attack_seconds = 36.0;   // windows_per_trial = 6
+  options.session_seconds = 18.0;  // 3 windows of evidence per trial
+  options.train_per_class = 60;
+  options.max_victims = 2;
+  options.seed = 114;
+  options.skill.coarse_residual = 0.0;  // perfect imitation everywhere:
+  options.skill.fine_residual = 0.0;    // maximal accept rate, so any tail
+  options.skill.observation_noise = 0.0;  // inflation would be visible
+  const SurvivalCurve curve = run_masquerade_attack(small_corpus(), options);
+
+  ASSERT_EQ(curve.fraction_alive.size(), 7u);
+  EXPECT_DOUBLE_EQ(curve.fraction_alive.front(), 1.0);
+  for (std::size_t i = 1; i < curve.fraction_alive.size(); ++i) {
+    EXPECT_LE(curve.fraction_alive[i], curve.fraction_alive[i - 1] + 1e-12);
+  }
+  for (std::size_t k = 4; k < curve.fraction_alive.size(); ++k) {
+    EXPECT_DOUBLE_EQ(curve.fraction_alive[k], 0.0)
+        << "tail inflated at window " << k;
+  }
+}
+
 TEST(AttackSim, MoreSkillfulMimicsSurviveLonger) {
   analysis::CorpusOptions co;
   co.n_users = 5;

@@ -222,6 +222,57 @@ TEST(ConfidenceMonitor, NeedsEnoughObservationsInPeriod) {
   EXPECT_TRUE(monitor.retrain_needed());
 }
 
+TEST(ConfidenceMonitor, ResetClearsDayAnchorsForTheNextSession) {
+  ConfidenceConfig config;
+  config.epsilon = 0.2;
+  config.trigger_days = 1.0;
+  ConfidenceMonitor monitor(config);
+  for (double t = 0.0; t < 2.2; t += 0.1) monitor.record(t, 0.1);
+  ASSERT_TRUE(monitor.retrain_needed());
+
+  monitor.reset();
+  // A single fresh observation after reset: the trigger period is anchored
+  // at the new sample's day, not at the pre-reset last_day_. A stale anchor
+  // would either exclude this sample from recent_mean_confidence (recorded
+  // "before" the stale cutoff) or let an old observation span satisfy
+  // trigger_days instantly.
+  monitor.record(10.0, 0.1);
+  EXPECT_EQ(monitor.observations(), 1u);
+  EXPECT_NEAR(monitor.recent_mean_confidence(), 0.1, 1e-12);
+  EXPECT_FALSE(monitor.retrain_needed());  // span restarts at zero days
+
+  // The low streak must run a full trigger period again before firing.
+  for (double t = 10.1; t < 10.9; t += 0.1) monitor.record(t, 0.1);
+  EXPECT_FALSE(monitor.retrain_needed());
+  for (double t = 10.9; t < 11.3; t += 0.1) monitor.record(t, 0.1);
+  EXPECT_TRUE(monitor.retrain_needed());
+}
+
+TEST(ConfidenceMonitor, OutOfOrderDaysDoNotRewindTheWindow) {
+  ConfidenceConfig config;
+  config.epsilon = 0.2;
+  config.trigger_days = 1.0;
+  config.window_days = 3.0;
+  ConfidenceMonitor monitor(config);
+  monitor.record(0.0, 0.9);  // healthy enrollment-era observation
+  for (double t = 4.0; t <= 5.0; t += 0.1) monitor.record(t, 0.05);
+  ASSERT_TRUE(monitor.retrain_needed());
+
+  // A delayed upload from day 3.5 lands now. The observation window stays
+  // anchored at day 5: the stale sample must neither rewind the trigger
+  // cutoff (pulling day-3.5 data into the "recent" period) nor evict the
+  // genuinely recent entries against its own old timestamp.
+  monitor.record(3.5, 0.9);
+  EXPECT_TRUE(monitor.retrain_needed());
+  EXPECT_NEAR(monitor.recent_mean_confidence(), 0.05, 1e-12);
+
+  // Eviction still keys off the newest day ever seen, so the stale window
+  // drains as time advances instead of pinning the deque forever.
+  for (double t = 5.1; t <= 8.0; t += 0.1) monitor.record(t, 0.5);
+  EXPECT_NEAR(monitor.recent_mean_confidence(), 0.5, 1e-12);
+  EXPECT_LE(monitor.observations(), 34u);  // day-4.x entries evicted
+}
+
 TEST(ConfidenceMonitor, ValidationAndHistoryTrim) {
   ConfidenceConfig bad;
   bad.epsilon = 0.0;

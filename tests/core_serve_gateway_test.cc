@@ -289,6 +289,112 @@ TEST(AuthGateway, UnknownUserAndNetworkFailuresAreExplicit) {
                core::NetworkUnavailableError);
 }
 
+TEST(AuthGateway, SessionTrackingLocksImpostorsAndRecordsDetectionLatency) {
+  GatewayConfig config;
+  config.track_sessions = true;
+  config.window_seconds = 6.0;
+  AuthGateway gateway(config);
+  // Contribute everyone first so user 0's model trains against user 3's
+  // clusters — the impostor below must actually be rejectable.
+  std::vector<core::VectorsByContext> uploads;
+  for (int u = 0; u < 4; ++u) {
+    uploads.push_back(positives_for(u, 3100 + 10 * u));
+    for (const auto& [context, vectors] : uploads.back()) {
+      gateway.contribute(u, context, vectors);
+    }
+  }
+  for (int u = 0; u < 4; ++u) {
+    (void)gateway.enroll(u, uploads[static_cast<std::size_t>(u)], 3200 + u,
+                         /*contribute_positives=*/false);
+  }
+  EXPECT_EQ(gateway.session_state(0), core::SessionState::kActive);
+
+  // A far-away impostor scoring under user 0's token: consecutive
+  // rejections must walk the response module to kLocked and stamp the
+  // detection-latency histogram.
+  (void)gateway.score_batch(0, kStationary, user_vectors(3, 20, 3301));
+  EXPECT_EQ(gateway.session_state(0), core::SessionState::kLocked);
+  const std::uint64_t lock_window = gateway.session_lockout_window(0);
+  EXPECT_GE(lock_window, 2u);  // rejects_to_lock = 2 consecutive rejections
+  EXPECT_LE(lock_window, 20u);
+
+  const auto metrics = gateway.metrics().snapshot();
+  EXPECT_GE(metrics.counters.at("gateway.session.lockouts"), 1u);
+  EXPECT_GE(metrics.counters.at("gateway.session.rejects"), 2u);
+  EXPECT_GE(metrics.counters.at("gateway.session.challenges"), 1u);
+  const auto& latency =
+      metrics.histograms.at("gateway.session.detection_latency_ns");
+  ASSERT_GE(latency.count, 1u);
+  EXPECT_GT(latency.percentile(0.5), 0u);
+
+  // Explicit re-auth: the owner takes the phone back and keeps scoring.
+  gateway.reset_session(0);
+  EXPECT_EQ(gateway.session_state(0), core::SessionState::kActive);
+  EXPECT_EQ(gateway.session_lockout_window(0), 0u);
+  const auto own = gateway.score_batch(0, kStationary,
+                                       user_vectors(0, 10, 3302));
+  EXPECT_GT(accepted_count(own), 7u);
+  EXPECT_EQ(gateway.session_state(0), core::SessionState::kActive);
+}
+
+TEST(AuthGateway, UntrackedGatewayKeepsSessionSurfaceInert) {
+  AuthGateway gateway;  // track_sessions defaults off
+  seed_population(gateway);
+  (void)gateway.enroll(0, positives_for(0, 3400), 3401);
+  (void)gateway.score_batch(0, kStationary, user_vectors(3, 10, 3402));
+  EXPECT_EQ(gateway.session_state(0), core::SessionState::kActive);
+  EXPECT_EQ(gateway.session_lockout_window(0), 0u);
+  EXPECT_FALSE(gateway.confidence_retrain_needed(0));
+  const auto metrics = gateway.metrics().snapshot();
+  EXPECT_EQ(metrics.counters.at("gateway.session.accepts"), 0u);
+  EXPECT_EQ(metrics.counters.at("gateway.session.rejects"), 0u);
+}
+
+TEST(AuthGateway, ConfidenceTriggerLatchesOnceAndResetsOnRetrainInstall) {
+  GatewayConfig config;
+  config.track_sessions = true;
+  // Genuine own-window confidences are comfortably positive; an epsilon
+  // above them makes "low-but-positive" include normal traffic so the
+  // trigger path is exercised deterministically.
+  config.confidence.epsilon = 50.0;
+  config.confidence.trigger_days = 1.0;
+  config.confidence.window_days = 3.0;
+  config.confidence.min_observations = 5;
+  AuthGateway gateway(config);
+  seed_population(gateway);
+  (void)gateway.enroll(0, positives_for(0, 3500), 3501);
+
+  (void)gateway.score_batch(0, kStationary, user_vectors(0, 10, 3502),
+                            /*day=*/0.0);
+  EXPECT_FALSE(gateway.confidence_retrain_needed(0));  // span < trigger_days
+  (void)gateway.score_batch(0, kStationary, user_vectors(0, 10, 3503),
+                            /*day=*/1.2);
+  EXPECT_TRUE(gateway.confidence_retrain_needed(0));
+  auto metrics = gateway.metrics().snapshot();
+  EXPECT_EQ(metrics.counters.at("gateway.confidence.retrain_triggers"), 1u);
+
+  // Still triggering, but the edge was latched: no double count.
+  (void)gateway.score_batch(0, kStationary, user_vectors(0, 10, 3504),
+                            /*day=*/1.3);
+  metrics = gateway.metrics().snapshot();
+  EXPECT_EQ(metrics.counters.at("gateway.confidence.retrain_triggers"), 1u);
+
+  // The retrain lands, the fresh model installs: the drift history that
+  // demanded it is void, so the monitor starts over.
+  (void)gateway.report_drift(0, positives_for(0, 3505), 3506).get();
+  gateway.wait_idle();
+  EXPECT_FALSE(gateway.confidence_retrain_needed(0));
+
+  // A new sustained episode against the new model re-arms the trigger.
+  (void)gateway.score_batch(0, kStationary, user_vectors(0, 10, 3507),
+                            /*day=*/5.0);
+  (void)gateway.score_batch(0, kStationary, user_vectors(0, 10, 3508),
+                            /*day=*/6.2);
+  EXPECT_TRUE(gateway.confidence_retrain_needed(0));
+  metrics = gateway.metrics().snapshot();
+  EXPECT_EQ(metrics.counters.at("gateway.confidence.retrain_triggers"), 2u);
+}
+
 TEST(AuthGateway, MissingContextFallsBackLikeAuthenticator) {
   AuthGateway gateway;
   seed_population(gateway);
