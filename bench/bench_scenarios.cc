@@ -42,6 +42,9 @@ int main(int argc, char** argv) {
     options.pickup_sessions = 2;
     options.drift_days = 6.0;
     options.burst_rounds = 4;
+    options.storm_rounds = 3;
+    options.overload_threads = 6;
+    options.overload_requests_per_thread = 25;
   }
   options.n_users = static_cast<std::size_t>(
       args.get_int("users", static_cast<int>(options.n_users)));

@@ -1,18 +1,29 @@
 #include "analysis/scenarios.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "analysis/corpus.h"
 #include "attack/campaign.h"
+#include "core/model_store.h"
+#include "core/population_codec.h"
 #include "features/feature_extractor.h"
 #include "sensors/device.h"
 #include "sensors/drift.h"
 #include "sensors/tuning.h"
 #include "serve/auth_gateway.h"
+#include "serve/shard_snapshot.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -111,6 +122,33 @@ std::uint64_t counter_or(const obs::Snapshot& snapshot,
                          const std::string& name) {
   const auto it = snapshot.counters.find(name);
   return it == snapshot.counters.end() ? 0 : it->second;
+}
+
+// Registry histograms accumulate over a gateway's lifetime; phase-local
+// percentiles come from subtracting the phase-start snapshot bucket by
+// bucket (sparse merge — bucket boundaries are compile-time constants, so
+// the diff is exact).
+obs::HistogramSnapshot diff_histogram(const obs::HistogramSnapshot& later,
+                                      const obs::HistogramSnapshot& earlier) {
+  obs::HistogramSnapshot out;
+  out.count = later.count - earlier.count;
+  out.sum = later.sum - earlier.sum;
+  // max cannot be un-merged; keeping the later max only affects the final
+  // upper clamp of percentile(), never the bucket walk.
+  out.max = later.max;
+  std::map<std::size_t, std::uint64_t> buckets(later.buckets.begin(),
+                                               later.buckets.end());
+  for (const auto& [index, count] : earlier.buckets) {
+    const auto it = buckets.find(index);
+    if (it == buckets.end()) continue;
+    if (it->second <= count) {
+      buckets.erase(it);
+    } else {
+      it->second -= count;
+    }
+  }
+  out.buckets.assign(buckets.begin(), buckets.end());
+  return out;
 }
 
 // --- masquerade_campaign ---------------------------------------------------
@@ -474,6 +512,384 @@ ScenarioResult run_flash_crowd(const ScenarioOptions& options) {
   return result;
 }
 
+// --- disk_fault_storm ------------------------------------------------------
+
+ScenarioResult run_disk_fault_storm(const ScenarioOptions& options) {
+  ScenarioResult result;
+  result.name = "disk_fault_storm";
+
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("sy_storm_" + std::to_string(options.seed) + "_" +
+        std::to_string(static_cast<long>(::getpid()))))
+          .string();
+  std::filesystem::remove_all(root);
+
+  // One ChaosController models the whole persistence VOLUME: log sinks,
+  // snapshot writes, and model-bundle writes all consult it. Faulting only
+  // the log would be too gentle — the store's heal-by-compaction would
+  // succeed immediately and the breaker would never open.
+  auto chaos = std::make_shared<serve::ChaosController>();
+  serve::GatewayConfig gc;
+  gc.persist_dir = root + "/pop";
+  gc.model_dir = root + "/models";
+  gc.persist_sync_every = 1;
+  gc.persist_compact_threshold = 64;
+  gc.breaker.failure_threshold = 2;
+  gc.breaker.cooldown_ns = 20'000'000;  // recover within the scenario
+  gc.io_retry.max_attempts = 2;
+  gc.io_retry.base_delay_ns = 50'000;
+  // Backoff against an armed fault plan is a pure wait; skip it for speed.
+  gc.io_sleep = [](std::uint64_t) {};
+  gc.persist_sink_factory =
+      [chaos](const std::string& path, std::size_t) -> std::unique_ptr<serve::LogSink> {
+    return std::make_unique<serve::ChaosLogSink>(
+        std::make_unique<serve::FileLogSink>(path), chaos, path);
+  };
+  gc.persist_snapshot_writer = [chaos](const std::string& path,
+                                       std::size_t shard,
+                                       std::size_t shard_count,
+                                       std::uint64_t last_seq,
+                                       const core::PopulationStore& segment) {
+    if (chaos->next_append_action() == serve::ChaosController::Action::kError) {
+      throw serve::IoError("snapshot(chaos)", path, EIO);
+    }
+    serve::write_shard_snapshot(path, shard, shard_count, last_seq, segment);
+  };
+  gc.bundle_writer = [chaos](const std::vector<std::uint8_t>& bytes,
+                             const std::string& path) {
+    if (chaos->next_append_action() == serve::ChaosController::Action::kError) {
+      throw serve::IoError("bundle(chaos)", path, EIO);
+    }
+    core::ModelStore::save_bytes(bytes, path);
+  };
+
+  Fixture fixture = make_fixture(options, gc);
+  const auto extractor = make_extractor(options);
+  util::Rng rng = util::Rng(options.seed).fork(83);
+
+  // Storm: every subsequent disk operation fails with EIO until disarmed.
+  chaos->arm(serve::parse_fault_plan("error"));
+  std::size_t storm_requests = 0, storm_score_failures = 0;
+  std::size_t storm_contribute_failures = 0;
+  for (std::size_t round = 0; round < options.storm_rounds; ++round) {
+    for (std::size_t u = 0; u < fixture.corpus.n_users(); ++u) {
+      const int token = static_cast<int>(u);
+      const auto vectors = collect_vectors(
+          fixture.corpus.population().user(u),
+          sensors::UsageContext::kStationaryUse, 2.0 * options.window_seconds,
+          extractor, rng);
+      ++storm_requests;
+      // The headline invariant: mid-storm, contributions are still acked
+      // (deferred in memory) and scoring still answers from cached models.
+      try {
+        fixture.gateway->contribute(token, kStationary, vectors);
+      } catch (const std::exception&) {
+        ++storm_contribute_failures;
+      }
+      try {
+        (void)fixture.gateway->score_batch(token, kStationary, vectors);
+      } catch (const std::exception&) {
+        ++storm_score_failures;
+      }
+    }
+  }
+  // A model going live mid-storm: cached and served, its bundle deferred.
+  (void)fixture.gateway->enroll(0, phone_vectors(fixture.corpus, 0),
+                                options.seed + 77,
+                                /*contribute_positives=*/false);
+  const bool opened_during_storm =
+      fixture.gateway->persistence_breaker().state() !=
+      serve::CircuitBreaker::State::kClosed;
+
+  // Recovery: the volume heals, the cooldown elapses, and the next
+  // contribution per user is (or follows) the half-open probe whose success
+  // closes the breaker and kicks the asynchronous backlog replay.
+  chaos->disarm();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  for (std::size_t u = 0; u < fixture.corpus.n_users(); ++u) {
+    const auto vectors = collect_vectors(
+        fixture.corpus.population().user(u),
+        sensors::UsageContext::kStationaryUse, options.window_seconds,
+        extractor, rng);
+    fixture.gateway->contribute(static_cast<int>(u), kStationary, vectors);
+  }
+  fixture.gateway->wait_idle();
+  fixture.gateway->wait_replay_idle();
+
+  result.metrics = fixture.gateway->metrics().snapshot();
+  const auto deferred = counter_or(result.metrics, "store.log_deferred");
+  const auto flushed = counter_or(result.metrics, "store.deferred_flushed");
+  const auto breaker_opens =
+      counter_or(result.metrics, "gateway.breaker.opens");
+  const auto bundles_deferred =
+      counter_or(result.metrics, "gateway.bundles_deferred");
+  const auto bundles_replayed =
+      counter_or(result.metrics, "gateway.bundles_replayed");
+  const double degraded_ms =
+      static_cast<double>(
+          fixture.gateway->persistence_breaker().degraded_ns()) /
+      1e6;
+  const std::uint64_t still_deferred = fixture.gateway->store()
+                                           .deferred_records();
+  const std::size_t pending_bundles = fixture.gateway->pending_bundle_count();
+  const bool closed_at_end = fixture.gateway->persistence_breaker().state() ==
+                             serve::CircuitBreaker::State::kClosed;
+
+  // Zero-loss proof: serialize the live population, restart-from-disk into a
+  // fresh store, and require byte-identical serializations (the codec is
+  // deterministic, and both merge in shard-index order).
+  const auto live_bytes =
+      core::serialize_population(*fixture.gateway->store().snapshot());
+  std::size_t live_vectors = 0;
+  for (const auto& [context, bucket] : *fixture.gateway->store().snapshot()) {
+    live_vectors += bucket.size();
+  }
+  fixture.gateway.reset();  // release the shard logs before re-attaching
+  serve::ShardedPopulationStore recovered_store(gc.shards);
+  serve::PersistenceOptions popts;
+  popts.dir = gc.persist_dir;
+  (void)recovered_store.attach_persistence(popts);
+  const auto recovered_snapshot = recovered_store.snapshot();
+  std::size_t recovered_vectors = 0;
+  for (const auto& [context, bucket] : *recovered_snapshot) {
+    recovered_vectors += bucket.size();
+  }
+  const bool digest_match =
+      core::serialize_population(*recovered_snapshot) == live_bytes;
+  std::filesystem::remove_all(root);
+
+  result.summary = {
+      {"storm_requests", static_cast<double>(storm_requests)},
+      {"storm_score_failures", static_cast<double>(storm_score_failures)},
+      {"storm_contribute_failures",
+       static_cast<double>(storm_contribute_failures)},
+      {"breaker_opens", static_cast<double>(breaker_opens)},
+      {"degraded_ms", degraded_ms},
+      {"records_deferred", static_cast<double>(deferred)},
+      {"records_flushed", static_cast<double>(flushed)},
+      {"bundles_deferred", static_cast<double>(bundles_deferred)},
+      {"bundles_replayed", static_cast<double>(bundles_replayed)},
+      {"injected_contributions", static_cast<double>(live_vectors)},
+      {"recovered_contributions", static_cast<double>(recovered_vectors)},
+      {"digest_match", digest_match ? 1.0 : 0.0},
+  };
+
+  require(result, storm_requests > 0, "storm drove no requests");
+  require(result, storm_score_failures == 0,
+          "a score request failed during the fault storm");
+  require(result, storm_contribute_failures == 0,
+          "a contribution was rejected (not acked) during the fault storm");
+  require(result, opened_during_storm && breaker_opens >= 1,
+          "the persistence breaker never opened under sustained EIO");
+  require(result, deferred > 0,
+          "no log record was deferred — the storm missed the write path");
+  require(result, still_deferred == 0 && flushed >= deferred,
+          "deferred records were not fully replayed after recovery");
+  require(result, bundles_deferred >= 1 && pending_bundles == 0,
+          "the mid-storm model bundle was not deferred and replayed");
+  require(result, bundles_replayed >= 1,
+          "no deferred bundle was written back on recovery");
+  require(result, closed_at_end, "breaker still open after the volume healed");
+  require(result, digest_match && recovered_vectors == live_vectors,
+          "recovered population diverges from the live one — acknowledged "
+          "contributions were lost");
+  return result;
+}
+
+// --- overload_shed ---------------------------------------------------------
+
+ScenarioResult run_overload_shed(const ScenarioOptions& options) {
+  ScenarioResult result;
+  result.name = "overload_shed";
+
+  serve::GatewayConfig gc;
+  gc.admission.max_concurrent = options.overload_max_concurrent;
+  Fixture fixture = make_fixture(options, gc);
+
+  // Heavy batches (rows cycled): each request must occupy its admission slot
+  // long enough that a thread burst actually collides with the concurrency
+  // bound — microsecond-scale requests would drain before overlapping. The
+  // SAME batches serve baseline and burst, so the p99 comparison is fair.
+  const std::size_t batch_windows = 48;
+  std::vector<std::vector<std::vector<double>>> batches;
+  batches.reserve(fixture.corpus.n_users());
+  for (std::size_t u = 0; u < fixture.corpus.n_users(); ++u) {
+    const auto& windows = fixture.corpus.user(u).windows.at(kStationary);
+    std::vector<std::vector<double>> batch;
+    batch.reserve(batch_windows);
+    for (std::size_t i = 0; i < batch_windows; ++i) {
+      batch.push_back(Corpus::project(windows.row(i % windows.rows()),
+                                      DeviceConfig::kPhoneOnly));
+    }
+    batches.push_back(std::move(batch));
+  }
+
+  const auto score_histogram = [&fixture] {
+    const auto snap = fixture.gateway->metrics().snapshot();
+    const auto it = snap.histograms.find("gateway.score_ns");
+    return it != snap.histograms.end() ? it->second : obs::HistogramSnapshot{};
+  };
+
+  // Phase 1 — unloaded baseline: sequential requests, no contention. The
+  // floor keeps the baseline p99 from being the max of a handful of samples.
+  const obs::HistogramSnapshot h0 = score_histogram();
+  const std::size_t baseline_requests = std::max<std::size_t>(
+      fixture.corpus.n_users() * options.burst_rounds, 32);
+  for (std::size_t r = 0; r < baseline_requests; ++r) {
+    const std::size_t u = r % fixture.corpus.n_users();
+    (void)fixture.gateway->score_batch(static_cast<int>(u), kStationary,
+                                       batches[u]);
+  }
+  const obs::HistogramSnapshot h1 = score_histogram();
+
+  // Phase 2 — the burst: more client threads than admission slots. Excess
+  // requests shed (typed OverloadError) rather than queue; a shed client
+  // backs off briefly, as a well-behaved caller would. This phase is the
+  // p99-under-load measurement; whether it actually sheds depends on how
+  // the scheduler interleaves the threads (on one core, short requests may
+  // never overlap), so the shed PROOF is phase 3, not this.
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> burst_shed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(options.overload_threads);
+  for (std::size_t t = 0; t < options.overload_threads; ++t) {
+    clients.emplace_back([&, t] {
+      for (std::size_t r = 0; r < options.overload_requests_per_thread; ++r) {
+        const std::size_t u = (t + r) % fixture.corpus.n_users();
+        try {
+          (void)fixture.gateway->score_batch(static_cast<int>(u), kStationary,
+                                             batches[u]);
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } catch (const serve::OverloadError&) {
+          burst_shed.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  const obs::HistogramSnapshot h2 = score_histogram();
+
+  // Phase 3 — deterministic saturation (after the h2 snapshot, so the
+  // occupiers' multi-millisecond scores never pollute the burst histogram):
+  // one occupier thread per admission slot loops a mega-batch whose scoring
+  // holds its slot for milliseconds, while this thread waits for the
+  // inflight gauge to show every slot taken and then probes. A probe can
+  // slip into the microsecond gap while an occupier re-admits, so probe
+  // until a shed is observed (bounded), counting lucky accepts honestly.
+  std::vector<std::vector<double>> mega;
+  mega.reserve(batch_windows * 32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    mega.insert(mega.end(), batches[0].begin(), batches[0].end());
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> occupiers;
+  occupiers.reserve(options.overload_max_concurrent);
+  for (std::size_t t = 0; t < options.overload_max_concurrent; ++t) {
+    occupiers.emplace_back([&, t] {
+      const std::size_t u = t % fixture.corpus.n_users();
+      while (!stop.load(std::memory_order_relaxed)) {
+        try {
+          (void)fixture.gateway->score_batch(static_cast<int>(u), kStationary,
+                                             mega);
+        } catch (const serve::OverloadError&) {
+          std::this_thread::yield();  // a probe beat us to the slot; retry
+        }
+      }
+    });
+  }
+  std::size_t probe_shed = 0, probe_accepted = 0;
+  for (std::size_t attempt = 0; attempt < 200 && probe_shed == 0; ++attempt) {
+    for (std::size_t spin = 0;
+         spin < 20000 && fixture.gateway->admission().inflight() <
+                             options.overload_max_concurrent;
+         ++spin) {
+      std::this_thread::yield();
+    }
+    try {
+      (void)fixture.gateway->score_batch(0, kStationary, batches[0]);
+      ++probe_accepted;
+    } catch (const serve::OverloadError& e) {
+      if (e.reason() == serve::OverloadReason::kSaturated) ++probe_shed;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& occupier : occupiers) occupier.join();
+  const std::uint64_t shed_total = burst_shed.load() + probe_shed;
+
+  // Phase 4 — deadline shedding, deterministic: a budget that has already
+  // expired must be rejected as kDeadline before any scoring work runs.
+  std::size_t deadline_shed = 0;
+  try {
+    (void)fixture.gateway->score_batch_within(0, kStationary, batches[0],
+                                              fixture.gateway->now_ns() - 1);
+  } catch (const serve::OverloadError& e) {
+    if (e.reason() == serve::OverloadReason::kDeadline) ++deadline_shed;
+  }
+
+  result.metrics = fixture.gateway->metrics().snapshot();
+  const obs::HistogramSnapshot baseline_hist = diff_histogram(h1, h0);
+  const obs::HistogramSnapshot burst_hist = diff_histogram(h2, h1);
+  const double base_p99_us =
+      static_cast<double>(baseline_hist.percentile(0.99)) / 1e3;
+  const double burst_p99_us =
+      static_cast<double>(burst_hist.percentile(0.99)) / 1e3;
+  const double p99_ratio =
+      base_p99_us > 0.0 ? burst_p99_us / base_p99_us : 0.0;
+  const auto shed_saturated =
+      counter_or(result.metrics, "gateway.admission.shed_saturated");
+  const auto shed_deadline =
+      counter_or(result.metrics, "gateway.admission.shed_deadline");
+  const auto inflight_it =
+      result.metrics.gauges.find("gateway.admission.inflight");
+  const std::int64_t inflight_now =
+      inflight_it == result.metrics.gauges.end() ? -1 : inflight_it->second;
+
+  const std::uint64_t issued =
+      options.overload_threads * options.overload_requests_per_thread;
+  result.summary = {
+      {"issued_requests", static_cast<double>(issued)},
+      {"accepted_requests", static_cast<double>(accepted.load())},
+      {"shed_requests", static_cast<double>(shed_total)},
+      {"probe_shed", static_cast<double>(probe_shed)},
+      {"probe_accepted", static_cast<double>(probe_accepted)},
+      {"shed_deadline", static_cast<double>(deadline_shed)},
+      {"baseline_p99_us", base_p99_us},
+      {"burst_p99_us", burst_p99_us},
+      {"accepted_p99_ratio", p99_ratio},
+  };
+
+  require(result, accepted.load() > 0, "the burst admitted nothing");
+  require(result, probe_shed > 0,
+          "no probe shed against fully occupied slots — admission control "
+          "never engaged");
+  require(result, accepted.load() + burst_shed.load() == issued,
+          "requests unaccounted for: something neither returned nor shed");
+  require(result, shed_saturated >= shed_total,
+          "gateway.admission.shed_saturated disagrees with observed sheds");
+  require(result, deadline_shed == 1 && shed_deadline >= 1,
+          "an already-expired deadline was not shed as kDeadline");
+  require(result, inflight_now == 0,
+          "admission inflight gauge nonzero after the burst drained");
+  require(result, base_p99_us > 0.0 && burst_p99_us > 0.0,
+          "phase histograms are empty");
+  // The headline invariant: shedding keeps ACCEPTED latency flat — had the
+  // gate QUEUED instead of shed, the burst tail would sit behind the whole
+  // backlog ((issued / slots) x service time, i.e. several milliseconds even
+  // at the smoke scale). The +1500 us absolute slack is an OS scheduler
+  // timeslice: on a machine with fewer cores than client threads, a request
+  // can absorb a preemption mid-flight, which no admission policy prevents
+  // — still several times below what queuing would produce.
+  {
+    std::ostringstream msg;
+    msg << "accepted-request p99 blew past 2x the unloaded baseline: burst "
+        << burst_p99_us << " us vs baseline " << base_p99_us << " us";
+    require(result, burst_p99_us <= 2.0 * base_p99_us + 1500.0, msg.str());
+  }
+  return result;
+}
+
 }  // namespace
 
 const std::vector<std::string>& scenario_names() {
@@ -482,6 +898,8 @@ const std::vector<std::string>& scenario_names() {
       "pickup_moment",
       "behavioral_drift",
       "flash_crowd",
+      "disk_fault_storm",
+      "overload_shed",
   };
   return names;
 }
@@ -492,6 +910,8 @@ ScenarioResult run_scenario(const std::string& name,
   if (name == "pickup_moment") return run_pickup_moment(options);
   if (name == "behavioral_drift") return run_behavioral_drift(options);
   if (name == "flash_crowd") return run_flash_crowd(options);
+  if (name == "disk_fault_storm") return run_disk_fault_storm(options);
+  if (name == "overload_shed") return run_overload_shed(options);
   throw std::invalid_argument("unknown scenario: " + name);
 }
 

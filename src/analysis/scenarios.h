@@ -20,6 +20,19 @@
 //   flash_crowd          the whole population scoring at once (parallel
 //                        burst) vs a sequential steady phase; throughput
 //                        and score-latency percentiles under contention.
+//   disk_fault_storm     chaos harness: the persistence volume (population
+//                        log + snapshots + model bundles) starts throwing
+//                        EIO mid-run; the gateway must keep scoring, ack
+//                        every contribution, open its breaker, and on
+//                        recovery replay the deferred backlog — verified by
+//                        recovering the directory into a fresh store and
+//                        byte-comparing serialized populations.
+//   overload_shed        a thread burst overruns the scoring admission
+//                        gate; excess requests must shed with OverloadError
+//                        (never queue), deadline budgets already expired
+//                        must shed as kDeadline, and the p99 of ACCEPTED
+//                        requests must stay within 2x of the unloaded
+//                        baseline.
 //
 // Each scenario returns a ScenarioResult with an ordered numeric summary,
 // its pass/fail invariants, and the gateway's full metric snapshot;
@@ -66,6 +79,17 @@ struct ScenarioOptions {
   // --- flash_crowd ---
   /// Batches every user scores in each phase.
   std::size_t burst_rounds{8};
+
+  // --- disk_fault_storm ---
+  /// Contribute+score rounds driven while the volume throws EIO.
+  std::size_t storm_rounds{5};
+
+  // --- overload_shed ---
+  /// Concurrent client threads hammering the admission gate.
+  std::size_t overload_threads{8};
+  std::size_t overload_requests_per_thread{40};
+  /// Admission gate concurrency bound during the burst.
+  std::size_t overload_max_concurrent{2};
 };
 
 struct ScenarioResult {

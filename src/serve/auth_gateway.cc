@@ -1,6 +1,7 @@
 #include "serve/auth_gateway.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <filesystem>
 #include <stdexcept>
 #include <system_error>
@@ -17,10 +18,14 @@ namespace sy::serve {
 
 AuthGateway::AuthGateway(GatewayConfig config, util::ThreadPool* pool)
     : config_(config),
+      clock_(config.clock ? config.clock : steady_clock_fn()),
+      persist_breaker_(config.breaker, clock_, &registry_, "gateway.breaker"),
+      admission_(config.admission, clock_, &registry_, "gateway.admission"),
       store_(std::make_shared<ShardedPopulationStore>(config.shards,
                                                       &registry_)),
       cache_(config.cache_bytes, [this](int user) { return load_model(user); },
              &registry_),
+      pool_(pool != nullptr ? pool : &util::ThreadPool::shared()),
       score_ns_(&registry_.histogram("gateway.score_ns")),
       score_cache_fetch_ns_(
           &registry_.histogram("gateway.score.cache_fetch_ns")),
@@ -42,6 +47,8 @@ AuthGateway::AuthGateway(GatewayConfig config, util::ThreadPool* pool)
           &registry_.counter("gateway.confidence.retrain_triggers")),
       session_detect_ns_(
           &registry_.histogram("gateway.session.detection_latency_ns")),
+      bundles_deferred_(&registry_.counter("gateway.bundles_deferred")),
+      bundles_replayed_(&registry_.counter("gateway.bundles_replayed")),
       net_(config.network),
       approx_cache_(std::make_shared<core::ApproxStatsCache>()),
       queue_(
@@ -52,7 +59,7 @@ AuthGateway::AuthGateway(GatewayConfig config, util::ThreadPool* pool)
             (void)install_model(
                 user, std::make_shared<const core::AuthModel>(model));
           },
-          pool, approx_cache_.get(), &registry_) {
+          pool, approx_cache_.get(), &registry_, config.retrain_max_pending) {
   // Foreign state sampled at snapshot time. The approx-cache callbacks keep
   // the shared_ptr alive; the pool (caller-owned or the process-wide shared
   // one) outlives this gateway by contract.
@@ -65,9 +72,74 @@ AuthGateway::AuthGateway(GatewayConfig config, util::ThreadPool* pool)
       return static_cast<std::int64_t>(cache->stats().builds);
     });
   }
+  // Degraded-time gauge: reads the breaker's accumulator on scrape. Runs
+  // under the registry mutex but only takes the breaker's own mutex — no
+  // registry reentry.
+  registry_.register_callback_gauge("gateway.degraded_seconds", [this] {
+    return static_cast<std::int64_t>(persist_breaker_.degraded_ns() /
+                                     1'000'000'000);
+  });
+  persist_breaker_.set_transition_hook(
+      [this](CircuitBreaker::State, CircuitBreaker::State to) {
+        on_breaker_transition(to);
+      });
   obs::bind_thread_pool(registry_,
                         pool != nullptr ? *pool : util::ThreadPool::shared());
   recover_persisted_state();
+}
+
+AuthGateway::~AuthGateway() {
+  // Retrain installs can fire breaker transitions, which can kick replay
+  // tasks; drain the queue FIRST so no new replays appear, then outwait the
+  // replays (they capture `this`).
+  queue_.wait_idle();
+  wait_replay_idle();
+}
+
+void AuthGateway::wait_replay_idle() const {
+  std::unique_lock<std::mutex> lock(replay_mutex_);
+  replay_cv_.wait(lock, [this] { return replay_inflight_ == 0; });
+}
+
+std::size_t AuthGateway::pending_bundle_count() const {
+  std::lock_guard<std::mutex> lock(bundle_mutex_);
+  return pending_bundles_.size();
+}
+
+void AuthGateway::on_breaker_transition(CircuitBreaker::State to) {
+  // While degraded, an evicted cache entry could not be reloaded (the bundle
+  // store behind the loader shares the failing volume), so eviction pauses.
+  cache_.set_eviction_paused(to != CircuitBreaker::State::kClosed);
+  if (to != CircuitBreaker::State::kClosed) return;
+  // Recovery. The hook can fire with a shard mutex held (contribute → heal →
+  // on_success), so the replay MUST run asynchronously: a synchronous
+  // flush_deferred() here would re-take that shard's mutex and deadlock.
+  {
+    std::lock_guard<std::mutex> lock(replay_mutex_);
+    ++replay_inflight_;
+  }
+  pool_->submit([this] {
+    replay_deferred_work();
+    std::lock_guard<std::mutex> lock(replay_mutex_);
+    --replay_inflight_;
+    replay_cv_.notify_all();
+  });
+}
+
+void AuthGateway::replay_deferred_work() {
+  try {
+    const std::uint64_t flushed = store_->flush_deferred();
+    if (flushed > 0) {
+      util::log_info_kv("gateway replayed deferred population records",
+                        {{"records", flushed}});
+    }
+    replay_pending_bundles();
+  } catch (const std::exception& e) {
+    // A replay failure re-opened the breaker (flush_deferred reported it);
+    // the next close retries. Nothing is lost — the backlog stays in memory.
+    util::log_warn_kv("gateway deferred-work replay failed",
+                      {{"error", e.what()}});
+  }
 }
 
 void AuthGateway::recover_persisted_state() {
@@ -78,6 +150,12 @@ void AuthGateway::recover_persisted_state() {
     options.dir = config_.persist_dir;
     options.compact_threshold = config_.persist_compact_threshold;
     options.sync_every = config_.persist_sync_every;
+    options.sink_factory = config_.persist_sink_factory;
+    options.snapshot_writer = config_.persist_snapshot_writer;
+    options.breaker = &persist_breaker_;
+    options.io_retry = config_.io_retry;
+    options.io_retry_seed = config_.io_retry_seed;
+    options.io_retry_sleep = config_.io_sleep;
     recovery_ = store_->attach_persistence(options);
   }
   // Version table: without this, a restarted gateway would reserve version
@@ -133,6 +211,12 @@ void AuthGateway::contribute(int contributor_token,
 std::optional<ModelCache::LoadedModel> AuthGateway::load_model(
     int user_token) {
   if (config_.model_dir.empty()) return std::nullopt;
+  // Degraded: don't touch the failing volume for a read — the user scores
+  // from cache or not at all. state() (not allow()) keeps the half-open
+  // probe reserved for the write path, where success proves writability.
+  if (persist_breaker_.state() != CircuitBreaker::State::kClosed) {
+    return std::nullopt;
+  }
   const std::string path = model_path(user_token);
   try {
     core::AuthModel model = core::ModelStore::load(path);
@@ -167,16 +251,37 @@ bool AuthGateway::install_model(int user_token,
     }
   }
   const auto bytes = core::ModelStore::serialize(*model);
-  if (!config_.model_dir.empty()) {
-    // Publish atomically (write-temp-then-rename): a concurrent cache-miss
-    // loader reading this user's bundle must see the old or the new file,
-    // never a torn in-place rewrite.
-    const std::string path = model_path(user_token);
-    const std::string tmp = path + ".tmp";
-    core::ModelStore::save_bytes(bytes, tmp);
-    std::filesystem::rename(tmp, path);
-  }
   const int version = model->version();
+  if (!config_.model_dir.empty()) {
+    if (!persist_breaker_.allow()) {
+      // Degraded: the model still goes live (cache + version table below) so
+      // scoring and the drift loop keep working; only the durable bundle
+      // write waits in pending_bundles_ for the volume to recover. A newer
+      // install for the same user simply supersedes the entry.
+      {
+        std::lock_guard<std::mutex> lock(bundle_mutex_);
+        pending_bundles_[user_token] = PendingBundle{model, bytes, version};
+      }
+      bundles_deferred_->inc();
+    } else {
+      try {
+        write_bundle(user_token, bytes);
+        persist_breaker_.on_success();
+        // This durable write supersedes any bundle deferred for the user.
+        std::lock_guard<std::mutex> lock(bundle_mutex_);
+        pending_bundles_.erase(user_token);
+      } catch (const IoError& e) {
+        persist_breaker_.on_failure();
+        {
+          std::lock_guard<std::mutex> lock(bundle_mutex_);
+          pending_bundles_[user_token] = PendingBundle{model, bytes, version};
+        }
+        bundles_deferred_->inc();
+        util::log_warn_kv("bundle write failed; deferred until recovery",
+                          {{"user", user_token}, {"error", e.what()}});
+      }
+    }
+  }
   cache_.put(user_token, std::move(model), bytes.size());
   {
     // Publish the version only now: model_version() must never get ahead of
@@ -199,6 +304,100 @@ bool AuthGateway::install_model(int user_token,
     }
   }
   return true;
+}
+
+void AuthGateway::write_bundle(int user_token,
+                               const std::vector<std::uint8_t>& bytes) {
+  // Publish atomically (write-temp-then-rename): a concurrent cache-miss
+  // loader reading this user's bundle must see the old or the new file,
+  // never a torn in-place rewrite.
+  const std::string path = model_path(user_token);
+  const std::string tmp = path + ".tmp";
+  // Deterministic per-user jitter stream: replays are reproducible under a
+  // fixed io_retry_seed.
+  util::Rng jitter(util::splitmix64(
+      config_.io_retry_seed ^
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(user_token))));
+  retry_io(
+      [&] {
+        try {
+          if (config_.bundle_writer) {
+            config_.bundle_writer(bytes, tmp);
+          } else {
+            core::ModelStore::save_bytes(bytes, tmp);
+          }
+          std::filesystem::rename(tmp, path);
+        } catch (const IoError&) {
+          throw;
+        } catch (const std::filesystem::filesystem_error& e) {
+          throw IoError("rename", path, e.code().value());
+        } catch (const core::ModelStoreError&) {
+          // save_bytes reports failures without an errno; classify as EIO
+          // (transient) so retry and breaker cooldown get a chance.
+          throw IoError("save_bytes", tmp, EIO);
+        }
+      },
+      config_.io_retry, jitter, config_.io_sleep);
+}
+
+void AuthGateway::replay_pending_bundles() {
+  std::vector<int> users;
+  {
+    std::lock_guard<std::mutex> lock(bundle_mutex_);
+    users.reserve(pending_bundles_.size());
+    for (const auto& [user, bundle] : pending_bundles_) users.push_back(user);
+  }
+  for (const int user : users) {
+    // Same stripe as install_model: the replayed write must not interleave
+    // with a concurrent (newer) install's version-check + write.
+    std::lock_guard<std::mutex> install_lock(
+        install_mutexes_[static_cast<std::size_t>(
+            util::splitmix64(static_cast<std::uint64_t>(user)) %
+            install_mutexes_.size())]);
+    PendingBundle bundle;
+    {
+      std::lock_guard<std::mutex> lock(bundle_mutex_);
+      const auto it = pending_bundles_.find(user);
+      if (it == pending_bundles_.end()) continue;  // superseded meanwhile
+      bundle = it->second;
+    }
+    bool stale = false;
+    {
+      std::lock_guard<std::mutex> lock(version_mutex_);
+      const auto it = versions_.find(user);
+      stale = it != versions_.end() && it->second.installed > bundle.version;
+    }
+    if (stale) {
+      // A newer model was installed (and persisted) after this one deferred;
+      // writing the stale bytes would roll the on-disk bundle backwards.
+      std::lock_guard<std::mutex> lock(bundle_mutex_);
+      const auto it = pending_bundles_.find(user);
+      if (it != pending_bundles_.end() &&
+          it->second.version == bundle.version) {
+        pending_bundles_.erase(it);
+      }
+      continue;
+    }
+    if (!persist_breaker_.allow()) return;  // re-opened mid-replay
+    try {
+      write_bundle(user, bundle.bytes);
+      persist_breaker_.on_success();
+      bundles_replayed_->inc();
+      std::lock_guard<std::mutex> lock(bundle_mutex_);
+      const auto it = pending_bundles_.find(user);
+      if (it != pending_bundles_.end() &&
+          it->second.version <= bundle.version) {
+        pending_bundles_.erase(it);
+      }
+    } catch (const IoError& e) {
+      // Volume still sick: the retained backlog replays on the next close
+      // (population writes will trip the breaker open again meanwhile).
+      persist_breaker_.on_failure();
+      util::log_warn_kv("bundle replay failed; backlog retained",
+                        {{"user", user}, {"error", e.what()}});
+      return;
+    }
+  }
 }
 
 std::shared_ptr<const core::AuthModel> AuthGateway::enroll(
@@ -251,9 +450,21 @@ std::vector<core::AuthDecision> AuthGateway::score_batch(
   return score_batch_impl(user_token, context, windows, &day);
 }
 
+std::vector<core::AuthDecision> AuthGateway::score_batch_within(
+    int user_token, sensors::DetectedContext context,
+    const std::vector<std::vector<double>>& windows,
+    std::int64_t deadline_ns) {
+  return score_batch_impl(user_token, context, windows, nullptr, deadline_ns);
+}
+
 std::vector<core::AuthDecision> AuthGateway::score_batch_impl(
     int user_token, sensors::DetectedContext context,
-    const std::vector<std::vector<double>>& windows, const double* day) {
+    const std::vector<std::vector<double>>& windows, const double* day,
+    std::optional<std::int64_t> deadline_ns) {
+  // Admission first, before any work or metrics: a shed request must cost
+  // microseconds. Throws OverloadError (kSaturated/kDeadline); the RAII
+  // ticket frees the slot and feeds the service-time estimate on return.
+  AdmissionGate::Ticket ticket = admission_.admit(deadline_ns);
   // Shared-boundary stage timing: each stage() below closes one stage of
   // the pipeline with a single clock read (a Span per stage would double
   // the per-event clock cost — the ≤3% overhead gate notices).
@@ -436,6 +647,7 @@ AuthGateway::Stats AuthGateway::stats() const {
     out.enrolled_users = versions_.size();
   }
   out.recovered_users = recovered_users_;
+  out.pending_bundles = pending_bundle_count();
   return out;
 }
 

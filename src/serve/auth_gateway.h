@@ -28,9 +28,17 @@
 /// trigger), surfacing gateway.session.* / gateway.confidence.* metrics —
 /// the substrate the scenario harness (analysis/scenarios) measures
 /// FAR-under-attack and detection latency against.
+///
+/// Robustness (docs/ROBUSTNESS.md): scoring admission is bounded and
+/// deadline-aware (OverloadError instead of unbounded queuing), and a
+/// CircuitBreaker guards the persistence volume — when it opens the gateway
+/// degrades to read-only persistence (scoring continues from cached and
+/// in-memory models; population log records and model bundles defer) and
+/// replays the deferred backlog asynchronously when the volume recovers.
 #pragma once
 
 #include <array>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -46,6 +54,7 @@
 #include "core/response.h"
 #include "obs/registry.h"
 #include "serve/model_cache.h"
+#include "serve/resilience.h"
 #include "serve/retrain_queue.h"
 #include "serve/sharded_population_store.h"
 #include "util/thread_pool.h"
@@ -85,14 +94,54 @@ struct GatewayConfig {
   /// per-user session clock when score_batch is called without an explicit
   /// day stamp.
   double window_seconds{6.0};
+
+  /// --- Robustness knobs (docs/ROBUSTNESS.md) ------------------------------
+  /// Scoring admission control: max_concurrent bounds in-flight score
+  /// requests (0 = unbounded; deadline shedding still applies to requests
+  /// that carry one). Rejections surface as OverloadError, never as queuing.
+  AdmissionConfig admission{};
+  /// Circuit breaker over the persistence volume (population log/snapshot
+  /// writes and model-bundle writes share it). While non-closed the gateway
+  /// runs *degraded*: scoring continues from cached/in-memory models,
+  /// persistence work defers, and closing the breaker replays the backlog.
+  BreakerConfig breaker{};
+  /// Retry schedule for transient persistence I/O, plus the seed its
+  /// deterministic jitter streams fork from.
+  BackoffPolicy io_retry{};
+  std::uint64_t io_retry_seed{0xd15c0ff5};
+  /// Injectable time source for the breaker/admission gate (tests drive
+  /// util::SimClock through a lambda); empty = the steady clock.
+  ClockFn clock{};
+  /// Injectable backoff sleep; empty = a real thread sleep.
+  SleepFn io_sleep{};
+  /// Chaos/test hooks forwarded into population persistence (see
+  /// PersistenceOptions::sink_factory / snapshot_writer).
+  std::function<std::unique_ptr<LogSink>(const std::string& path,
+                                         std::size_t shard)>
+      persist_sink_factory{};
+  std::function<void(const std::string& path, std::size_t shard,
+                     std::size_t shard_count, std::uint64_t last_seq,
+                     const core::PopulationStore& segment)>
+      persist_snapshot_writer{};
+  /// Chaos/test hook: writes a serialized model bundle to `path` (the
+  /// temporary half of install_model's write-then-rename). Default:
+  /// ModelStore::save_bytes. Throw IoError here to model bundle-store
+  /// failures.
+  std::function<void(const std::vector<std::uint8_t>& bytes,
+                     const std::string& path)>
+      bundle_writer{};
+  /// RetrainQueue depth cap — queued + running jobs (0 = unbounded); see
+  /// RetrainQueue's shed policy.
+  std::size_t retrain_max_pending{0};
 };
 
 class AuthGateway {
  public:
   explicit AuthGateway(GatewayConfig config = {},
                        util::ThreadPool* pool = nullptr);
-  /// Drains the retrain queue before any member goes away.
-  ~AuthGateway() = default;
+  /// Drains the retrain queue and any in-flight deferred-work replay before
+  /// any member goes away.
+  ~AuthGateway();
 
   /// Anonymized population contribution (paper §IV-A3).
   void contribute(int contributor_token, sensors::DetectedContext context,
@@ -127,6 +176,19 @@ class AuthGateway {
   std::vector<core::AuthDecision> score_batch(
       int user_token, sensors::DetectedContext context,
       const std::vector<std::vector<double>>& windows, double day);
+
+  /// Deadline-aware variant: `deadline_ns` is absolute on the gateway clock
+  /// (now_ns()). Sheds with OverloadError(kDeadline) when the deadline has
+  /// passed or the admission gate's service-time estimate overruns it —
+  /// rejecting in microseconds instead of doing work the caller will discard.
+  std::vector<core::AuthDecision> score_batch_within(
+      int user_token, sensors::DetectedContext context,
+      const std::vector<std::vector<double>>& windows,
+      std::int64_t deadline_ns);
+
+  /// Current nanoseconds on the gateway's (possibly injected) clock; the
+  /// time base score_batch_within deadlines live in.
+  std::int64_t now_ns() const { return clock_(); }
 
   /// --- Session tracking surface (meaningful when track_sessions) --------
   /// Response state of the user's current session (kActive when untracked
@@ -168,8 +230,23 @@ class AuthGateway {
     std::size_t enrolled_users{0};
     /// Users whose persisted bundles were re-registered at construction.
     std::size_t recovered_users{0};
+    /// Model bundles deferred by the degraded mode, awaiting replay.
+    std::size_t pending_bundles{0};
   };
   Stats stats() const;
+
+  /// The circuit breaker guarding the persistence volume. Scenario/test
+  /// access only — production callers never drive it directly (the I/O
+  /// paths feed it).
+  CircuitBreaker& persistence_breaker() { return persist_breaker_; }
+  const CircuitBreaker& persistence_breaker() const { return persist_breaker_; }
+  /// The scoring admission gate (shed counters, inflight, EWMA estimate).
+  const AdmissionGate& admission() const { return admission_; }
+  /// Model bundles deferred by the degraded mode, awaiting replay.
+  std::size_t pending_bundle_count() const;
+  /// Blocks until no deferred-work replay task is in flight (the replay is
+  /// kicked asynchronously when the breaker closes).
+  void wait_replay_idle() const;
 
   /// What attach_persistence replayed at construction (all zero when
   /// persist_dir is empty).
@@ -199,14 +276,31 @@ class AuthGateway {
                      std::shared_ptr<const core::AuthModel> model);
   std::string model_path(int user_token) const;
   void account_transfer(std::size_t bytes, bool upload);
+  /// Writes `bytes` to the user's bundle path via write-temp-then-rename,
+  /// with transient-I/O retry. Caller holds the user's install stripe.
+  void write_bundle(int user_token, const std::vector<std::uint8_t>& bytes);
+  /// Breaker transition hook: pauses/unpauses cache eviction and, on close,
+  /// kicks the asynchronous deferred-work replay.
+  void on_breaker_transition(CircuitBreaker::State to);
+  /// Replay body (pool task): population backlog first, then bundles.
+  void replay_deferred_work();
+  void replay_pending_bundles();
 
   GatewayConfig config_;
   /// Declared before every component that reports into it (and therefore
   /// destroyed after all of them): store/cache/queue hold raw handles into
   /// this registry for their whole lifetime.
   obs::Registry registry_;
+  /// The gateway clock (injected or steady); breaker/admission share it.
+  ClockFn clock_;
+  /// Declared before store_/cache_/queue_: the store keeps a raw pointer to
+  /// the breaker (PersistenceOptions::breaker) and retrain installs feed it.
+  CircuitBreaker persist_breaker_;
+  AdmissionGate admission_;
   std::shared_ptr<ShardedPopulationStore> store_;
   ModelCache cache_;
+  /// Pool the deferred-work replay runs on (caller-owned or the shared one).
+  util::ThreadPool* pool_;
 
   /// Resolved-once handles for the gateway's own request metrics.
   obs::Histogram* score_ns_;
@@ -228,6 +322,9 @@ class AuthGateway {
   obs::Counter* session_lockouts_;
   obs::Counter* confidence_triggers_;
   obs::Histogram* session_detect_ns_;
+  /// Degraded-mode bundle accounting (gateway.bundles_*).
+  obs::Counter* bundles_deferred_;
+  obs::Counter* bundles_replayed_;
 
   mutable std::mutex transfer_mutex_;
   core::NetworkConfig net_;
@@ -245,6 +342,23 @@ class AuthGateway {
   RecoveryStats recovery_;
   std::size_t recovered_users_{0};
 
+  /// A model installed while the bundle store was degraded: cached and
+  /// version-published (scoring proceeds), its durable write deferred here
+  /// until the breaker closes. Keyed by user; a newer install supersedes.
+  struct PendingBundle {
+    std::shared_ptr<const core::AuthModel> model;
+    std::vector<std::uint8_t> bytes;
+    int version{0};
+  };
+  mutable std::mutex bundle_mutex_;
+  std::unordered_map<int, PendingBundle> pending_bundles_;
+
+  /// In-flight replay tasks (submitted to pool_ when the breaker closes);
+  /// the destructor must outwait them — they capture `this`.
+  mutable std::mutex replay_mutex_;
+  mutable std::condition_variable replay_cv_;
+  std::size_t replay_inflight_{0};
+
   /// Per-user session state behind track_sessions. One mutex for the whole
   /// map: the tracked path is the scenario harness, not the 100k-user load
   /// bench, and the per-batch critical section is a few branches per window.
@@ -260,7 +374,8 @@ class AuthGateway {
   };
   std::vector<core::AuthDecision> score_batch_impl(
       int user_token, sensors::DetectedContext context,
-      const std::vector<std::vector<double>>& windows, const double* day);
+      const std::vector<std::vector<double>>& windows, const double* day,
+      std::optional<std::int64_t> deadline_ns = std::nullopt);
   void track_decisions(int user_token,
                        const std::vector<core::AuthDecision>& decisions,
                        const double* day);

@@ -14,8 +14,15 @@ namespace sy::serve {
 namespace {
 
 [[noreturn]] void throw_io(const std::string& what, const std::string& path) {
-  throw std::runtime_error("FileLogSink: " + what + " failed for " + path +
-                           ": " + std::strerror(errno));
+  // Capture errno before anything else can clobber it; the typed error is
+  // what lets the breaker split transient (ENOSPC, EIO, ...) from fatal.
+  throw IoError(what, path, errno);
+}
+
+/// True when op index `op` (relative to arming) is inside the plan's window.
+bool in_window(const FaultPlan& plan, std::uint64_t op) {
+  if (op < plan.at) return false;
+  return plan.count == 0 || op < plan.at + plan.count;
 }
 
 }  // namespace
@@ -54,13 +61,25 @@ FaultInjectingLogSink::FaultInjectingLogSink(std::string path, FaultPlan plan)
     : path_(std::move(path)), plan_(plan) {}
 
 void FaultInjectingLogSink::append(const std::uint8_t* data, std::size_t len) {
+  const std::uint64_t op = ops_++;
+  if (plan_.kind == FaultPlan::Kind::kErrorOps && in_window(plan_, op)) {
+    throw IoError("append(fault)", path_, EIO);
+  }
+  // kSlowOps is a no-op here: the in-memory sink has no clock to stall.
   buffer_.insert(buffer_.end(), data, data + len);
   ++appends_;
 }
 
 void FaultInjectingLogSink::sync() {
+  const std::uint64_t op = ops_++;
+  if (plan_.kind == FaultPlan::Kind::kErrorOps && in_window(plan_, op)) {
+    throw IoError("fsync(fault)", path_, EIO);
+  }
   if (plan_.kind == FaultPlan::Kind::kDropSyncsFrom && appends_ >= plan_.at) {
     return;  // the fsync the OS never performed
+  }
+  if (plan_.kind == FaultPlan::Kind::kDropSyncOps && in_window(plan_, op)) {
+    return;
   }
   durable_ = buffer_.size();
 }
@@ -91,7 +110,10 @@ void FaultInjectingLogSink::materialize_crash() const {
       break;
     case FaultPlan::Kind::kNone:
     case FaultPlan::Kind::kDropSyncsFrom:
-      break;
+    case FaultPlan::Kind::kErrorOps:
+    case FaultPlan::Kind::kSlowOps:
+    case FaultPlan::Kind::kDropSyncOps:
+      break;  // live kinds mutate nothing at crash time
   }
   std::ofstream out(path_, std::ios::binary | std::ios::trunc);
   if (!out) {
@@ -100,5 +122,155 @@ void FaultInjectingLogSink::materialize_crash() const {
   out.write(reinterpret_cast<const char*>(image.data()),
             static_cast<std::streamsize>(image.size()));
 }
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  // KIND[@AT[+COUNT]][:DELAY_US] — see the header for the grammar.
+  FaultPlan plan;
+  std::string head = spec;
+  std::string delay_part;
+  if (const auto colon = head.find(':'); colon != std::string::npos) {
+    delay_part = head.substr(colon + 1);
+    head = head.substr(0, colon);
+  }
+  std::string window_part;
+  if (const auto at = head.find('@'); at != std::string::npos) {
+    window_part = head.substr(at + 1);
+    head = head.substr(0, at);
+  }
+  if (head == "error") {
+    plan.kind = FaultPlan::Kind::kErrorOps;
+  } else if (head == "slow") {
+    plan.kind = FaultPlan::Kind::kSlowOps;
+  } else if (head == "dropsync") {
+    plan.kind = FaultPlan::Kind::kDropSyncOps;
+  } else {
+    throw std::invalid_argument("parse_fault_plan: unknown kind '" + head +
+                                "' in spec '" + spec +
+                                "' (want error|slow|dropsync)");
+  }
+  try {
+    if (!window_part.empty()) {
+      const auto plus = window_part.find('+');
+      plan.at = std::stoull(window_part.substr(0, plus));
+      if (plus != std::string::npos) {
+        plan.count = std::stoull(window_part.substr(plus + 1));
+      }
+    }
+    if (!delay_part.empty()) {
+      if (plan.kind != FaultPlan::Kind::kSlowOps) {
+        throw std::invalid_argument("delay only applies to 'slow'");
+      }
+      plan.delay_ns = std::stoull(delay_part) * 1000;  // spec is in us
+    }
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("parse_fault_plan: malformed spec '" + spec +
+                                "'");
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("parse_fault_plan: value out of range in '" +
+                                spec + "'");
+  }
+  if (plan.kind == FaultPlan::Kind::kSlowOps && plan.delay_ns == 0) {
+    throw std::invalid_argument(
+        "parse_fault_plan: 'slow' needs a :DELAY_US suffix in '" + spec +
+        "'");
+  }
+  return plan;
+}
+
+void ChaosController::arm(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = plan;
+  armed_ = true;
+  armed_at_op_ = ops_;
+}
+
+void ChaosController::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+}
+
+bool ChaosController::armed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return armed_;
+}
+
+ChaosController::Stats ChaosController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = counters_;
+  out.ops = ops_;
+  return out;
+}
+
+ChaosController::Action ChaosController::classify_locked(bool is_sync) {
+  const std::uint64_t op = ops_++;
+  if (!armed_ || !in_window(plan_, op - armed_at_op_)) return Action::kPass;
+  switch (plan_.kind) {
+    case FaultPlan::Kind::kErrorOps:
+      ++counters_.injected_errors;
+      return Action::kError;
+    case FaultPlan::Kind::kSlowOps:
+      ++counters_.injected_delays;
+      return Action::kDelay;
+    case FaultPlan::Kind::kDropSyncOps:
+      if (!is_sync) return Action::kPass;
+      ++counters_.dropped_syncs;
+      return Action::kDropSync;
+    default:
+      return Action::kPass;  // crash-image kinds are not live faults
+  }
+}
+
+ChaosController::Action ChaosController::next_append_action() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return classify_locked(/*is_sync=*/false);
+}
+
+ChaosController::Action ChaosController::next_sync_action() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return classify_locked(/*is_sync=*/true);
+}
+
+std::uint64_t ChaosController::delay_ns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plan_.delay_ns;
+}
+
+ChaosLogSink::ChaosLogSink(std::unique_ptr<LogSink> inner,
+                           std::shared_ptr<ChaosController> chaos,
+                           std::string path, SleepFn sleep)
+    : inner_(std::move(inner)),
+      chaos_(std::move(chaos)),
+      path_(std::move(path)),
+      sleep_(sleep ? std::move(sleep) : thread_sleep_fn()) {}
+
+void ChaosLogSink::append(const std::uint8_t* data, std::size_t len) {
+  switch (chaos_->next_append_action()) {
+    case ChaosController::Action::kError:
+      throw IoError("append(chaos)", path_, EIO);
+    case ChaosController::Action::kDelay:
+      sleep_(chaos_->delay_ns());
+      break;
+    default:
+      break;
+  }
+  inner_->append(data, len);
+}
+
+void ChaosLogSink::sync() {
+  switch (chaos_->next_sync_action()) {
+    case ChaosController::Action::kError:
+      throw IoError("fsync(chaos)", path_, EIO);
+    case ChaosController::Action::kDelay:
+      sleep_(chaos_->delay_ns());
+      break;
+    case ChaosController::Action::kDropSync:
+      return;  // acknowledged but never made durable
+    default:
+      break;
+  }
+  inner_->sync();
+}
+
+void ChaosLogSink::reset() { inner_->reset(); }
 
 }  // namespace sy::serve

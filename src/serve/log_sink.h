@@ -14,8 +14,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
+
+#include "serve/resilience.h"
 
 namespace sy::serve {
 
@@ -29,8 +32,11 @@ class LogSink {
 };
 
 /// POSIX file appender: O_APPEND writes, fsync() on sync(), ftruncate() on
-/// reset(). Throws core::ModelStoreError-compatible std::runtime_error on I/O
-/// failure (a shard that cannot persist must fail loudly, not drop data).
+/// reset(). I/O failures (including ENOSPC/EIO surfaced by a partial write
+/// or fsync) throw serve::IoError carrying the errno, path, and operation,
+/// so the circuit breaker can tell transient faults from fatal
+/// misconfiguration. IoError derives std::runtime_error — callers that only
+/// wanted "fail loudly" are unchanged.
 class FileLogSink final : public LogSink {
  public:
   explicit FileLogSink(std::string path);
@@ -49,15 +55,101 @@ class FileLogSink final : public LogSink {
 };
 
 /// One storage fault, armed at a chosen position in the write stream.
+///
+/// The crash-image kinds (kTruncateAt / kBitFlipAt / kDropSyncsFrom) are
+/// consumed by FaultInjectingLogSink's materialize_crash() flow; the live
+/// kinds (kErrorOps / kSlowOps / kDropSyncOps) drive ChaosLogSink against a
+/// *running* gateway — disk errors, slow I/O, and fsync drops injected into
+/// real FileLogSinks while scoring traffic continues.
 struct FaultPlan {
   enum class Kind {
     kNone,
     kTruncateAt,     // durable image cut at byte offset `at` (torn write)
     kBitFlipAt,      // bit 6 of durable byte `at` flipped (media corruption)
     kDropSyncsFrom,  // sync() calls at/after append index `at` are ignored
+    kErrorOps,       // append/sync ops in the window throw IoError(EIO)
+    kSlowOps,        // append/sync ops in the window stall for delay_ns
+    kDropSyncOps,    // sync() ops in the window silently do nothing
   };
   Kind kind{Kind::kNone};
   std::uint64_t at{0};
+  /// Live kinds only: window length in ops after `at` (0 = until disarmed).
+  std::uint64_t count{0};
+  /// kSlowOps only: injected stall per op.
+  std::uint64_t delay_ns{0};
+};
+
+/// Parses a `--fault-plan` spec into a live-kind FaultPlan:
+///   "error[@AT[+COUNT]]"            kErrorOps
+///   "slow[@AT[+COUNT]]:DELAY_US"    kSlowOps
+///   "dropsync[@AT[+COUNT]]"         kDropSyncOps
+/// AT is the first affected op index (counted from arming), COUNT the window
+/// length (omitted = until disarmed). Throws std::invalid_argument on a
+/// malformed spec.
+FaultPlan parse_fault_plan(const std::string& spec);
+
+/// Shared switchboard for live fault injection. One controller is shared by
+/// every shard's ChaosLogSink, so the op-index window is global across the
+/// store (matching "the disk went bad", not "one shard's file went bad") and
+/// the harness can arm/disarm mid-run from the scenario thread. Thread-safe.
+class ChaosController {
+ public:
+  /// What the sinks should do with the next operation.
+  enum class Action { kPass, kError, kDelay, kDropSync };
+
+  /// Arms `plan` (a live kind); the op window is relative to this call.
+  /// Re-arming replaces the previous plan.
+  void arm(FaultPlan plan);
+  /// Stops injecting; op counting continues.
+  void disarm();
+  bool armed() const;
+
+  struct Stats {
+    std::uint64_t ops{0};              // appends + syncs observed
+    std::uint64_t injected_errors{0};  // ops failed with IoError
+    std::uint64_t injected_delays{0};  // ops stalled
+    std::uint64_t dropped_syncs{0};    // syncs silently skipped
+  };
+  Stats stats() const;
+
+  /// Sink-side hooks: count the op and decide its fate.
+  Action next_append_action();
+  Action next_sync_action();
+  std::uint64_t delay_ns() const;
+
+ private:
+  Action classify_locked(bool is_sync);
+
+  mutable std::mutex mutex_;
+  FaultPlan plan_{};
+  bool armed_{false};
+  std::uint64_t armed_at_op_{0};
+  std::uint64_t ops_{0};
+  Stats counters_{};
+};
+
+/// Write-through chaos wrapper: delegates to a real sink (normally a
+/// FileLogSink, so the gateway under test stays genuinely durable) but
+/// consults a shared ChaosController before every append/sync — injecting
+/// IoError(EIO), a stall, or an fsync drop per the armed FaultPlan. reset()
+/// always passes through: compaction only truncates after its snapshot is
+/// safely renamed into place, so faulting it would test the wrong invariant.
+class ChaosLogSink final : public LogSink {
+ public:
+  /// `sleep` is injectable for tests; default is a real thread sleep.
+  ChaosLogSink(std::unique_ptr<LogSink> inner,
+               std::shared_ptr<ChaosController> chaos, std::string path,
+               SleepFn sleep = {});
+
+  void append(const std::uint8_t* data, std::size_t len) override;
+  void sync() override;
+  void reset() override;
+
+ private:
+  std::unique_ptr<LogSink> inner_;
+  std::shared_ptr<ChaosController> chaos_;
+  std::string path_;
+  SleepFn sleep_;
 };
 
 /// In-memory sink for the fault-injection harness. Appended bytes become
@@ -91,6 +183,7 @@ class FaultInjectingLogSink final : public LogSink {
   std::vector<std::uint8_t> buffer_;
   std::size_t durable_{0};
   std::uint64_t appends_{0};
+  std::uint64_t ops_{0};  // appends + syncs, for the live-kind windows
 };
 
 }  // namespace sy::serve

@@ -54,6 +54,9 @@ void ModelCache::insert_locked(int user,
 }
 
 void ModelCache::evict_to_budget_locked(int keep_user) {
+  // Degraded mode: an evicted entry could not be reloaded while the bundle
+  // store is down, so the budget is allowed to overshoot until recovery.
+  if (eviction_paused_) return;
   // Never evict the entry that triggered the pass: an oversized model must
   // still be served, and the caller holds a shared_ptr to it anyway.
   while (bytes_ > capacity_ && !lru_.empty() && lru_.back() != keep_user) {
@@ -111,6 +114,23 @@ std::shared_ptr<const core::AuthModel> ModelCache::get(int user) {
   }
   insert_locked(user, shared, bytes);
   return shared;
+}
+
+void ModelCache::set_eviction_paused(bool paused) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (eviction_paused_ == paused) return;
+  eviction_paused_ = paused;
+  if (!paused && !lru_.empty()) {
+    // Recovery: shed whatever the degraded episode let accumulate, keeping
+    // the hottest entry (the usual never-evict-the-trigger rule).
+    evict_to_budget_locked(lru_.front());
+    sync_gauges_locked();
+  }
+}
+
+bool ModelCache::eviction_paused() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return eviction_paused_;
 }
 
 bool ModelCache::contains(int user) const {

@@ -66,6 +66,14 @@ class ModelCache {
   bool contains(int user) const;
   void erase(int user);
 
+  /// Degraded-mode support: while paused, evictions are suspended (the byte
+  /// budget may overshoot) so every in-memory model stays servable when the
+  /// bundle store behind the loader is unreachable — an evicted entry could
+  /// not be reloaded. Unpausing evicts back down to budget. The gateway
+  /// flips this from its persistence circuit breaker's transitions.
+  void set_eviction_paused(bool paused);
+  bool eviction_paused() const;
+
   /// Back-compat stats view, now read from the cache.* registry metrics
   /// (entries/bytes come from the authoritative internal state, taken in one
   /// critical section so the pair is mutually consistent). Counter fields
@@ -115,6 +123,7 @@ class ModelCache {
   std::list<int> lru_;
   std::unordered_map<int, Entry> entries_;
   std::size_t bytes_{0};  // authoritative budget charge; gauge mirrors it
+  bool eviction_paused_{false};  // degraded mode: keep everything servable
 };
 
 }  // namespace sy::serve

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/span.h"
+#include "serve/resilience.h"
 #include "util/rng.h"
 
 namespace sy::serve {
@@ -12,12 +13,13 @@ RetrainQueue::RetrainQueue(const core::PopulationStoreBackend* store,
                            core::TrainingConfig config, SwapFn swap,
                            util::ThreadPool* pool,
                            core::ApproxStatsCache* stats_cache,
-                           obs::Registry* registry)
+                           obs::Registry* registry, std::size_t max_pending)
     : store_(store),
       config_(config),
       swap_(std::move(swap)),
       pool_(pool),
       stats_cache_(stats_cache),
+      max_pending_(max_pending),
       own_registry_(registry == nullptr ? std::make_unique<obs::Registry>()
                                         : nullptr),
       registry_(registry != nullptr ? registry : own_registry_.get()),
@@ -25,13 +27,39 @@ RetrainQueue::RetrainQueue(const core::PopulationStoreBackend* store,
       coalesced_(&registry_->counter("retrain.coalesced")),
       completed_(&registry_->counter("retrain.completed")),
       failed_(&registry_->counter("retrain.failed")),
+      shed_(&registry_->counter("retrain.shed")),
       queue_depth_(&registry_->gauge("retrain.queue_depth")),
+      queue_depth_hwm_(&registry_->gauge("retrain.queue_depth_hwm")),
       train_ns_(&registry_->histogram("retrain.train_ns")) {}
 
 RetrainQueue::~RetrainQueue() {
   // Pool tasks capture shared_ptr<Job> plus `this`; every accepted job must
   // finish before the members they reference go away.
   wait_idle();
+}
+
+bool RetrainQueue::shed_oldest_queued_locked() {
+  auto oldest = queued_.end();
+  for (auto it = queued_.begin(); it != queued_.end(); ++it) {
+    if (oldest == queued_.end() || it->second->seq < oldest->second->seq) {
+      oldest = it;
+    }
+  }
+  if (oldest == queued_.end()) return false;
+  std::shared_ptr<Job> victim = oldest->second;
+  queued_.erase(oldest);
+  victim->shed = true;
+  // Resolve the future now, under the mutex: waiters learn immediately, and
+  // the coalescing window for this user is already closed (erased above).
+  victim->promise.set_exception(std::make_exception_ptr(OverloadError(
+      OverloadReason::kSaturated,
+      "RetrainQueue: job for user " +
+          std::to_string(victim->request.user_token) +
+          " shed by a newer submission (queue at max_pending)")));
+  shed_->inc();
+  --pending_;
+  queue_depth_->set(static_cast<std::int64_t>(pending_));
+  return true;
 }
 
 std::shared_future<core::AuthModel> RetrainQueue::submit(Request request) {
@@ -54,12 +82,24 @@ std::shared_future<core::AuthModel> RetrainQueue::submit(Request request) {
       coalesced_->inc();
       return pending.future;
     }
+    if (max_pending_ != 0 && pending_ >= max_pending_ &&
+        !shed_oldest_queued_locked()) {
+      // Every pending job is already on a worker: nothing coalescable to
+      // shed, so the submitter is the one turned away.
+      throw OverloadError(OverloadReason::kSaturated,
+                          "RetrainQueue: " + std::to_string(pending_) +
+                              " jobs running, queue at max_pending");
+    }
     job = std::make_shared<Job>();
     job->request = std::move(request);
     job->future = job->promise.get_future().share();
+    job->seq = next_seq_++;
     queued_[job->request.user_token] = job;
     ++in_flight_;
-    queue_depth_->set(static_cast<std::int64_t>(in_flight_));
+    ++pending_;
+    pending_hwm_ = std::max(pending_hwm_, pending_);
+    queue_depth_->set(static_cast<std::int64_t>(pending_));
+    queue_depth_hwm_->set(static_cast<std::int64_t>(pending_hwm_));
   }
 
   auto task = [this, job] { run(job); };
@@ -79,6 +119,14 @@ void RetrainQueue::run(const std::shared_ptr<Job>& job) {
     // job's own entry may be removed — with out-of-order worker scheduling,
     // the user's map slot can already hold a newer job.
     std::lock_guard<std::mutex> lock(mutex_);
+    if (job->shed) {
+      // Evicted while queued: the future already failed and pending_ was
+      // already released at shed time; only this pool task's liveness count
+      // remains (teardown must still outwait the task — it captures `this`).
+      --in_flight_;
+      idle_.notify_all();
+      return;
+    }
     request = std::move(job->request);
     const auto it = queued_.find(request.user_token);
     if (it != queued_.end() && it->second == job) queued_.erase(it);
@@ -113,7 +161,8 @@ void RetrainQueue::run(const std::shared_ptr<Job>& job) {
     std::lock_guard<std::mutex> lock(mutex_);
     (ok ? completed_ : failed_)->inc();
     --in_flight_;
-    queue_depth_->set(static_cast<std::int64_t>(in_flight_));
+    --pending_;
+    queue_depth_->set(static_cast<std::int64_t>(pending_));
     idle_.notify_all();
   }
 }
@@ -127,12 +176,14 @@ RetrainQueue::Stats RetrainQueue::stats() const {
   Stats out;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    out.in_flight = in_flight_;
+    out.in_flight = pending_;
+    out.queue_depth_hwm = pending_hwm_;
   }
   out.submitted = submitted_->value();
   out.coalesced = coalesced_->value();
   out.completed = completed_->value();
   out.failed = failed_->value();
+  out.shed = shed_->value();
   return out;
 }
 

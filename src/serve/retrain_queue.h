@@ -14,6 +14,14 @@
 /// (latest upload wins per context) and all callers share the same future.
 /// Once the job has started, a new request queues a fresh job — it trains
 /// with newer data against a newer snapshot.
+///
+/// Depth is bounded (`max_pending`): when queued + running jobs would exceed
+/// the cap, the OLDEST still-queued job is shed (its future resolves with
+/// OverloadError — its user's next drift report simply retrains with fresher
+/// data) to make room; if every pending job is already running, submit()
+/// itself throws OverloadError instead of queuing unboundedly. Shedding
+/// prefers queued jobs because they have consumed no training work yet and
+/// their loss is recoverable by design (drift triggers re-fire).
 #pragma once
 
 #include <condition_variable>
@@ -48,13 +56,14 @@ class RetrainQueue {
   /// `stats_cache` — optional, not owned, must outlive the queue — shares
   /// approximate-mode population statistics with the enrollment path (unused
   /// in exact mode). `registry` hosts the retrain.* metrics (submitted /
-  /// coalesced / completed / failed counters, queue_depth gauge, train_ns
-  /// latency histogram); nullptr = private registry.
+  /// coalesced / completed / failed / shed counters, queue_depth +
+  /// queue_depth_hwm gauges, train_ns latency histogram); nullptr = private
+  /// registry. `max_pending` caps queued + running jobs (0 = unbounded).
   RetrainQueue(const core::PopulationStoreBackend* store,
                core::TrainingConfig config, SwapFn swap,
                util::ThreadPool* pool = nullptr,
                core::ApproxStatsCache* stats_cache = nullptr,
-               obs::Registry* registry = nullptr);
+               obs::Registry* registry = nullptr, std::size_t max_pending = 0);
   /// Drains: blocks until every accepted job has completed or failed.
   ~RetrainQueue();
 
@@ -64,6 +73,8 @@ class RetrainQueue {
   /// Enqueues an async retrain and returns a future for the new model.
   /// Training failures (and swap-callback failures) surface through the
   /// future as exceptions; the scoring path keeps the old model either way.
+  /// With a full queue (max_pending) the oldest queued job is shed first;
+  /// throws OverloadError(kSaturated) when every pending job is running.
   std::shared_future<core::AuthModel> submit(Request request);
 
   /// Blocks until no job is queued or running.
@@ -77,7 +88,9 @@ class RetrainQueue {
     std::uint64_t coalesced{0};  // submits folded into a queued job
     std::uint64_t completed{0};
     std::uint64_t failed{0};
+    std::uint64_t shed{0};  // queued jobs evicted by the depth cap
     std::size_t in_flight{0};  // queued or running right now
+    std::size_t queue_depth_hwm{0};  // high-water mark of in_flight
   };
   Stats stats() const;
 
@@ -90,15 +103,21 @@ class RetrainQueue {
     Request request;
     std::promise<core::AuthModel> promise;
     std::shared_future<core::AuthModel> future;
+    std::uint64_t seq{0};  // submission order; the shed policy evicts min
+    bool shed{false};      // set under mutex_; run() then skips the work
   };
 
   void run(const std::shared_ptr<Job>& job);
+  /// Evicts the oldest queued job to make room; false when all are running.
+  /// Caller holds mutex_.
+  bool shed_oldest_queued_locked();
 
   const core::PopulationStoreBackend* store_;  // not owned
   core::TrainingConfig config_;
   SwapFn swap_;
   util::ThreadPool* pool_;                 // not owned
   core::ApproxStatsCache* stats_cache_;    // not owned, may be null
+  const std::size_t max_pending_;          // 0 = unbounded
 
   std::unique_ptr<obs::Registry> own_registry_;  // fallback when none passed
   obs::Registry* registry_;
@@ -106,15 +125,23 @@ class RetrainQueue {
   obs::Counter* coalesced_;
   obs::Counter* completed_;
   obs::Counter* failed_;
-  obs::Gauge* queue_depth_;   // queued or running (mirrors in_flight_)
+  obs::Counter* shed_;
+  obs::Gauge* queue_depth_;   // live (non-shed) jobs (mirrors pending_)
+  obs::Gauge* queue_depth_hwm_;  // high-water mark of pending_
   obs::Histogram* train_ns_;  // snapshot + train + swap wall time
 
   mutable std::mutex mutex_;
   std::condition_variable idle_;
   /// Queued-but-not-started jobs, keyed by user token (the coalescing window).
   std::map<int, std::shared_ptr<Job>> queued_;
-  /// Authoritative liveness count for wait_idle(); queue_depth_ mirrors it.
+  /// Pool tasks not yet finished — INCLUDING shed jobs whose (near-no-op)
+  /// task hasn't drained. wait_idle()/the destructor key off this: a task
+  /// captures `this`, so teardown must outwait it even when the job was shed.
   std::size_t in_flight_{0};
+  /// Live jobs (queued or running, not shed): what max_pending_ bounds.
+  std::size_t pending_{0};
+  std::size_t pending_hwm_{0};
+  std::uint64_t next_seq_{0};
 };
 
 }  // namespace sy::serve

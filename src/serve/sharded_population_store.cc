@@ -28,6 +28,8 @@ ShardedPopulationStore::ShardedPopulationStore(std::size_t shards,
           &registry_->counter("store.snapshot_buckets_shared")),
       log_records_(&registry_->counter("store.log_records")),
       log_compactions_(&registry_->counter("store.log_compactions")),
+      log_deferred_(&registry_->counter("store.log_deferred")),
+      deferred_flushed_(&registry_->counter("store.deferred_flushed")),
       snapshot_rebuild_ns_(&registry_->histogram("store.snapshot_rebuild_ns")),
       log_append_ns_(&registry_->histogram("store.log_append_ns")),
       log_fsync_ns_(&registry_->histogram("store.log_fsync_ns")),
@@ -59,11 +61,24 @@ void ShardedPopulationStore::compact_shard_locked(std::size_t s) {
   // Snapshot first, truncate second: a crash in between leaves the log's
   // records with seq <= the snapshot's last_seq, which the next recovery
   // skips — nothing is ever applied twice.
-  write_shard_snapshot(snapshot_path_for(persist_.dir, s), s, shards_.size(),
-                       shard.next_seq - 1, shard.data);
+  if (persist_.snapshot_writer) {
+    persist_.snapshot_writer(snapshot_path_for(persist_.dir, s), s,
+                             shards_.size(), shard.next_seq - 1, shard.data);
+  } else {
+    write_shard_snapshot(snapshot_path_for(persist_.dir, s), s,
+                         shards_.size(), shard.next_seq - 1, shard.data);
+  }
   shard.log->reset();
   shard.records_since_snapshot = 0;
   shard.records_since_sync = 0;
+  // The snapshot's last_seq covers every deferred record's seq, so the
+  // degraded backlog (and any torn log tail the dirty flag guarded against)
+  // is healed as a side effect of any successful compaction.
+  if (shard.deferred > 0) {
+    deferred_flushed_->inc(shard.deferred);
+    shard.deferred = 0;
+  }
+  shard.log_dirty = false;
   log_compactions_->inc();
   util::log_debug_kv("shard log compacted into snapshot",
                      {{"shard", s},
@@ -86,28 +101,143 @@ void ShardedPopulationStore::contribute(
   contributions_->inc();
 
   if (shard.log) {
-    // Durable before visible-to-the-next-snapshot is not required (the
-    // paper's population is advisory training data), but append-before-
-    // return means a crash loses at most the contribution that raced it.
-    {
-      obs::Span append_span(log_append_ns_);
-      shard.log->append(shard.next_seq++, contributor_token, context,
-                        vectors);
+    persist_contribution_locked(s, contributor_token, context, vectors);
+  }
+}
+
+void ShardedPopulationStore::persist_contribution_locked(
+    std::size_t s, int contributor_token, sensors::DetectedContext context,
+    const std::vector<std::vector<double>>& vectors) {
+  Shard& shard = *shards_[s];
+  CircuitBreaker* breaker = persist_.breaker;
+  // Defer: the contribution is already visible in shard.data (and to
+  // training snapshots); it consumes a seq number so the healing snapshot's
+  // last_seq covers it, but nothing touches the failing disk. NOTE the
+  // availability/durability trade: a hard crash while degraded loses the
+  // deferred records — docs/ROBUSTNESS.md spells out the contract.
+  const auto defer = [&] {
+    ++shard.next_seq;
+    ++shard.deferred;
+    log_deferred_->inc();
+  };
+  if (breaker != nullptr && !breaker->allow()) {
+    defer();
+    return;
+  }
+  if (shard.log_dirty || shard.deferred > 0) {
+    // Recovery (or the breaker's half-open probe): fold the full in-memory
+    // shard — deferred backlog and this contribution included — into a
+    // fresh snapshot instead of appending. Appending would be wrong twice
+    // over: a dirty log may end in torn bytes a mid-log reader chokes on,
+    // and replay order would interleave backlog behind newer records.
+    try {
+      compact_shard_locked(s);
+      if (breaker != nullptr) breaker->on_success();
+    } catch (const std::exception& e) {
+      if (breaker == nullptr) throw;
+      breaker->on_failure();
+      defer();
+      util::log_warn_kv("shard heal failed; contribution deferred",
+                        {{"shard", s}, {"error", e.what()}});
     }
-    log_records_->inc();
-    ++shard.records_since_snapshot;
-    ++shard.records_since_sync;
-    if (persist_.sync_every != 0 &&
-        shard.records_since_sync >= persist_.sync_every) {
+    return;
+  }
+  // Healthy path. Durable before visible-to-the-next-snapshot is not
+  // required (the paper's population is advisory training data), but
+  // append-before-return means a crash loses at most the contribution that
+  // raced it. Transient failures retry with deterministic jitter before the
+  // breaker hears about them.
+  const std::uint64_t seq = shard.next_seq++;
+  try {
+    obs::Span append_span(log_append_ns_);
+    util::Rng jitter = util::Rng(persist_.io_retry_seed)
+                           .fork((static_cast<std::uint64_t>(s) << 32) ^
+                                 shard.retry_draws++);
+    retry_io(
+        [&] { shard.log->append(seq, contributor_token, context, vectors); },
+        persist_.io_retry, jitter, persist_.io_retry_sleep);
+  } catch (const IoError& e) {
+    if (breaker == nullptr) throw;  // no degraded mode configured: fail loud
+    breaker->on_failure();
+    // The interrupted append may have left torn bytes; no further appends
+    // until a compaction resets the log.
+    shard.log_dirty = true;
+    ++shard.deferred;
+    log_deferred_->inc();
+    util::log_warn_kv("shard log append failed; contribution deferred",
+                      {{"shard", s}, {"error", e.what()}});
+    return;
+  }
+  if (breaker != nullptr) breaker->on_success();
+  log_records_->inc();
+  ++shard.records_since_snapshot;
+  ++shard.records_since_sync;
+  if (persist_.sync_every != 0 &&
+      shard.records_since_sync >= persist_.sync_every) {
+    try {
       obs::Span fsync_span(log_fsync_ns_);
       shard.log->sync();
       shard.records_since_sync = 0;
-    }
-    if (persist_.compact_threshold != 0 &&
-        shard.records_since_snapshot >= persist_.compact_threshold) {
-      compact_shard_locked(s);
+    } catch (const IoError& e) {
+      if (breaker == nullptr) throw;
+      // The record reached the file (append succeeded); only power-loss
+      // durability is pending, and the next cadence point retries the
+      // fsync. Still a failure signal for the breaker.
+      breaker->on_failure();
+      util::log_warn_kv("shard log fsync failed; will retry on next record",
+                        {{"shard", s}, {"error", e.what()}});
     }
   }
+  if (persist_.compact_threshold != 0 &&
+      shard.records_since_snapshot >= persist_.compact_threshold) {
+    try {
+      compact_shard_locked(s);
+    } catch (const std::exception& e) {
+      if (breaker == nullptr) throw;
+      // The log still holds every record (compaction is snapshot-then-
+      // truncate, and the snapshot publish is atomic), so nothing is lost;
+      // the threshold stays exceeded and the next contribution retries.
+      breaker->on_failure();
+      util::log_warn_kv("shard compaction failed; will retry",
+                        {{"shard", s}, {"error", e.what()}});
+    }
+  }
+}
+
+std::uint64_t ShardedPopulationStore::flush_deferred() {
+  if (!persistent()) return 0;
+  std::uint64_t flushed = 0;
+  CircuitBreaker* breaker = persist_.breaker;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+    Shard& shard = *shards_[s];
+    if (!shard.log || (shard.deferred == 0 && !shard.log_dirty)) continue;
+    // allow() is side-effect-free while closed; while open it hands this
+    // call the half-open probe exactly when the cooldown has elapsed.
+    if (breaker != nullptr && !breaker->allow()) break;
+    try {
+      const std::uint64_t backlog = shard.deferred;
+      compact_shard_locked(s);
+      flushed += backlog;
+      if (breaker != nullptr) breaker->on_success();
+    } catch (const std::exception& e) {
+      if (breaker == nullptr) throw;
+      breaker->on_failure();
+      util::log_warn_kv("deferred flush failed; volume still degraded",
+                        {{"shard", s}, {"error", e.what()}});
+      break;
+    }
+  }
+  return flushed;
+}
+
+std::uint64_t ShardedPopulationStore::deferred_records() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->deferred;
+  }
+  return total;
 }
 
 RecoveryStats ShardedPopulationStore::attach_persistence(
@@ -409,6 +539,8 @@ ShardedPopulationStore::Stats ShardedPopulationStore::stats() const {
   out.contributions = contributions_->value();
   out.log_records = log_records_->value();
   out.log_compactions = log_compactions_->value();
+  out.log_deferred = log_deferred_->value();
+  out.deferred_flushed = deferred_flushed_->value();
   return out;
 }
 

@@ -72,6 +72,27 @@ struct PersistenceOptions {
   std::function<std::unique_ptr<LogSink>(const std::string& path,
                                          std::size_t shard)>
       sink_factory{};
+  /// Test hook (chaos harness): writes a shard snapshot during compaction.
+  /// Default: write_shard_snapshot. A chaos wrapper that throws IoError here
+  /// models the whole persistence volume failing, not just the log file.
+  std::function<void(const std::string& path, std::size_t shard,
+                     std::size_t shard_count, std::uint64_t last_seq,
+                     const core::PopulationStore& segment)>
+      snapshot_writer{};
+  /// Graceful degradation (set by the gateway; may be null): log I/O runs
+  /// through this breaker. While it is open — or once an append has failed,
+  /// possibly leaving torn bytes — contributions stay fully visible in
+  /// memory but their log records are *deferred*; the next allowed
+  /// contribution (or flush_deferred()) heals the shard by folding
+  /// everything into a fresh snapshot. Not owned; must outlive the store.
+  CircuitBreaker* breaker{nullptr};
+  /// Retry schedule for transient log-append/fsync failures.
+  BackoffPolicy io_retry{};
+  /// Seed for the deterministic retry jitter (per-shard streams are forked
+  /// from it).
+  std::uint64_t io_retry_seed{0x10bac0ff};
+  /// Injectable backoff sleep (tests); default real thread sleep.
+  SleepFn io_retry_sleep{};
 };
 
 /// What attach_persistence() recovered from disk.
@@ -131,8 +152,22 @@ class ShardedPopulationStore final : public core::PopulationStoreBackend {
   RecoveryStats attach_persistence(const PersistenceOptions& options);
 
   /// Folds every shard's log into a fresh snapshot now (e.g. before a
-  /// planned shutdown). No-op when persistence is not attached.
+  /// planned shutdown). No-op when persistence is not attached. Also flushes
+  /// any deferred records (the snapshot covers them).
   void checkpoint();
+
+  /// Degraded-recovery replay: heals every shard that holds deferred log
+  /// records (or a possibly-torn log) by folding its full in-memory state
+  /// into a fresh snapshot. Reports the outcome to the breaker and stops at
+  /// the first failing shard (the volume is still bad). The gateway invokes
+  /// this from the breaker's open→closed transition; it is also safe to call
+  /// at any time. Returns the number of deferred records made durable.
+  std::uint64_t flush_deferred();
+
+  /// Log records currently deferred in memory across all shards (0 in
+  /// healthy operation). Deferred contributions are fully visible to
+  /// snapshot()/training; only their durability is pending.
+  std::uint64_t deferred_records() const;
 
   bool persistent() const { return persistent_.load(std::memory_order_acquire); }
 
@@ -163,6 +198,8 @@ class ShardedPopulationStore final : public core::PopulationStoreBackend {
     std::uint64_t snapshot_buckets_shared{0};
     std::uint64_t log_records{0};        // delta records appended
     std::uint64_t log_compactions{0};    // log-into-snapshot folds
+    std::uint64_t log_deferred{0};       // records deferred while degraded
+    std::uint64_t deferred_flushed{0};   // deferred records made durable
   };
   Stats stats() const;
 
@@ -182,7 +219,25 @@ class ShardedPopulationStore final : public core::PopulationStoreBackend {
     std::uint64_t next_seq{1};
     std::uint64_t records_since_snapshot{0};
     std::uint64_t records_since_sync{0};
+    /// --- graceful degradation (only used when persist_.breaker is set)
+    /// Count of contributions whose log record is deferred: the data is in
+    /// `data` (and owns a seq number), but nothing reached the log. Healing
+    /// folds the whole shard into a snapshot whose last_seq covers them.
+    std::uint64_t deferred{0};
+    /// A log append threw mid-record: the file may hold torn bytes, so no
+    /// further appends until a compaction resets it.
+    bool log_dirty{false};
+    /// Deterministic jitter stream for this shard's append retries.
+    std::uint64_t retry_draws{0};
   };
+
+  /// Contribution persistence tail of contribute(): append-with-retry, sync
+  /// cadence, compaction, and the degraded defer/heal paths. Caller holds
+  /// the shard's mutex.
+  void persist_contribution_locked(std::size_t s, int contributor_token,
+                                   sensors::DetectedContext context,
+                                   const std::vector<std::vector<double>>&
+                                       vectors);
 
   /// Writes shard s's snapshot (last_seq = next_seq - 1) and resets its log.
   /// Caller holds the shard's mutex and persistence is attached.
@@ -241,6 +296,8 @@ class ShardedPopulationStore final : public core::PopulationStoreBackend {
   obs::Counter* snapshot_buckets_shared_;
   obs::Counter* log_records_;
   obs::Counter* log_compactions_;
+  obs::Counter* log_deferred_;       // store.log_deferred
+  obs::Counter* deferred_flushed_;   // store.deferred_flushed
   obs::Histogram* snapshot_rebuild_ns_;  // merge passes only, not reuse hits
   obs::Histogram* log_append_ns_;
   obs::Histogram* log_fsync_ns_;

@@ -28,11 +28,13 @@ ScenarioOptions tiny_options() {
 
 TEST(Scenarios, RegistryListsTheCanonicalMatrix) {
   const auto& names = scenario_names();
-  ASSERT_EQ(names.size(), 4u);
+  ASSERT_EQ(names.size(), 6u);
   EXPECT_EQ(names[0], "masquerade_campaign");
   EXPECT_EQ(names[1], "pickup_moment");
   EXPECT_EQ(names[2], "behavioral_drift");
   EXPECT_EQ(names[3], "flash_crowd");
+  EXPECT_EQ(names[4], "disk_fault_storm");
+  EXPECT_EQ(names[5], "overload_shed");
   EXPECT_THROW(run_scenario("no_such_scenario", tiny_options()),
                std::invalid_argument);
 }
@@ -73,6 +75,46 @@ TEST(Scenarios, BehavioralDriftRunsRetrainsThroughTheGateway) {
   // Every retrain the scenario ran went through report_drift.
   EXPECT_EQ(result.metrics.counters.at("gateway.drift_reports"),
             static_cast<std::uint64_t>(result.summary_value("retrains_run")));
+}
+
+TEST(Scenarios, DiskFaultStormKeepsServingAndLosesNothing) {
+  ScenarioOptions options = tiny_options();
+  options.storm_rounds = 2;
+  const ScenarioResult result = run_scenario("disk_fault_storm", options);
+  EXPECT_EQ(result.name, "disk_fault_storm");
+  // The scenario's own invariants are the assertions: mid-storm scoring
+  // never failed, every contribution was acked, the breaker opened and
+  // re-closed, and the fresh-store recovery matched byte for byte.
+  EXPECT_TRUE(result.passed) << (result.failures.empty()
+                                     ? std::string("(no failures recorded)")
+                                     : result.failures.front());
+  EXPECT_GT(result.summary_value("records_deferred"), 0.0);
+  EXPECT_EQ(result.summary_value("digest_match"), 1.0);
+  EXPECT_EQ(result.summary_value("recovered_contributions"),
+            result.summary_value("injected_contributions"));
+  EXPECT_GE(result.metrics.counters.at("gateway.breaker.opens"), 1u);
+}
+
+TEST(Scenarios, OverloadShedRejectsWithTypedErrorsAndHoldsP99) {
+  ScenarioOptions options = tiny_options();
+  options.overload_threads = 4;
+  options.overload_requests_per_thread = 25;
+  const ScenarioResult result = run_scenario("overload_shed", options);
+  EXPECT_EQ(result.name, "overload_shed");
+  EXPECT_TRUE(result.passed) << (result.failures.empty()
+                                     ? std::string("(no failures recorded)")
+                                     : result.failures.front());
+  EXPECT_GT(result.summary_value("shed_requests"), 0.0);
+  EXPECT_GT(result.summary_value("probe_shed"), 0.0);
+  EXPECT_EQ(result.summary_value("shed_deadline"), 1.0);
+  // Burst accounting: shed_requests also counts phase-3 probes, which are
+  // issued outside the burst.
+  EXPECT_EQ(result.summary_value("accepted_requests") +
+                result.summary_value("shed_requests") -
+                result.summary_value("probe_shed"),
+            result.summary_value("issued_requests"));
+  EXPECT_GE(result.metrics.counters.at("gateway.admission.shed_saturated"),
+            1u);
 }
 
 TEST(Scenarios, JsonArtifactCarriesTheMatrixSchema) {
